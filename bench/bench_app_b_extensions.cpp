@@ -1,0 +1,30 @@
+// App. B.3.1 / B.9 / B.10: TLS_FALLBACK_SCSV, OCSP status_request and
+// GREASE usage. Paper: 20 devices of 6 vendors offer FALLBACK_SCSV; 648
+// devices of 33 vendors request OCSP; 501 devices (23 vendors) GREASE
+// suites, 503 (15 vendors) GREASE extensions, 2 extension-only.
+#include "common.hpp"
+#include "core/tls_params.hpp"
+
+using namespace iotls;
+
+int main() {
+  const auto& ctx = bench::Context::get();
+  bench::banner("App. B", "FALLBACK_SCSV / OCSP / GREASE usage");
+
+  auto fallback = core::fallback_scsv_report(ctx.client);
+  std::printf("TLS_FALLBACK_SCSV: %zu devices of %zu vendors   [paper: 20 / 6]\n",
+              fallback.devices.size(), fallback.vendors.size());
+
+  auto ocsp = core::ocsp_report(ctx.client);
+  std::printf("OCSP status_request: %zu devices of %zu vendors   [paper: 648 / 33]\n",
+              ocsp.devices.size(), ocsp.vendors.size());
+
+  auto grease = core::grease_report(ctx.client);
+  std::printf("GREASE in ciphersuites: %zu devices of %zu vendors   [paper: 501 / 23]\n",
+              grease.suite_devices.size(), grease.suite_vendors.size());
+  std::printf("GREASE in extensions:   %zu devices of %zu vendors   [paper: 503 / 15]\n",
+              grease.extension_devices.size(), grease.extension_vendors.size());
+  std::printf("GREASE only in extensions: %zu devices   [paper: 2]\n",
+              grease.extension_only_devices.size());
+  return 0;
+}

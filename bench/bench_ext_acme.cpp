@@ -1,0 +1,72 @@
+// Extension bench (§7 recommendation evaluated): what happens to the IoT
+// certificate estate when private-CA vendors adopt ACME-style automation?
+// Takes the vendor-signed servers of the simulated world, runs a RenewalAgent
+// over two simulated years, and compares estate health before/after.
+#include <algorithm>
+
+#include "acme/renewal.hpp"
+#include "common.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace iotls;
+
+int main() {
+  bench::banner("EXT: ACME", "automated certificate management for IoT vendors");
+
+  // A private world copy we are allowed to mutate.
+  auto universe = devicesim::ServerUniverse::standard();
+  devicesim::SimWorld world = devicesim::build_world(universe);
+
+  // Collect the vendor-signed (private-issuer) servers — §5.4's problem set.
+  std::vector<net::SimServer*> estate;
+  for (const devicesim::ServerSpec& spec : universe.specs()) {
+    if (spec.issuer_public || !spec.reachable) continue;
+    if (const net::SimServer* server = world.internet.find(spec.fqdn)) {
+      estate.push_back(const_cast<net::SimServer*>(server));
+    }
+  }
+
+  // The ACME deployment: a Let's Encrypt-style directory whose root the
+  // trust stores already carry.
+  auto acme_root = x509::CertificateAuthority::make_root(
+      "ISRG Root X1", "Let's Encrypt", x509::CaKind::kPublicTrust,
+      days(2015, 6, 4), days(2040, 6, 4));
+  auto acme_intermediate = acme_root.subordinate("R3", days(2020, 9, 4),
+                                                 days(2035, 9, 4));
+  ct::CtLog acme_log("acme-oak");
+  ct::CtIndex ct_index;
+  for (const auto& log : world.logs) ct_index.add_log(log.get());
+  ct_index.add_log(&acme_log);
+
+  acme::AcmeDirectory directory(&acme_intermediate, {}, &acme_log);
+  acme::ChallengeBoard board;
+  acme::RenewalAgent agent(&directory, &board, "IoT Vendor Consortium");
+  for (net::SimServer* server : estate) agent.manage(server);
+
+  const std::int64_t start = bench::kProbeDay;
+  acme::EstateHealth before = acme::measure_estate(estate, ct_index, start);
+
+  // Two simulated years of weekly agent runs.
+  for (std::int64_t day = start; day <= start + 730; day += 7) agent.tick(day);
+  acme::EstateHealth after = acme::measure_estate(estate, ct_index, start + 730);
+
+  report::Table table({"metric", "before ACME", "after 2y of ACME"});
+  auto row = [&](const char* name, std::size_t b, std::size_t a) {
+    table.add_row({name, std::to_string(b), std::to_string(a)});
+  };
+  row("vendor-signed servers", before.servers, after.servers);
+  row("serving an EXPIRED certificate", before.expired, after.expired);
+  row("expiring within 30 days", before.expiring_30d, after.expiring_30d);
+  row("validity period > 5 years", before.validity_over_5y, after.validity_over_5y);
+  row("CT-logged", before.ct_logged, after.ct_logged);
+  table.add_row({"mean validity period (days)",
+                 fmt_double(before.mean_validity_days, 0),
+                 fmt_double(after.mean_validity_days, 0)});
+  std::printf("%s", table.render().c_str());
+  std::printf("\nrenewals performed: %zu, failures: %zu, ACME issuances: %zu\n",
+              agent.renewals(), agent.failures(), directory.issued_count());
+  std::printf("reading: the §5.4 pathology (decade-long unlogged vendor certs) "
+              "disappears once issuance is automated — the paper's §7 thesis\n");
+  return 0;
+}

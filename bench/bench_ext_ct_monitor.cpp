@@ -1,0 +1,52 @@
+// Extension bench (§7): the CT monitor/auditor run against the probed IoT
+// estate — log health checks plus per-issuer policy findings.
+#include "common.hpp"
+#include "ct/monitor.hpp"
+#include "report/table.hpp"
+
+using namespace iotls;
+
+int main() {
+  const auto& ctx = bench::Context::get();
+  bench::banner("EXT: CT monitor", "auditing the IoT certificate estate");
+
+  // Log watching: verify append-only behaviour of the world's logs.
+  for (const auto& log : ctx.world.logs) {
+    ct::LogWatcher watcher(log.get());
+    watcher.observe();
+    watcher.observe();
+    std::printf("log %-12s size=%-6llu healthy=%s\n", log->name().c_str(),
+                static_cast<unsigned long long>(log->size()),
+                watcher.log_healthy() ? "yes" : "NO");
+  }
+
+  // Estate audit over every reachable leaf.
+  std::vector<std::pair<std::string, x509::Certificate>> estate;
+  for (const core::SniRecord& record : ctx.certs.records()) {
+    if (!record.reachable || record.chain.empty()) continue;
+    estate.emplace_back(record.sni, record.chain.front());
+  }
+  auto report = ct::audit_estate(estate, ctx.world.ct_index, {}, bench::kProbeDay);
+  std::printf("\naudited %zu certificates; %zu findings\n", report.certificates,
+              report.findings.size());
+
+  report::Table counts({"finding", "count"});
+  for (const auto& [finding, count] : report.counts) {
+    counts.add_row({ct::finding_name(finding), std::to_string(count)});
+  }
+  std::printf("%s", counts.render().c_str());
+
+  report::Table issuers({"issuer with unlogged certs", "count"});
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  for (const auto& [issuer, count] : report.unlogged_by_issuer) {
+    ranked.emplace_back(count, issuer);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (const auto& [count, issuer] : ranked) {
+    issuers.add_row({issuer, std::to_string(count)});
+  }
+  std::printf("\n%s", issuers.render().c_str());
+  std::printf("\nreading: exactly the §5.4 gap — private CAs dominate the "
+              "unlogged set; an auditing mechanism makes it visible\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Extension bench: revocation readiness of the IoT estate.
+//
+// §5.3's warning — a compromised vendor-signed certificate cannot be
+// revoked or rotated — made measurable: how many servers staple OCSP at
+// all, split by issuer kind, plus a revocation drill on a compromised
+// public certificate showing what a stapling-aware client would see.
+#include "common.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+#include "x509/revocation.hpp"
+
+using namespace iotls;
+
+int main() {
+  const auto& ctx = bench::Context::get();
+  bench::banner("EXT: revocation", "OCSP stapling coverage and revocation drill");
+
+  std::size_t public_servers = 0, public_stapled = 0;
+  std::size_t private_servers = 0, private_stapled = 0;
+  std::size_t staples_valid = 0;
+  for (const core::SniRecord& record : ctx.certs.records()) {
+    if (!record.reachable || record.chain.empty()) continue;
+    auto it = ctx.world.issuer_is_public.find(record.chain.front().issuer.organization);
+    bool is_public = it == ctx.world.issuer_is_public.end() ? true : it->second;
+    if (is_public) {
+      ++public_servers;
+      public_stapled += record.stapled;
+    } else {
+      ++private_servers;
+      private_stapled += record.stapled;
+    }
+    staples_valid += record.staple_valid;
+  }
+
+  report::Table table({"server class", "servers", "stapling OCSP", "share"});
+  table.add_row({"public-CA issued", std::to_string(public_servers),
+                 std::to_string(public_stapled),
+                 fmt_percent(public_servers ? double(public_stapled) / public_servers : 0)});
+  table.add_row({"vendor/private-CA issued", std::to_string(private_servers),
+                 std::to_string(private_stapled),
+                 fmt_percent(private_servers ? double(private_stapled) / private_servers : 0)});
+  std::printf("%s", table.render().c_str());
+  std::printf("all served staples verify: %s\n\n",
+              staples_valid == public_stapled + private_stapled ? "yes" : "NO");
+
+  // Revocation drill: compromise one stapling server, revoke, re-staple.
+  const core::SniRecord* victim = nullptr;
+  for (const core::SniRecord& record : ctx.certs.records()) {
+    if (record.stapled && record.reachable) {
+      victim = &record;
+      break;
+    }
+  }
+  if (victim != nullptr) {
+    auto ca = x509::CertificateAuthority::make_root(
+        "Drill CA", "DrillOrg", x509::CaKind::kPublicTrust, 15000, 40000);
+    x509::KeyRegistry keys;
+    ca.publish_key(keys);
+    x509::IssueRequest req;
+    req.subject.common_name = victim->sni;
+    req.not_before = bench::kProbeDay - 100;
+    req.not_after = bench::kProbeDay + 300;
+    x509::Certificate leaf = ca.issue(req);
+    x509::Crl crl(&ca);
+    x509::OcspResponder responder(&ca, &crl, 7);
+
+    auto before = responder.respond(leaf, bench::kProbeDay);
+    crl.revoke(leaf.serial, bench::kProbeDay);
+    auto after = responder.respond(leaf, bench::kProbeDay + 1);
+    std::printf("revocation drill on %s:\n", victim->sni.c_str());
+    std::printf("  before revocation: %s (verifies: %s)\n",
+                x509::revocation_status_name(before.status).c_str(),
+                x509::verify_ocsp(before, keys) ? "yes" : "no");
+    std::printf("  after revocation:  %s (verifies: %s), stale after %lld days\n",
+                x509::revocation_status_name(after.status).c_str(),
+                x509::verify_ocsp(after, keys) ? "yes" : "no",
+                static_cast<long long>(after.next_update - after.this_update));
+  }
+  std::printf("\nreading: only public-CA servers have any revocation path; the "
+              "vendor-signed estate (§5.3) has none — compromise means "
+              "replacing firmware, not certificates\n");
+  return 0;
+}

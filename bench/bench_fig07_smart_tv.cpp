@@ -1,0 +1,54 @@
+// Fig. 7 + Table 17 (§6.1): smart-TV case study — Amazon vs Roku server
+// groups: leaf issuers, validity, CT presence, and invalid chains. The lab
+// capture is exercised end-to-end through the pcap substrate.
+#include "common.hpp"
+#include "core/case_studies.hpp"
+#include "report/chart.hpp"
+#include "report/table.hpp"
+
+using namespace iotls;
+
+namespace {
+
+void print_group(const core::SmartTvGroup& group) {
+  std::printf("\n--- %s group (%zu servers) ---\n", group.group.c_str(), group.servers);
+  report::Table table({"Issuer", "kind", "#.certs", "in CT", "validity (days)"});
+  for (const auto& pts : group.issuers) {
+    auto summary = report::summarize(
+        std::vector<double>(pts.validity_days.begin(), pts.validity_days.end()));
+    table.add_row({pts.issuer, pts.issuer_public ? "public" : "private",
+                   std::to_string(pts.total),
+                   std::to_string(pts.in_ct) + "/" + std::to_string(pts.total),
+                   std::to_string(static_cast<long long>(summary.min)) + ".." +
+                       std::to_string(static_cast<long long>(summary.max))});
+  }
+  std::printf("%s", table.render().c_str());
+  auto list = [](const std::vector<std::string>& domains) {
+    std::string out;
+    for (const std::string& d : domains) out += d + " ";
+    return out.empty() ? std::string("-") : out;
+  };
+  std::printf("Table 17 rows:\n");
+  std::printf("  incomplete chain : %s\n", list(group.invalid.incomplete_chain).c_str());
+  std::printf("  untrusted root   : %s\n", list(group.invalid.untrusted_root).c_str());
+  std::printf("  self-signed      : %s\n", list(group.invalid.self_signed).c_str());
+  std::printf("  expired          : %s\n", list(group.invalid.expired).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto& ctx = bench::Context::get();
+  bench::banner("Fig. 7 / Table 17", "smart-TV case study (Amazon vs Roku)");
+
+  auto study = core::smart_tv_study(ctx.world, ctx.universe, ctx.corpus,
+                                    bench::kProbeDay);
+  std::printf("lab capture: %zu pcap packets -> %zu ClientHellos -> %zu "
+              "fingerprints recovered\n",
+              study.pcap_packets, study.pcap_hellos, study.pcap_fingerprints);
+  print_group(study.amazon);
+  print_group(study.roku);
+  std::printf("\npaper shape: Amazon ~400-day Amazon/DigiCert certs, all in CT; "
+              "Roku mixes public CAs with ~5,000-day Roku-signed certs, none in CT\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 9 + §4.2: inclusion of vulnerable ciphersuite components by vendor.
+// Paper: 403 fingerprints (44.63%) contain a vulnerable component; 3DES in
+// 376 (41.64%); 31 fingerprints carry ANON/EXPORT/NULL from 27 devices of
+// 14 vendors.
+#include <algorithm>
+
+#include "common.hpp"
+#include "core/tls_params.hpp"
+#include "core/vendor_metrics.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace iotls;
+
+int main() {
+  const auto& ctx = bench::Context::get();
+  bench::banner("Fig. 9 / S4.2", "vulnerable ciphersuite components by vendor");
+
+  auto stats = core::vulnerability_stats(ctx.client);
+  std::printf("fingerprints with >= 1 vulnerable component: %zu / %zu (%s)"
+              "   [paper: 403 (44.63%%)]\n",
+              stats.vulnerable_fps, stats.total_fps,
+              fmt_percent(stats.total_fps ? double(stats.vulnerable_fps) /
+                                                stats.total_fps : 0).c_str());
+  std::printf("of those, used by multiple devices: %s   [paper: 31.76%%]\n",
+              fmt_percent(stats.vulnerable_fps
+                              ? double(stats.vulnerable_multi_device) /
+                                    stats.vulnerable_fps : 0).c_str());
+  std::printf("fingerprints containing 3DES: %zu (%s)   [paper: 376 (41.64%%)]\n",
+              stats.by_tag.count("3DES") ? stats.by_tag.at("3DES") : 0,
+              fmt_percent(stats.total_fps && stats.by_tag.count("3DES")
+                              ? double(stats.by_tag.at("3DES")) / stats.total_fps
+                              : 0).c_str());
+  std::printf("ANON/EXPORT/NULL fingerprints: %zu from %zu devices of %zu vendors"
+              "   [paper: 31 / 27 / 14]\n\n",
+              stats.severe_fps, stats.severe_devices, stats.severe_vendors);
+
+  auto flows = core::vulnerability_flows(ctx.client);
+  std::sort(flows.begin(), flows.end(),
+            [](const core::VulnFlowRow& a, const core::VulnFlowRow& b) {
+              return a.total_tuples > b.total_tuples;
+            });
+  report::Table table({"Vendor", "tuples", "3DES", "RC4", "DES", "RC2", "NULL",
+                       "EXPORT", "ANON"});
+  std::size_t shown = 0;
+  for (const auto& row : flows) {
+    if (shown++ == 20) break;
+    auto cell = [&](const char* tag) {
+      auto it = row.tag_tuples.find(tag);
+      return it == row.tag_tuples.end() ? std::string(".") : std::to_string(it->second);
+    };
+    table.add_row({row.vendor, std::to_string(row.total_tuples), cell("3DES"),
+                   cell("RC4"), cell("DES"), cell("RC2"), cell("NULL"),
+                   cell("EXPORT"), cell("ANON")});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

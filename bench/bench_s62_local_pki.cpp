@@ -1,0 +1,32 @@
+// §6.2: PKI on the local network. Paper: Echo serves a 1-year self-signed
+// cert with its IP as CN on port 55443; Chromecast/Home serve 2-cert chains
+// under "Cast Root CA" with 20-22 year validity, absent from Android/macOS
+// trust stores and from CT; the TLS 1.3 connection hides its certificates.
+#include "common.hpp"
+#include "core/case_studies.hpp"
+#include "report/table.hpp"
+
+using namespace iotls;
+
+int main() {
+  bench::banner("S6.2", "PKI on the local network");
+
+  auto study = core::local_network_study();
+  report::Table table({"client -> server", "port", "TLS", "certs visible",
+                       "leaf CN", "root CN", "root validity (d)", "root trusted",
+                       "in CT"});
+  for (const auto& obs : study.observations) {
+    table.add_row({obs.client + " -> " + obs.server, std::to_string(obs.port),
+                   obs.tls_version == 0x0304 ? "1.3" : "1.2",
+                   obs.certificates_visible ? "yes" : "no (encrypted)",
+                   obs.leaf_common_name, obs.root_common_name,
+                   obs.certificates_visible ? std::to_string(obs.validity_days) : "-",
+                   obs.certificates_visible ? (obs.root_in_client_store ? "yes" : "NO")
+                                            : "-",
+                   obs.certificates_visible ? (obs.in_ct ? "yes" : "NO") : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nintermediates valid for 20+ years: %zu   [paper: both Cast ICAs]\n",
+              study.long_validity_roots);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 7: certificate chains with validation failure. Paper rows:
+// netflix.com (Netflix, 278 devices across 21 vendors), roku.com (Roku,
+// chain lengths 1/2/3), nest.com (Nest Labs), samsungcloudsolution.net,
+// amazonaws.com (DigiCert, incomplete), ... 45.78% of private leaves fail.
+#include "common.hpp"
+#include "core/chains.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace iotls;
+
+int main() {
+  const auto& ctx = bench::Context::get();
+  bench::banner("Table 7", "certificate chains with validation failure");
+
+  auto report = core::validate_dataset(ctx.certs, ctx.world, bench::kProbeDay);
+  std::printf("validated: %zu, trusted: %zu, failing: %zu\n", report.validated,
+              report.trusted, report.validated - report.trusted);
+  std::printf("private-leaf chains failing validation: %s   [paper: 45.78%%]\n\n",
+              fmt_percent(report.private_leaf_failure_ratio).c_str());
+
+  report::Table table({"Domain", "#.FQDNs", "Leaf issued by", "Status",
+                       "Chain len", "#.devices", "Vendors"});
+  for (const auto& row : report.failure_rows) {
+    std::string lens, vendors;
+    for (std::size_t len : row.chain_lengths) {
+      if (!lens.empty()) lens += ",";
+      lens += std::to_string(len);
+    }
+    std::size_t shown = 0;
+    for (const std::string& v : row.vendors) {
+      if (shown++ == 5) { vendors += ",..."; break; }
+      if (!vendors.empty()) vendors += ",";
+      vendors += v;
+    }
+    table.add_row({row.sld, std::to_string(row.fqdns), row.leaf_issuer,
+                   x509::chain_status_name(row.status), lens,
+                   std::to_string(row.devices.size()), vendors});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

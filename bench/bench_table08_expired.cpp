@@ -1,0 +1,33 @@
+// Table 8: expired certificates. Paper: skyegloup.com (Gandi, expired
+// 2018-07-31, Denon/Marantz) and wink.com (COMODO, expired 2019-04-17,
+// Samsung/Wink) — already expired during the capture window.
+#include "common.hpp"
+#include "core/chains.hpp"
+#include "report/table.hpp"
+#include "util/dates.hpp"
+
+using namespace iotls;
+
+int main() {
+  const auto& ctx = bench::Context::get();
+  bench::banner("Table 8", "expired certificates");
+
+  auto report = core::validate_dataset(ctx.certs, ctx.world, bench::kProbeDay);
+  report::Table table({"Domain", "Not after", "Issued by", "#.devices", "Vendors",
+                       "expired during capture?"});
+  for (const auto& row : report.expired) {
+    std::string vendors;
+    for (const std::string& v : row.vendors) {
+      if (!vendors.empty()) vendors += ", ";
+      vendors += v;
+    }
+    bool during_capture = row.not_after < bench::kCaptureEnd;
+    table.add_row({row.sld, format_date(row.not_after), row.issuer,
+                   std::to_string(row.devices.size()), vendors,
+                   during_capture ? "yes" : "no"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper: skyegloup.com 2018-07-31 Gandi (7 devices, Denon/Marantz); "
+              "wink.com 2019-04-17 COMODO (11 devices, Samsung/Wink)\n");
+  return 0;
+}

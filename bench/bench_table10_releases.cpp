@@ -1,0 +1,47 @@
+// Table 10: release dates of major library versions in the corpus.
+#include <map>
+
+#include "common.hpp"
+#include "report/table.hpp"
+#include "util/dates.hpp"
+#include "util/strings.hpp"
+
+using namespace iotls;
+
+int main() {
+  const auto& ctx = bench::Context::get();
+  bench::banner("Table 10", "release dates of major library versions");
+
+  // One row per (family, era prefix): earliest release and latest member.
+  struct Row {
+    std::int64_t first_release = 0;
+    std::string last_version;
+    std::int64_t last_release = 0;
+  };
+  std::map<std::string, Row> rows;
+  for (const auto& lib : ctx.corpus.entries()) {
+    if (lib.family == corpus::Family::kCurlOpenSsl ||
+        lib.family == corpus::Family::kCurlWolfSsl)
+      continue;
+    // Group by the major.minor prefix of the version string.
+    std::string version = lib.version;
+    std::size_t last_dot = version.rfind('.');
+    std::string key = last_dot == std::string::npos ? version
+                                                    : version.substr(0, last_dot);
+    Row& row = rows[key];
+    if (row.first_release == 0 || lib.release_day < row.first_release)
+      row.first_release = lib.release_day;
+    if (lib.release_day >= row.last_release) {
+      row.last_release = lib.release_day;
+      row.last_version = lib.version;
+    }
+  }
+
+  report::Table table({"Lineage", "First release", "Last minor version", "Released"});
+  for (const auto& [key, row] : rows) {
+    table.add_row({key, format_date(row.first_release), row.last_version,
+                   format_date(row.last_release)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

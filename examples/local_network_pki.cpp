@@ -1,0 +1,33 @@
+// Local-network PKI (§6.2): observe the TLS the smart-home devices speak to
+// EACH OTHER — Echo's self-signed IP certificate, the Google Cast PKI with
+// its 20+-year intermediates that appear in no public trust store or CT log.
+#include <cstdio>
+
+#include "core/case_studies.hpp"
+
+using namespace iotls;
+
+int main() {
+  auto study = core::local_network_study();
+  std::printf("local-network TLS observations (24h lab capture analogue):\n\n");
+  for (const auto& obs : study.observations) {
+    std::printf("%s -> %s (port %u, TLS %s)\n", obs.client.c_str(),
+                obs.server.c_str(), obs.port,
+                obs.tls_version == 0x0304 ? "1.3" : "1.2");
+    if (!obs.certificates_visible) {
+      std::printf("   certificates encrypted by TLS 1.3 — not observable\n\n");
+      continue;
+    }
+    std::printf("   chain length %zu, leaf CN \"%s\"\n", obs.chain_length,
+                obs.leaf_common_name.c_str());
+    std::printf("   root \"%s\", validity %lld days (~%.0f years)\n",
+                obs.root_common_name.c_str(),
+                static_cast<long long>(obs.validity_days),
+                static_cast<double>(obs.validity_days) / 365.0);
+    std::printf("   root in client trust store: %s; in CT: %s\n\n",
+                obs.root_in_client_store ? "yes" : "NO",
+                obs.in_ct ? "yes" : "NO");
+  }
+  std::printf("intermediates valid 20+ years: %zu\n", study.long_validity_roots);
+  return 0;
+}

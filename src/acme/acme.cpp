@@ -1,0 +1,115 @@
+#include "acme/acme.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace iotls::acme {
+
+void ChallengeBoard::publish(const std::string& host, const std::string& token,
+                             const std::string& key_authorization) {
+  board_[{host, token}] = key_authorization;
+}
+
+void ChallengeBoard::withdraw(const std::string& host, const std::string& token) {
+  board_.erase({host, token});
+}
+
+std::optional<std::string> ChallengeBoard::fetch(const std::string& host,
+                                                 const std::string& token) const {
+  auto it = board_.find({host, token});
+  if (it == board_.end()) return std::nullopt;
+  return it->second;
+}
+
+AcmeDirectory::AcmeDirectory(const x509::CertificateAuthority* ca,
+                             DirectoryPolicy policy, ct::CtLog* log)
+    : ca_(ca), policy_(policy), log_(log) {
+  if (ca_ == nullptr) throw std::invalid_argument("AcmeDirectory: null CA");
+}
+
+std::string AcmeDirectory::register_account(const std::string& contact) {
+  // Account id derives from the contact, making registration idempotent.
+  crypto::Sha256Digest d = crypto::sha256("acme-account:" + contact);
+  std::string id = "acct-" + to_hex(BytesView(d.data(), d.size())).substr(0, 12);
+  accounts_[id] = contact;
+  return id;
+}
+
+Order AcmeDirectory::new_order(const std::string& account,
+                               std::vector<std::string> identifiers,
+                               std::int64_t today) {
+  if (accounts_.count(account) == 0)
+    throw std::invalid_argument("unknown ACME account: " + account);
+  if (identifiers.empty())
+    throw std::invalid_argument("order needs at least one identifier");
+  if (identifiers.size() > policy_.max_identifiers)
+    throw std::invalid_argument("order exceeds identifier limit");
+
+  Order order;
+  order.id = next_order_++;
+  order.account = account;
+  order.identifiers = std::move(identifiers);
+  order.status = OrderStatus::kPending;
+
+  // Deterministic token + key authorization bound to account and order.
+  std::string seed = account + "|" + std::to_string(order.id) + "|" +
+                     std::to_string(today);
+  crypto::Sha256Digest token = crypto::sha256("acme-token:" + seed);
+  crypto::Sha256Digest auth = crypto::sha256("acme-keyauth:" + seed);
+  order.challenge.token = to_hex(BytesView(token.data(), token.size())).substr(0, 24);
+  order.challenge.key_authorization =
+      to_hex(BytesView(auth.data(), auth.size())).substr(0, 32);
+
+  auto [it, inserted] = orders_.emplace(order.id, order);
+  return it->second;
+}
+
+Order& AcmeDirectory::validate(std::uint64_t order_id, const ChallengeSolver& solver) {
+  auto it = orders_.find(order_id);
+  if (it == orders_.end()) throw std::invalid_argument("unknown order");
+  Order& order = it->second;
+  if (order.status != OrderStatus::kPending) return order;
+
+  // Every identifier must prove control by publishing the key authorization.
+  for (const std::string& host : order.identifiers) {
+    auto published = solver.fetch(host, order.challenge.token);
+    if (!published.has_value() || *published != order.challenge.key_authorization) {
+      order.status = OrderStatus::kInvalid;
+      return order;
+    }
+  }
+  order.status = OrderStatus::kReady;
+  return order;
+}
+
+Order& AcmeDirectory::finalize(std::uint64_t order_id, std::int64_t today) {
+  auto it = orders_.find(order_id);
+  if (it == orders_.end()) throw std::invalid_argument("unknown order");
+  Order& order = it->second;
+  if (order.status != OrderStatus::kReady)
+    throw std::logic_error("finalize on an order that is not ready");
+
+  x509::IssueRequest req;
+  req.subject.common_name = order.identifiers.front();
+  req.subject.organization = accounts_.at(order.account);
+  req.san_dns = order.identifiers;
+  req.not_before = today;
+  req.not_after = today + policy_.validity_days;
+  x509::Certificate cert = ca_->issue(req);
+  if (policy_.submit_to_ct && log_ != nullptr) log_->submit(cert, today);
+
+  order.certificate = std::move(cert);
+  order.status = OrderStatus::kValid;
+  ++issued_;
+  return order;
+}
+
+const Order* AcmeDirectory::find_order(std::uint64_t order_id) const {
+  auto it = orders_.find(order_id);
+  return it == orders_.end() ? nullptr : &it->second;
+}
+
+}  // namespace iotls::acme

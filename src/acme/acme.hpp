@@ -1,0 +1,112 @@
+// ACME-style automated certificate issuance (RFC 8555 flow, simulated).
+//
+// The paper's §7 recommendation: device vendors acting as private CAs
+// should "adopt an automation framework such as ACME to facilitate
+// certificate management". This module implements that machinery over the
+// repo's PKI substrate so the recommendation can be *evaluated*
+// (bench_ext_acme): account registration, order placement, an HTTP-01-style
+// domain-control challenge, short-lived issuance and CT submission.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ct/ctlog.hpp"
+#include "x509/authority.hpp"
+
+namespace iotls::acme {
+
+enum class OrderStatus { kPending, kReady, kValid, kInvalid };
+
+/// An HTTP-01-style challenge: the server must publish `key_authorization`
+/// under /.well-known/acme-challenge/<token>.
+struct Challenge {
+  std::string token;
+  std::string key_authorization;
+};
+
+/// One certificate order.
+struct Order {
+  std::uint64_t id = 0;
+  std::string account;
+  std::vector<std::string> identifiers;  // DNS names
+  OrderStatus status = OrderStatus::kPending;
+  Challenge challenge;
+  std::optional<x509::Certificate> certificate;
+};
+
+/// The interface the directory uses to verify domain control: given a host
+/// and token, return the key authorization the host currently publishes.
+/// The simulation backs this with a ChallengeBoard; a real deployment would
+/// perform an HTTP fetch.
+class ChallengeSolver {
+ public:
+  virtual ~ChallengeSolver() = default;
+  virtual std::optional<std::string> fetch(const std::string& host,
+                                           const std::string& token) const = 0;
+};
+
+/// In-memory well-known store shared between servers and the directory.
+class ChallengeBoard : public ChallengeSolver {
+ public:
+  void publish(const std::string& host, const std::string& token,
+               const std::string& key_authorization);
+  void withdraw(const std::string& host, const std::string& token);
+  std::optional<std::string> fetch(const std::string& host,
+                                   const std::string& token) const override;
+
+ private:
+  std::map<std::pair<std::string, std::string>, std::string> board_;
+};
+
+/// Issuance policy of a directory.
+struct DirectoryPolicy {
+  std::int64_t validity_days = 90;    // Let's Encrypt's 90-day default
+  bool submit_to_ct = true;
+  std::size_t max_identifiers = 100;  // SAN limit per order
+};
+
+/// An ACME directory fronting one CA.
+class AcmeDirectory {
+ public:
+  AcmeDirectory(const x509::CertificateAuthority* ca, DirectoryPolicy policy,
+                ct::CtLog* log = nullptr);
+
+  /// Register an account (idempotent); returns the account id.
+  std::string register_account(const std::string& contact);
+
+  /// Place an order for a set of DNS identifiers. Returns the order with a
+  /// pending challenge. Throws std::invalid_argument on empty/oversized
+  /// identifier sets or unknown accounts.
+  Order new_order(const std::string& account,
+                  std::vector<std::string> identifiers, std::int64_t today);
+
+  /// Ask the directory to validate the order's challenge via `solver`.
+  /// On success the order becomes kReady.
+  Order& validate(std::uint64_t order_id, const ChallengeSolver& solver);
+
+  /// Finalize a ready order: issue the certificate (validity per policy,
+  /// CT-logged when configured). The order becomes kValid.
+  Order& finalize(std::uint64_t order_id, std::int64_t today);
+
+  const Order* find_order(std::uint64_t order_id) const;
+  std::size_t issued_count() const { return issued_; }
+
+  /// Certificate of the issuing CA — servers serve it after the leaf so the
+  /// deployed chain anchors at the CA's (trusted) root.
+  const x509::Certificate& issuer_certificate() const { return ca_->certificate(); }
+
+ private:
+  const x509::CertificateAuthority* ca_;
+  DirectoryPolicy policy_;
+  ct::CtLog* log_;
+  std::map<std::string, std::string> accounts_;  // id -> contact
+  std::map<std::uint64_t, Order> orders_;
+  std::uint64_t next_order_ = 1;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace iotls::acme

@@ -1,0 +1,72 @@
+#include "acme/renewal.hpp"
+
+namespace iotls::acme {
+
+EstateHealth measure_estate(const std::vector<net::SimServer*>& servers,
+                            const ct::CtIndex& ct, std::int64_t day) {
+  EstateHealth health;
+  health.day = day;
+  double validity_sum = 0;
+  for (const net::SimServer* server : servers) {
+    const x509::Certificate* leaf = server->leaf(net::VantagePoint::kNewYork);
+    if (leaf == nullptr) continue;
+    ++health.servers;
+    if (leaf->expired_at(day)) ++health.expired;
+    else if (leaf->expired_at(day + 30)) ++health.expiring_30d;
+    if (leaf->validity_days() > 5 * 365) ++health.validity_over_5y;
+    validity_sum += static_cast<double>(leaf->validity_days());
+    if (ct.logged(leaf->fingerprint())) ++health.ct_logged;
+  }
+  if (health.servers > 0) {
+    health.mean_validity_days = validity_sum / static_cast<double>(health.servers);
+  }
+  return health;
+}
+
+RenewalAgent::RenewalAgent(AcmeDirectory* directory, ChallengeBoard* board,
+                           const std::string& contact, RenewalPolicy policy)
+    : directory_(directory), board_(board), policy_(policy) {
+  account_ = directory_->register_account(contact);
+}
+
+void RenewalAgent::manage(net::SimServer* server) { servers_.push_back(server); }
+
+bool RenewalAgent::renew(net::SimServer& server, std::int64_t day) {
+  Order order = directory_->new_order(account_, {server.sni}, day);
+  // Publish the key authorization on the server's well-known path, have the
+  // directory verify it, then withdraw the token.
+  board_->publish(server.sni, order.challenge.token,
+                  order.challenge.key_authorization);
+  Order& validated = directory_->validate(order.id, *board_);
+  board_->withdraw(server.sni, order.challenge.token);
+  if (validated.status != OrderStatus::kReady) return false;
+
+  Order& finalized = directory_->finalize(order.id, day);
+  if (finalized.status != OrderStatus::kValid || !finalized.certificate) return false;
+
+  // Deploy: replace the served chain with leaf + issuing CA so validation
+  // anchors at the CA's root (the kOk / kOkRootOmitted shapes).
+  server.default_chain = {*finalized.certificate, directory_->issuer_certificate()};
+  server.per_vantage_chain.clear();
+  return true;
+}
+
+std::size_t RenewalAgent::tick(std::int64_t day) {
+  std::size_t renewed = 0;
+  for (net::SimServer* server : servers_) {
+    const x509::Certificate* leaf = server->leaf(net::VantagePoint::kNewYork);
+    bool due = leaf == nullptr ||
+               leaf->expired_at(day + policy_.renew_before_days) ||
+               leaf->validity_days() > policy_.max_validity_days;
+    if (!due) continue;
+    if (renew(*server, day)) {
+      ++renewed;
+      ++renewals_;
+    } else {
+      ++failures_;
+    }
+  }
+  return renewed;
+}
+
+}  // namespace iotls::acme

@@ -1,0 +1,74 @@
+// Automated renewal over a simulated server estate.
+//
+// Drives the §7 evaluation: take a fleet of servers with whatever
+// certificates they have (long-lived vendor-signed, expired, ...), let a
+// RenewalAgent manage them through ACME, and tick simulated time. The
+// bench compares the estate's health before and after adoption.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "acme/acme.hpp"
+#include "net/server.hpp"
+
+namespace iotls::acme {
+
+/// Snapshot of estate health at one day.
+struct EstateHealth {
+  std::int64_t day = 0;
+  std::size_t servers = 0;
+  std::size_t expired = 0;          // serving an expired leaf
+  std::size_t expiring_30d = 0;     // leaf expires within 30 days
+  std::size_t validity_over_5y = 0; // leaf validity period > 5 years
+  double mean_validity_days = 0;
+  std::size_t ct_logged = 0;
+};
+
+/// Measure a set of servers (leaf at New York) at `day`.
+EstateHealth measure_estate(const std::vector<net::SimServer*>& servers,
+                            const ct::CtIndex& ct, std::int64_t day);
+
+/// Renewal policy.
+struct RenewalPolicy {
+  std::int64_t renew_before_days = 30;   // renew when < 30 days remain
+  /// Migration rule: any managed certificate whose validity *period*
+  /// exceeds this is replaced immediately — this is what retires the
+  /// 20-to-100-year vendor-signed certificates §5.4 flags.
+  std::int64_t max_validity_days = 398;
+};
+
+/// The agent a vendor runs next to its servers: registers one ACME account,
+/// then on every tick renews any managed server whose leaf is close to
+/// expiry, replacing the served chain in place.
+class RenewalAgent {
+ public:
+  RenewalAgent(AcmeDirectory* directory, ChallengeBoard* board,
+               const std::string& contact, RenewalPolicy policy = {});
+
+  /// Put a server under management.
+  void manage(net::SimServer* server);
+
+  /// Advance to `day`: renew everything within the renewal window.
+  /// Returns the number of certificates renewed.
+  std::size_t tick(std::int64_t day);
+
+  std::size_t managed_count() const { return servers_.size(); }
+  std::size_t renewals() const { return renewals_; }
+  std::size_t failures() const { return failures_; }
+
+ private:
+  bool renew(net::SimServer& server, std::int64_t day);
+
+  AcmeDirectory* directory_;
+  ChallengeBoard* board_;
+  std::string account_;
+  RenewalPolicy policy_;
+  std::vector<net::SimServer*> servers_;
+  std::size_t renewals_ = 0;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace iotls::acme

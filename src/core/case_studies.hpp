@@ -1,0 +1,77 @@
+// §6 case studies: smart TVs (Fig. 7, Table 17) and local-network PKI (§6.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "devicesim/scenario.hpp"
+#include "x509/validation.hpp"
+
+namespace iotls::core {
+
+/// Per-issuer scatter for one smart-TV vendor group (Fig. 7).
+struct IssuerValidityPoints {
+  std::string issuer;
+  bool issuer_public = true;
+  std::vector<std::int64_t> validity_days;
+  std::size_t in_ct = 0;
+  std::size_t total = 0;
+};
+
+/// Table 17 classification for one vendor group.
+struct InvalidChainRows {
+  std::vector<std::string> incomplete_chain;
+  std::vector<std::string> untrusted_root;
+  std::vector<std::string> expired;
+  std::vector<std::string> self_signed;
+};
+
+struct SmartTvGroup {
+  std::string group;  // "Amazon" or "Roku"
+  std::vector<IssuerValidityPoints> issuers;
+  InvalidChainRows invalid;
+  std::size_t servers = 0;
+};
+
+/// The §6.1 study. The lab capture is exercised end-to-end: synthetic TV
+/// traffic is framed into real pcap bytes, read back, and fingerprinted; the
+/// TV-visited servers are then probed and their chains validated.
+struct SmartTvStudy {
+  SmartTvGroup amazon;
+  SmartTvGroup roku;
+  std::size_t pcap_packets = 0;
+  std::size_t pcap_hellos = 0;  // ClientHellos recovered from the capture
+  std::size_t pcap_fingerprints = 0;
+};
+
+SmartTvStudy smart_tv_study(const devicesim::SimWorld& world,
+                            const devicesim::ServerUniverse& universe,
+                            const corpus::LibraryCorpus& corpus, std::int64_t now);
+
+/// One observed local-network TLS connection (§6.2).
+struct LocalObservation {
+  std::string client;
+  std::string server;
+  std::uint16_t port = 0;
+  std::uint16_t tls_version = 0x0303;
+  bool certificates_visible = false;  // TLS 1.3 encrypts the Certificate msg
+  std::string leaf_common_name;
+  std::string root_common_name;
+  std::int64_t validity_days = 0;
+  bool root_in_client_store = false;
+  bool in_ct = false;
+  std::size_t chain_length = 0;
+};
+
+struct LocalPkiStudy {
+  std::vector<LocalObservation> observations;
+  std::size_t long_validity_roots = 0;  // roots valid for 20+ years
+};
+
+LocalPkiStudy local_network_study();
+
+}  // namespace iotls::core

@@ -1,0 +1,155 @@
+#include "core/cert_dataset.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+#include "x509/validation.hpp"
+
+namespace iotls::core {
+
+CertDataset CertDataset::collect(const ClientDataset& client,
+                                 const devicesim::SimWorld& world,
+                                 std::size_t min_users) {
+  CertDataset ds;
+  net::TlsProber prober(world.internet);
+
+  for (const auto& [sni, users] : client.sni_users()) {
+    if (users.size() < min_users) continue;
+    ++ds.extracted_;
+
+    SniRecord record;
+    record.sni = sni;
+    record.users = users;
+    record.devices = client.sni_devices().at(sni);
+    record.vendors = client.sni_vendors().at(sni);
+
+    net::MultiVantageResult multi = prober.probe_all_vantages(sni);
+    for (const auto& [vantage, result] : multi.by_vantage) {
+      if (result.reachable && !result.chain.empty()) {
+        auto normalized = x509::normalize_chain_order(result.chain, sni);
+        record.leaf_by_vantage[vantage] = normalized.front().fingerprint();
+      } else {
+        record.leaf_by_vantage[vantage] = std::nullopt;
+      }
+    }
+
+    const net::ProbeResult& ny = multi.by_vantage.at(net::VantagePoint::kNewYork);
+    record.reachable = ny.reachable;
+    if (ny.stapled.has_value()) {
+      record.stapled = true;
+      record.staple_valid = x509::verify_ocsp(*ny.stapled, world.keys);
+    }
+    if (ny.reachable) {
+      ++ds.reachable_;
+      record.chain = x509::normalize_chain_order(ny.chain, sni);
+      record.served_misordered = !(record.chain == ny.chain);
+      if (const net::SimServer* server = world.internet.find(sni)) {
+        record.server_ips = server->ips;
+      }
+      if (!record.chain.empty()) {
+        const std::string fp = record.chain.front().fingerprint();
+        LeafRecord& leaf = ds.leaves_[fp];
+        if (leaf.servers.empty()) leaf.cert = record.chain.front();
+        leaf.servers.insert(sni);
+        for (const std::string& ip : record.server_ips) leaf.ips.insert(ip);
+      }
+    }
+    ds.records_.push_back(std::move(record));
+  }
+  return ds;
+}
+
+std::set<std::string> CertDataset::issuer_organizations() const {
+  std::set<std::string> out;
+  for (const auto& [fp, leaf] : leaves_) out.insert(leaf.cert.issuer.organization);
+  return out;
+}
+
+std::vector<SldPopularity> CertDataset::popular_slds(std::size_t n) const {
+  std::map<std::string, SldPopularity> by_sld;
+  std::map<std::string, std::set<std::string>> sld_devices;
+  for (const SniRecord& record : records_) {
+    if (!record.reachable) continue;
+    std::string sld = second_level_domain(record.sni);
+    SldPopularity& row = by_sld[sld];
+    row.sld = sld;
+    ++row.servers;
+    for (const std::string& device : record.devices) sld_devices[sld].insert(device);
+  }
+  std::vector<SldPopularity> rows;
+  for (auto& [sld, row] : by_sld) {
+    row.devices = sld_devices[sld].size();
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), [](const SldPopularity& a, const SldPopularity& b) {
+    return a.devices > b.devices;
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+std::size_t CertDataset::distinct_slds() const {
+  std::set<std::string> slds;
+  for (const SniRecord& record : records_) {
+    if (record.reachable) slds.insert(second_level_domain(record.sni));
+  }
+  return slds.size();
+}
+
+CertDataset::SharingStats CertDataset::sharing_stats() const {
+  SharingStats stats;
+  if (leaves_.empty()) return stats;
+  std::size_t total_servers = 0;
+  std::size_t multi_ip_total = 0;
+  for (const auto& [fp, leaf] : leaves_) {
+    total_servers += leaf.servers.size();
+    stats.max_servers_per_cert = std::max(stats.max_servers_per_cert, leaf.servers.size());
+    if (leaf.ips.size() > 1) {
+      ++stats.certs_on_multiple_ips;
+      multi_ip_total += leaf.ips.size();
+      stats.max_ips_per_cert = std::max(stats.max_ips_per_cert, leaf.ips.size());
+    }
+  }
+  stats.mean_servers_per_cert =
+      static_cast<double>(total_servers) / static_cast<double>(leaves_.size());
+  if (stats.certs_on_multiple_ips > 0) {
+    stats.mean_ips_per_cert = static_cast<double>(multi_ip_total) /
+                              static_cast<double>(stats.certs_on_multiple_ips);
+  }
+  stats.multi_ip_ratio = static_cast<double>(stats.certs_on_multiple_ips) /
+                         static_cast<double>(leaves_.size());
+  return stats;
+}
+
+GeoComparison CertDataset::geo_comparison() const {
+  GeoComparison geo;
+  for (const SniRecord& record : records_) {
+    std::set<std::string> distinct;
+    std::size_t with_cert = 0;
+    for (const auto& [vantage, leaf] : record.leaf_by_vantage) {
+      if (!leaf.has_value()) continue;
+      ++geo.extracted[vantage];
+      ++with_cert;
+      distinct.insert(*leaf);
+    }
+    if (with_cert == record.leaf_by_vantage.size() && distinct.size() == 1) {
+      ++geo.shared_all;
+    }
+    // "Exclusive": the certificate at this vantage differs from every other
+    // vantage's certificate for the same SNI.
+    for (const auto& [vantage, leaf] : record.leaf_by_vantage) {
+      if (!leaf.has_value()) continue;
+      bool unique = true;
+      for (const auto& [other, other_leaf] : record.leaf_by_vantage) {
+        if (other == vantage || !other_leaf.has_value()) continue;
+        if (*other_leaf == *leaf) unique = false;
+      }
+      if (unique && record.leaf_by_vantage.size() > 1 && distinct.size() > 1) {
+        ++geo.exclusive[vantage];
+      }
+    }
+  }
+  return geo;
+}
+
+}  // namespace iotls::core

@@ -1,0 +1,99 @@
+// §5.1: the IoT-server certificate dataset — probe every SNI extracted from
+// ClientHellos from three vantage points, collect leaves, measure sharing.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "devicesim/scenario.hpp"
+#include "net/prober.hpp"
+
+namespace iotls::core {
+
+/// Per-SNI probe outcome (New York is the reference vantage, §5.1).
+struct SniRecord {
+  std::string sni;
+  bool reachable = false;
+  /// Chain as served to New York, normalized to leaf-first order (the
+  /// harvester repairs misordered chains the way Zeek does;
+  /// `served_misordered` records that it had to).
+  std::vector<x509::Certificate> chain;
+  bool served_misordered = false;
+  std::map<net::VantagePoint, std::optional<std::string>> leaf_by_vantage;
+  std::set<std::string> devices;  // devices that contacted this SNI
+  std::set<std::string> vendors;
+  std::set<std::string> users;
+  std::vector<std::string> server_ips;
+  bool stapled = false;        // server answered status_request with a staple
+  bool staple_valid = false;   // ...that verified against the responder key
+};
+
+/// A deduplicated leaf certificate with the servers presenting it.
+struct LeafRecord {
+  x509::Certificate cert;
+  std::set<std::string> servers;  // FQDNs presenting this leaf (New York)
+  std::set<std::string> ips;
+};
+
+/// Table 15 row.
+struct SldPopularity {
+  std::string sld;
+  std::size_t servers = 0;
+  std::size_t devices = 0;
+};
+
+/// Table 16 row data.
+struct GeoComparison {
+  std::map<net::VantagePoint, std::size_t> extracted;   // SNIs with a cert
+  std::size_t shared_all = 0;                            // same leaf everywhere
+  std::map<net::VantagePoint, std::size_t> exclusive;    // leaf unique to place
+};
+
+/// The §5.1 dataset.
+class CertDataset {
+ public:
+  /// Probe every SNI observed from at least `min_users` users.
+  static CertDataset collect(const ClientDataset& client,
+                             const devicesim::SimWorld& world,
+                             std::size_t min_users = 1);
+
+  const std::vector<SniRecord>& records() const { return records_; }
+  const std::map<std::string, LeafRecord>& leaves() const { return leaves_; }
+
+  std::size_t extracted_snis() const { return extracted_; }
+  std::size_t reachable_snis() const { return reachable_; }
+
+  /// Distinct leaf issuer organizations (Table 6 "#issuer organizations").
+  std::set<std::string> issuer_organizations() const;
+
+  /// Table 15: most popular SLDs by contacting devices (top `n`).
+  std::vector<SldPopularity> popular_slds(std::size_t n) const;
+  std::size_t distinct_slds() const;
+
+  /// Certificate sharing stats (§5.1): servers per certificate and IPs per
+  /// certificate.
+  struct SharingStats {
+    double mean_servers_per_cert = 0;
+    std::size_t max_servers_per_cert = 0;
+    double mean_ips_per_cert = 0;       // over certs on > 1 IP
+    std::size_t max_ips_per_cert = 0;
+    std::size_t certs_on_multiple_ips = 0;
+    double multi_ip_ratio = 0;
+  };
+  SharingStats sharing_stats() const;
+
+  /// Table 16: cross-vantage comparison.
+  GeoComparison geo_comparison() const;
+
+ private:
+  std::vector<SniRecord> records_;
+  std::map<std::string, LeafRecord> leaves_;  // leaf fingerprint -> record
+  std::size_t extracted_ = 0;
+  std::size_t reachable_ = 0;
+};
+
+}  // namespace iotls::core

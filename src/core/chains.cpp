@@ -1,0 +1,107 @@
+#include "core/chains.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace iotls::core {
+
+ChainReport validate_dataset(const CertDataset& certs,
+                             const devicesim::SimWorld& world, std::int64_t now) {
+  ChainReport report;
+
+  std::map<std::string, DomainChainRow> failures;      // sld|issuer|status
+  std::map<std::string, DomainChainRow> private_roots;
+  std::map<std::string, DomainChainRow> self_signed;
+
+  std::size_t private_leaves = 0;
+  std::size_t private_leaf_failures = 0;
+
+  for (const SniRecord& record : certs.records()) {
+    if (!record.reachable) continue;
+    SniValidation v;
+    v.sni = record.sni;
+    // Tolerate misordered chains the way Zeek does: normalize before
+    // validating. Structurally broken chains stay broken.
+    std::vector<x509::Certificate> chain =
+        x509::normalize_chain_order(record.chain, record.sni);
+    v.result = x509::validate_chain(chain, record.sni, world.trust,
+                                    world.keys, now);
+    v.chain_length = record.chain.size();
+    v.devices = record.devices;
+    v.vendors = record.vendors;
+    if (!record.chain.empty()) {
+      v.leaf_issuer = record.chain.front().issuer.organization;
+      auto it = world.issuer_is_public.find(v.leaf_issuer);
+      v.leaf_issuer_public = it == world.issuer_is_public.end() ? true : it->second;
+    }
+    ++report.validated;
+    if (x509::chain_trusted(v.result.status)) ++report.trusted;
+
+    if (!v.leaf_issuer_public) {
+      ++private_leaves;
+      if (!x509::chain_trusted(v.result.status)) ++private_leaf_failures;
+    }
+
+    auto aggregate = [&](std::map<std::string, DomainChainRow>& into) {
+      std::string sld = second_level_domain(v.sni);
+      std::string key = sld + "|" + v.leaf_issuer + "|" +
+                        x509::chain_status_name(v.result.status);
+      DomainChainRow& row = into[key];
+      row.sld = sld;
+      row.leaf_issuer = v.leaf_issuer;
+      row.status = v.result.status;
+      row.chain_lengths.insert(v.chain_length);
+      ++row.fqdns;
+      for (const std::string& d : v.devices) row.devices.insert(d);
+      for (const std::string& vendor : v.vendors) row.vendors.insert(vendor);
+    };
+
+    switch (v.result.status) {
+      case x509::ChainStatus::kIncompleteChain:
+      case x509::ChainStatus::kUntrustedRoot:
+      case x509::ChainStatus::kSelfSigned:
+      case x509::ChainStatus::kBadSignature:
+      case x509::ChainStatus::kEmptyChain:
+        aggregate(failures);
+        break;
+      default:
+        break;
+    }
+    if (v.result.status == x509::ChainStatus::kUntrustedRoot) aggregate(private_roots);
+    if (v.result.status == x509::ChainStatus::kSelfSigned) aggregate(self_signed);
+
+    if (v.result.expired && !record.chain.empty()) {
+      ExpiredRow row;
+      row.sni = v.sni;
+      row.sld = second_level_domain(v.sni);
+      row.not_after = record.chain.front().not_after;
+      row.issuer = v.leaf_issuer;
+      row.devices = v.devices;
+      row.vendors = v.vendors;
+      report.expired.push_back(std::move(row));
+    }
+    if (!v.result.hostname_ok && !record.chain.empty()) {
+      report.cn_mismatches.push_back(v);
+    }
+    report.validations.push_back(std::move(v));
+  }
+
+  auto flatten = [](std::map<std::string, DomainChainRow>& from,
+                    std::vector<DomainChainRow>& into) {
+    for (auto& [key, row] : from) into.push_back(std::move(row));
+    std::sort(into.begin(), into.end(),
+              [](const DomainChainRow& a, const DomainChainRow& b) {
+                return a.devices.size() > b.devices.size();
+              });
+  };
+  flatten(failures, report.failure_rows);
+  flatten(private_roots, report.private_root_rows);
+  flatten(self_signed, report.self_signed_rows);
+
+  report.private_leaf_failure_ratio =
+      private_leaves ? static_cast<double>(private_leaf_failures) / private_leaves : 0;
+  return report;
+}
+
+}  // namespace iotls::core

@@ -1,0 +1,92 @@
+#include "core/dataset.hpp"
+
+#include "tls/record.hpp"
+#include "util/error.hpp"
+
+namespace iotls::core {
+
+ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
+                                        const tls::FingerprintOptions& opts) {
+  ClientDataset ds;
+
+  std::map<std::string, const devicesim::Device*> devices;
+  for (const devicesim::Device& d : fleet.devices) devices[d.id] = &d;
+
+  ds.events_.reserve(fleet.events.size());
+  for (const devicesim::ClientHelloEvent& raw : fleet.events) {
+    auto dev_it = devices.find(raw.device_id);
+    if (dev_it == devices.end()) {
+      ++ds.dropped_;
+      continue;
+    }
+    ParsedEvent ev;
+    try {
+      auto records = tls::parse_records(BytesView(raw.wire.data(), raw.wire.size()));
+      Bytes payload = tls::handshake_payload(records);
+      auto msgs = tls::split_handshakes(BytesView(payload.data(), payload.size()));
+      bool found = false;
+      for (const tls::HandshakeMessage& m : msgs) {
+        if (m.type != tls::HandshakeType::kClientHello) continue;
+        Bytes framed =
+            tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
+        ev.hello = tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
+        found = true;
+        break;
+      }
+      if (!found) {
+        ++ds.dropped_;
+        continue;
+      }
+    } catch (const ParseError&) {
+      ++ds.dropped_;
+      continue;
+    }
+
+    const devicesim::Device& device = *dev_it->second;
+    ev.device_id = device.id;
+    ev.vendor = device.vendor;
+    ev.type = device.type;
+    ev.user = device.user_id;
+    ev.day = raw.day;
+    ev.sni = ev.hello.sni().value_or(raw.sni);
+    ev.fp = tls::fingerprint_of(ev.hello, opts);
+    ev.fp_key = ev.fp.key();
+
+    ds.fp_by_key_.emplace(ev.fp_key, ev.fp);
+    ds.fp_vendors_[ev.fp_key].insert(ev.vendor);
+    ds.fp_devices_[ev.fp_key].insert(ev.device_id);
+    ds.vendor_fps_[ev.vendor].insert(ev.fp_key);
+    ds.device_fps_[ev.device_id].insert(ev.fp_key);
+    ds.device_vendor_[ev.device_id] = ev.vendor;
+    ds.device_type_[ev.device_id] = ev.type;
+    ds.sni_devices_[ev.sni].insert(ev.device_id);
+    ds.sni_vendors_[ev.sni].insert(ev.vendor);
+    ds.sni_fps_[ev.sni].insert(ev.fp_key);
+    ds.sni_users_[ev.sni].insert(ev.user);
+    ds.fp_snis_[ev.fp_key].insert(ev.sni);
+
+    ds.events_.push_back(std::move(ev));
+  }
+  return ds;
+}
+
+std::set<std::string> ClientDataset::vendors() const {
+  std::set<std::string> out;
+  for (const auto& [vendor, fps] : vendor_fps_) out.insert(vendor);
+  return out;
+}
+
+std::set<std::string> ClientDataset::users() const {
+  std::set<std::string> out;
+  for (const ParsedEvent& e : events_) out.insert(e.user);
+  return out;
+}
+
+std::vector<std::string> ClientDataset::snis() const {
+  std::vector<std::string> out;
+  out.reserve(sni_devices_.size());
+  for (const auto& [sni, devices] : sni_devices_) out.push_back(sni);
+  return out;
+}
+
+}  // namespace iotls::core

@@ -1,0 +1,105 @@
+// The parsed client-side dataset: wire bytes -> fingerprints + indexes.
+//
+// This is the paper's analysis input (§4): every event's ClientHello is
+// parsed from capture bytes, fingerprinted, and joined with the device's
+// user label. All §4 analyses run off the indexes built here.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "devicesim/types.hpp"
+#include "tls/fingerprint.hpp"
+
+namespace iotls::core {
+
+/// One parsed ClientHello observation.
+struct ParsedEvent {
+  std::string device_id;
+  std::string vendor;
+  std::string type;     // device type/model label
+  std::string user;
+  std::int64_t day = 0;
+  std::string sni;
+  tls::ClientHello hello;
+  tls::Fingerprint fp;
+  std::string fp_key;   // cached fp.key()
+};
+
+/// Parsed dataset with the cross-indexes the §4 metrics need.
+class ClientDataset {
+ public:
+  /// Parse a fleet's events. Undecodable events are dropped (counted).
+  static ClientDataset from_fleet(const devicesim::FleetDataset& fleet,
+                                  const tls::FingerprintOptions& opts = {});
+
+  const std::vector<ParsedEvent>& events() const { return events_; }
+  std::size_t dropped_events() const { return dropped_; }
+
+  /// Distinct fingerprints (by key).
+  const std::map<std::string, tls::Fingerprint>& fingerprints() const {
+    return fp_by_key_;
+  }
+
+  const std::map<std::string, std::set<std::string>>& fp_vendors() const {
+    return fp_vendors_;
+  }
+  const std::map<std::string, std::set<std::string>>& fp_devices() const {
+    return fp_devices_;
+  }
+  const std::map<std::string, std::set<std::string>>& vendor_fps() const {
+    return vendor_fps_;
+  }
+  const std::map<std::string, std::set<std::string>>& device_fps() const {
+    return device_fps_;
+  }
+  /// device id -> vendor name (devices with >= 1 parsed event).
+  const std::map<std::string, std::string>& device_vendor() const {
+    return device_vendor_;
+  }
+  /// device id -> type label.
+  const std::map<std::string, std::string>& device_type() const {
+    return device_type_;
+  }
+  /// SNI -> set of device ids / vendors / fingerprint keys seen toward it.
+  const std::map<std::string, std::set<std::string>>& sni_devices() const {
+    return sni_devices_;
+  }
+  const std::map<std::string, std::set<std::string>>& sni_vendors() const {
+    return sni_vendors_;
+  }
+  const std::map<std::string, std::set<std::string>>& sni_fps() const {
+    return sni_fps_;
+  }
+  const std::map<std::string, std::set<std::string>>& sni_users() const {
+    return sni_users_;
+  }
+  /// fingerprint key -> SNIs it was observed toward.
+  const std::map<std::string, std::set<std::string>>& fp_snis() const {
+    return fp_snis_;
+  }
+
+  std::set<std::string> vendors() const;
+  std::set<std::string> users() const;
+  std::vector<std::string> snis() const;
+
+ private:
+  std::vector<ParsedEvent> events_;
+  std::size_t dropped_ = 0;
+  std::map<std::string, tls::Fingerprint> fp_by_key_;
+  std::map<std::string, std::set<std::string>> fp_vendors_;
+  std::map<std::string, std::set<std::string>> fp_devices_;
+  std::map<std::string, std::set<std::string>> vendor_fps_;
+  std::map<std::string, std::set<std::string>> device_fps_;
+  std::map<std::string, std::string> device_vendor_;
+  std::map<std::string, std::string> device_type_;
+  std::map<std::string, std::set<std::string>> sni_devices_;
+  std::map<std::string, std::set<std::string>> sni_vendors_;
+  std::map<std::string, std::set<std::string>> sni_fps_;
+  std::map<std::string, std::set<std::string>> sni_users_;
+  std::map<std::string, std::set<std::string>> fp_snis_;
+};
+
+}  // namespace iotls::core

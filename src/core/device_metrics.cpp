@@ -1,0 +1,114 @@
+#include "core/device_metrics.hpp"
+
+#include <algorithm>
+
+namespace iotls::core {
+
+std::map<std::string, double> doc_per_device(const ClientDataset& ds) {
+  // Pre-index: per vendor, fp key -> #devices of that vendor using it.
+  std::map<std::string, std::map<std::string, std::size_t>> vendor_fp_devcount;
+  for (const auto& [device, fps] : ds.device_fps()) {
+    const std::string& vendor = ds.device_vendor().at(device);
+    for (const std::string& key : fps) ++vendor_fp_devcount[vendor][key];
+  }
+
+  std::map<std::string, double> out;
+  for (const auto& [device, fps] : ds.device_fps()) {
+    if (fps.empty()) continue;
+    const std::string& vendor = ds.device_vendor().at(device);
+    std::size_t solo = 0;
+    for (const std::string& key : fps) {
+      if (vendor_fp_devcount[vendor][key] == 1) ++solo;
+    }
+    out[device] = static_cast<double>(solo) / static_cast<double>(fps.size());
+  }
+  return out;
+}
+
+std::map<std::string, double> doc_device_per_vendor(const ClientDataset& ds) {
+  std::map<std::string, double> sums;
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [device, doc] : doc_per_device(ds)) {
+    const std::string& vendor = ds.device_vendor().at(device);
+    sums[vendor] += doc;
+    ++counts[vendor];
+  }
+  std::map<std::string, double> out;
+  for (const auto& [vendor, sum] : sums) {
+    out[vendor] = sum / static_cast<double>(counts[vendor]);
+  }
+  return out;
+}
+
+std::vector<VendorHeterogeneity> vendor_heterogeneity_top(const ClientDataset& ds,
+                                                          std::size_t n) {
+  // Per vendor: fp -> device count within the vendor.
+  std::map<std::string, std::map<std::string, std::size_t>> vendor_fp_devcount;
+  for (const auto& [device, fps] : ds.device_fps()) {
+    const std::string& vendor = ds.device_vendor().at(device);
+    for (const std::string& key : fps) ++vendor_fp_devcount[vendor][key];
+  }
+
+  std::vector<VendorHeterogeneity> rows;
+  for (const auto& [vendor, fp_counts] : vendor_fp_devcount) {
+    VendorHeterogeneity row;
+    row.vendor = vendor;
+    row.fingerprints = fp_counts.size();
+    std::size_t ten_plus = 0, single = 0;
+    for (const auto& [key, devices] : fp_counts) {
+      if (devices >= 10) ++ten_plus;
+      if (devices == 1) ++single;
+    }
+    row.shared_by_10plus =
+        row.fingerprints ? static_cast<double>(ten_plus) / row.fingerprints : 0;
+    row.single_device =
+        row.fingerprints ? static_cast<double>(single) / row.fingerprints : 0;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const VendorHeterogeneity& a, const VendorHeterogeneity& b) {
+              return a.fingerprints > b.fingerprints;
+            });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+TypeClusterStats type_clusters(const ClientDataset& ds, const std::string& vendor) {
+  TypeClusterStats stats;
+  stats.vendor = vendor;
+  std::map<std::string, std::set<std::string>> fp_types;  // fp -> types
+  for (const ParsedEvent& e : ds.events()) {
+    if (e.vendor != vendor) continue;
+    stats.type_fps[e.type].insert(e.fp_key);
+    fp_types[e.fp_key].insert(e.type);
+  }
+  for (const auto& [key, types] : fp_types) {
+    if (types.size() == 1) ++stats.exclusive_to_one_type;
+    else ++stats.shared_across_types;
+  }
+  return stats;
+}
+
+DeviceClusterStats device_clusters(const ClientDataset& ds,
+                                   const std::string& vendor,
+                                   const std::string& type_substring) {
+  DeviceClusterStats stats;
+  stats.vendor = vendor;
+  stats.type = type_substring;
+  std::set<std::string> devices;
+  std::map<std::string, std::set<std::string>> fp_devs;
+  for (const ParsedEvent& e : ds.events()) {
+    if (e.vendor != vendor) continue;
+    if (e.type.find(type_substring) == std::string::npos) continue;
+    devices.insert(e.device_id);
+    fp_devs[e.fp_key].insert(e.device_id);
+  }
+  stats.devices = devices.size();
+  stats.fingerprints = fp_devs.size();
+  for (const auto& [key, devs] : fp_devs) {
+    if (devs.size() == 1) ++stats.single_device_fps;
+  }
+  return stats;
+}
+
+}  // namespace iotls::core

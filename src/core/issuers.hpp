@@ -1,0 +1,51 @@
+// §5.2: certificate issuers — public-trust vs private CAs, Fig. 5 matrix.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cert_dataset.hpp"
+
+namespace iotls::core {
+
+/// Fig. 5: for each device vendor, the distribution of leaf-certificate
+/// issuers across the servers its devices visit (columns sum to 1).
+struct IssuerMatrix {
+  /// vendor -> issuer organization -> ratio.
+  std::map<std::string, std::map<std::string, double>> ratio;
+  /// issuer organization -> is public-trust CA.
+  std::map<std::string, bool> issuer_public;
+  /// issuers ordered by number of issued leaves, descending (y-axis order).
+  std::vector<std::string> issuer_order;
+  /// vendors ordered by prevalence of public-trust CAs, descending.
+  std::vector<std::string> vendor_order;
+};
+
+IssuerMatrix issuer_matrix(const CertDataset& certs,
+                           const std::map<std::string, bool>& issuer_is_public);
+
+/// §5.2 aggregates.
+struct IssuerReport {
+  std::size_t issuer_organizations = 0;
+  std::size_t leaves = 0;
+  std::size_t private_leaves = 0;              // signed by private CAs
+  double private_ratio = 0;
+  std::map<std::string, double> issuer_share;  // org -> share of all leaves
+  std::set<std::string> public_only_vendors;   // devices only meet public CAs
+  std::set<std::string> self_signing_vendors;  // vendor-signed servers visited
+                                               // by the vendor's own devices
+  std::set<std::string> vendor_only_vendors;   // devices ONLY visit
+                                               // vendor-signed servers
+};
+
+IssuerReport issuer_report(const CertDataset& certs,
+                           const std::map<std::string, bool>& issuer_is_public);
+
+/// The issuer organization a device vendor signs under (e.g. vendor
+/// "Samsung" signs as "Samsung Electronics"); empty when the vendor is not
+/// a known private CA.
+std::string issuer_org_for_vendor(const std::string& vendor);
+
+}  // namespace iotls::core

@@ -1,0 +1,35 @@
+#include "core/library_match.hpp"
+
+#include <set>
+
+namespace iotls::core {
+
+LibraryMatchReport match_against_corpus(const ClientDataset& ds,
+                                        const corpus::LibraryCorpus& corpus,
+                                        std::int64_t reference_day) {
+  LibraryMatchReport report;
+  report.total_fingerprints = ds.fingerprints().size();
+
+  std::set<std::string> libraries;
+  std::set<std::string> unsupported;
+  for (const auto& [key, fp] : ds.fingerprints()) {
+    const corpus::KnownLibrary* best = corpus.best_match(fp);
+    if (best == nullptr) continue;
+    LibraryMatch m;
+    m.fp_key = key;
+    m.library = best->version;
+    m.family = best->family;
+    m.supported = best->supported_at(reference_day);
+    auto dev_it = ds.fp_devices().find(key);
+    m.device_count = dev_it == ds.fp_devices().end() ? 0 : dev_it->second.size();
+    libraries.insert(best->version);
+    if (!m.supported) unsupported.insert(best->version);
+    report.by_family[best->family]++;
+    report.matches.push_back(std::move(m));
+  }
+  report.matched_libraries = libraries.size();
+  report.unsupported_libraries = unsupported.size();
+  return report;
+}
+
+}  // namespace iotls::core

@@ -1,0 +1,43 @@
+// §4.1: matching device fingerprints against the known-library corpus.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "corpus/corpus.hpp"
+
+namespace iotls::core {
+
+/// One matched fingerprint.
+struct LibraryMatch {
+  std::string fp_key;
+  std::string library;          // best match ("highest version", §4.1)
+  corpus::Family family = corpus::Family::kOpenSsl;
+  bool supported = true;        // still supported at the reference day
+  std::size_t device_count = 0; // devices exhibiting this fingerprint
+};
+
+/// Aggregate §4.1 results.
+struct LibraryMatchReport {
+  std::size_t total_fingerprints = 0;
+  std::vector<LibraryMatch> matches;      // fingerprints with an exact match
+  std::size_t matched_libraries = 0;      // distinct best-match libraries
+  std::size_t unsupported_libraries = 0;  // of those, unsupported at ref day
+  std::map<corpus::Family, std::size_t> by_family;
+
+  double match_ratio() const {
+    return total_fingerprints == 0
+               ? 0.0
+               : static_cast<double>(matches.size()) / total_fingerprints;
+  }
+};
+
+/// Run the matching at a reference day (the paper uses "as of 2020").
+LibraryMatchReport match_against_corpus(const ClientDataset& ds,
+                                        const corpus::LibraryCorpus& corpus,
+                                        std::int64_t reference_day);
+
+}  // namespace iotls::core

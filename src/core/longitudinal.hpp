@@ -1,0 +1,62 @@
+// Longitudinal analysis — the paper's stated future work (§7): "additional
+// measurements that delve deeper into the change of TLS behaviors
+// potentially resulting from maintenance and updates during the device's
+// life cycle".
+//
+// Given the timestamped event stream, detect per-device stack replacements
+// (a fingerprint that disappears while a new one appears) and measure the
+// TLS-version mix over time (App. B.3.2 reports no trend).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace iotls::core {
+
+/// One device's fingerprint timeline verdict.
+struct DeviceTimeline {
+  std::string device_id;
+  std::string vendor;
+  std::set<std::string> early_only;  // fps seen only in the first half
+  std::set<std::string> late_only;   // fps seen only in the second half
+  bool observed_in_both_halves = false;
+  /// A vanished fingerprint has a successor covering the same servers.
+  bool successor_found = false;
+
+  /// A stack replacement: something vanished, something new appeared, and
+  /// the newcomer serves the vanished stack's role (SNI overlap).
+  bool stack_replaced() const {
+    return observed_in_both_halves && !early_only.empty() &&
+           !late_only.empty() && successor_found;
+  }
+};
+
+/// Monthly TLS-version share (App. B.3.2's trend check).
+struct MonthlyVersionShare {
+  std::int64_t month_start = 0;  // day
+  std::size_t events = 0;
+  std::map<std::uint16_t, double> share;  // version -> fraction
+};
+
+struct LongitudinalReport {
+  std::vector<DeviceTimeline> timelines;        // devices seen in both halves
+  std::size_t devices_observed_both_halves = 0;
+  std::size_t devices_with_replacement = 0;
+  std::map<std::string, std::size_t> replacements_by_vendor;
+  std::vector<MonthlyVersionShare> monthly_versions;
+
+  /// Max absolute change in the TLS 1.2 share between consecutive months —
+  /// small values mean "no trend" (the paper's finding).
+  double max_monthly_tls12_swing = 0;
+};
+
+/// Analyse the event stream between `start` and `end` (days).
+LongitudinalReport longitudinal_analysis(const ClientDataset& ds,
+                                         std::int64_t start, std::int64_t end);
+
+}  // namespace iotls::core

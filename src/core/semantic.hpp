@@ -1,0 +1,55 @@
+// App. B.2: semantics-aware TLS fingerprinting.
+//
+// Beyond exact matching, classify each unique {device, ciphersuite list}
+// tuple by how close its proposal is to a known library's default:
+//   exact -> same set, different order -> same components -> similar
+//   components -> customization.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "corpus/corpus.hpp"
+
+namespace iotls::core {
+
+enum class SemanticCategory {
+  kExact,
+  kSameSetDifferentOrder,
+  kSameComponent,
+  kSimilarComponent,
+  kCustomization,
+};
+
+std::string semantic_category_name(SemanticCategory c);
+
+/// Result for one unique {device, ciphersuite list} tuple.
+struct SemanticMatch {
+  std::string device_id;
+  std::string vendor;
+  SemanticCategory category = SemanticCategory::kCustomization;
+  std::string library;        // most likely library ("" for customization)
+  bool library_outdated = false;
+  double suite_jaccard = 0;   // Jaccard(device suites, library suites) — Fig. 8
+};
+
+/// Table 11 aggregate.
+struct SemanticReport {
+  std::vector<SemanticMatch> tuples;
+  std::map<SemanticCategory, std::size_t> counts;
+  std::map<SemanticCategory, std::size_t> vendor_counts;
+  std::map<SemanticCategory, double> outdated_ratio;
+
+  std::size_t total() const { return tuples.size(); }
+};
+
+/// Run the matcher over all unique {device, ciphersuite list} tuples.
+/// Outdatedness is evaluated at `reference_day`.
+SemanticReport semantic_match(const ClientDataset& ds,
+                              const corpus::LibraryCorpus& corpus,
+                              std::int64_t reference_day);
+
+}  // namespace iotls::core

@@ -1,0 +1,98 @@
+#include "core/sharing.hpp"
+
+#include <algorithm>
+
+#include "tls/ciphersuite.hpp"
+#include "util/strings.hpp"
+
+namespace iotls::core {
+
+std::vector<VendorSimilarity> vendor_similarities(const ClientDataset& ds,
+                                                  double threshold) {
+  std::vector<std::pair<std::string, const std::set<std::string>*>> vendors;
+  for (const auto& [vendor, fps] : ds.vendor_fps()) vendors.emplace_back(vendor, &fps);
+
+  std::vector<VendorSimilarity> out;
+  for (std::size_t i = 0; i < vendors.size(); ++i) {
+    for (std::size_t j = i + 1; j < vendors.size(); ++j) {
+      const auto& a = *vendors[i].second;
+      const auto& b = *vendors[j].second;
+      std::size_t inter = 0;
+      for (const std::string& key : a) inter += b.count(key);
+      if (inter == 0) continue;
+      std::size_t uni = a.size() + b.size() - inter;
+      VendorSimilarity sim;
+      sim.vendor_a = vendors[i].first;
+      sim.vendor_b = vendors[j].first;
+      sim.jaccard = static_cast<double>(inter) / static_cast<double>(uni);
+      sim.overlap_coefficient =
+          static_cast<double>(inter) / static_cast<double>(std::min(a.size(), b.size()));
+      if (sim.jaccard >= threshold) out.push_back(std::move(sim));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VendorSimilarity& x, const VendorSimilarity& y) {
+              return x.jaccard > y.jaccard;
+            });
+  return out;
+}
+
+std::vector<SimilarityBucket> bucket_similarities(
+    const std::vector<VendorSimilarity>& pairs) {
+  std::vector<SimilarityBucket> buckets = {
+      {1.0, 1.01, {}}, {0.7, 1.0, {}}, {0.4, 0.7, {}}, {0.3, 0.4, {}}, {0.2, 0.3, {}}};
+  for (const VendorSimilarity& pair : pairs) {
+    for (SimilarityBucket& bucket : buckets) {
+      if (pair.jaccard >= bucket.lo && pair.jaccard < bucket.hi) {
+        bucket.pairs.push_back(pair);
+        break;
+      }
+    }
+  }
+  return buckets;
+}
+
+ServerTieReport server_tied_fingerprints(const ClientDataset& ds,
+                                         const corpus::LibraryCorpus& corpus) {
+  ServerTieReport report;
+  report.total_snis = ds.sni_fps().size();
+
+  // For a fingerprint to be "tied" to a server, it must be server-specific:
+  // the ONLY fingerprint those devices present to this server, observed
+  // from multiple devices, and not matching any standard library.
+  std::map<std::string, ServerTiedFingerprint> rows;  // key: sld|fp
+  for (const auto& [sni, fps] : ds.sni_fps()) {
+    if (fps.size() != 1) continue;  // not server-specific
+    const std::string& fp_key = *fps.begin();
+    const tls::Fingerprint& fp = ds.fingerprints().at(fp_key);
+    if (corpus.best_match(fp) != nullptr) continue;  // standard library
+    // The fingerprint must appear at few servers overall (tied to the
+    // application behind this server, not a vendor-wide base stack).
+    const auto& fp_snis = ds.fp_snis().at(fp_key);
+    if (fp_snis.size() > 8) continue;
+    const auto& devices = ds.sni_devices().at(sni);
+    if (devices.size() < 2) continue;  // exclude single-device outliers
+    ++report.tied_snis;
+
+    std::string sld = second_level_domain(sni);
+    ServerTiedFingerprint& row = rows[sld + "|" + fp_key];
+    row.sld = sld;
+    row.fp_key = fp_key;
+    row.fqdns.insert(sni);
+    row.vulnerable_tags = tls::list_vulnerable_components(fp.cipher_suites);
+    for (const std::string& d : devices) row.devices.insert(d);
+    for (const std::string& v : ds.sni_vendors().at(sni)) row.vendors.insert(v);
+  }
+
+  for (auto& [key, row] : rows) {
+    if (row.vendors.size() < 2) continue;  // Table 5 lists cross-vendor rows
+    report.cross_vendor_rows.push_back(row);
+  }
+  std::sort(report.cross_vendor_rows.begin(), report.cross_vendor_rows.end(),
+            [](const ServerTiedFingerprint& a, const ServerTiedFingerprint& b) {
+              return a.devices.size() > b.devices.size();
+            });
+  return report;
+}
+
+}  // namespace iotls::core

@@ -1,0 +1,66 @@
+// §4.4: shared fingerprints across vendors — Jaccard similarity of vendor
+// fingerprint sets (Table 4) and server-tied fingerprints (Table 5).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "corpus/corpus.hpp"
+
+namespace iotls::core {
+
+/// A vendor pair (or the seed of a larger tuple) with its similarity.
+struct VendorSimilarity {
+  std::string vendor_a;
+  std::string vendor_b;
+  double jaccard = 0;
+  double overlap_coefficient = 0;  // |A∩B| / min(|A|,|B|) — ablation metric
+};
+
+/// Pairwise Jaccard similarity over vendor fingerprint sets, descending,
+/// filtered to pairs >= `threshold` (the paper lists >= 0.2).
+std::vector<VendorSimilarity> vendor_similarities(const ClientDataset& ds,
+                                                  double threshold);
+
+/// Table 4's buckets.
+struct SimilarityBucket {
+  double lo, hi;  // [lo, hi)
+  std::vector<VendorSimilarity> pairs;
+};
+std::vector<SimilarityBucket> bucket_similarities(
+    const std::vector<VendorSimilarity>& pairs);
+
+/// A server-tied fingerprint: devices exhibit this fingerprint (and only
+/// this one) when visiting this server, and the server is visited by
+/// multiple devices sharing it (§4.4 "servers as a proxy for applications").
+struct ServerTiedFingerprint {
+  std::string sld;                 // second-level domain (Table 5 rows)
+  std::set<std::string> fqdns;
+  std::string fp_key;
+  std::vector<std::string> vulnerable_tags;
+  std::set<std::string> devices;
+  std::set<std::string> vendors;
+};
+
+/// Analysis outcome for server-tied fingerprints.
+struct ServerTieReport {
+  std::size_t total_snis = 0;
+  std::size_t tied_snis = 0;  // SNIs tied to a server-specific fingerprint
+  /// Rows aggregated by {SLD, fingerprint}, restricted to >= 2 devices and
+  /// >= 2 vendors (the Table 5 filter).
+  std::vector<ServerTiedFingerprint> cross_vendor_rows;
+
+  double tied_ratio() const {
+    return total_snis ? static_cast<double>(tied_snis) / total_snis : 0;
+  }
+};
+
+/// `corpus` is used to exclude fingerprints matching standard libraries
+/// (the paper excludes library-matched fingerprints from this analysis).
+ServerTieReport server_tied_fingerprints(const ClientDataset& ds,
+                                         const corpus::LibraryCorpus& corpus);
+
+}  // namespace iotls::core

@@ -1,0 +1,106 @@
+#include "core/vendor_metrics.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "devicesim/vendors.hpp"
+
+namespace iotls::core {
+
+DegreeDistribution fingerprint_degree_distribution(const ClientDataset& ds) {
+  DegreeDistribution dist;
+  for (const auto& [key, vendors] : ds.fp_vendors()) {
+    ++dist.total;
+    std::size_t degree = vendors.size();
+    if (degree == 1) ++dist.degree1;
+    else if (degree == 2) ++dist.degree2;
+    else if (degree <= 5) ++dist.degree3to5;
+    else ++dist.degree_gt5;
+  }
+  return dist;
+}
+
+std::map<std::string, double> doc_vendor(const ClientDataset& ds) {
+  std::map<std::string, double> out;
+  for (const auto& [vendor, fps] : ds.vendor_fps()) {
+    if (fps.empty()) continue;
+    std::size_t solo = 0;
+    for (const std::string& key : fps) {
+      if (ds.fp_vendors().at(key).size() == 1) ++solo;
+    }
+    out[vendor] = static_cast<double>(solo) / static_cast<double>(fps.size());
+  }
+  return out;
+}
+
+double fraction_above(const std::map<std::string, double>& doc, double threshold) {
+  if (doc.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& [vendor, value] : doc) n += (value > threshold);
+  return static_cast<double>(n) / static_cast<double>(doc.size());
+}
+
+double fraction_with_unique(const std::map<std::string, double>& doc) {
+  return fraction_above(doc, 0.0);
+}
+
+std::vector<FingerprintSecurity> classify_fingerprints(const ClientDataset& ds) {
+  std::vector<FingerprintSecurity> out;
+  out.reserve(ds.fingerprints().size());
+  for (const auto& [key, fp] : ds.fingerprints()) {
+    FingerprintSecurity fs;
+    fs.fp_key = key;
+    fs.level = tls::classify_suite_list(fp.cipher_suites);
+    fs.vulnerable_tags = tls::list_vulnerable_components(fp.cipher_suites);
+    fs.device_count = ds.fp_devices().at(key).size();
+    fs.vendor_count = ds.fp_vendors().at(key).size();
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+VulnerabilityStats vulnerability_stats(const ClientDataset& ds) {
+  VulnerabilityStats stats;
+  std::set<std::string> severe_devices;
+  std::set<std::string> severe_vendors;
+  for (const FingerprintSecurity& fs : classify_fingerprints(ds)) {
+    ++stats.total_fps;
+    if (fs.vulnerable_tags.empty()) continue;
+    ++stats.vulnerable_fps;
+    if (fs.device_count > 1) ++stats.vulnerable_multi_device;
+    for (const std::string& tag : fs.vulnerable_tags) ++stats.by_tag[tag];
+    bool severe = false;
+    for (const std::string& tag : fs.vulnerable_tags) {
+      if (tag == "ANON" || tag == "EXPORT" || tag == "NULL") severe = true;
+    }
+    if (severe) {
+      ++stats.severe_fps;
+      for (const std::string& dev : ds.fp_devices().at(fs.fp_key))
+        severe_devices.insert(dev);
+      for (const std::string& vendor : ds.fp_vendors().at(fs.fp_key))
+        severe_vendors.insert(vendor);
+    }
+  }
+  stats.severe_devices = severe_devices.size();
+  stats.severe_vendors = severe_vendors.size();
+  return stats;
+}
+
+VendorFpGraph vendor_fp_graph(const ClientDataset& ds) {
+  VendorFpGraph graph;
+  for (const auto& [vendor, fps] : ds.vendor_fps()) {
+    // Use the Table 13 index where the vendor is known to the fleet model.
+    try {
+      graph.vendor_index[vendor] = devicesim::vendor(vendor).index;
+    } catch (const std::out_of_range&) {
+      graph.vendor_index[vendor] = 0;
+    }
+    for (const std::string& key : fps) graph.edges.emplace_back(vendor, key);
+  }
+  for (const auto& [key, fp] : ds.fingerprints()) {
+    graph.fp_level[key] = tls::classify_suite_list(fp.cipher_suites);
+  }
+  return graph;
+}
+
+}  // namespace iotls::core

@@ -1,0 +1,80 @@
+// §4.2: customization across vendors — degree distribution, DoC_vendor,
+// security levels, and the vendor–fingerprint bipartite graph.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "tls/ciphersuite.hpp"
+
+namespace iotls::core {
+
+/// Table 2: how many vendors share each fingerprint.
+struct DegreeDistribution {
+  std::size_t total = 0;
+  std::size_t degree1 = 0;
+  std::size_t degree2 = 0;
+  std::size_t degree3to5 = 0;
+  std::size_t degree_gt5 = 0;
+
+  double ratio1() const { return total ? static_cast<double>(degree1) / total : 0; }
+  double ratio2() const { return total ? static_cast<double>(degree2) / total : 0; }
+  double ratio3to5() const {
+    return total ? static_cast<double>(degree3to5) / total : 0;
+  }
+  double ratio_gt5() const {
+    return total ? static_cast<double>(degree_gt5) / total : 0;
+  }
+};
+
+DegreeDistribution fingerprint_degree_distribution(const ClientDataset& ds);
+
+/// DoC_vendor: #fingerprints solely used by the vendor / #fingerprints used.
+std::map<std::string, double> doc_vendor(const ClientDataset& ds);
+
+/// Fraction of vendors with DoC_vendor strictly above `threshold`.
+double fraction_above(const std::map<std::string, double>& doc, double threshold);
+/// Fraction of vendors with at least one vendor-unique fingerprint (DoC > 0).
+double fraction_with_unique(const std::map<std::string, double>& doc);
+
+/// Security assessment of one fingerprint's ciphersuite list (§4.2).
+struct FingerprintSecurity {
+  std::string fp_key;
+  tls::SecurityLevel level = tls::SecurityLevel::kSuboptimal;
+  std::vector<std::string> vulnerable_tags;  // "3DES", "RC4", ...
+  std::size_t device_count = 0;
+  std::size_t vendor_count = 0;
+};
+
+/// Classify every fingerprint in the dataset.
+std::vector<FingerprintSecurity> classify_fingerprints(const ClientDataset& ds);
+
+/// Aggregate vulnerability stats (§4.2's headline numbers).
+struct VulnerabilityStats {
+  std::size_t total_fps = 0;
+  std::size_t vulnerable_fps = 0;       // >= 1 vulnerable component
+  std::size_t vulnerable_multi_device = 0;  // of those, used by > 1 device
+  std::map<std::string, std::size_t> by_tag;  // tag -> #fps containing it
+  std::size_t severe_fps = 0;           // ANON / EXPORT / NULL
+  std::size_t severe_devices = 0;
+  std::size_t severe_vendors = 0;
+};
+
+VulnerabilityStats vulnerability_stats(const ClientDataset& ds);
+
+/// The Fig. 1 bipartite graph: vendor nodes and fingerprint nodes with
+/// security-coloured fingerprints. Rendered to DOT by report/dot.
+struct VendorFpGraph {
+  /// vendor name -> Table 13 index (1-based, assigned by fleet order).
+  std::map<std::string, int> vendor_index;
+  /// fingerprint key -> security level.
+  std::map<std::string, tls::SecurityLevel> fp_level;
+  /// Edges (vendor, fp key).
+  std::vector<std::pair<std::string, std::string>> edges;
+};
+
+VendorFpGraph vendor_fp_graph(const ClientDataset& ds);
+
+}  // namespace iotls::core

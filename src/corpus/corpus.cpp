@@ -1,0 +1,491 @@
+#include "corpus/corpus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/dates.hpp"
+
+namespace iotls::corpus {
+
+namespace {
+
+// ----------------------------------------------------------------- eras
+//
+// Default client configurations per library era. Lists follow each
+// lineage's real evolution in the aggregate: early eras offer RC4/DES/3DES
+// and TLS 1.0; middle eras add SHA-256/GCM suites while retaining 3DES;
+// late eras drop RC4, then 3DES, and add TLS 1.3.
+
+EraConfig openssl_100() {
+  return {0x0301,
+          {0x0039, 0x0038, 0x0035, 0x0016, 0x0013, 0x000a, 0x0033, 0x0032,
+           0x002f, 0x0007, 0x0005, 0x0004, 0x0015, 0x0012, 0x0009},
+          {0, 10, 11, 35}};
+}
+
+EraConfig openssl_101() {
+  return {0x0303,
+          {0xc02b, 0xc02f, 0x009e, 0xc00a, 0xc009, 0xc013, 0xc014, 0x0039,
+           0x0033, 0x009c, 0x003d, 0x003c, 0x0035, 0x002f, 0xc012, 0x000a,
+           0x0016, 0x0005, 0x0004},
+          {0, 10, 11, 13, 15, 35}};
+}
+
+EraConfig openssl_102() {
+  return {0x0303,
+          {0xc02c, 0xc02b, 0xc030, 0xc02f, 0x009f, 0x009e, 0xc024, 0xc023,
+           0xc028, 0xc027, 0xc00a, 0xc009, 0xc014, 0xc013, 0x009d, 0x009c,
+           0x003d, 0x003c, 0x0035, 0x002f, 0xc012, 0x000a, 0x0005, 0x0004},
+          {0, 10, 11, 13, 22, 23, 35}};
+}
+
+EraConfig openssl_110() {
+  return {0x0303,
+          {0xc02c, 0xc02b, 0xc030, 0xc02f, 0xcca9, 0xcca8, 0x009f, 0x009e,
+           0xc024, 0xc023, 0xc028, 0xc027, 0xc00a, 0xc009, 0xc014, 0xc013,
+           0x009d, 0x009c, 0x003d, 0x003c, 0x0035, 0x002f, 0x000a},
+          {0, 10, 11, 13, 22, 23, 35}};
+}
+
+EraConfig openssl_111() {
+  return {0x0303,
+          {0x1302, 0x1303, 0x1301, 0xc02c, 0xc030, 0xc02b, 0xc02f, 0xcca9,
+           0xcca8, 0x009f, 0x009e, 0xc024, 0xc028, 0xc023, 0xc027, 0xc00a,
+           0xc014, 0xc009, 0xc013, 0x009d, 0x009c, 0x003d, 0x003c, 0x0035,
+           0x002f},
+          {0, 10, 11, 13, 21, 23, 35, 43, 45, 51}};
+}
+
+EraConfig wolfssl_1x() {
+  return {0x0301, {0x0035, 0x002f, 0x000a, 0x0005, 0x0004}, {0}};
+}
+
+EraConfig wolfssl_2x() {
+  return {0x0301,
+          {0x0039, 0x0033, 0x0035, 0x002f, 0x000a, 0x0016, 0x0005},
+          {0, 11}};
+}
+
+EraConfig wolfssl_30() {
+  return {0x0303,
+          {0xc02f, 0xc02b, 0x009e, 0x009c, 0xc013, 0xc009, 0x003c, 0x002f,
+           0x0035, 0x000a, 0x0005},
+          {0, 10, 11, 13}};
+}
+
+EraConfig wolfssl_34() {
+  return {0x0303,
+          {0xc02c, 0xc02b, 0xc030, 0xc02f, 0x009e, 0x009c, 0xc024, 0xc023,
+           0xc014, 0xc013, 0x003d, 0x003c, 0x0035, 0x002f, 0x000a},
+          {0, 10, 11, 13, 23}};
+}
+
+EraConfig wolfssl_310() {
+  EraConfig era = wolfssl_34();
+  era.suites.insert(era.suites.begin(), {0xcca9, 0xcca8});
+  return era;
+}
+
+EraConfig wolfssl_312() {
+  EraConfig era = wolfssl_310();
+  era.extensions = {0, 10, 11, 13, 22, 23};
+  return era;
+}
+
+EraConfig wolfssl_314() {
+  EraConfig era = wolfssl_312();
+  // 3.14 drops RC4 era leftovers and static RSA 3DES.
+  std::erase(era.suites, 0x000a);
+  return era;
+}
+
+EraConfig wolfssl_315() {
+  EraConfig era = wolfssl_314();
+  era.suites.push_back(0xc0ac);  // CCM for constrained targets
+  return era;
+}
+
+EraConfig wolfssl_40() {
+  EraConfig era = wolfssl_315();
+  era.suites.insert(era.suites.begin(), {0x1301, 0x1302, 0x1303});
+  era.extensions = {0, 10, 11, 13, 22, 23, 43, 45, 51};
+  return era;
+}
+
+EraConfig polarssl_0x() {
+  return {0x0301, {0x0035, 0x002f, 0x000a, 0x0005, 0x0004, 0x0009}, {}};
+}
+
+EraConfig polarssl_10() {
+  return {0x0301, {0x0039, 0x0033, 0x0035, 0x002f, 0x000a, 0x0016, 0x0005, 0x0004}, {0}};
+}
+
+EraConfig polarssl_11() {
+  EraConfig era = polarssl_10();
+  era.extensions = {0, 35};
+  return era;
+}
+
+EraConfig polarssl_12() {
+  return {0x0303,
+          {0x0067, 0x0033, 0x003c, 0x002f, 0x003d, 0x0035, 0x000a, 0x0016,
+           0x0005, 0x0004},
+          {0, 13, 35}};
+}
+
+EraConfig polarssl_13() {
+  return {0x0303,
+          {0xc02b, 0xc02f, 0x009e, 0x009c, 0xc023, 0xc027, 0x0067, 0x003c,
+           0xc009, 0xc013, 0x0033, 0x002f, 0xc00a, 0xc014, 0x0039, 0x0035,
+           0xc012, 0x0016, 0x000a},
+          {0, 10, 11, 13, 35}};
+}
+
+EraConfig mbedtls_21() {
+  EraConfig era = polarssl_13();
+  era.suites.insert(era.suites.begin(), {0xc02c, 0xc030});
+  era.extensions = {0, 10, 11, 13, 22, 23, 35};
+  return era;
+}
+
+EraConfig mbedtls_22() {
+  EraConfig era = mbedtls_21();
+  era.suites.push_back(0xccac);
+  return era;
+}
+
+EraConfig mbedtls_23() {
+  EraConfig era = mbedtls_22();
+  era.suites.insert(era.suites.begin() + 2, {0xcca9, 0xcca8});
+  return era;
+}
+
+EraConfig mbedtls_24() {
+  EraConfig era = mbedtls_23();
+  // 2.4 drops the legacy DHE CBC-SHA pairs from the default list.
+  std::erase(era.suites, 0x0039);
+  std::erase(era.suites, 0x0033);
+  return era;
+}
+
+EraConfig mbedtls_27() {
+  EraConfig era = mbedtls_24();
+  std::erase(era.suites, 0x000a);
+  std::erase(era.suites, 0xc012);
+  std::erase(era.suites, 0x0016);
+  return era;
+}
+
+EraConfig mbedtls_28() {
+  EraConfig era = mbedtls_27();
+  era.suites.push_back(0xc0ac);
+  era.suites.push_back(0xc0ae);
+  return era;
+}
+
+EraConfig mbedtls_216() {
+  EraConfig era = mbedtls_28();
+  era.extensions = {0, 10, 11, 13, 21, 22, 23, 35};
+  return era;
+}
+
+// Modify a backend era the way curl's client does: curl enables OCSP
+// stapling from 7.33 and ALPN from 7.47 (with http/1.1+h2 offers).
+EraConfig curl_adjust(EraConfig era, int curl_minor) {
+  if (curl_minor >= 33) {
+    era.extensions.insert(
+        std::lower_bound(era.extensions.begin(), era.extensions.end(), 5), 5);
+  }
+  if (curl_minor >= 47) {
+    era.extensions.insert(
+        std::lower_bound(era.extensions.begin(), era.extensions.end(), 16), 16);
+  }
+  return era;
+}
+
+struct VersionSpec {
+  const char* version;
+  const char* era;       // key into the era table
+  std::int64_t release;  // days since epoch
+  std::int64_t eol;
+};
+
+std::int64_t d(int y, int m, int day) { return days(y, m, day); }
+
+}  // namespace
+
+void LibraryCorpus::add(KnownLibrary lib) {
+  by_key_[lib.fp.key()].push_back(entries_.size());
+  entries_.push_back(std::move(lib));
+}
+
+LibraryCorpus LibraryCorpus::standard() {
+  LibraryCorpus corpus;
+
+  corpus.eras_ = {
+      {"openssl-1.0.0", openssl_100()}, {"openssl-1.0.1", openssl_101()},
+      {"openssl-1.0.2", openssl_102()}, {"openssl-1.1.0", openssl_110()},
+      {"openssl-1.1.1", openssl_111()}, {"wolfssl-1.x", wolfssl_1x()},
+      {"wolfssl-2.x", wolfssl_2x()},    {"wolfssl-3.0", wolfssl_30()},
+      {"wolfssl-3.4", wolfssl_34()},    {"wolfssl-3.10", wolfssl_310()},
+      {"wolfssl-3.12", wolfssl_312()},  {"wolfssl-3.14", wolfssl_314()},
+      {"wolfssl-3.15", wolfssl_315()},  {"wolfssl-4.0", wolfssl_40()},
+      {"polarssl-0.x", polarssl_0x()},  {"polarssl-1.0", polarssl_10()},
+      {"polarssl-1.1", polarssl_11()},  {"polarssl-1.2", polarssl_12()},
+      {"polarssl-1.3", polarssl_13()},  {"mbedtls-2.1", mbedtls_21()},
+      {"mbedtls-2.2", mbedtls_22()},    {"mbedtls-2.3", mbedtls_23()},
+      {"mbedtls-2.4", mbedtls_24()},    {"mbedtls-2.7", mbedtls_27()},
+      {"mbedtls-2.8", mbedtls_28()},    {"mbedtls-2.16", mbedtls_216()},
+  };
+
+  // ------------------------------------------------------------ OpenSSL (19)
+  const VersionSpec openssl_versions[] = {
+      {"1.0.0m", "openssl-1.0.0", d(2014, 6, 5), d(2015, 12, 3)},
+      {"1.0.0q", "openssl-1.0.0", d(2014, 12, 15), d(2015, 12, 3)},
+      {"1.0.0t", "openssl-1.0.0", d(2015, 12, 3), d(2015, 12, 3)},
+      {"1.0.1h", "openssl-1.0.1", d(2014, 6, 5), d(2016, 12, 31)},
+      {"1.0.1l", "openssl-1.0.1", d(2015, 1, 15), d(2016, 12, 31)},
+      {"1.0.1r", "openssl-1.0.1", d(2016, 1, 28), d(2016, 12, 31)},
+      {"1.0.1u", "openssl-1.0.1", d(2016, 9, 22), d(2016, 12, 31)},
+      {"1.0.2", "openssl-1.0.2", d(2015, 1, 22), d(2019, 12, 31)},
+      {"1.0.2-beta1", "openssl-1.0.2", d(2014, 2, 24), d(2019, 12, 31)},
+      {"1.0.2-beta2", "openssl-1.0.2", d(2014, 7, 22), d(2019, 12, 31)},
+      {"1.0.2f", "openssl-1.0.2", d(2016, 1, 28), d(2019, 12, 31)},
+      {"1.0.2m", "openssl-1.0.2", d(2017, 11, 2), d(2019, 12, 31)},
+      {"1.0.2u", "openssl-1.0.2", d(2019, 12, 20), d(2019, 12, 31)},
+      {"1.1.0-pre1", "openssl-1.1.0", d(2015, 12, 10), d(2019, 9, 11)},
+      {"1.1.0-pre2", "openssl-1.1.0", d(2016, 1, 14), d(2019, 9, 11)},
+      {"1.1.0-pre3", "openssl-1.1.0", d(2016, 2, 15), d(2019, 9, 11)},
+      {"1.1.0l", "openssl-1.1.0", d(2019, 9, 10), d(2019, 9, 11)},
+      {"1.1.1-pre2", "openssl-1.1.1", d(2018, 2, 27), d(2023, 9, 11)},
+      {"1.1.1i", "openssl-1.1.1", d(2020, 12, 8), d(2023, 9, 11)},
+  };
+  for (const VersionSpec& v : openssl_versions) {
+    KnownLibrary lib;
+    lib.family = Family::kOpenSsl;
+    lib.version = std::string("OpenSSL ") + v.version;
+    lib.release_day = v.release;
+    lib.support_end_day = v.eol;
+    lib.fp = era_fingerprint(corpus.eras_.at(v.era));
+    corpus.add(std::move(lib));
+  }
+
+  // ------------------------------------------------------------ wolfSSL (38)
+  const VersionSpec wolfssl_versions[] = {
+      {"1.8.0", "wolfssl-1.x", d(2010, 12, 23), d(2012, 12, 31)},
+      {"2.1.1", "wolfssl-2.x", d(2012, 5, 25), d(2014, 12, 31)},
+      {"2.2.1", "wolfssl-2.x", d(2012, 7, 10), d(2014, 12, 31)},
+      {"2.2.2", "wolfssl-2.x", d(2012, 8, 20), d(2014, 12, 31)},
+      {"2.3.0", "wolfssl-2.x", d(2012, 10, 22), d(2014, 12, 31)},
+      {"2.4.6", "wolfssl-2.x", d(2013, 1, 10), d(2014, 12, 31)},
+      {"2.4.7", "wolfssl-2.x", d(2013, 2, 5), d(2014, 12, 31)},
+      {"2.5.0", "wolfssl-2.x", d(2013, 2, 10), d(2014, 12, 31)},
+      {"2.5.2", "wolfssl-2.x", d(2013, 3, 20), d(2014, 12, 31)},
+      {"2.5.2b", "wolfssl-2.x", d(2013, 4, 1), d(2014, 12, 31)},
+      {"2.6.0", "wolfssl-2.x", d(2013, 4, 15), d(2014, 12, 31)},
+      {"2.8.0", "wolfssl-2.x", d(2013, 8, 30), d(2014, 12, 31)},
+      {"2.9.0", "wolfssl-2.x", d(2014, 2, 7), d(2015, 12, 31)},
+      {"3.0.0", "wolfssl-3.0", d(2014, 4, 29), d(2016, 6, 30)},
+      {"3.0.2", "wolfssl-3.0", d(2014, 7, 3), d(2016, 6, 30)},
+      {"3.1.0", "wolfssl-3.0", d(2014, 10, 15), d(2016, 6, 30)},
+      {"3.4.0", "wolfssl-3.4", d(2015, 2, 23), d(2017, 6, 30)},
+      {"3.4.2", "wolfssl-3.4", d(2015, 3, 10), d(2017, 6, 30)},
+      {"3.4.8", "wolfssl-3.4", d(2015, 4, 20), d(2017, 6, 30)},
+      {"3.6.0", "wolfssl-3.4", d(2015, 6, 19), d(2017, 6, 30)},
+      {"3.7.0", "wolfssl-3.4", d(2015, 10, 26), d(2017, 6, 30)},
+      {"3.8.0", "wolfssl-3.4", d(2015, 12, 30), d(2017, 12, 31)},
+      {"3.9.0", "wolfssl-3.4", d(2016, 3, 18), d(2017, 12, 31)},
+      {"3.9.10-stable", "wolfssl-3.4", d(2016, 9, 23), d(2017, 12, 31)},
+      {"3.10.2-stable", "wolfssl-3.10", d(2017, 2, 10), d(2018, 12, 31)},
+      {"3.10.3", "wolfssl-3.10", d(2017, 3, 1), d(2018, 12, 31)},
+      {"3.11.0-stable", "wolfssl-3.10", d(2017, 5, 5), d(2018, 12, 31)},
+      {"3.12.0-stable", "wolfssl-3.12", d(2017, 8, 4), d(2019, 6, 30)},
+      {"3.13.0-stable", "wolfssl-3.12", d(2017, 12, 21), d(2019, 6, 30)},
+      {"3.14.2", "wolfssl-3.14", d(2018, 4, 20), d(2019, 12, 31)},
+      {"3.14.5", "wolfssl-3.14", d(2018, 5, 10), d(2019, 12, 31)},
+      {"3.15.0-stable", "wolfssl-3.15", d(2018, 6, 5), d(2020, 6, 30)},
+      {"3.15.3-stable", "wolfssl-3.15", d(2018, 6, 20), d(2020, 6, 30)},
+      {"3.15.6", "wolfssl-3.15", d(2018, 12, 27), d(2020, 6, 30)},
+      {"3.15.7-stable", "wolfssl-3.15", d(2019, 1, 15), d(2020, 6, 30)},
+      {"4.0.0-stable", "wolfssl-4.0", d(2019, 3, 20), d(2022, 12, 31)},
+      {"WCv4.0-RC4", "wolfssl-4.0", d(2019, 2, 20), d(2022, 12, 31)},
+      {"WCv4.0-RC5", "wolfssl-4.0", d(2019, 3, 5), d(2022, 12, 31)},
+  };
+  for (const VersionSpec& v : wolfssl_versions) {
+    KnownLibrary lib;
+    lib.family = Family::kWolfSsl;
+    lib.version = std::string("wolfSSL ") + v.version;
+    lib.release_day = v.release;
+    lib.support_end_day = v.eol;
+    lib.fp = era_fingerprint(corpus.eras_.at(v.era));
+    corpus.add(std::move(lib));
+  }
+
+  // ----------------------------------------------------------- Mbed TLS (113)
+  struct MbedRange {
+    const char* prefix;
+    int lo, hi;            // patch range, inclusive
+    const char* era;
+    std::int64_t base_release;
+    std::int64_t eol;
+  };
+  const MbedRange mbed_ranges[] = {
+      // PolarSSL 0.13.1, 0.14.0, 0.14.2, 0.14.3 — listed explicitly below.
+      {"PolarSSL 1.1.", 0, 8, "polarssl-1.1", d(2011, 12, 1), d(2014, 12, 31)},
+      {"PolarSSL 1.2.", 0, 19, "polarssl-1.2", d(2012, 10, 31), d(2016, 12, 31)},
+      {"PolarSSL 1.3.", 0, 9, "polarssl-1.3", d(2013, 10, 1), d(2017, 12, 31)},
+      {"Mbed TLS 1.3.", 10, 22, "polarssl-1.3", d(2015, 2, 1), d(2017, 12, 31)},
+      {"Mbed TLS 2.1.", 0, 18, "mbedtls-2.1", d(2015, 9, 4), d(2019, 12, 31)},
+      {"Mbed TLS 2.2.", 0, 1, "mbedtls-2.2", d(2015, 11, 4), d(2018, 12, 31)},
+      {"Mbed TLS 2.7.", 0, 15, "mbedtls-2.7", d(2018, 2, 5), d(2021, 3, 31)},
+  };
+  auto add_mbed = [&corpus](const std::string& version, const char* era,
+                            std::int64_t release, std::int64_t eol) {
+    KnownLibrary lib;
+    lib.family = Family::kMbedTls;
+    lib.version = version;
+    lib.release_day = release;
+    lib.support_end_day = eol;
+    lib.fp = era_fingerprint(corpus.eras_.at(era));
+    corpus.add(std::move(lib));
+  };
+  add_mbed("PolarSSL 0.13.1", "polarssl-0.x", d(2010, 3, 24), d(2012, 12, 31));
+  add_mbed("PolarSSL 0.14.0", "polarssl-0.x", d(2010, 8, 16), d(2012, 12, 31));
+  add_mbed("PolarSSL 0.14.2", "polarssl-0.x", d(2010, 12, 1), d(2012, 12, 31));
+  add_mbed("PolarSSL 0.14.3", "polarssl-0.x", d(2011, 2, 20), d(2012, 12, 31));
+  add_mbed("PolarSSL 1.0.0", "polarssl-1.0", d(2011, 7, 27), d(2013, 12, 31));
+  for (const MbedRange& range : mbed_ranges) {
+    for (int patch = range.lo; patch <= range.hi; ++patch) {
+      // Mbed TLS 2.7 skips 2.7.1 in the paper's list.
+      if (std::string(range.prefix) == "Mbed TLS 2.7." && patch == 1) continue;
+      add_mbed(range.prefix + std::to_string(patch), range.era,
+               range.base_release + (patch - range.lo) * 60, range.eol);
+    }
+  }
+  add_mbed("Mbed TLS 1.4-dtls-preview", "polarssl-1.3", d(2014, 11, 1), d(2016, 12, 31));
+  add_mbed("Mbed TLS 2.3.0", "mbedtls-2.3", d(2016, 6, 27), d(2018, 12, 31));
+  add_mbed("Mbed TLS 2.4.0", "mbedtls-2.4", d(2016, 10, 17), d(2018, 12, 31));
+  add_mbed("Mbed TLS 2.4.2", "mbedtls-2.4", d(2017, 3, 8), d(2018, 12, 31));
+  add_mbed("Mbed TLS 2.5.1", "mbedtls-2.4", d(2017, 6, 21), d(2019, 6, 30));
+  add_mbed("Mbed TLS 2.6.0", "mbedtls-2.4", d(2017, 8, 10), d(2019, 6, 30));
+  add_mbed("Mbed TLS 2.8.0", "mbedtls-2.8", d(2018, 3, 16), d(2020, 3, 31));
+  add_mbed("Mbed TLS 2.9.0", "mbedtls-2.8", d(2018, 4, 30), d(2020, 3, 31));
+  add_mbed("Mbed TLS 2.11.0", "mbedtls-2.8", d(2018, 6, 18), d(2020, 6, 30));
+  add_mbed("Mbed TLS 2.12.0", "mbedtls-2.8", d(2018, 7, 25), d(2020, 6, 30));
+  add_mbed("Mbed TLS 2.13.0", "mbedtls-2.8", d(2018, 8, 31), d(2020, 9, 30));
+  add_mbed("Mbed TLS 2.14.0", "mbedtls-2.8", d(2018, 11, 19), d(2020, 12, 31));
+  add_mbed("Mbed TLS 2.14.1", "mbedtls-2.8", d(2018, 12, 1), d(2020, 12, 31));
+  for (int patch : {0, 1, 2, 3, 4, 5, 6}) {
+    add_mbed("Mbed TLS 2.16." + std::to_string(patch), "mbedtls-2.16",
+             d(2018, 12, 21) + patch * 60, d(2021, 12, 31));
+  }
+
+  // --------------------------------------------------- curl pairings
+  // curl's own client behaviour changes the extension set on top of the
+  // backend's defaults. The combinatorial expansion is trimmed to the
+  // paper's published build counts (5,591 and 1,130; App. B.1).
+  struct CurlVersion {
+    std::string version;
+    int minor;
+    std::int64_t release;
+  };
+  std::vector<CurlVersion> curl_versions;
+  for (int minor = 19; minor <= 71; ++minor) {
+    int patches = (minor * 7) % 5 + 4;  // deterministic 4..8 patches per minor
+    for (int patch = 0; patch < patches; ++patch) {
+      CurlVersion cv;
+      cv.version = "7." + std::to_string(minor) + "." + std::to_string(patch);
+      cv.minor = minor;
+      cv.release = d(2008, 9, 1) + (minor - 19) * 84 + patch * 10;
+      curl_versions.push_back(std::move(cv));
+    }
+  }
+
+  std::size_t curl_openssl_added = 0;
+  for (const CurlVersion& cv : curl_versions) {
+    for (const VersionSpec& ov : openssl_versions) {
+      if (curl_openssl_added >= 5591) break;
+      KnownLibrary lib;
+      lib.family = Family::kCurlOpenSsl;
+      lib.version = "curl " + cv.version + " + OpenSSL " + ov.version;
+      lib.release_day = std::max(cv.release, ov.release);
+      lib.support_end_day = ov.eol;
+      lib.fp = era_fingerprint(curl_adjust(corpus.eras_.at(ov.era), cv.minor));
+      corpus.add(std::move(lib));
+      ++curl_openssl_added;
+    }
+  }
+
+  // curl 7.25.0 – 7.68.0 with a representative slice of wolfSSL builds.
+  const char* wolf_for_curl[] = {"2.9.0",         "3.0.2",         "3.4.0",
+                                 "3.6.0",         "3.9.0",         "3.10.2-stable",
+                                 "3.12.0-stable", "3.14.2",        "3.15.6",
+                                 "4.0.0-stable"};
+  std::size_t curl_wolfssl_added = 0;
+  for (const CurlVersion& cv : curl_versions) {
+    if (cv.minor < 25 || cv.minor > 68) continue;
+    for (const char* wv : wolf_for_curl) {
+      if (curl_wolfssl_added >= 1130) break;
+      const VersionSpec* spec = nullptr;
+      for (const VersionSpec& candidate : wolfssl_versions) {
+        if (std::string(candidate.version) == wv) {
+          spec = &candidate;
+          break;
+        }
+      }
+      KnownLibrary lib;
+      lib.family = Family::kCurlWolfSsl;
+      lib.version = "curl " + cv.version + " + wolfSSL " + wv;
+      lib.release_day = std::max(cv.release, spec->release);
+      lib.support_end_day = spec->eol;
+      lib.fp = era_fingerprint(curl_adjust(corpus.eras_.at(spec->era), cv.minor));
+      corpus.add(std::move(lib));
+      ++curl_wolfssl_added;
+    }
+  }
+
+  return corpus;
+}
+
+std::size_t LibraryCorpus::count_family(Family f) const {
+  std::size_t n = 0;
+  for (const KnownLibrary& lib : entries_) n += (lib.family == f);
+  return n;
+}
+
+std::vector<const KnownLibrary*> LibraryCorpus::match(
+    const tls::Fingerprint& fp) const {
+  std::vector<const KnownLibrary*> out;
+  auto it = by_key_.find(fp.key());
+  if (it == by_key_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t idx : it->second) out.push_back(&entries_[idx]);
+  return out;
+}
+
+const KnownLibrary* LibraryCorpus::best_match(const tls::Fingerprint& fp) const {
+  auto matches = match(fp);
+  if (matches.empty()) return nullptr;
+  // Highest release date wins ("report the highest version", §4.1).
+  const KnownLibrary* best = matches.front();
+  for (const KnownLibrary* lib : matches) {
+    if (lib->release_day > best->release_day) best = lib;
+  }
+  return best;
+}
+
+const EraConfig& LibraryCorpus::era(const std::string& profile) const {
+  auto it = eras_.find(profile);
+  if (it == eras_.end())
+    throw std::out_of_range("unknown library era profile: " + profile);
+  return it->second;
+}
+
+std::vector<std::string> LibraryCorpus::era_names() const {
+  std::vector<std::string> out;
+  out.reserve(eras_.size());
+  for (const auto& [name, era] : eras_) out.push_back(name);
+  return out;
+}
+
+}  // namespace iotls::corpus

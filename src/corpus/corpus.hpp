@@ -1,0 +1,46 @@
+// The known-library fingerprint corpus (App. B.1: 6,891 fingerprints).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "corpus/library.hpp"
+
+namespace iotls::corpus {
+
+/// Immutable corpus of known-library fingerprints with exact matching.
+class LibraryCorpus {
+ public:
+  /// Build the full standard corpus mirroring App. B.1's composition:
+  /// 19 OpenSSL + 38 wolfSSL + 113 Mbed TLS + 5,591 curl+OpenSSL +
+  /// 1,130 curl+wolfSSL = 6,891 library builds.
+  static LibraryCorpus standard();
+
+  const std::vector<KnownLibrary>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t count_family(Family f) const;
+  std::size_t distinct_fingerprints() const { return by_key_.size(); }
+
+  /// All libraries whose default fingerprint equals `fp` exactly.
+  std::vector<const KnownLibrary*> match(const tls::Fingerprint& fp) const;
+
+  /// Highest version among exact matches — §4.1: "if OpenSSL versions i..j
+  /// share fingerprint F, report the highest version j". Null when unmatched.
+  const KnownLibrary* best_match(const tls::Fingerprint& fp) const;
+
+  /// Era configurations by a stable profile name (e.g. "openssl-1.0.2"),
+  /// used by the fleet generator to equip devices with library stacks.
+  const EraConfig& era(const std::string& profile) const;
+  std::vector<std::string> era_names() const;
+
+ private:
+  void add(KnownLibrary lib);
+
+  std::vector<KnownLibrary> entries_;
+  std::map<std::string, std::vector<std::size_t>> by_key_;  // fp key -> indices
+  std::map<std::string, EraConfig> eras_;
+};
+
+}  // namespace iotls::corpus

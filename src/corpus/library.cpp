@@ -1,0 +1,24 @@
+#include "corpus/library.hpp"
+
+namespace iotls::corpus {
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kOpenSsl: return "OpenSSL";
+    case Family::kWolfSsl: return "wolfSSL";
+    case Family::kMbedTls: return "Mbed TLS";
+    case Family::kCurlOpenSsl: return "curl+OpenSSL";
+    case Family::kCurlWolfSsl: return "curl+wolfSSL";
+  }
+  return "?";
+}
+
+tls::Fingerprint era_fingerprint(const EraConfig& era) {
+  tls::Fingerprint fp;
+  fp.version = era.version;
+  fp.cipher_suites = era.suites;
+  fp.extensions = era.extensions;
+  return fp;
+}
+
+}  // namespace iotls::corpus

@@ -1,0 +1,46 @@
+// Known TLS library descriptions (§4.1, App. B.1).
+//
+// Substitution (DESIGN.md §2): instead of compiling 6,891 real library
+// builds and capturing their default ClientHellos, we model each library
+// lineage's default configuration per era — ciphersuite list, extension set
+// and maximum TLS version evolve across releases exactly the way the
+// matching pipeline cares about: consecutive versions often share a
+// fingerprint; major eras differ.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tls/fingerprint.hpp"
+
+namespace iotls::corpus {
+
+enum class Family { kOpenSsl, kWolfSsl, kMbedTls, kCurlOpenSsl, kCurlWolfSsl };
+
+std::string family_name(Family f);
+
+/// One library build the matcher can attribute a device fingerprint to.
+struct KnownLibrary {
+  Family family = Family::kOpenSsl;
+  std::string version;            // e.g. "OpenSSL 1.0.2u" or "curl 7.52.0 + OpenSSL 1.0.2f"
+  std::int64_t release_day = 0;   // days since epoch
+  std::int64_t support_end_day = 0;  // end of upstream support
+  tls::Fingerprint fp;
+
+  /// "No longer supported as of `day`" — the §4.1 outdatedness check.
+  bool supported_at(std::int64_t day) const { return day <= support_end_day; }
+};
+
+/// Default ClientHello configuration of a library era; the corpus generator
+/// expands eras into concrete versions.
+struct EraConfig {
+  std::uint16_t version = 0x0303;
+  std::vector<std::uint16_t> suites;
+  std::vector<std::uint16_t> extensions;
+};
+
+/// Build the fingerprint a default client of this era produces.
+tls::Fingerprint era_fingerprint(const EraConfig& era);
+
+}  // namespace iotls::corpus

@@ -1,0 +1,34 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace iotls::crypto {
+
+Sha256Digest hmac_sha256(BytesView key, BytesView data) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t k[kBlock] = {};
+  if (key.size() > kBlock) {
+    Sha256Digest kd = sha256(key);
+    std::memcpy(k, kd.data(), kd.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlock], opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad, kBlock));
+  inner.update(data);
+  Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad, kBlock));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+}  // namespace iotls::crypto

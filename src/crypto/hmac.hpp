@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104).
+#pragma once
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace iotls::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+Sha256Digest hmac_sha256(BytesView key, BytesView data);
+
+}  // namespace iotls::crypto

@@ -1,0 +1,151 @@
+#include "crypto/md5.hpp"
+
+#include <cstring>
+
+#include "util/hex.hpp"
+
+namespace iotls::crypto {
+
+namespace {
+
+constexpr std::uint32_t kInit[4] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                                    0x10325476u};
+
+// Per-round shift amounts.
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// Integer parts of abs(sin(i+1)) * 2^32.
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu, 0xf57c0fafu,
+    0x4787c62au, 0xa8304613u, 0xfd469501u, 0x698098d8u, 0x8b44f7afu,
+    0xffff5bb1u, 0x895cd7beu, 0x6b901122u, 0xfd987193u, 0xa679438eu,
+    0x49b40821u, 0xf61e2562u, 0xc040b340u, 0x265e5a51u, 0xe9b6c7aau,
+    0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u, 0x21e1cde6u,
+    0xc33707d6u, 0xf4d50d87u, 0x455a14edu, 0xa9e3e905u, 0xfcefa3f8u,
+    0x676f02d9u, 0x8d2a4c8au, 0xfffa3942u, 0x8771f681u, 0x6d9d6122u,
+    0xfde5380cu, 0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u,
+    0x289b7ec6u, 0xeaa127fau, 0xd4ef3085u, 0x04881d05u, 0xd9d4d039u,
+    0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u, 0xf4292244u, 0x432aff97u,
+    0xab9423a7u, 0xfc93a039u, 0x655b59c3u, 0x8f0ccc92u, 0xffeff47du,
+    0x85845dd1u, 0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u};
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+}  // namespace
+
+Md5::Md5() { std::memcpy(state_, kInit, sizeof state_); }
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[i * 4]) |
+           static_cast<std::uint32_t>(block[i * 4 + 1]) << 8 |
+           static_cast<std::uint32_t>(block[i * 4 + 2]) << 16 |
+           static_cast<std::uint32_t>(block[i * 4 + 3]) << 24;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    f += a + kSine[i] + m[g];
+    a = d;
+    d = c;
+    c = b;
+    b += rotl32(f, kShift[i]);
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(BytesView data) {
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    std::size_t take = std::min(data.size(), std::size_t{64} - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_, data.data() + offset, buffer_len_);
+  }
+}
+
+void Md5::update(std::string_view s) {
+  update(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+Md5Digest Md5::finish() {
+  std::uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80 then zeros to 56 mod 64, then little-endian bit length.
+  std::uint8_t pad[72] = {0x80};
+  std::size_t pad_len = (buffer_len_ < 56) ? 56 - buffer_len_ : 120 - buffer_len_;
+  update(BytesView(pad, pad_len));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  // Avoid double-counting: feed length bytes through process directly.
+  total_len_ -= pad_len;  // keep total_len_ meaningless after finish
+  std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
+  process_block(buffer_);
+  buffer_len_ = 0;
+
+  Md5Digest out;
+  for (int i = 0; i < 4; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state_[i]);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i] >> 24);
+  }
+  return out;
+}
+
+Md5Digest md5(BytesView data) {
+  Md5 ctx;
+  ctx.update(data);
+  return ctx.finish();
+}
+
+Md5Digest md5(std::string_view s) {
+  Md5 ctx;
+  ctx.update(s);
+  return ctx.finish();
+}
+
+std::string md5_hex(std::string_view s) {
+  Md5Digest d = md5(s);
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+}  // namespace iotls::crypto

@@ -1,0 +1,43 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// MD5 is cryptographically broken and is used here only where the measured
+// ecosystem uses it: JA3-style TLS fingerprint digests (§4 of the paper use
+// concatenated-field fingerprints; the JA3 convention hashes them with MD5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace iotls::crypto {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/// Incremental MD5 context.
+class Md5 {
+ public:
+  Md5();
+  void update(BytesView data);
+  void update(std::string_view s);
+  Md5Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot digest.
+Md5Digest md5(BytesView data);
+Md5Digest md5(std::string_view s);
+
+/// Lower-case hex of the one-shot digest (JA3 convention).
+std::string md5_hex(std::string_view s);
+
+}  // namespace iotls::crypto

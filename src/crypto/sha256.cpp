@@ -1,0 +1,144 @@
+#include "crypto/sha256.hpp"
+
+#include <cstring>
+
+#include "util/hex.hpp"
+
+namespace iotls::crypto {
+
+namespace {
+
+constexpr std::uint32_t kInit[8] = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u,
+                                    0xa54ff53au, 0x510e527fu, 0x9b05688cu,
+                                    0x1f83d9abu, 0x5be0cd19u};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+constexpr std::uint32_t rotr32(std::uint32_t x, int c) {
+  return (x >> c) | (x << (32 - c));
+}
+
+}  // namespace
+
+Sha256::Sha256() { std::memcpy(state_, kInit, sizeof state_); }
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = static_cast<std::uint32_t>(block[i * 4]) << 24 |
+           static_cast<std::uint32_t>(block[i * 4 + 1]) << 16 |
+           static_cast<std::uint32_t>(block[i * 4 + 2]) << 8 |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    std::uint32_t s0 = rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    std::uint32_t s1 = rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+    std::uint32_t ch = (e & f) ^ (~e & g);
+    std::uint32_t temp1 = h + s1 + ch + kRound[i] + w[i];
+    std::uint32_t s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(BytesView data) {
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    std::size_t take = std::min(data.size(), std::size_t{64} - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_, data.data() + offset, buffer_len_);
+  }
+}
+
+void Sha256::update(std::string_view s) {
+  update(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+Sha256Digest Sha256::finish() {
+  std::uint64_t bit_len = total_len_ * 8;
+  std::uint8_t pad[64] = {0x80};
+  std::size_t pad_len = (buffer_len_ < 56) ? 56 - buffer_len_ : 120 - buffer_len_;
+  update(BytesView(pad, pad_len));
+  // Big-endian 64-bit message length closes the final block.
+  for (int i = 0; i < 8; ++i)
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  process_block(buffer_);
+  buffer_len_ = 0;
+
+  Sha256Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Sha256Digest sha256(BytesView data) {
+  Sha256 ctx;
+  ctx.update(data);
+  return ctx.finish();
+}
+
+Sha256Digest sha256(std::string_view s) {
+  Sha256 ctx;
+  ctx.update(s);
+  return ctx.finish();
+}
+
+std::string sha256_hex(BytesView data) {
+  Sha256Digest d = sha256(data);
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+}  // namespace iotls::crypto

@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for certificate fingerprints, the keyed signature scheme, and the
+// RFC-6962-style Merkle tree hashing in the CT log substrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace iotls::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+  void update(BytesView data);
+  void update(std::string_view s);
+  Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot digest.
+Sha256Digest sha256(BytesView data);
+Sha256Digest sha256(std::string_view s);
+
+/// Lower-case hex of the one-shot digest.
+std::string sha256_hex(BytesView data);
+
+}  // namespace iotls::crypto

@@ -1,0 +1,35 @@
+#include "crypto/signature.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/hex.hpp"
+
+namespace iotls::crypto {
+
+KeyPair derive_keypair(std::string_view label) {
+  Sha256 ctx;
+  ctx.update(std::string_view("iotls-keypair-v1:"));
+  ctx.update(label);
+  Sha256Digest secret = ctx.finish();
+
+  KeyPair kp;
+  kp.secret.assign(secret.begin(), secret.end());
+  Sha256Digest pub = sha256(BytesView(kp.secret.data(), kp.secret.size()));
+  kp.key_id = to_hex(BytesView(pub.data(), pub.size())).substr(0, 16);
+  return kp;
+}
+
+Bytes sign(const KeyPair& key, BytesView message) {
+  Sha256Digest d = hmac_sha256(BytesView(key.secret.data(), key.secret.size()), message);
+  return Bytes(d.begin(), d.end());
+}
+
+bool verify(const KeyPair& key, BytesView message, BytesView signature) {
+  Bytes expected = sign(key, message);
+  if (expected.size() != signature.size()) return false;
+  // Constant-time compare: XOR-accumulate all bytes.
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) acc |= expected[i] ^ signature[i];
+  return acc == 0;
+}
+
+}  // namespace iotls::crypto

@@ -1,0 +1,37 @@
+// Certificate signature scheme for the PKI substrate.
+//
+// Substitution (see DESIGN.md §2): the paper's servers use RSA/ECDSA
+// certificate signatures; for chain validation in this reproduction only
+// sign/verify semantics matter, not asymmetric hardness. We therefore use a
+// keyed-hash scheme: sig = HMAC-SHA256(issuer_key, tbs_bytes). A KeyPair's
+// "public" half is a key identifier derived from the secret; verification
+// requires the signing authority's registered verifier. This preserves what
+// the measurements need — tamper detection, per-issuer identity, and the
+// ability of a chain validator to tell "signed by X" from "not signed by X".
+#pragma once
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace iotls::crypto {
+
+/// A signing key. `secret` never appears on the wire; `key_id` is the public
+/// identifier embedded in certificates (Subject Key Identifier analogue).
+struct KeyPair {
+  Bytes secret;
+  std::string key_id;  // hex(SHA256(secret))[0:16]
+};
+
+/// Deterministically derive a key pair from a seed label (e.g. the CA name).
+/// Determinism keeps the whole simulated PKI reproducible across runs.
+KeyPair derive_keypair(std::string_view label);
+
+/// Sign a message: HMAC-SHA256(secret, message).
+Bytes sign(const KeyPair& key, BytesView message);
+
+/// Verify a signature against a key pair (constant-time comparison).
+bool verify(const KeyPair& key, BytesView message, BytesView signature);
+
+}  // namespace iotls::crypto

@@ -1,0 +1,83 @@
+// Certificate Transparency log and a crt.sh-style query index (§5.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ct/merkle.hpp"
+#include "x509/certificate.hpp"
+
+namespace iotls::ct {
+
+/// Signed Certificate Timestamp returned to the submitter.
+struct Sct {
+  std::string log_id;          // hex id of the log
+  std::uint64_t leaf_index = 0;
+  std::int64_t timestamp = 0;  // days since epoch (dataset granularity)
+};
+
+/// One append-only CT log backed by a MerkleTree. In the paper's ecosystem,
+/// public-trust CAs submit at issuance (browser CT enforcement, §5.4) while
+/// private CAs do not — that policy lives in the scenario, not here.
+class CtLog {
+ public:
+  explicit CtLog(std::string name);
+
+  const std::string& name() const { return name_; }
+  const std::string& log_id() const { return log_id_; }
+  std::uint64_t size() const { return tree_.size(); }
+
+  /// Submit a certificate; idempotent (resubmission returns the first SCT).
+  Sct submit(const x509::Certificate& cert, std::int64_t timestamp);
+
+  /// Is a certificate with this SHA-256 fingerprint logged?
+  bool contains(const std::string& cert_fingerprint) const;
+
+  std::optional<Sct> lookup(const std::string& cert_fingerprint) const;
+
+  Hash tree_head() const { return tree_.root(); }
+
+  /// Inclusion proof against the current head for a logged certificate.
+  std::vector<Hash> prove_inclusion(const Sct& sct) const;
+
+  /// Verify an SCT + proof against the current head.
+  bool audit(const x509::Certificate& cert, const Sct& sct,
+             const std::vector<Hash>& proof) const;
+
+  /// Consistency proof between two historical sizes of this log.
+  std::vector<Hash> prove_consistency(std::uint64_t first,
+                                      std::uint64_t second) const {
+    return tree_.consistency_proof(first, second);
+  }
+
+ private:
+  static Bytes log_entry(const x509::Certificate& cert);
+
+  std::string name_;
+  std::string log_id_;
+  MerkleTree tree_;
+  std::map<std::string, Sct> by_fingerprint_;
+};
+
+/// A set of logs queried together — the crt.sh analogue the paper uses.
+class CtIndex {
+ public:
+  /// Add a log; the index keeps a non-owning pointer, so logs must outlive it.
+  void add_log(const CtLog* log) { logs_.push_back(log); }
+
+  /// True if any log contains the certificate.
+  bool logged(const std::string& cert_fingerprint) const;
+
+  /// Names of the logs containing the certificate.
+  std::vector<std::string> logs_containing(const std::string& cert_fingerprint) const;
+
+  std::size_t log_count() const { return logs_.size(); }
+
+ private:
+  std::vector<const CtLog*> logs_;
+};
+
+}  // namespace iotls::ct

@@ -1,0 +1,75 @@
+#include "ct/monitor.hpp"
+
+namespace iotls::ct {
+
+Checkpoint LogWatcher::observe() {
+  Checkpoint cp;
+  cp.tree_size = log_->size();
+  cp.root = log_->tree_head();
+  if (!history_.empty()) {
+    const Checkpoint& prev = history_.back();
+    if (prev.tree_size == 0) {
+      cp.consistent_with_previous = true;  // anything extends the empty log
+    } else if (cp.tree_size < prev.tree_size) {
+      cp.consistent_with_previous = false;  // the log shrank: split view
+    } else {
+      auto proof = log_->prove_consistency(prev.tree_size, cp.tree_size);
+      cp.consistent_with_previous =
+          verify_consistency(prev.tree_size, cp.tree_size, prev.root, cp.root, proof);
+    }
+  }
+  history_.push_back(cp);
+  return cp;
+}
+
+bool LogWatcher::log_healthy() const {
+  for (const Checkpoint& cp : history_) {
+    if (!cp.consistent_with_previous) return false;
+  }
+  return true;
+}
+
+std::string finding_name(Finding f) {
+  switch (f) {
+    case Finding::kNotLogged: return "not in CT";
+    case Finding::kExcessiveValidity: return "excessive validity";
+    case Finding::kExpired: return "expired";
+    case Finding::kExpiringSoon: return "expiring soon";
+    case Finding::kHostnameMismatch: return "hostname mismatch";
+  }
+  return "?";
+}
+
+AuditReport audit_estate(
+    const std::vector<std::pair<std::string, x509::Certificate>>& estate,
+    const CtIndex& index, const AuditPolicy& policy, std::int64_t today) {
+  AuditReport report;
+  for (const auto& [host, cert] : estate) {
+    ++report.certificates;
+    auto flag = [&](Finding finding) {
+      AuditEntry entry;
+      entry.host = host;
+      entry.issuer_org = cert.issuer.organization;
+      entry.finding = finding;
+      entry.validity_days = cert.validity_days();
+      ++report.counts[finding];
+      report.findings.push_back(std::move(entry));
+    };
+
+    if (policy.require_ct && !index.logged(cert.fingerprint())) {
+      flag(Finding::kNotLogged);
+      ++report.unlogged_by_issuer[cert.issuer.organization];
+    }
+    if (cert.validity_days() > policy.max_validity_days)
+      flag(Finding::kExcessiveValidity);
+    if (cert.expired_at(today)) {
+      flag(Finding::kExpired);
+    } else if (cert.expired_at(today + policy.expiry_warning_days)) {
+      flag(Finding::kExpiringSoon);
+    }
+    if (!cert.matches_hostname(host)) flag(Finding::kHostnameMismatch);
+  }
+  return report;
+}
+
+}  // namespace iotls::ct

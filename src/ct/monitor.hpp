@@ -1,0 +1,87 @@
+// CT monitor/auditor — the paper's §7 call for "an auditing mechanism that
+// can accommodate certificates issued by private CAs".
+//
+// The monitor does two jobs:
+//  1. Log watching: record signed tree heads over time and verify the log's
+//     append-only behaviour via consistency proofs (split-view detection).
+//  2. Estate auditing: given the certificates a probe harvested, flag
+//     policy violations — unlogged leaves, excessive validity, expired or
+//     soon-expiring certificates, hostname mismatches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ct/ctlog.hpp"
+#include "x509/certificate.hpp"
+
+namespace iotls::ct {
+
+/// Result of one log checkpoint.
+struct Checkpoint {
+  std::uint64_t tree_size = 0;
+  Hash root{};
+  bool consistent_with_previous = true;
+};
+
+/// Watches one log across observations.
+class LogWatcher {
+ public:
+  explicit LogWatcher(const CtLog* log) : log_(log) {}
+
+  /// Take a checkpoint: fetch the current head and verify consistency with
+  /// the last recorded checkpoint.
+  Checkpoint observe();
+
+  const std::vector<Checkpoint>& history() const { return history_; }
+
+  /// True while every observed transition verified.
+  bool log_healthy() const;
+
+ private:
+  const CtLog* log_;
+  std::vector<Checkpoint> history_;
+};
+
+/// Audit policy for certificate estates.
+struct AuditPolicy {
+  std::int64_t max_validity_days = 398;  // CA/Browser Forum ceiling
+  std::int64_t expiry_warning_days = 30;
+  bool require_ct = true;
+};
+
+enum class Finding {
+  kNotLogged,        // leaf absent from every monitored log
+  kExcessiveValidity,
+  kExpired,
+  kExpiringSoon,
+  kHostnameMismatch,
+};
+
+std::string finding_name(Finding f);
+
+/// One flagged certificate.
+struct AuditEntry {
+  std::string host;
+  std::string issuer_org;
+  Finding finding = Finding::kNotLogged;
+  std::int64_t validity_days = 0;
+};
+
+/// Audit report over an estate.
+struct AuditReport {
+  std::vector<AuditEntry> findings;
+  std::size_t certificates = 0;
+  std::map<Finding, std::size_t> counts;
+  /// issuer org -> #unlogged leaves (the private-CA visibility gap, §5.4).
+  std::map<std::string, std::size_t> unlogged_by_issuer;
+};
+
+/// Audit a set of (host, leaf certificate) observations at `today`.
+AuditReport audit_estate(
+    const std::vector<std::pair<std::string, x509::Certificate>>& estate,
+    const CtIndex& index, const AuditPolicy& policy, std::int64_t today);
+
+}  // namespace iotls::ct

@@ -1,0 +1,149 @@
+#include "devicesim/export.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "crypto/sha256.hpp"
+#include "tls/fingerprint.hpp"
+#include "tls/record.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/strings.hpp"
+
+namespace iotls::devicesim {
+
+namespace {
+
+/// Parse an event's wire bytes down to its ClientHello.
+tls::ClientHello hello_of(const ClientHelloEvent& event) {
+  auto records = tls::parse_records(BytesView(event.wire.data(), event.wire.size()));
+  Bytes payload = tls::handshake_payload(records);
+  auto msgs = tls::split_handshakes(BytesView(payload.data(), payload.size()));
+  for (const auto& m : msgs) {
+    if (m.type != tls::HandshakeType::kClientHello) continue;
+    Bytes framed = tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
+    return tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
+  }
+  throw ParseError("event carries no ClientHello");
+}
+
+/// Rebuild a ClientHello carrying exactly the fingerprint's fields
+/// (used when wire bytes were not exported).
+tls::ClientHello hello_from_fp_key(const std::string& key, const std::string& sni) {
+  auto fields = split(key, ',');
+  if (fields.size() != 3) throw ParseError("malformed fingerprint key: " + key);
+  tls::ClientHello ch;
+  ch.legacy_version = static_cast<std::uint16_t>(
+      std::min(std::stoul(fields[0]), 0x0303ul));
+  auto parse_list = [](const std::string& s) {
+    std::vector<std::uint16_t> out;
+    if (s.empty()) return out;
+    for (const std::string& part : split(s, '-')) {
+      out.push_back(static_cast<std::uint16_t>(std::stoul(part)));
+    }
+    return out;
+  };
+  ch.cipher_suites = parse_list(fields[1]);
+  bool has_server_name = false;
+  for (std::uint16_t type : parse_list(fields[2])) {
+    ch.extensions.push_back({type, {}});
+    if (type == 0) has_server_name = true;
+  }
+  // Filling SNI into an extension list without server_name would change the
+  // fingerprint; only populate it when the original client sent one.
+  if (has_server_name) ch.set_sni(sni);
+  return ch;
+}
+
+}  // namespace
+
+std::string pseudonym(const std::string& id, const std::string& salt) {
+  crypto::Sha256Digest d = crypto::sha256(salt + ":" + id);
+  return to_hex(BytesView(d.data(), d.size())).substr(0, 12);
+}
+
+std::string export_events_csv(const FleetDataset& fleet, const ExportOptions& opts) {
+  std::map<std::string, const Device*> devices;
+  for (const Device& d : fleet.devices) devices[d.id] = &d;
+
+  std::ostringstream out;
+  out << "device,vendor,type,user,day,sni,fp_key";
+  if (opts.include_wire) out << ",wire_hex";
+  out << "\n";
+  for (const ClientHelloEvent& event : fleet.events) {
+    const Device* device = devices.at(event.device_id);
+    tls::Fingerprint fp = tls::fingerprint_of(hello_of(event));
+    out << pseudonym(device->id, opts.salt) << ',' << device->vendor << ','
+        << device->type << ',' << pseudonym(device->user_id, opts.salt) << ','
+        << event.day << ',' << event.sni << ',' << fp.key();
+    if (opts.include_wire) {
+      out << ',' << to_hex(BytesView(event.wire.data(), event.wire.size()));
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string export_devices_csv(const FleetDataset& fleet, const ExportOptions& opts) {
+  std::ostringstream out;
+  out << "device,vendor,type,user\n";
+  for (const Device& d : fleet.devices) {
+    out << pseudonym(d.id, opts.salt) << ',' << d.vendor << ',' << d.type << ','
+        << pseudonym(d.user_id, opts.salt) << "\n";
+  }
+  return out.str();
+}
+
+FleetDataset import_events_csv(const std::string& events_csv,
+                               const std::string& devices_csv) {
+  FleetDataset fleet;
+  std::set<std::string> users;
+
+  // Devices.
+  std::istringstream dev_in(devices_csv);
+  std::string line;
+  if (!std::getline(dev_in, line) || !starts_with(line, "device,"))
+    throw ParseError("devices CSV: missing header");
+  while (std::getline(dev_in, line)) {
+    if (line.empty()) continue;
+    auto cols = split(line, ',');
+    if (cols.size() != 4) throw ParseError("devices CSV: bad row: " + line);
+    fleet.devices.push_back({cols[0], cols[1], cols[2], cols[3]});
+    users.insert(cols[3]);
+  }
+
+  // Events.
+  std::istringstream ev_in(events_csv);
+  if (!std::getline(ev_in, line) || !starts_with(line, "device,"))
+    throw ParseError("events CSV: missing header");
+  bool has_wire = line.find(",wire_hex") != std::string::npos;
+  while (std::getline(ev_in, line)) {
+    if (line.empty()) continue;
+    auto cols = split(line, ',');
+    // The fp_key itself contains commas: device,vendor,type,user,day,sni +
+    // 3 fp fields (+ optional wire) => 9 or 10 columns.
+    std::size_t expected = has_wire ? 10 : 9;
+    if (cols.size() != expected) throw ParseError("events CSV: bad row: " + line);
+    ClientHelloEvent event;
+    event.device_id = cols[0];
+    event.day = std::stoll(cols[4]);
+    event.sni = cols[5];
+    std::string fp_key = cols[6] + "," + cols[7] + "," + cols[8];
+    if (has_wire) {
+      event.wire = from_hex(cols[9]);
+    } else {
+      tls::ClientHello ch = hello_from_fp_key(fp_key, event.sni);
+      Bytes msg = ch.encode();
+      event.wire = tls::encode_records(tls::ContentType::kHandshake,
+                                       ch.legacy_version,
+                                       BytesView(msg.data(), msg.size()));
+    }
+    fleet.events.push_back(std::move(event));
+  }
+
+  fleet.users.assign(users.begin(), users.end());
+  return fleet;
+}
+
+}  // namespace iotls::devicesim

@@ -1,0 +1,43 @@
+// Anonymized dataset export/import — the paper's released artifact
+// (github.com/hyingdon/acmimc23_iot publishes an anonymized IoT Inspector
+// slice plus the server certificate dataset). This module produces the
+// equivalent CSVs from a generated fleet and loads them back, so downstream
+// users can run the analyses without the generator.
+#pragma once
+
+#include <string>
+
+#include "devicesim/types.hpp"
+
+namespace iotls::devicesim {
+
+/// Anonymization: device and user identifiers are replaced by salted-hash
+/// pseudonyms; vendor/type labels and fingerprint material are retained
+/// (they are the subject of the study).
+struct ExportOptions {
+  std::string salt = "iotls-v1";
+  bool include_wire = false;  // include hex ClientHello bytes per event
+};
+
+/// Serialize the fleet to CSV. Columns:
+///   device_pseudonym,vendor,type,user_pseudonym,day,sni,fp_key[,wire_hex]
+/// where fp_key is the {version, suites, extensions} fingerprint of the
+/// event's ClientHello (recomputed from the wire bytes).
+std::string export_events_csv(const FleetDataset& fleet,
+                              const ExportOptions& opts = {});
+
+/// Device table: device_pseudonym,vendor,type,user_pseudonym.
+std::string export_devices_csv(const FleetDataset& fleet,
+                               const ExportOptions& opts = {});
+
+/// Load an exported event CSV back into a (reduced) dataset: events carry
+/// re-encoded ClientHellos when wire bytes were exported, else synthetic
+/// hellos rebuilt from the fingerprint key. Throws ParseError on malformed
+/// input.
+FleetDataset import_events_csv(const std::string& events_csv,
+                               const std::string& devices_csv);
+
+/// The salted pseudonym used by the exporters (exposed for tests).
+std::string pseudonym(const std::string& id, const std::string& salt);
+
+}  // namespace iotls::devicesim

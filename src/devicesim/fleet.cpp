@@ -1,0 +1,561 @@
+#include "devicesim/fleet.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "devicesim/stacks.hpp"
+#include "devicesim/vendors.hpp"
+#include "tls/record.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace iotls::devicesim {
+
+namespace {
+
+std::string slug(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+  }
+  return out;
+}
+
+/// Is this vendor's fleet TV/streaming flavoured? (drives "tv" visitation)
+bool tv_vendor(const VendorSpec& v) {
+  for (const std::string& t : v.types) {
+    if (t.find("TV") != std::string::npos || t.find("Roku") != std::string::npos ||
+        t.find("Chromecast") != std::string::npos ||
+        t.find("Shield") != std::string::npos ||
+        t.find("Genie") != std::string::npos ||
+        t.find("Hopper") != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+/// SSL 3.0 stragglers (App. B.3.2: 26 devices across 6 vendors).
+int ssl3_device_count(const std::string& vendor_name) {
+  if (vendor_name == "Amazon") return 13;
+  if (vendor_name == "Synology") return 5;
+  if (vendor_name == "Samsung") return 4;
+  if (vendor_name == "LG") return 2;
+  if (vendor_name == "TP-Link") return 1;
+  if (vendor_name == "Western Digital") return 1;
+  return 0;
+}
+
+struct StackPools {
+  std::vector<TlsStack> shared;                 // materialized shared stacks
+  std::vector<const SharedStackSpec*> shared_specs;
+  /// Ecosystem pool: third-party app stacks / stock library builds with a
+  /// per-vendor adoption probability.
+  std::vector<TlsStack> eco;
+  std::vector<std::map<std::string, double>> eco_adoption;
+};
+
+/// Assign SNI targets to a vendor-level or device-level stack.
+std::vector<std::string> pick_snis(Rng& rng, const VendorSpec& vendor,
+                                   const ServerUniverse& universe, bool tv) {
+  std::vector<std::string> pool = universe.fqdns_with_tag("vendor:" + vendor.name);
+  auto extend = [&](const std::string& tag, std::size_t max_take) {
+    auto fqdns = universe.fqdns_with_tag(tag);
+    if (fqdns.empty()) return;
+    std::size_t take = std::min(max_take, fqdns.size());
+    auto idx = rng.sample_indices(fqdns.size(), take);
+    for (std::size_t i : idx) pool.push_back(fqdns[i]);
+  };
+  if (!vendor.isolated) {
+    extend("cloud", 3);
+    if (tv) {
+      extend("tv", 4);
+      extend("ads", 2);
+    }
+    static const char* kGeneric[] = {"analytics", "smart-home", "firmware",
+                                     "media", "music"};
+    extend(kGeneric[rng.uniform(0, 4)], 2);
+  }
+  if (pool.empty()) pool.push_back("api.amazonaws.com");  // cloud fallback
+  // A stack talks to a handful of endpoints, not the whole pool.
+  rng.shuffle(pool);
+  std::size_t keep = std::min<std::size_t>(pool.size(), 3 + rng.uniform(0, 4));
+  pool.resize(keep);
+  return pool;
+}
+
+/// Build the ecosystem pool (§4.4's shared supply chain beyond the named
+/// Table 4/5 relationships): common application stacks adopted across 2..10
+/// vendor fleets, plus a slice of pristine library builds whose fingerprints
+/// match the corpus exactly.
+void build_ecosystem(StackPools& pools, const FleetConfig& config, Rng root,
+                     const corpus::LibraryCorpus& corpus,
+                     const ServerUniverse& universe) {
+  std::vector<std::string> eras = corpus.era_names();
+  // Vendors weighted by fleet size; tiny fleets rarely host shared apps.
+  // Vendors whose fingerprint estates are dominated by a *named* partnership
+  // (Table 4's pairs) are kept out of the generic pool so the partnership
+  // signal stays visible in the Jaccard analysis.
+  static const std::set<std::string> kPartnershipVendors = {
+      "HDHomeRun", "SiliconDust", "Sharp", "TCL", "Insignia", "Arlo",
+      "NETGEAR", "Onkyo", "Pioneer", "Denon", "Marantz", "Skybell",
+      "Sense", "Texas Instruments", "Brother", "Dish Network",
+      "Belkin"};  // Belkin: ALL devices front RC4_128 (B.8) — no generic apps
+  std::vector<const VendorSpec*> candidates;
+  std::vector<double> weights;
+  for (const VendorSpec& v : vendor_table()) {
+    if (v.isolated || v.devices < 4) continue;
+    if (kPartnershipVendors.count(v.name) > 0) continue;
+    candidates.push_back(&v);
+    weights.push_back(static_cast<double>(v.devices));
+  }
+
+  static const char* kEcoTags[] = {"analytics", "media",    "music",
+                                   "smart-home", "firmware", "cloud",
+                                   "tv",         "ads"};
+
+  for (int i = 0; i < config.ecosystem_pool; ++i) {
+    Rng rng = root.fork("eco-" + std::to_string(i));
+    TlsStack stack;
+    stack.name = "eco:" + std::to_string(i);
+    bool stock = i < config.ecosystem_stock;
+    if (stock) {
+      // A pristine library build (matches the known-library corpus).
+      const corpus::KnownLibrary& lib = corpus.entries()[static_cast<std::size_t>(
+          rng.uniform(0, corpus.entries().size() - 1))];
+      stack.config.version = lib.fp.version;
+      stack.config.suites = lib.fp.cipher_suites;
+      stack.config.extensions = lib.fp.extensions;
+      if (std::find(stack.config.extensions.begin(), stack.config.extensions.end(),
+                    0) == stack.config.extensions.end()) {
+        stack.config.extensions.insert(stack.config.extensions.begin(), 0);
+      }
+    } else {
+      double sloppiness = 0.15 + 0.7 * rng.uniform01();
+      // Weight the pool toward TLS 1.2-era libraries: Table 12 finds only a
+      // few hundred TLS 1.0 proposals in 5,499.
+      std::string era = rng.pick(eras);
+      if (corpus.era(era).version < 0x0303 && rng.chance(0.7)) era = rng.pick(eras);
+      stack.config = mutate_era(corpus.era(era), rng, sloppiness);
+    }
+
+    // Vendor spread: mostly 2, sometimes 3-5, occasionally wide (stock
+    // builds spread widest — many vendors ship the same default library).
+    std::size_t degree;
+    if (stock && rng.chance(0.4)) {
+      degree = 6 + rng.uniform(0, 5);
+    } else {
+      double roll = rng.uniform01();
+      degree = roll < 0.55 ? 2 : (roll < 0.90 ? 3 + rng.uniform(0, 2) : 6 + rng.uniform(0, 3));
+    }
+    degree = std::min(degree, candidates.size());
+
+    std::map<std::string, double> adoption;
+    std::size_t guard = 0;
+    while (adoption.size() < degree && guard++ < 200) {
+      const VendorSpec* v = candidates[rng.weighted(weights)];
+      if (adoption.count(v->name)) continue;
+      // Expected adopters per vendor ~2-3 devices.
+      double p = std::min(0.9, (1.8 + rng.uniform01() * 2.0) / v->devices);
+      adoption[v->name] = p;
+    }
+
+    // SNIs: generic third-party service endpoints.
+    std::vector<std::string> snis;
+    Rng srng = rng.fork("snis");
+    for (int t = 0; t < 2; ++t) {
+      auto fqdns = universe.fqdns_with_tag(kEcoTags[srng.uniform(0, 7)]);
+      if (fqdns.empty()) continue;
+      auto idx = srng.sample_indices(fqdns.size(), std::min<std::size_t>(2, fqdns.size()));
+      for (std::size_t j : idx) snis.push_back(fqdns[j]);
+    }
+    if (snis.empty()) snis.push_back("api.amazonaws.com");
+    stack.snis = std::move(snis);
+
+    // Modern third-party stacks GREASE their lists (B.10 finds GREASE from
+    // devices of 23 vendors — far more than ship a greasing base stack).
+    auto has_suite = [&](std::uint16_t code) {
+      return std::find(stack.config.suites.begin(), stack.config.suites.end(),
+                       code) != stack.config.suites.end();
+    };
+    bool modern = stack.config.version >= 0x0304 || has_suite(0x1301) ||
+                  has_suite(0xcca8) || has_suite(0xcca9);
+    if (modern) {
+      stack.grease_suites = rng.chance(0.5);
+      stack.grease_extensions =
+          stack.grease_suites ? rng.chance(0.5) : rng.chance(0.06);
+    }
+
+    pools.eco.push_back(std::move(stack));
+    pools.eco_adoption.push_back(std::move(adoption));
+  }
+}
+
+}  // namespace
+
+FleetDataset generate_fleet(const FleetConfig& config,
+                            const corpus::LibraryCorpus& corpus,
+                            const ServerUniverse& universe) {
+  FleetDataset dataset;
+  Rng root(config.seed);
+
+  // Users.
+  dataset.users.reserve(static_cast<std::size_t>(config.users));
+  for (int i = 0; i < config.users; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "user-%04d", i);
+    dataset.users.push_back(buf);
+  }
+
+  // Shared stacks.
+  StackPools pools;
+  for (const SharedStackSpec& spec : shared_stack_table()) {
+    pools.shared.push_back(materialize_shared_stack(spec, corpus));
+    pools.shared_specs.push_back(&spec);
+  }
+  build_ecosystem(pools, config, root.fork("ecosystem"), corpus, universe);
+
+  std::size_t user_cursor = 0;  // first devices get distinct users
+  Rng user_rng = root.fork("users");
+
+  // Per-device primary stack, kept for the SNI-coverage pass below.
+  std::vector<TlsStack> primary_stack;
+
+  for (const VendorSpec& vendor : vendor_table()) {
+    Rng vrng = root.fork("vendor:" + vendor.name);
+    VendorQuirks quirks = quirks_for(vendor.name);
+    bool tv = tv_vendor(vendor);
+    const corpus::EraConfig& base_era = corpus.era(vendor.base_era);
+
+    // Vendor base stacks. Wyze ships an unmodified library build — the
+    // §4.1 case study that matches OpenSSL 1.0.2 exactly.
+    std::vector<TlsStack> base_stacks;
+    for (int b = 0; b < vendor.base_stacks; ++b) {
+      TlsStack stack;
+      stack.name = vendor.name + "/base-" + std::to_string(b);
+      Rng srng = vrng.fork("base-" + std::to_string(b));
+      if (vendor.name == "Wyze" && b == 0) {
+        stack.config = base_era;  // pristine library default
+      } else {
+        stack.config = mutate_era(base_era, srng, vendor.sloppiness, quirks);
+      }
+      stack.snis = pick_snis(srng, vendor, universe, tv);
+      // B.10: GREASE appears on a subset of a greasing vendor's stacks.
+      stack.grease_suites = vendor.grease && b % 2 == 1;
+      stack.grease_extensions = vendor.grease && b % 4 == 1;
+      base_stacks.push_back(std::move(stack));
+    }
+    if (base_stacks.empty()) {
+      // SDK-only vendors (HDHomeRun/SiliconDust) still need one entry so the
+      // adoption loop below can run; shared stacks provide their traffic.
+    }
+
+    // Firmware churn: most vendors ship an updated build of their primary
+    // base stack during the capture window; devices that install it switch
+    // stacks at their individual update day (the paper's §7 future work,
+    // measured by core/longitudinal.hpp).
+    std::optional<TlsStack> updated_base;
+    if (!base_stacks.empty() && vrng.chance(0.6)) {
+      TlsStack v2;
+      v2.name = base_stacks.front().name + "/v2";
+      Rng urng = vrng.fork("base-0-v2");
+      v2.config = mutate_era(base_era, urng, vendor.sloppiness * 0.9, quirks);
+      v2.snis = base_stacks.front().snis;
+      v2.grease_suites = base_stacks.front().grease_suites;
+      v2.grease_extensions = base_stacks.front().grease_extensions;
+      updated_base = std::move(v2);
+    }
+
+    // Device-type stacks: the application layer each type brings along
+    // (the Fig. 3 clusters). SDK-only vendors (no base stacks: their whole
+    // estate comes from a partner's SDK, e.g. HDHomeRun/SiliconDust) grow
+    // none of their own.
+    std::vector<std::vector<TlsStack>> type_stacks(vendor.types.size());
+    for (std::size_t ti = 0; vendor.base_stacks > 0 && ti < vendor.types.size(); ++ti) {
+      Rng trng = vrng.fork("type:" + vendor.types[ti]);
+      int count = trng.chance(0.8 * config.type_stack_scale) ? 1 : 0;
+      if (vendor.devices > 50 && trng.chance(0.5)) ++count;
+      for (int k = 0; k < count; ++k) {
+        TlsStack stack;
+        stack.name = vendor.name + "/" + vendor.types[ti] + "/app-" + std::to_string(k);
+        stack.config = mutate_era(base_era, trng, vendor.sloppiness * 0.8, quirks);
+        stack.snis = pick_snis(trng, vendor, universe, tv);
+        stack.grease_suites = vendor.grease && k == 0;
+        type_stacks[ti].push_back(std::move(stack));
+      }
+    }
+
+    int ssl3_remaining = ssl3_device_count(vendor.name);
+
+    for (int di = 0; di < vendor.devices; ++di) {
+      Device device;
+      char idbuf[96];
+      std::snprintf(idbuf, sizeof idbuf, "%s-%04d", slug(vendor.name).c_str(), di);
+      device.id = idbuf;
+      device.vendor = vendor.name;
+      std::size_t type_index =
+          static_cast<std::size_t>(vrng.uniform(0, vendor.types.size() - 1));
+      device.type = vendor.types[type_index];
+      if (user_cursor < dataset.users.size()) {
+        device.user_id = dataset.users[user_cursor++];
+      } else {
+        device.user_id = dataset.users[static_cast<std::size_t>(
+            user_rng.zipf(dataset.users.size(), 0.4))];
+      }
+
+      Rng drng = vrng.fork("device-" + std::to_string(di));
+
+      // Assemble the device's stack set.
+      std::vector<const TlsStack*> stacks;
+      std::vector<TlsStack> owned;  // device-unique stacks live here
+
+      if (vendor.disjoint) {
+        // §4.3 DoC_device = 1 vendors: each device carries only its own
+        // firmware-specific stacks, sharing nothing with its siblings.
+        int unique = 1 + (drng.chance(0.3) ? 1 : 0);
+        for (int k = 0; k < unique; ++k) {
+          TlsStack stack;
+          stack.name = vendor.name + "/" + device.id + "/own-" + std::to_string(k);
+          stack.config = mutate_era(base_era, drng, vendor.sloppiness, quirks);
+          stack.snis = pick_snis(drng, vendor, universe, tv);
+          owned.push_back(std::move(stack));
+        }
+        for (const TlsStack& s : owned) stacks.push_back(&s);
+        primary_stack.push_back(*stacks.front());
+
+        unsigned conn = static_cast<unsigned>(drng.uniform(0, 15));
+        for (const TlsStack* stack : stacks) {
+          int events = 1 + static_cast<int>(drng.uniform(0, 1)) +
+                         (drng.chance(0.3) ? 1 : 0);
+          for (int e = 0; e < events; ++e) {
+            ClientHelloEvent event;
+            event.device_id = device.id;
+            event.day = static_cast<std::int64_t>(
+                drng.uniform(static_cast<std::uint64_t>(config.capture_start),
+                             static_cast<std::uint64_t>(config.capture_end)));
+            event.sni = stack->snis[static_cast<std::size_t>(
+                drng.uniform(0, stack->snis.size() - 1))];
+            tls::ClientHello hello = hello_from_stack(*stack, event.sni, conn++);
+            Bytes msg = hello.encode();
+            event.wire = tls::encode_records(tls::ContentType::kHandshake,
+                                             hello.legacy_version,
+                                             BytesView(msg.data(), msg.size()));
+            dataset.events.push_back(std::move(event));
+          }
+        }
+        dataset.devices.push_back(std::move(device));
+        continue;
+      }
+
+      if (!base_stacks.empty()) {
+        stacks.push_back(&base_stacks[static_cast<std::size_t>(
+            drng.uniform(0, base_stacks.size() - 1))]);
+        if (base_stacks.size() > 1 && drng.chance(0.35)) {
+          const TlsStack* second = &base_stacks[static_cast<std::size_t>(
+              drng.uniform(0, base_stacks.size() - 1))];
+          if (second != stacks.front()) stacks.push_back(second);
+        }
+      }
+      for (const TlsStack& ts : type_stacks[type_index]) {
+        if (drng.chance(0.6)) stacks.push_back(&ts);
+      }
+
+      // Device-unique stacks: firmware deltas, user-installed services.
+      double rate = vendor.device_stack_rate * config.device_stack_scale;
+      int unique = 0;
+      if (drng.chance(rate)) unique = 1;
+      if (drng.chance(rate * 0.25)) ++unique;
+      for (int k = 0; k < unique; ++k) {
+        TlsStack stack;
+        stack.name = vendor.name + "/" + device.id + "/own-" + std::to_string(k);
+        if (drng.chance(config.exact_library_rate * 20) && quirks.front_suites.empty() &&
+            drng.chance(0.1)) {
+          // An exact known-library build (often an outdated curl+OpenSSL).
+          const corpus::KnownLibrary& lib =
+              corpus.entries()[static_cast<std::size_t>(
+                  drng.uniform(0, corpus.entries().size() - 1))];
+          stack.config.version = lib.fp.version;
+          stack.config.suites = lib.fp.cipher_suites;
+          stack.config.extensions = lib.fp.extensions;
+        } else {
+          stack.config = mutate_era(base_era, drng, vendor.sloppiness, quirks);
+        }
+        stack.snis = pick_snis(drng, vendor, universe, tv);
+        owned.push_back(std::move(stack));
+      }
+
+      // Shared SDK / application stacks (Table 4/5 relationships).
+      for (std::size_t si = 0; si < pools.shared.size(); ++si) {
+        for (const auto& [member, adoption] : pools.shared_specs[si]->vendors) {
+          if (member != vendor.name) continue;
+          if (drng.chance(adoption * config.shared_stack_scale)) {
+            stacks.push_back(&pools.shared[si]);
+          }
+        }
+      }
+
+      // Ecosystem pool adoption (§4.4 shared supply chain).
+      if (!vendor.isolated) {
+        for (std::size_t ei = 0; ei < pools.eco.size(); ++ei) {
+          auto it = pools.eco_adoption[ei].find(vendor.name);
+          if (it == pools.eco_adoption[ei].end()) continue;
+          if (drng.chance(it->second)) stacks.push_back(&pools.eco[ei]);
+        }
+      }
+
+      // Safety net: a device with no stack at all still speaks TLS through
+      // some build — give it one of its own.
+      if (stacks.empty() && owned.empty()) {
+        TlsStack stack;
+        stack.name = vendor.name + "/" + device.id + "/fallback";
+        stack.config = mutate_era(base_era, drng, vendor.sloppiness, quirks);
+        stack.snis = pick_snis(drng, vendor, universe, tv);
+        owned.push_back(std::move(stack));
+      }
+
+      for (const TlsStack& s : owned) stacks.push_back(&s);
+
+      primary_stack.push_back(stacks.empty() ? TlsStack{} : *stacks.front());
+
+      // Does this device install the vendor's firmware update mid-window?
+      bool device_updated =
+          updated_base.has_value() && !stacks.empty() &&
+          stacks.front() == &base_stacks.front() &&
+          drng.chance(config.firmware_update_rate);
+      std::int64_t update_day = 0;
+      if (device_updated) {
+        std::int64_t span = config.capture_end - config.capture_start;
+        update_day = config.capture_start + span / 5 +
+                     static_cast<std::int64_t>(drng.uniform(
+                         0, static_cast<std::uint64_t>(span * 3 / 5)));
+      }
+
+      // Emit ClientHello events for every stack.
+      unsigned connection_index = static_cast<unsigned>(drng.uniform(0, 15));
+      for (const TlsStack* stack : stacks) {
+        int events = 1 + static_cast<int>(drng.uniform(0, 1)) +
+                         (drng.chance(0.3) ? 1 : 0);
+        // An updated device emits from its base stack on both sides of the
+        // update day, so the timeline shows the switch.
+        if (device_updated && stack == &base_stacks.front()) events += 2;
+        for (int e = 0; e < events; ++e) {
+          ClientHelloEvent event;
+          event.device_id = device.id;
+          event.day = static_cast<std::int64_t>(
+              drng.uniform(static_cast<std::uint64_t>(config.capture_start),
+                           static_cast<std::uint64_t>(config.capture_end)));
+          event.sni = stack->snis[static_cast<std::size_t>(
+              drng.uniform(0, stack->snis.size() - 1))];
+          const TlsStack* effective = stack;
+          if (device_updated && stack == &base_stacks.front() &&
+              event.day >= update_day) {
+            effective = &*updated_base;
+          }
+          tls::ClientHello hello =
+              hello_from_stack(*effective, event.sni, connection_index++);
+          Bytes msg = hello.encode();
+          event.wire = tls::encode_records(tls::ContentType::kHandshake,
+                                           hello.legacy_version,
+                                           BytesView(msg.data(), msg.size()));
+          dataset.events.push_back(std::move(event));
+        }
+      }
+
+      // SSL 3.0 stragglers: one extra legacy proposal from the first K
+      // devices of the affected vendors (App. B.3.2).
+      if (ssl3_remaining > 0) {
+        --ssl3_remaining;
+        TlsStack legacy;
+        legacy.name = vendor.name + "/" + device.id + "/ssl3-probe";
+        legacy.config = corpus.era("openssl-1.0.0");
+        legacy.config.version = 0x0300;
+        legacy.snis = !base_stacks.empty() ? base_stacks.front().snis
+                                           : std::vector<std::string>{
+                                                 "api.amazonaws.com"};
+        int events = 1 + (ssl3_remaining < 5 ? 1 : 0);  // 31 proposals total
+        for (int e = 0; e < events; ++e) {
+          ClientHelloEvent event;
+          event.device_id = device.id;
+          event.day = static_cast<std::int64_t>(
+              drng.uniform(static_cast<std::uint64_t>(config.capture_start),
+                           static_cast<std::uint64_t>(config.capture_end)));
+          event.sni = legacy.snis.front();
+          tls::ClientHello hello = hello_from_stack(legacy, event.sni, 0);
+          Bytes msg = hello.encode();
+          event.wire = tls::encode_records(tls::ContentType::kHandshake, 0x0300,
+                                           BytesView(msg.data(), msg.size()));
+          dataset.events.push_back(std::move(event));
+        }
+      }
+
+      dataset.devices.push_back(std::move(device));
+    }
+  }
+
+  // Coverage pass: the §5 server dataset is the set of SNIs observed in
+  // ClientHellos, so every universe server gets at least one visit — by a
+  // device of the owning vendor when the server is vendor-tagged, else by a
+  // rotating non-isolated device using its primary stack.
+  if (config.cover_all_snis) {
+    std::set<std::string> visited;
+    for (const ClientHelloEvent& e : dataset.events) visited.insert(e.sni);
+
+    std::map<std::string, std::vector<std::size_t>> by_vendor;
+    std::vector<std::size_t> open_devices;
+    for (std::size_t i = 0; i < dataset.devices.size(); ++i) {
+      by_vendor[dataset.devices[i].vendor].push_back(i);
+      if (!vendor(dataset.devices[i].vendor).isolated) open_devices.push_back(i);
+    }
+
+    Rng crng = root.fork("coverage");
+    std::size_t round_robin = 0;
+    for (const ServerSpec& spec : universe.specs()) {
+      if (visited.count(spec.fqdn) > 0) continue;
+      std::size_t device_index = dataset.devices.size();
+      for (const std::string& tag : spec.tags) {
+        if (!starts_with(tag, "vendor:")) continue;
+        auto it = by_vendor.find(tag.substr(7));
+        if (it != by_vendor.end() && !it->second.empty()) {
+          device_index = it->second[static_cast<std::size_t>(
+              crng.uniform(0, it->second.size() - 1))];
+          break;
+        }
+      }
+      if (device_index == dataset.devices.size()) {
+        device_index = open_devices[round_robin++ % open_devices.size()];
+      }
+
+      const TlsStack& stack = primary_stack[device_index];
+      if (stack.config.suites.empty()) continue;
+      ClientHelloEvent event;
+      event.device_id = dataset.devices[device_index].id;
+      event.day = static_cast<std::int64_t>(
+          crng.uniform(static_cast<std::uint64_t>(config.capture_start),
+                       static_cast<std::uint64_t>(config.capture_end)));
+      event.sni = spec.fqdn;
+      tls::ClientHello hello = hello_from_stack(stack, event.sni, 3);
+      Bytes msg = hello.encode();
+      event.wire = tls::encode_records(tls::ContentType::kHandshake,
+                                       hello.legacy_version,
+                                       BytesView(msg.data(), msg.size()));
+      dataset.events.push_back(std::move(event));
+    }
+  }
+
+  return dataset;
+}
+
+const Device* FleetDataset::find_device(const std::string& id) const {
+  for (const Device& d : devices) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace iotls::devicesim

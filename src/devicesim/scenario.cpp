@@ -1,0 +1,887 @@
+#include "devicesim/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "devicesim/stacks.hpp"
+#include "devicesim/vendors.hpp"
+#include "util/dates.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace iotls::devicesim {
+
+namespace {
+
+std::int64_t d(int y, int m, int day) { return days(y, m, day); }
+
+/// Public-trust issuer organizations (roots in major stores).
+const std::vector<std::string>& public_issuers() {
+  static const std::vector<std::string> v = {
+      "DigiCert",        "Let's Encrypt",  "Sectigo",
+      "Amazon",          "Google Trust Services", "GoDaddy",
+      "GlobalSign",      "Microsoft Corporation", "Apple",
+      "Entrust",         "Cloudflare",     "COMODO",
+      "Gandi",           "Starfield",      "IdenTrust",
+      "VeriSign Class 3 Public Primary Certification",
+  };
+  return v;
+}
+
+/// Private CAs — device vendors (and Netflix) signing their own domains.
+const std::vector<std::string>& private_issuers() {
+  static const std::vector<std::string> v = {
+      "Roku",          "Samsung Electronics",
+      "Nintendo",      "Sony Computer Entertainment",
+      "Tesla Motor Services", "Nest Labs",
+      "Sense Labs",    "ATT Mobility and Entertainment",
+      "LG Electronics", "Canary Connect",
+      "Philips",       "Obihai Technology",
+      "EchoStar",      "Tuya",
+      "Universal Electronics", "ecobee",
+      "Netflix",
+  };
+  return v;
+}
+
+/// Rotating issuer assignment for long-tail public servers, weighted to
+/// approximate Fig. 5's issuer mix (DigiCert ~47% of leaves).
+std::string tail_issuer(std::size_t i) {
+  static const std::vector<std::pair<std::string, int>> weights = {
+      {"DigiCert", 58},      {"Let's Encrypt", 14},
+      {"Sectigo", 7},        {"Amazon", 7},
+      {"GoDaddy", 4},        {"GlobalSign", 4},
+      {"Google Trust Services", 3}, {"Entrust", 2},
+      {"Cloudflare", 2},     {"Starfield", 2},
+  };
+  int total = 0;
+  for (const auto& [name, w] : weights) total += w;
+  int slot = static_cast<int>((i * 37) % static_cast<std::size_t>(total));
+  for (const auto& [name, w] : weights) {
+    if (slot < w) return name;
+    slot -= w;
+  }
+  return "DigiCert";
+}
+
+}  // namespace
+
+void ServerUniverse::add(ServerSpec spec) {
+  if (by_fqdn_.count(spec.fqdn) > 0) return;  // first declaration wins
+  by_fqdn_[spec.fqdn] = specs_.size();
+  for (const std::string& tag : spec.tags) by_tag_[tag].push_back(spec.fqdn);
+  specs_.push_back(std::move(spec));
+}
+
+std::vector<std::string> ServerUniverse::fqdns_with_tag(const std::string& tag) const {
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? std::vector<std::string>{} : it->second;
+}
+
+const ServerSpec* ServerUniverse::find(const std::string& fqdn) const {
+  auto it = by_fqdn_.find(fqdn);
+  return it == by_fqdn_.end() ? nullptr : &specs_[it->second];
+}
+
+ServerUniverse ServerUniverse::standard() {
+  ServerUniverse u;
+  Rng rng(0x5eed0001);
+
+  // Public certificate vintages (as of the April 2022 probe).
+  const std::int64_t nb_2021 = d(2021, 9, 1);
+  const std::int64_t na_2021 = nb_2021 + 397;
+  const std::int64_t nb_le = d(2022, 2, 20);
+  const std::int64_t na_le = nb_le + 90;
+
+  // Helper: add `count` FQDNs under one SLD, wildcard-grouped every
+  // `group_size` names.
+  auto add_sld = [&](const std::string& sld, int count, const std::string& owner,
+                     const std::string& issuer, std::vector<std::string> tags,
+                     int group_size, bool short_lived = false,
+                     const char* const* names = nullptr, int names_n = 0) {
+    for (int i = 0; i < count; ++i) {
+      ServerSpec s;
+      s.fqdn = (i < names_n) ? std::string(names[i]) + "." + sld
+                             : "svc" + std::to_string(i) + "." + sld;
+      s.owner_org = owner;
+      s.issuer_org = issuer;
+      s.issuer_public = true;
+      s.shape = ChainShape::kOmitRoot;
+      s.not_before = short_lived ? nb_le : nb_2021;
+      s.not_after = short_lived ? na_le : na_2021;
+      s.ip_count = 1 + static_cast<int>(rng.uniform(0, 4));
+      if (group_size > 1) {
+        s.cert_group = sld + "#g" + std::to_string(i / group_size);
+      }
+      s.tags = tags;
+      s.vary_by_vantage = false;
+      u.add(std::move(s));
+    }
+  };
+
+  static const char* kSvcNames[] = {
+      "api",    "cloud",   "device-metrics", "updates", "auth",
+      "events", "cdn",     "telemetry",      "push",    "time",
+      "ota",    "config",  "logs",           "media",   "assets",
+      "portal", "gateway", "registry",       "sync",    "edge"};
+
+  // --------------------------------------------------------- Table 15 SLDs
+  add_sld("amazon.com", 57, "Amazon", "DigiCert", {"vendor:Amazon", "cloud"},
+          4, false, kSvcNames, 20);
+  add_sld("google.com", 24, "Google", "Google Trust Services",
+          {"vendor:Google"}, 6, true, kSvcNames, 20);
+  add_sld("googleapis.com", 35, "Google", "Google Trust Services",
+          {"vendor:Google", "cloud"}, 6, true, kSvcNames, 20);
+  add_sld("amazonalexa.com", 2, "Amazon", "DigiCert", {"vendor:Amazon"}, 2);
+  add_sld("gstatic.com", 10, "Google", "Google Trust Services",
+          {"vendor:Google", "cdn"}, 5, true);
+  add_sld("amazonaws.com", 32, "Amazon", "Amazon", {"cloud"}, 4);
+  add_sld("doubleclick.net", 9, "Google", "Google Trust Services",
+          {"ads", "tv"}, 5, true);
+  add_sld("youtube.com", 2, "Google", "Google Trust Services", {"tv"}, 2, true);
+  add_sld("cloudfront.net", 21, "Amazon", "Amazon", {"cdn", "cloud"}, 8);
+  add_sld("googleusercontent.com", 6, "Google", "Google Trust Services",
+          {"vendor:Google", "cdn"}, 6, true);
+  add_sld("nflxext.com", 2, "Netflix", "DigiCert", {"tv"}, 2);
+  add_sld("scdn.co", 11, "Spotify", "DigiCert", {"music", "cdn"}, 4);
+  add_sld("spotify.com", 8, "Spotify", "DigiCert", {"music"}, 4);
+  add_sld("facebook.com", 9, "Facebook", "DigiCert", {"social", "tv"}, 5);
+  add_sld("googlesyndication.com", 3, "Google", "Google Trust Services",
+          {"ads", "tv"}, 3, true);
+  add_sld("amazonvideo.com", 23, "Amazon", "DigiCert", {"vendor:Amazon", "tv"}, 4);
+  add_sld("ggpht.com", 5, "Google", "Google Trust Services",
+          {"vendor:Google", "cdn"}, 5, true);
+  add_sld("ytimg.com", 4, "Google", "Google Trust Services", {"tv", "cdn"}, 4, true);
+  add_sld("media-amazon.com", 1, "Amazon", "DigiCert", {"vendor:Amazon", "cdn"}, 1);
+  add_sld("amazon-dss.com", 1, "Amazon", "DigiCert", {"vendor:Amazon"}, 1);
+  add_sld("meethue.com", 2, "Philips", "GoDaddy", {"vendor:Philips"}, 1);
+  add_sld("amcs-tachyon.com", 1, "Amazon", "DigiCert", {"vendor:Amazon"}, 1);
+  add_sld("sentry-cdn.com", 1, "Sentry", "DigiCert", {"analytics"}, 1);
+  add_sld("ssl-images-amazon.com", 1, "Amazon", "DigiCert",
+          {"vendor:Amazon", "cdn"}, 1);
+  add_sld("plex.tv", 11, "Plex", "Let's Encrypt", {"tv", "media"}, 3, true);
+  add_sld("nest.com", 1, "Google", "Google Trust Services", {"vendor:Google"}, 1,
+          true);
+  add_sld("google-analytics.com", 2, "Google", "Google Trust Services",
+          {"analytics", "ads"}, 2, true);
+
+  // Mark the Google-wide shared certificate: one leaf across 6 SLDs
+  // (29 distinct servers, §5.1). Re-group the first few Google servers.
+  {
+    int regrouped = 0;
+    for (ServerSpec& s : u.specs_) {
+      if (s.owner_org != "Google") continue;
+      if (regrouped == 29) break;
+      s.cert_group = "google-wide";
+      ++regrouped;
+    }
+  }
+
+  // ------------------------------------------------- Netflix (§5.4, Table 9)
+  // Six netflix.com FQDNs serve Netflix-signed leaves with *untrusted
+  // Netflix roots* (Table 7); appboot/cloud carry the 8,150-day cert;
+  // thirteen short-lived Netflix leaves chain to a public VeriSign root;
+  // the rest are DigiCert-issued.
+  {
+    ServerSpec s;
+    s.owner_org = "Netflix";
+    s.issuer_org = "Netflix";
+    s.issuer_public = false;
+    s.ct_logged = false;
+    s.tags = {"tv"};
+
+    // appboot.netflix.com + cloud.netflix.net: fully self-signed chain,
+    // validity 8,150 days.
+    s.shape = ChainShape::kPrivateRoot2;
+    s.not_before = d(2014, 1, 15);
+    s.not_after = s.not_before + 8150;
+    s.cert_group = "netflix-appboot";
+    s.fqdn = "appboot.netflix.com";
+    u.add(s);
+    s.fqdn = "cloud.netflix.net";
+    u.add(s);
+
+    // Four more netflix.com + one netflix.net private-root servers.
+    s.cert_group.clear();
+    for (int i = 0; i < 4; ++i) {
+      s.fqdn = "nrdp" + std::to_string(i) + ".netflix.com";
+      u.add(s);
+    }
+    s.fqdn = "ichnaea.netflix.net";
+    u.add(s);
+
+    // Thirteen short-lived Netflix-signed leaves chaining to VeriSign
+    // (valid chains; "private leaf, public trust root"; none in CT).
+    s.shape = ChainShape::kPrivateViaPublicRoot;
+    const int short_validity[] = {30, 31, 32, 33, 34, 36, 396, 30, 31, 32, 33, 34, 36};
+    for (int i = 0; i < 13; ++i) {
+      s.fqdn = "api" + std::to_string(i) + ".netflix.com";
+      s.not_before = d(2022, 3, 20);
+      s.not_after = s.not_before + short_validity[i];
+      u.add(s);
+    }
+
+    // Remaining netflix.com servers: ordinary DigiCert certificates.
+    for (int i = 0; i < 7; ++i) {
+      ServerSpec pub;
+      pub.fqdn = "web" + std::to_string(i) + ".netflix.com";
+      pub.owner_org = "Netflix";
+      pub.issuer_org = "DigiCert";
+      pub.shape = ChainShape::kOmitRoot;
+      pub.not_before = nb_2021;
+      pub.not_after = na_2021;
+      pub.tags = {"tv"};
+      pub.cert_group = (i < 4) ? "netflix-web" : "";
+      u.add(std::move(pub));
+    }
+
+    // nflxvideo.net CDN (Table 5's app-tied servers).
+    for (int i = 1; i <= 5; ++i) {
+      ServerSpec cdn;
+      cdn.fqdn = "oca" + std::to_string(i) + ".nflxvideo.net";
+      cdn.owner_org = "Netflix";
+      cdn.issuer_org = "DigiCert";
+      cdn.shape = ChainShape::kOmitRoot;
+      cdn.not_before = nb_2021;
+      cdn.not_after = na_2021;
+      cdn.ip_count = 8;
+      cdn.cert_group = "nflxvideo";
+      cdn.tags = {"tv"};
+      u.add(std::move(cdn));
+    }
+  }
+
+  // --------------------------------------------------- Roku (Tables 7/14)
+  {
+    // Roku-signed servers with assorted chain shapes and ~5,000-day
+    // validity; plus public-CA roku.com servers (Fig. 7's mixed estate).
+    const ChainShape roku_shapes[] = {
+        ChainShape::kLeafOnly, ChainShape::kPrivateRoot2,
+        ChainShape::kPrivateViaPublicRoot, ChainShape::kPrivateRoot3,
+        ChainShape::kMissingIntermediate};
+    for (int i = 0; i < 20; ++i) {
+      ServerSpec s;
+      s.fqdn = std::string(kSvcNames[i % 20]) + ".roku.com";
+      s.owner_org = "Roku";
+      s.issuer_org = "Roku";
+      s.issuer_public = false;
+      s.ct_logged = false;
+      s.shape = roku_shapes[i % 5];
+      s.not_before = d(2015, 6, 1) + i * 30;
+      s.not_after = s.not_before + 4900 + i * 10;
+      s.tags = {"vendor:Roku"};
+      u.add(std::move(s));
+    }
+    for (int i = 0; i < 22; ++i) {
+      ServerSpec s;
+      s.fqdn = "pub" + std::to_string(i) + ".roku.com";
+      s.owner_org = "Roku";
+      s.issuer_org = (i % 3 == 0) ? "Amazon" : ((i % 3 == 1) ? "DigiCert" : "Let's Encrypt");
+      s.shape = ChainShape::kOmitRoot;
+      s.not_before = (i % 3 == 2) ? nb_le : nb_2021;
+      s.not_after = (i % 3 == 2) ? na_le : na_2021;
+      s.cert_group = (i < 8) ? ("roku-pub#g" + std::to_string(i / 4)) : "";
+      s.tags = {"vendor:Roku"};
+      u.add(std::move(s));
+    }
+    ServerSpec t;
+    t.fqdn = "ntp.rokutime.com";
+    t.owner_org = "Roku";
+    t.issuer_org = "Roku";
+    t.issuer_public = false;
+    t.ct_logged = false;
+    t.shape = ChainShape::kPrivateRoot2;
+    t.not_before = d(2015, 6, 1);
+    t.not_after = t.not_before + 5000;
+    t.tags = {"vendor:Roku"};
+    u.add(std::move(t));
+  }
+
+  // ------------------------------------------ vendor-signed rows (Table 7/14)
+  struct PrivateRow {
+    const char* fqdn;
+    const char* owner;
+    const char* issuer;
+    ChainShape shape;
+    std::int64_t nb;
+    std::int64_t validity;
+    const char* vendor_tag;
+    bool cn_mismatch = false;
+  };
+  const PrivateRow private_rows[] = {
+      // nest.com: Nest Labs, chain 2 (untrusted root), visited via Google.
+      {"frontdoor.nest.com", "Google", "Nest Labs", ChainShape::kPrivateRoot2,
+       d(2016, 4, 1), 3650, "vendor:Google"},
+      {"transport.nest.com", "Google", "Nest Labs", ChainShape::kPrivateRoot2,
+       d(2016, 4, 1), 3650, "vendor:Google"},
+      {"log.nest.com", "Google", "Nest Labs", ChainShape::kPrivateRoot2,
+       d(2016, 4, 1), 3650, "vendor:Google"},
+      // Samsung constellation: leaf-only chains + self-signed patterns,
+      // extreme validity periods (25,202 and 10,950 days).
+      {"svc0.samsungcloudsolution.net", "Samsung", "Samsung Electronics",
+       ChainShape::kLeafOnly, d(2012, 2, 1), 25202, "vendor:Samsung"},
+      {"svc1.samsungcloudsolution.net", "Samsung", "Samsung Electronics",
+       ChainShape::kLeafOnly, d(2012, 2, 1), 25202, "vendor:Samsung"},
+      {"svc2.samsungcloudsolution.net", "Samsung", "Samsung Electronics",
+       ChainShape::kLeafOnly, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"svc3.samsungcloudsolution.net", "Samsung", "Samsung Electronics",
+       ChainShape::kLeafOnly, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"svc4.samsungcloudsolution.net", "Samsung", "Samsung Electronics",
+       ChainShape::kLeafOnly, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"svc5.samsungcloudsolution.net", "Samsung", "Samsung Electronics",
+       ChainShape::kLeafOnly, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"svc6.samsungcloudsolution.net", "Samsung", "Samsung Electronics",
+       ChainShape::kLeafOnly, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"api0.samsungcloudsolution.com", "Samsung", "Samsung Electronics",
+       ChainShape::kLeafOnly, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"api1.samsungcloudsolution.com", "Samsung", "Samsung Electronics",
+       ChainShape::kPrivateViaPublicRoot, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"api2.samsungcloudsolution.com", "Samsung", "Samsung Electronics",
+       ChainShape::kPrivateViaPublicRoot, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"api3.samsungcloudsolution.com", "Samsung", "Samsung Electronics",
+       ChainShape::kPrivateViaPublicRoot, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"rm.samsungrm.net", "Samsung", "Samsung Electronics",
+       ChainShape::kLeafOnly, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"www.pavv.co.kr", "Samsung", "Samsung Electronics",
+       ChainShape::kPrivateRoot2, d(2012, 2, 1), 10950, "vendor:Samsung"},
+      {"gld.samsungelectronics.com", "Samsung", "Samsung Electronics",
+       ChainShape::kPrivateRoot4, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      {"log.samsunghrm.com", "Samsung", "Samsung Electronics",
+       ChainShape::kDoubleSelfSigned, d(2013, 5, 1), 10950, "vendor:Samsung"},
+      // Universal Electronics signs a server Samsung TVs consult.
+      {"qs.ueiwsp.com", "Universal Electronics", "Universal Electronics",
+       ChainShape::kSelfSigned, d(2014, 1, 1), 21946, "vendor:Samsung"},
+      // Nintendo: leaf-only and private-root chains, 9,300/7,233-day certs.
+      {"conntest.nintendo.net", "Nintendo", "Nintendo", ChainShape::kLeafOnly,
+       d(2012, 6, 1), 9300, "vendor:Nintendo"},
+      {"ctest.nintendo.net", "Nintendo", "Nintendo", ChainShape::kLeafOnly,
+       d(2012, 6, 1), 9300, "vendor:Nintendo"},
+      {"npns.nintendo.net", "Nintendo", "Nintendo", ChainShape::kLeafOnly,
+       d(2014, 3, 1), 7233, "vendor:Nintendo"},
+      {"sun.nintendo.net", "Nintendo", "Nintendo", ChainShape::kLeafOnly,
+       d(2014, 3, 1), 7233, "vendor:Nintendo"},
+      // PlayStation / Sony Entertainment.
+      {"fus01.playstation.net", "Sony", "Sony Computer Entertainment",
+       ChainShape::kPrivateViaPublicRoot, d(2014, 9, 1), 3650, "vendor:Sony"},
+      {"auth.sonyentertainmentnetwork.com", "Sony", "Sony Computer Entertainment",
+       ChainShape::kPrivateViaPublicRoot, d(2014, 9, 1), 3650, "vendor:Sony"},
+      // Tesla (visited by Tesla and, via media apps, LG).
+      {"ownership.tesla.services", "Tesla", "Tesla Motor Services",
+       ChainShape::kPrivateViaPublicRoot, d(2019, 1, 1), 2000, "vendor:Tesla"},
+      {"telemetry.tesla.services", "Tesla", "Tesla Motor Services",
+       ChainShape::kPrivateRoot2, d(2019, 1, 1), 2000, "vendor:Tesla"},
+      {"fleet.tesla.services", "Tesla", "Tesla Motor Services",
+       ChainShape::kPrivateRoot2, d(2019, 1, 1), 2000, "vendor:Tesla"},
+      {"updates.tesla.services", "Tesla", "Tesla Motor Services",
+       ChainShape::kPrivateRoot3, d(2019, 1, 1), 2000, "vendor:Tesla"},
+      // Obihai VoIP.
+      {"device.obitalk.com", "Obihai", "Obihai Technology", ChainShape::kLeafOnly,
+       d(2015, 3, 1), 5475, "vendor:Obihai"},
+      // meethue private row (Table 7).
+      {"diag.meethue.com", "Philips", "Philips", ChainShape::kPrivateRoot2,
+       d(2016, 8, 1), 3650, "vendor:Philips"},
+      // LG SDP.
+      {"kr-op.lgtvsdp.com", "LG", "LG Electronics", ChainShape::kPrivateViaPublicRoot,
+       d(2013, 11, 1), 7300, "vendor:LG"},
+      {"us-op.lgtvsdp.com", "LG", "LG Electronics", ChainShape::kPrivateRoot2,
+       d(2013, 11, 1), 7300, "vendor:LG"},
+      // Canary: 4-deep fully private chain.
+      {"api.canaryis.com", "Canary", "Canary Connect", ChainShape::kPrivateRoot4,
+       d(2016, 2, 1), 3650, "vendor:Canary"},
+      {"stream.canaryis.com", "Canary", "Canary Connect", ChainShape::kPrivateRoot4,
+       d(2016, 2, 1), 3650, "vendor:Canary"},
+      // Sense energy monitors.
+      {"api.sense.com", "Sense", "Sense Labs", ChainShape::kPrivateRoot3,
+       d(2017, 5, 1), 3650, "vendor:Sense"},
+      {"clientrt.sense.com", "Sense", "Sense Labs", ChainShape::kPrivateRoot3,
+       d(2017, 5, 1), 3650, "vendor:Sense"},
+      // ecobee.
+      {"api.ecobee.com", "ecobee", "ecobee", ChainShape::kPrivateRoot3,
+       d(2017, 1, 1), 3650, "vendor:ecobee"},
+      // DirecTV / ATT.
+      {"hlsmfs.dtvce.com", "DirecTV", "ATT Mobility and Entertainment",
+       ChainShape::kPrivateRoot4, d(2015, 7, 1), 7300, "vendor:DirecTV"},
+      // EchoStar / Dish self-signed, 24,855 days.
+      {"epg.dishaccess.tv", "Dish Network", "EchoStar", ChainShape::kSelfSigned,
+       d(2011, 10, 1), 24855, "vendor:Dish Network"},
+      {"auth.dishaccess.tv", "Dish Network", "EchoStar", ChainShape::kSelfSigned,
+       d(2011, 10, 1), 24855, "vendor:Dish Network"},
+      // Tuya: 100-year self-signed cert that also mismatches its hostname.
+      {"a2.tuyaus.com", "Tuya", "Tuya", ChainShape::kSelfSigned,
+       d(2017, 3, 1), 36500, "vendor:Tuya", true},
+  };
+  for (const PrivateRow& row : private_rows) {
+    ServerSpec s;
+    s.fqdn = row.fqdn;
+    s.owner_org = row.owner;
+    s.issuer_org = row.issuer;
+    s.issuer_public = false;
+    s.ct_logged = false;
+    s.shape = row.shape;
+    s.not_before = row.nb;
+    s.not_after = row.nb + row.validity;
+    s.cn_mismatch = row.cn_mismatch;
+    s.tags = {row.vendor_tag};
+    u.add(std::move(s));
+  }
+
+  // ------------------------------- cross-signed vendor CAs (valid chains)
+  // Several vendors run private issuing CAs that are cross-signed by a
+  // public root — their leaves are private-issued yet validate (§5.4's
+  // "private leaf, public trust root" class).
+  {
+    struct CrossRow {
+      const char* fqdn;
+      const char* owner;
+      const char* issuer;
+      const char* tag;
+    };
+    const CrossRow cross_rows[] = {
+        {"dev0.samsungiotcloud.com", "Samsung", "Samsung Electronics", "vendor:Samsung"},
+        {"dev1.samsungiotcloud.com", "Samsung", "Samsung Electronics", "vendor:Samsung"},
+        {"dev2.samsungiotcloud.com", "Samsung", "Samsung Electronics", "vendor:Samsung"},
+        {"dev3.samsungiotcloud.com", "Samsung", "Samsung Electronics", "vendor:Samsung"},
+        {"push0.lgeapi.com", "LG", "LG Electronics", "vendor:LG"},
+        {"push1.lgeapi.com", "LG", "LG Electronics", "vendor:LG"},
+        {"push2.lgeapi.com", "LG", "LG Electronics", "vendor:LG"},
+        {"core0.sonycoreapi.com", "Sony", "Sony Computer Entertainment", "vendor:Sony"},
+        {"core1.sonycoreapi.com", "Sony", "Sony Computer Entertainment", "vendor:Sony"},
+        {"core2.sonycoreapi.com", "Sony", "Sony Computer Entertainment", "vendor:Sony"},
+        {"cfg0.nintendowifi.net", "Nintendo", "Nintendo", "vendor:Nintendo"},
+        {"cfg1.nintendowifi.net", "Nintendo", "Nintendo", "vendor:Nintendo"},
+        {"iot0.philips-iot.com", "Philips", "Philips", "vendor:Philips"},
+        {"iot1.philips-iot.com", "Philips", "Philips", "vendor:Philips"},
+        {"home0.ecobeeiot.com", "ecobee", "ecobee", "vendor:ecobee"},
+    };
+    for (const CrossRow& row : cross_rows) {
+      ServerSpec s;
+      s.fqdn = row.fqdn;
+      s.owner_org = row.owner;
+      s.issuer_org = row.issuer;
+      s.issuer_public = false;
+      s.ct_logged = false;
+      s.shape = ChainShape::kPrivateViaPublicRoot;
+      s.not_before = d(2021, 5, 1);
+      s.not_after = s.not_before + 397;
+      s.tags = {row.tag};
+      u.add(std::move(s));
+    }
+  }
+
+  // ---------------------------------------------------- expired (Table 8)
+  {
+    ServerSpec s;
+    s.fqdn = "api.skyegloup.com";  // HEOS backend, visited by Denon/Marantz
+    s.owner_org = "Sound United";
+    s.issuer_org = "Gandi";
+    s.shape = ChainShape::kOmitRoot;
+    s.not_before = d(2017, 7, 31);
+    s.not_after = d(2018, 7, 31);
+    s.ct_logged = true;
+    s.tags = {"vendor:Denon", "vendor:Marantz"};
+    u.add(std::move(s));
+
+    ServerSpec w;
+    w.fqdn = "api.wink.com";
+    w.owner_org = "Wink";
+    w.issuer_org = "COMODO";
+    w.shape = ChainShape::kOmitRoot;
+    w.not_before = d(2018, 4, 17);
+    w.not_after = d(2019, 4, 17);
+    w.ct_logged = true;
+    w.tags = {"vendor:wink", "vendor:Samsung"};
+    u.add(std::move(w));
+  }
+
+  // ------------------------------------------ Table 7's odd public failure
+  {
+    // One amazonaws.com host serving a DigiCert leaf without its
+    // intermediate (incomplete chain, visited by Vizio).
+    ServerSpec s;
+    s.fqdn = "broken-elb.amazonaws.com";
+    s.owner_org = "Amazon";
+    s.issuer_org = "DigiCert";
+    s.shape = ChainShape::kMissingIntermediate;
+    s.not_before = nb_2021;
+    s.not_after = na_2021;
+    s.tags = {"vendor:Vizio", "cloud"};
+    u.add(std::move(s));
+  }
+
+  // ------------------------------- eight public certs that are NOT in CT
+  {
+    struct Unlogged {
+      const char* fqdn;
+      const char* issuer;
+    };
+    const Unlogged unlogged[] = {
+        {"iot0.azure-devices.example.net", "Microsoft Corporation"},
+        {"iot1.azure-devices.example.net", "Microsoft Corporation"},
+        {"iot2.azure-devices.example.net", "Microsoft Corporation"},
+        {"iot3.azure-devices.example.net", "Microsoft Corporation"},
+        {"courier.push.apple-iot.example.com", "Apple"},
+        {"gateway.icloud-iot.example.com", "Apple"},
+        {"fw.internal-dist.example.org", "Sectigo"},
+        {"legacy-api.vendorcloud.example.org", "DigiCert"},
+    };
+    for (const Unlogged& row : unlogged) {
+      ServerSpec s;
+      s.fqdn = row.fqdn;
+      s.owner_org = "Misc";
+      s.issuer_org = row.issuer;
+      s.shape = ChainShape::kOmitRoot;
+      s.not_before = nb_2021;
+      s.not_after = na_2021;
+      s.ct_logged = false;  // the anomaly Fig. 6 / §5.4 flags
+      s.tags = {"cloud"};
+      u.add(std::move(s));
+    }
+  }
+
+  // ---------------------------------------- shared-stack SNIs (Table 5)
+  for (const SharedStackSpec& spec : shared_stack_table()) {
+    for (const std::string& sni : spec.snis) {
+      if (u.find(sni) != nullptr) continue;
+      ServerSpec s;
+      s.fqdn = sni;
+      std::string sld = second_level_domain(sni);
+      s.owner_org = sld.substr(0, sld.find('.'));
+      s.issuer_org = tail_issuer(fnv1a64(sni) % 97);
+      s.shape = ChainShape::kOmitRoot;
+      s.not_before = nb_2021;
+      s.not_after = na_2021;
+      s.tags = {"shared:" + spec.name};
+      u.add(std::move(s));
+    }
+  }
+
+  // ------------------------------------------------ vendor-owned domains
+  for (const VendorSpec& v : vendor_table()) {
+    // Isolated vendors (§5.2: Canary, Tuya, Obihai) expose ONLY the
+    // vendor-signed servers declared above.
+    if (v.isolated) continue;
+    for (const std::string& domain : v.domains) {
+      int fqdns = 1 + static_cast<int>(fnv1a64(domain) % 3);  // 1..3
+      for (int i = 0; i < fqdns; ++i) {
+        ServerSpec s;
+        s.fqdn = std::string(kSvcNames[(fnv1a64(domain) + i) % 20]) + "." + domain;
+        if (u.find(s.fqdn) != nullptr) continue;
+        s.owner_org = v.name;
+        s.issuer_org = tail_issuer(fnv1a64(domain) + i);
+        s.shape = ChainShape::kOmitRoot;
+        s.not_before = nb_2021;
+        s.not_after = na_2021;
+        s.tags = {"vendor:" + v.name};
+        u.add(std::move(s));
+      }
+    }
+  }
+
+  // ------------------------------------------------------- long tail
+  // Third-party services with a handful of visitors each, padding the
+  // universe to ~1,194 SNIs (§3) with 43 unreachable at probe time.
+  static const char* kTailStems[] = {
+      "weatherhub",  "clockset",   "iotmetrics", "smarthomeapi", "fwdist",
+      "devregistry", "cloudrelay", "applog",     "pushfeed",     "mediacast",
+      "voicesvc",    "bulbcloud",  "camstream",  "plugctl",      "sensordata"};
+  std::size_t tail_index = 0;
+  while (u.size() < 1194) {
+    ServerSpec s;
+    // Three FQDNs per tail SLD; every second SLD fronts its names with one
+    // wildcard certificate (cert sharing, §5.1).
+    std::size_t sld_index = tail_index / 2;
+    const char* stem = kTailStems[sld_index % 15];
+    std::string sld = std::string(stem) + std::to_string(sld_index / 15) + ".com";
+    s.fqdn = std::string(kSvcNames[(tail_index * 7 + sld_index) % 20]) + "." + sld;
+    s.owner_org = sld.substr(0, sld.size() - 4);
+    s.issuer_org = tail_issuer(sld_index);  // one issuer per SLD
+    s.shape = ChainShape::kOmitRoot;
+    bool short_lived = sld_index % 5 == 2;
+    s.not_before = short_lived ? nb_le : nb_2021;
+    s.not_after = short_lived ? na_le : na_2021;
+    s.ip_count = 1 + static_cast<int>(tail_index % 4);
+    if (sld_index % 3 == 0) s.cert_group = sld + "#wildcard";
+    s.tags = {std::vector<std::string>{"cloud", "analytics", "smart-home",
+                                       "firmware", "media"}[sld_index % 5]};
+    // A slice of the tail serves location-specific certificates (Table 16);
+    // another slice misorders its chain (intermediate before leaf).
+    s.vary_by_vantage = (tail_index % 17 == 3 && s.cert_group.empty());
+    s.shuffled_chain = (tail_index % 41 == 7);
+    u.add(std::move(s));
+    ++tail_index;
+  }
+
+  // 43 SNIs have gone dark between capture and probe (§3).
+  {
+    std::size_t marked = 0;
+    for (auto it = u.specs_.rbegin(); it != u.specs_.rend() && marked < 43; ++it) {
+      it->reachable = false;
+      ++marked;
+    }
+  }
+  // Regional reachability gaps (Table 16: Frankfurt -2, Singapore -1).
+  for (ServerSpec& s : u.specs_) {
+    if (s.fqdn == "svc0.samsungcloudsolution.net" || s.fqdn == "www.pavv.co.kr")
+      s.tags.push_back("unreachable:frankfurt");
+    if (s.fqdn == "ntp.rokutime.com")
+      s.tags.push_back("unreachable:singapore");
+  }
+
+  return u;
+}
+
+// ===================================================================== world
+
+namespace {
+
+/// Per-organization CA material: a root and up to two intermediates.
+struct CaSet {
+  x509::CertificateAuthority root;
+  x509::CertificateAuthority intermediate;
+  x509::CertificateAuthority intermediate2;
+
+  CaSet(const std::string& org, x509::CaKind kind)
+      : root(x509::CertificateAuthority::make_root(org + " Root CA", org, kind,
+                                                   d(2010, 1, 1), d(2040, 1, 1))),
+        intermediate(root.subordinate(org + " Issuing CA", d(2012, 1, 1),
+                                      d(2038, 1, 1))),
+        intermediate2(intermediate.subordinate(org + " Issuing CA 2",
+                                               d(2014, 1, 1), d(2036, 1, 1))) {}
+};
+
+}  // namespace
+
+SimWorld build_world(const ServerUniverse& universe) {
+  SimWorld world;
+  Rng rng(0x5eed0002);
+
+  // Certificate authorities.
+  std::map<std::string, std::unique_ptr<CaSet>> cas;
+  auto ca_for = [&](const std::string& org, bool is_public) -> CaSet& {
+    auto it = cas.find(org);
+    if (it == cas.end()) {
+      it = cas.emplace(org, std::make_unique<CaSet>(
+                               org, is_public ? x509::CaKind::kPublicTrust
+                                              : x509::CaKind::kPrivate))
+               .first;
+      it->second->root.publish_key(world.keys);
+      it->second->intermediate.publish_key(world.keys);
+      it->second->intermediate2.publish_key(world.keys);
+      world.issuer_is_public[org] = is_public;
+    }
+    return *it->second;
+  };
+
+  // Trust stores: every public issuer's root lands in Mozilla; Apple and
+  // Microsoft carry overlapping subsets (§5.3 uses the union anyway).
+  x509::TrustStore mozilla("mozilla"), apple("apple"), microsoft("microsoft");
+  for (const std::string& org : public_issuers()) {
+    CaSet& set = ca_for(org, true);
+    mozilla.add_root(set.root.certificate());
+    if (fnv1a64(org) % 2 == 0) apple.add_root(set.root.certificate());
+    if (fnv1a64(org) % 3 != 1) microsoft.add_root(set.root.certificate());
+  }
+  for (const std::string& org : private_issuers()) ca_for(org, false);
+  world.trust.add(std::move(mozilla));
+  world.trust.add(std::move(apple));
+  world.trust.add(std::move(microsoft));
+
+  // CT logs.
+  world.logs.push_back(std::make_unique<ct::CtLog>("argon2022"));
+  world.logs.push_back(std::make_unique<ct::CtLog>("xenon2022"));
+  for (const auto& log : world.logs) world.ct_index.add_log(log.get());
+
+  // Certificate-group leaves are issued once and shared.
+  std::map<std::string, std::vector<std::string>> group_members;
+  for (const ServerSpec& s : universe.specs()) {
+    if (!s.cert_group.empty()) group_members[s.cert_group].push_back(s.fqdn);
+  }
+  std::map<std::string, x509::Certificate> group_leaf;
+  std::map<std::string, std::unique_ptr<x509::CertificateAuthority>> cross_signed;
+
+  auto issue_leaf = [&](const ServerSpec& s, CaSet& ca, int variant)
+      -> x509::Certificate {
+    x509::IssueRequest req;
+    if (s.cn_mismatch) {
+      // The Tuya pattern: neither CN nor SAN covers the probed hostname.
+      req.subject.common_name = "iot-gateway.internal";
+      req.san_dns = {"gw." + second_level_domain(s.fqdn)};
+    } else if (!s.cert_group.empty()) {
+      const auto& members = group_members[s.cert_group];
+      req.subject.common_name = "*." + second_level_domain(members.front());
+      req.san_dns = members;
+      req.san_dns.push_back(req.subject.common_name);
+    } else {
+      req.subject.common_name = s.fqdn;
+      req.san_dns = {s.fqdn};
+    }
+    req.subject.organization = s.owner_org;
+    req.not_before = s.not_before + variant;  // distinct serial content per vantage
+    req.not_after = s.not_after;
+    const x509::CertificateAuthority* signer = &ca.intermediate;
+    if (s.shape == ChainShape::kLeafOnly || s.shape == ChainShape::kPrivateRoot2)
+      signer = &ca.root;
+    if (s.shape == ChainShape::kPrivateRoot4) signer = &ca.intermediate2;
+    return signer->issue(req);
+  };
+
+  auto build_chain = [&](const ServerSpec& s, CaSet& ca,
+                         const x509::Certificate& leaf)
+      -> std::vector<x509::Certificate> {
+    switch (s.shape) {
+      case ChainShape::kFull:
+        return {leaf, ca.intermediate.certificate(), ca.root.certificate()};
+      case ChainShape::kOmitRoot:
+        return {leaf, ca.intermediate.certificate()};
+      case ChainShape::kMissingIntermediate:
+        return {leaf};
+      case ChainShape::kLeafOnly:
+        return {leaf};
+      case ChainShape::kPrivateRoot2:
+        return {leaf, ca.root.certificate()};
+      case ChainShape::kPrivateRoot3:
+        return {leaf, ca.intermediate.certificate(), ca.root.certificate()};
+      case ChainShape::kPrivateRoot4:
+        return {leaf, ca.intermediate2.certificate(), ca.intermediate.certificate(),
+                ca.root.certificate()};
+      case ChainShape::kPrivateViaPublicRoot: {
+        // Netflix pattern: the private org's intermediate is cross-signed by
+        // a public root; served chain omits that public root.
+        return {leaf, ca.intermediate.certificate()};
+      }
+      case ChainShape::kSelfSigned:
+      case ChainShape::kDoubleSelfSigned: {
+        // A self-signed end-entity certificate for this host.
+        auto self_ca = x509::CertificateAuthority::make_root(
+            s.cn_mismatch ? "iot-gateway.internal"
+                          : "*." + second_level_domain(s.fqdn),
+            s.issuer_org, x509::CaKind::kPrivate, s.not_before, s.not_after);
+        self_ca.publish_key(world.keys);
+        if (s.shape == ChainShape::kDoubleSelfSigned) {
+          return {self_ca.certificate(), self_ca.certificate()};
+        }
+        return {self_ca.certificate()};
+      }
+    }
+    return {leaf};
+  };
+
+  for (const ServerSpec& s : universe.specs()) {
+    bool is_public = true;
+    for (const std::string& org : private_issuers()) {
+      if (org == s.issuer_org) is_public = false;
+    }
+    CaSet& ca = ca_for(s.issuer_org, is_public);
+
+    // Cross-signed private CAs: the org's intermediate is itself signed by
+    // a *public* root (Netflix's "Public SHA2 RSA CA 3" under VeriSign is
+    // the paper's example; several vendors run the same arrangement). The
+    // leaf issuer is private but the chain validates — the yellow
+    // "private leaf, public trust root" class of Fig. 6.
+    if (s.shape == ChainShape::kPrivateViaPublicRoot) {
+      auto it = cross_signed.find(s.issuer_org);
+      if (it == cross_signed.end()) {
+        bool netflix = s.issuer_org == "Netflix";
+        CaSet& anchor = ca_for(
+            netflix ? "VeriSign Class 3 Public Primary Certification" : "DigiCert",
+            true);
+        auto cross = std::make_unique<x509::CertificateAuthority>(
+            anchor.root.subordinate(
+                netflix ? "Netflix Public SHA2 RSA CA 3"
+                        : s.issuer_org + " TLS CA (cross-signed)",
+                d(2014, 1, 1), d(2036, 1, 1), s.issuer_org));
+        cross->publish_key(world.keys);
+        it = cross_signed.emplace(s.issuer_org, std::move(cross)).first;
+      }
+      const x509::CertificateAuthority& cross = *it->second;
+      net::SimServer server;
+      server.sni = s.fqdn;
+      x509::IssueRequest req;
+      req.subject.common_name = s.fqdn;
+      req.subject.organization = s.owner_org;
+      req.san_dns = {s.fqdn};
+      req.not_before = s.not_before;
+      req.not_after = s.not_after;
+      x509::Certificate leaf = cross.issue(req);
+      server.default_chain = {leaf, cross.certificate()};
+      server.reachable = s.reachable;
+      for (int i = 0; i < s.ip_count; ++i) {
+        server.ips.push_back("198.45." + std::to_string(fnv1a64(s.fqdn) % 250) +
+                             "." + std::to_string(i + 1));
+      }
+      world.internet.add_server(std::move(server));
+      continue;
+    }
+
+    net::SimServer server;
+    server.sni = s.fqdn;
+    server.reachable = s.reachable;
+    for (const std::string& tag : s.tags) {
+      if (tag == "unreachable:frankfurt")
+        server.unreachable_from.push_back(net::VantagePoint::kFrankfurt);
+      if (tag == "unreachable:singapore")
+        server.unreachable_from.push_back(net::VantagePoint::kSingapore);
+    }
+
+    x509::Certificate leaf;
+    if (!s.cert_group.empty()) {
+      auto it = group_leaf.find(s.cert_group);
+      if (it == group_leaf.end()) {
+        leaf = issue_leaf(s, ca, 0);
+        group_leaf[s.cert_group] = leaf;
+      } else {
+        leaf = it->second;
+      }
+    } else {
+      leaf = issue_leaf(s, ca, 0);
+    }
+    server.default_chain = build_chain(s, ca, leaf);
+
+    if (s.vary_by_vantage) {
+      // Distinct leaf (and thus fingerprint) per vantage point.
+      server.per_vantage_chain[net::VantagePoint::kFrankfurt] =
+          build_chain(s, ca, issue_leaf(s, ca, 1));
+      server.per_vantage_chain[net::VantagePoint::kSingapore] =
+          build_chain(s, ca, issue_leaf(s, ca, 2));
+    }
+    if (s.shuffled_chain) {
+      std::reverse(server.default_chain.begin(), server.default_chain.end());
+    }
+
+    // IP addresses: stable per fqdn. Servers sharing one certificate keep
+    // distinct fronts, so a widely shared certificate accumulates many IPs
+    // (§5.1: up to 93 addresses behind one leaf).
+    int base = static_cast<int>(fnv1a64(s.fqdn) % 200);
+    int ips = s.ip_count;
+    for (const std::string& tag : s.tags) {
+      if (tag == "cdn") ips += 6;  // CDN fronts fan out wider
+    }
+    for (int i = 0; i < ips; ++i) {
+      server.ips.push_back("203." + std::to_string(base % 4) + "." +
+                           std::to_string(base) + "." + std::to_string(i + 1));
+    }
+
+    // A minority of public-CA servers staple OCSP responses (App. B.9:
+    // clients ask; few IoT servers answer). Private-CA servers never staple
+    // — there is no responder infrastructure behind a "set and forget" CA.
+    if (is_public && fnv1a64("staple:" + s.fqdn) % 4 == 0 &&
+        !server.default_chain.empty()) {
+      x509::OcspResponder responder(&ca.intermediate, nullptr, 7);
+      server.stapled_response = responder.respond(leaf, d(2022, 4, 12));
+    }
+
+    // CT submission at issuance (public-trust CA policy, §5.4). The CA
+    // submits the LEAF it issued — chain serving order is irrelevant here.
+    if (s.ct_logged && is_public) {
+      world.logs[0]->submit(leaf, s.not_before);
+      if (fnv1a64(s.fqdn) % 2 == 0) world.logs[1]->submit(leaf, s.not_before);
+    }
+
+    world.internet.add_server(std::move(server));
+  }
+
+  (void)rng;
+  return world;
+}
+
+}  // namespace iotls::devicesim

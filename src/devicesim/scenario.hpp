@@ -1,0 +1,98 @@
+// The server-side world: domain universe, CAs, trust stores, CT logs.
+//
+// Substitution (DESIGN.md §2): the paper probes 1,151 live IoT servers; we
+// declare an equivalent universe of servers — who owns each, who issued its
+// certificate, its validity window, how its chain is (mis)configured, CT
+// policy, geo behaviour — and build a simulated internet serving real
+// encoded chains. The declarations mirror the paper's reported structure
+// (Fig. 5 issuer mix, Tables 7/8/9/14/15/16); every §5 result is then
+// *measured* by probing and validating, not copied.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ct/ctlog.hpp"
+#include "net/internet.hpp"
+#include "x509/authority.hpp"
+#include "x509/truststore.hpp"
+#include "x509/validation.hpp"
+
+namespace iotls::devicesim {
+
+/// How a server's served chain is shaped.
+enum class ChainShape {
+  kFull,                 // leaf + intermediate + root (root in a store if public)
+  kOmitRoot,             // leaf + intermediate; root findable in stores
+  kMissingIntermediate,  // leaf only, though an intermediate signed it
+  kLeafOnly,             // leaf signed directly by a (private) root, root absent
+  kPrivateRoot2,         // leaf + private self-signed root
+  kPrivateRoot3,         // leaf + intermediate + private root
+  kPrivateRoot4,         // leaf + 2 intermediates + private root
+  kPrivateViaPublicRoot, // private-CA leaf chaining to a *public* root (Netflix)
+  kSelfSigned,           // the leaf itself is self-signed
+  kDoubleSelfSigned,     // two identical self-signed certs (samsunghrm pattern)
+};
+
+/// Declaration of one server (FQDN).
+struct ServerSpec {
+  std::string fqdn;
+  std::string owner_org;      // operator ("Amazon", "Netflix", "Tuya", ...)
+  std::string issuer_org;     // leaf issuer organization (Fig. 5 y-axis)
+  bool issuer_public = true;  // public-trust CA vs private CA
+  ChainShape shape = ChainShape::kOmitRoot;
+  std::int64_t not_before = 0;
+  std::int64_t not_after = 0;
+  bool cn_mismatch = false;   // leaf CN/SAN deliberately excludes the fqdn
+  bool ct_logged = true;      // submit to CT at issuance
+  bool reachable = true;
+  int ip_count = 1;
+  std::string cert_group;     // non-empty: share one leaf across the group
+  std::vector<std::string> tags;  // visitation tags ("vendor:Amazon", "tv", ...)
+  bool vary_by_vantage = false;   // CDN: distinct leaf per vantage point
+  /// Serve the chain in the wrong order (a common misconfiguration that
+  /// tolerant validators repair; exercises normalize_chain_order).
+  bool shuffled_chain = false;
+};
+
+/// The declared universe of IoT servers.
+class ServerUniverse {
+ public:
+  /// Build the standard universe (~1,194 SNIs mirroring §5.1/Table 15).
+  static ServerUniverse standard();
+
+  const std::vector<ServerSpec>& specs() const { return specs_; }
+  std::size_t size() const { return specs_.size(); }
+
+  /// FQDNs carrying a tag, e.g. "vendor:Amazon", "tv", "cloud".
+  std::vector<std::string> fqdns_with_tag(const std::string& tag) const;
+
+  const ServerSpec* find(const std::string& fqdn) const;
+
+ private:
+  void add(ServerSpec spec);
+
+  std::vector<ServerSpec> specs_;
+  std::map<std::string, std::size_t> by_fqdn_;
+  std::map<std::string, std::vector<std::string>> by_tag_;
+};
+
+/// A fully built world: internet + PKI + CT, ready for probing/validation.
+struct SimWorld {
+  net::SimInternet internet;
+  x509::KeyRegistry keys;
+  x509::TrustStoreSet trust;
+  std::vector<std::unique_ptr<ct::CtLog>> logs;
+  ct::CtIndex ct_index;
+  /// Issuer organization -> is it a public-trust CA? (the CCADB analogue
+  /// the paper consults in §5.2).
+  std::map<std::string, bool> issuer_is_public;
+};
+
+/// Build the world from a universe. Deterministic.
+SimWorld build_world(const ServerUniverse& universe);
+
+}  // namespace iotls::devicesim

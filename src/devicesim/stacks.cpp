@@ -1,0 +1,343 @@
+#include "devicesim/stacks.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "tls/ciphersuite.hpp"
+#include "tls/grease.hpp"
+
+namespace iotls::devicesim {
+
+namespace {
+
+/// Mild legacy suites a sloppy vendor build may drag in (3DES/RC4/DES era).
+const std::vector<std::uint16_t>& legacy_pool() {
+  static const std::vector<std::uint16_t> pool = {
+      0x000a,  // RSA 3DES
+      0xc012,  // ECDHE_RSA 3DES
+      0x0016,  // DHE_RSA 3DES
+      0x0005,  // RSA RC4_128 SHA
+      0x0004,  // RSA RC4_128 MD5
+      0x0009,  // RSA DES
+      0x0015,  // DHE_RSA DES
+      0x0096,  // SEED
+      0x0041,  // Camellia 128
+  };
+  return pool;
+}
+
+/// Severe classes (§4.2's footnote set): anonymous kex, export, NULL, RC2.
+const std::vector<std::uint16_t>& severe_pool() {
+  static const std::vector<std::uint16_t> pool = {
+      0x0001,  // RSA NULL MD5
+      0x0003,  // RSA EXPORT RC4_40
+      0x0006,  // RSA EXPORT RC2_40
+      0x0034,  // DH_anon AES128
+      0x0018,  // DH_anon RC4_128
+      0x002b,  // KRB5_EXPORT RC4_40 MD5
+      0xc017,  // ECDH_anon 3DES
+  };
+  return pool;
+}
+
+bool is_severe_suite(std::uint16_t code) {
+  tls::CipherSuiteInfo info = tls::suite_info(code);
+  if (tls::is_anon(info.kex_auth) || tls::is_export_grade(info)) return true;
+  return info.cipher == tls::Cipher::kNull || info.cipher == tls::Cipher::kRc2Cbc40;
+}
+
+/// Extensions a customization may toggle (never server_name).
+const std::vector<std::uint16_t>& extension_pool() {
+  static const std::vector<std::uint16_t> pool = {
+      5, 13, 15, 16, 18, 21, 22, 23, 35, 0x3374, 0xff01,
+  };
+  return pool;
+}
+
+bool contains(const std::vector<std::uint16_t>& v, std::uint16_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+VendorQuirks quirks_for(const std::string& vendor_name) {
+  // The 14 vendors whose devices propose anonymous/export/NULL suites
+  // (§4.2 footnote 4).
+  static const std::set<std::string> kSevereVendors = {
+      "Synology", "Western Digital", "TP-Link", "Sony", "Amazon", "HP", "LG",
+      "Samsung", "QNAP", "Vizio", "Philips", "Lutron", "Amcrest", "Google"};
+  VendorQuirks quirks;
+  quirks.severe_allowed = kSevereVendors.count(vendor_name) > 0;
+  // App. B.8: Belkin devices put RC4_128 first; Synology is the only vendor
+  // fronting DH_anon / KRB5_EXPORT suites (in a subset of its stacks).
+  if (vendor_name == "Belkin") {
+    quirks.front_suites = {0x0005};
+  } else if (vendor_name == "Synology") {
+    quirks.front_suites = {0x0034, 0x002b};
+    quirks.front_probability = 0.3;
+  }
+  return quirks;
+}
+
+corpus::EraConfig mutate_era(const corpus::EraConfig& base, Rng& rng,
+                             double sloppiness, const VendorQuirks& quirks) {
+  corpus::EraConfig out = base;
+
+  // 1. Scrub or keep vulnerable suites according to sloppiness. Severe
+  //    classes (anon/export/NULL/RC2) are scrubbed aggressively and survive
+  //    only in the builds of the few vendors known for them (§4.2 fn. 4);
+  //    the milder legacy tail (3DES/RC4/DES) lingers much more readily.
+  double keep_3des = sloppiness * 0.38;   // 3DES lingers longest (§4.2)
+  double keep_mild = sloppiness * 0.18;
+  double keep_severe = quirks.severe_allowed ? sloppiness * 0.18 : 0.0;
+  std::erase_if(out.suites, [&](std::uint16_t s) {
+    if (tls::classify_suite(s) != tls::SecurityLevel::kVulnerable) return false;
+    double keep = keep_mild;
+    if (is_severe_suite(s)) keep = keep_severe;
+    else if (tls::suite_info(s).cipher == tls::Cipher::kTripleDesEdeCbc)
+      keep = keep_3des;
+    return !rng.chance(keep);
+  });
+
+  // 2. Sloppy builds drag extra legacy suites in (ported configs, vendored
+  //    library forks); severe additions stay rare and vendor-gated.
+  int extra = 0;
+  if (rng.chance(sloppiness * 0.35)) extra = 1 + static_cast<int>(rng.uniform(0, 1));
+  for (int i = 0; i < extra; ++i) {
+    std::uint16_t pick = rng.pick(legacy_pool());
+    if (!contains(out.suites, pick)) out.suites.push_back(pick);
+  }
+  if (quirks.severe_allowed && rng.chance(sloppiness * 0.08)) {
+    std::uint16_t pick = rng.pick(severe_pool());
+    if (!contains(out.suites, pick)) out.suites.push_back(pick);
+  }
+
+  // 2b. Key-length trimming: constrained builds frequently keep only one
+  //     AES key size. This moves the stack from "same components" to
+  //     "similar components" relative to its parent library (App. B.2's
+  //     dominant category).
+  if (rng.chance(0.45)) {
+    bool drop_128 = rng.chance(0.5);
+    std::erase_if(out.suites, [&](std::uint16_t s) {
+      tls::Cipher c = tls::suite_info(s).cipher;
+      if (drop_128) {
+        return c == tls::Cipher::kAes128Cbc || c == tls::Cipher::kAes128Gcm;
+      }
+      return c == tls::Cipher::kAes256Cbc || c == tls::Cipher::kAes256Gcm;
+    });
+  }
+
+  // 3. Structural churn: drop a couple of mid-list suites, swap neighbours.
+  int drops = static_cast<int>(rng.uniform(0, 2));
+  for (int i = 0; i < drops && out.suites.size() > 4; ++i) {
+    std::size_t pos = static_cast<std::size_t>(
+        rng.uniform(1, out.suites.size() - 2));
+    out.suites.erase(out.suites.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  if (out.suites.size() > 3 && rng.chance(0.6)) {
+    std::size_t pos = static_cast<std::size_t>(
+        rng.uniform(1, out.suites.size() - 2));
+    std::swap(out.suites[pos], out.suites[pos + 1]);
+  }
+
+  // 4. Extension churn: toggle one or two optional extensions. server_name
+  //    is always present — every stack in our fleet names its peer.
+  if (!contains(out.extensions, 0)) out.extensions.insert(out.extensions.begin(), 0);
+  int ext_moves = 1 + static_cast<int>(rng.uniform(0, 1));
+  for (int i = 0; i < ext_moves; ++i) {
+    std::uint16_t ext = rng.pick(extension_pool());
+    auto it = std::find(out.extensions.begin(), out.extensions.end(), ext);
+    if (it == out.extensions.end()) {
+      out.extensions.push_back(ext);
+    } else if (out.extensions.size() > 2) {
+      out.extensions.erase(it);
+    }
+  }
+
+  // 4b. Legacy ordering habit: a sloppy build occasionally promotes one of
+  //     its vulnerable members to the most-preferred slot (App. B.7 finds
+  //     devices of 13 vendors doing this).
+  if (sloppiness > 0.55 && rng.chance((sloppiness - 0.55) * 0.35)) {
+    for (std::size_t i = 1; i < out.suites.size(); ++i) {
+      if (tls::classify_suite(out.suites[i]) == tls::SecurityLevel::kVulnerable) {
+        std::uint16_t promoted = out.suites[i];
+        out.suites.erase(out.suites.begin() + static_cast<std::ptrdiff_t>(i));
+        out.suites.insert(out.suites.begin(), promoted);
+        break;
+      }
+    }
+  }
+
+  // 5. Renegotiation SCSV is a common tail marker in embedded builds; a few
+  //    stacks also advertise TLS_FALLBACK_SCSV (B.3.1: 20 devices, 6 vendors).
+  if (rng.chance(0.5) && !contains(out.suites, 0x00ff)) out.suites.push_back(0x00ff);
+  if (rng.chance(0.005) && !contains(out.suites, 0x5600))
+    out.suites.push_back(0x5600);
+
+  // 5b. A handful of builds negotiate TLS 1.1 as their ceiling (Table 12
+  //     counts 18 such proposals in 5,499).
+  if (out.version == 0x0303 && rng.chance(0.004)) out.version = 0x0302;
+
+  // 6. Vendor quirks: force specific suites into front position.
+  if (!quirks.front_suites.empty() && rng.chance(quirks.front_probability)) {
+    for (auto it = quirks.front_suites.rbegin(); it != quirks.front_suites.rend();
+         ++it) {
+      std::erase(out.suites, *it);
+      out.suites.insert(out.suites.begin(), *it);
+    }
+  }
+
+  return out;
+}
+
+tls::ClientHello hello_from_stack(const TlsStack& stack, const std::string& sni,
+                                  unsigned connection_index) {
+  tls::ClientHello ch;
+  ch.legacy_version = std::min<std::uint16_t>(stack.config.version, 0x0303);
+  Rng rng(fnv1a64(stack.name + "|" + sni) + connection_index);
+  for (auto& b : ch.random) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+
+  ch.cipher_suites = stack.config.suites;
+  if (stack.grease_suites) {
+    ch.cipher_suites.insert(ch.cipher_suites.begin(),
+                            tls::grease_value(connection_index));
+  }
+
+  ch.extensions.clear();
+  bool has_supported_versions = false;
+  for (std::uint16_t type : stack.config.extensions) {
+    tls::Extension e;
+    e.type = type;
+    if (type == 43) {
+      // supported_versions carries the stack's max version (TLS 1.3 stacks).
+      e.data = {0x02, static_cast<std::uint8_t>(stack.config.version >> 8),
+                static_cast<std::uint8_t>(stack.config.version & 0xff)};
+      has_supported_versions = true;
+    }
+    ch.extensions.push_back(std::move(e));
+  }
+  if (stack.config.version > 0x0303 && !has_supported_versions) {
+    ch.extensions.push_back(
+        {43, {0x02, static_cast<std::uint8_t>(stack.config.version >> 8),
+              static_cast<std::uint8_t>(stack.config.version & 0xff)}});
+  }
+  if (stack.grease_extensions) {
+    ch.extensions.push_back({tls::grease_value(connection_index + 5), {}});
+  }
+  ch.set_sni(sni);
+  return ch;
+}
+
+const std::vector<SharedStackSpec>& shared_stack_table() {
+  // Encodes the company relationships of Table 4 and the server-tied
+  // fingerprints of Table 5. SNIs here are the servers the stack is tied to.
+  static const std::vector<SharedStackSpec> table = {
+      // Same company, different brands.
+      {"sdk:hdhomerun-fw", "openssl-1.0.2", 0.3,
+       {{"HDHomeRun", 1.0}, {"SiliconDust", 1.0}},
+       {"api.hdhomerun.com", "dl.hdhomerun.com"}},
+      {"sdk:hdhomerun-guide", "openssl-1.0.2", 0.2,
+       {{"HDHomeRun", 1.0}, {"SiliconDust", 1.0}},
+       {"my.hdhomerun.com"}},
+      {"sdk:arlo-cloud", "openssl-1.0.2", 0.25,
+       {{"Arlo", 0.9}, {"NETGEAR", 0.55}},
+       {"updates.arlo.com", "backend.arlo.com"}},
+      {"sdk:netgear-cloud", "openssl-1.0.2", 0.3,
+       {{"Arlo", 0.45}, {"NETGEAR", 0.8}},
+       {"api.netgear.com"}},
+      // Roku co-op TVs (Insignia/Sharp/TCL run Roku OS).
+      {"sdk:roku-os", "openssl-1.0.1", 0.15,
+       {{"Roku", 0.92}, {"Insignia", 0.85}, {"Sharp", 0.8}, {"TCL", 0.85}},
+       {"api.roku.com", "cooper.roku.com", "scribe.roku.com", "channels.roku.com",
+        "image.roku.com", "assets.roku.com", "fwupdate.roku.com", "oauth.roku.com"}},
+      {"sdk:roku-os-legacy", "openssl-1.0.1", 0.95,
+       {{"Roku", 0.3}, {"Insignia", 0.28}, {"Sharp", 0.25}, {"TCL", 0.28}},
+       {"legacy.roku.com", "time.roku.com", "logs.roku.com", "ads.roku.com",
+        "cdn.roku.com", "pay.roku.com"}},
+      {"app:mgo", "openssl-1.0.1", 0.2,
+       {{"Roku", 0.28}, {"Insignia", 0.3}, {"Sharp", 0.3}, {"TCL", 0.3}},
+       {"www.mgo.com", "api.mgo.com"}},
+      {"app:mgo-images", "openssl-1.0.1", 1.0,
+       {{"Roku", 0.28}, {"Insignia", 0.3}, {"Sharp", 0.3}, {"TCL", 0.3}},
+       {"img1.mgo-images.com", "img2.mgo-images.com"}},
+      {"app:ravm", "openssl-1.0.1", 1.0,
+       {{"Roku", 0.25}, {"Insignia", 0.3}, {"TCL", 0.3}},
+       {"cdn.ravm.tv"}},
+      {"sdk:roku-screensaver", "openssl-1.0.1", 0.2,
+       {{"Roku", 0.5}, {"Insignia", 0.5}, {"Sharp", 0.55}, {"TCL", 0.5}},
+       {"themes.roku.com"}},
+      // Cooperation: Sonos-enabled speakers (Amazon/IKEA build them too),
+      // with Pandora behind Sonos' service.
+      {"sdk:sonos", "openssl-1.1.0", 0.1,
+       {{"Sonos", 0.95}, {"IKEA", 0.85}, {"Amazon", 0.08}},
+       {"api.sonos.com", "ws.sonos.com", "msmetrics.ws.sonos.com",
+        "update.sonos.com", "service-catalog.ws.sonos.com"}},
+      {"app:pandora", "openssl-1.1.0", 0.15,
+       {{"Sonos", 0.35}, {"Amazon", 0.015}},
+       {"api.pandora.com"}},
+      // Third-party applications.
+      {"app:netflix-nrdp", "openssl-1.0.2", 0.2,
+       {{"Amazon", 0.008}, {"LG", 0.045}},
+       {"oca1.nflxvideo.net", "oca2.nflxvideo.net", "oca3.nflxvideo.net",
+        "oca4.nflxvideo.net", "oca5.nflxvideo.net"}},
+      {"sdk:cast4audio", "openssl-1.0.1", 0.9,
+       {{"Onkyo", 0.85}, {"Pioneer", 0.85}},
+       {"sync.cast4.audio"}},
+      {"sdk:gcast", "openssl-1.1.0", 0.1,
+       {{"Nvidia", 0.5}, {"Sony", 0.25}},
+       {"clients3.googleapis.com"}},
+      // Partnered / same-parent pairs of Table 4.
+      {"sdk:heos", "openssl-1.0.1", 0.5,
+       {{"Denon", 0.9}, {"Marantz", 0.9}},
+       {"api.skyegloup.com"}},
+      {"sdk:ti-simplelink", "polarssl-1.3", 0.4,
+       {{"Texas Instruments", 0.9}, {"Bose", 0.5}, {"Skybell", 0.55},
+        {"Sense", 0.6}},
+       {"sdk.ti.com"}},
+      {"sdk:dish-video", "openssl-1.0.1", 0.55,
+       {{"Dish Network", 0.55}, {"Skybell", 0.45}},
+       {"events.dishaccess.tv"}},
+      {"sdk:androidtv", "openssl-1.1.0", 0.15,
+       {{"Nvidia", 0.55}, {"Xiaomi", 0.6}},
+       {"android.clients.googleapis.com"}},
+      {"sdk:nas-backup", "openssl-1.0.0", 0.85,
+       {{"Synology", 0.35}, {"Western Digital", 0.45}},
+       {"relay.nasbackup.net"}},
+      {"app:office-print", "openssl-1.0.1", 0.45,
+       {{"Brother", 0.75}, {"Sharp", 0.35}, {"TCL", 0.28}},
+       {"print.officecloud.net"}},
+      {"sdk:aws-iot", "openssl-1.0.2", 0.25,
+       {{"Arlo", 0.4}, {"iRobot", 0.55}},
+       {"api.awscloudiot.net"}},
+  };
+
+  static const std::vector<SharedStackSpec>& full = [] {
+    auto* v = new std::vector<SharedStackSpec>(table);
+    // The NAS ecosystem: Synology and Western Digital ship many firmware
+    // builds from the same upstream NAS platform — the mechanism behind
+    // their Table-4 overlap despite both having large fingerprint estates.
+    for (int i = 0; i < 26; ++i) {
+      SharedStackSpec spec;
+      spec.name = "sdk:nas-fleet-" + std::to_string(i);
+      spec.era = "openssl-1.0.0";
+      spec.sloppiness = 0.9;
+      spec.vendors = {{"Synology", 0.16}, {"Western Digital", 0.20}};
+      spec.snis = {"relay.nasbackup.net"};
+      v->push_back(std::move(spec));
+    }
+    return *v;
+  }();
+  return full;
+}
+
+TlsStack materialize_shared_stack(const SharedStackSpec& spec,
+                                  const corpus::LibraryCorpus& corpus) {
+  TlsStack stack;
+  stack.name = spec.name;
+  Rng rng(fnv1a64("shared-stack:" + spec.name));
+  stack.config = mutate_era(corpus.era(spec.era), rng, spec.sloppiness);
+  stack.snis = spec.snis;
+  return stack;
+}
+
+}  // namespace iotls::devicesim

@@ -1,0 +1,78 @@
+// TLS stacks: the unit of fingerprint customization and sharing.
+//
+// The paper's central observation is that a device's fingerprints come from
+// the *stacks* running on it: the vendor's customized base library, plus
+// stacks brought in by shared supply chains (SDKs of partnered companies)
+// and by third-party applications (§4.4). We model exactly that: a stack is
+// a named ClientHello configuration plus the set of servers it talks to.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "tls/clienthello.hpp"
+#include "util/rng.hpp"
+
+namespace iotls::devicesim {
+
+/// One TLS stack installed on a device.
+struct TlsStack {
+  std::string name;            // e.g. "Amazon/base-1", "sdk:sonos"
+  corpus::EraConfig config;    // version + suites + extension types
+  std::vector<std::string> snis;  // servers this stack contacts
+  bool grease_suites = false;
+  bool grease_extensions = false;
+};
+
+/// Vendor-specific mutation quirks (App. B.8): e.g. all Belkin devices
+/// propose RC4_128 first; Synology devices propose DH_anon / KRB5_EXPORT
+/// suites in front position.
+struct VendorQuirks {
+  std::vector<std::uint16_t> front_suites;  // forced to the head, in order
+  double front_probability = 1.0;           // chance a stack gets the fronts
+  /// May this vendor's builds retain/introduce the *severe* vulnerable
+  /// classes (anonymous kex, export-grade, NULL, RC2)? §4.2 finds those in
+  /// only 31 fingerprints from 14 vendors; everyone keeps the milder legacy
+  /// tail (3DES/RC4/DES) far more often.
+  bool severe_allowed = false;
+};
+
+/// Quirks for a vendor name (empty defaults for most vendors).
+VendorQuirks quirks_for(const std::string& vendor_name);
+
+/// Derive a customized variant of a library era. Deterministic in `rng`.
+/// `sloppiness` in [0,1] drives how many vulnerable suites survive or get
+/// (re)introduced: 0 scrubs the list to modern suites, 1 keeps and even
+/// extends the legacy tail. The result differs from `base` with very high
+/// probability, modelling the ~97% of device fingerprints that match no
+/// known library (§4.1).
+corpus::EraConfig mutate_era(const corpus::EraConfig& base, Rng& rng,
+                             double sloppiness, const VendorQuirks& quirks = {});
+
+/// Build the ClientHello a stack produces when contacting `sni` — the order
+/// of extensions follows the stack's configured list; GREASE values are
+/// injected (rotating by `connection_index`) when the stack advertises them.
+tls::ClientHello hello_from_stack(const TlsStack& stack, const std::string& sni,
+                                  unsigned connection_index);
+
+/// A shared stack available to several vendors (shared supply chain or
+/// shared application, §4.4).
+struct SharedStackSpec {
+  std::string name;
+  std::string era;          // corpus era the stack derives from
+  double sloppiness = 0.3;  // vulnerability character of the stack
+  /// (vendor, adoption probability per device) pairs.
+  std::vector<std::pair<std::string, double>> vendors;
+  std::vector<std::string> snis;  // the servers tied to this stack (Table 5)
+};
+
+/// The full table of shared stacks encoding Table 4's company relationships
+/// and Table 5's server-tied fingerprints.
+const std::vector<SharedStackSpec>& shared_stack_table();
+
+/// Materialize a shared stack spec into a concrete TlsStack (deterministic).
+TlsStack materialize_shared_stack(const SharedStackSpec& spec,
+                                  const corpus::LibraryCorpus& corpus);
+
+}  // namespace iotls::devicesim

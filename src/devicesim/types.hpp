@@ -1,0 +1,39 @@
+// Core dataset types: the synthetic analogue of the IoT Inspector capture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace iotls::devicesim {
+
+/// One labelled device, as IoT Inspector's user labels describe it (§3).
+struct Device {
+  std::string id;        // stable unique id, e.g. "amazon-echo-0042"
+  std::string vendor;    // manufacturer label ("Amazon")
+  std::string type;      // device type/model label ("Echo")
+  std::string user_id;   // owning user ("user-0317")
+};
+
+/// One observed TLS ClientHello with its capture metadata. `wire` holds the
+/// record-layer bytes exactly as a capture would; the analysis pipeline
+/// parses fingerprints out of these bytes, never out of generator state.
+struct ClientHelloEvent {
+  std::string device_id;
+  std::int64_t day = 0;  // capture timestamp (days since epoch)
+  std::string sni;       // also recoverable from the bytes; kept for indexing
+  Bytes wire;            // TLS records carrying the ClientHello
+};
+
+/// The generated crowdsourced dataset.
+struct FleetDataset {
+  std::vector<Device> devices;
+  std::vector<ClientHelloEvent> events;
+  std::vector<std::string> users;
+
+  const Device* find_device(const std::string& id) const;
+};
+
+}  // namespace iotls::devicesim

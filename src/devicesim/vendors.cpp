@@ -1,0 +1,203 @@
+#include "devicesim/vendors.hpp"
+
+#include <stdexcept>
+
+namespace iotls::devicesim {
+
+namespace {
+
+std::vector<VendorSpec> build_table() {
+  // Fields: index, name, devices, base_stacks, device_stack_rate, sloppiness,
+  // base_era, types, domains, grease.
+  // Device counts are calibrated to sum to 2,014 (§3); stack counts and
+  // rates target the Table 2/3 fingerprint statistics.
+  std::vector<VendorSpec> t = {
+      {1, "Roku", 125, 3, 0.25, 0.55, "openssl-1.0.1",
+       {"Streaming Stick", "Ultra", "Express", "Premiere", "Soundbar"},
+       {"roku.com", "rokutime.com"}, false},
+      {2, "TCL", 38, 0, 0.05, 0.55, "openssl-1.0.1",
+       {"Roku TV", "Smart TV", "Soundbar"},
+       {"tclusa.com"}, false},
+      {3, "Samsung", 135, 3, 0.55, 0.70, "openssl-1.0.2",
+       {"Smart TV", "SmartThings Hub", "Refrigerator", "Smart Monitor",
+        "Family Hub", "Soundbar", "Blu-ray Player"},
+       {"samsungcloudsolution.net", "samsungcloudsolution.com", "samsungrm.net",
+        "samsungelectronics.com", "pavv.co.kr", "samsunghrm.com"}, false},
+      {4, "Sharp", 27, 0, 0.05, 0.55, "openssl-1.0.1",
+       {"Roku TV", "Aquos TV"}, {"sharpusa.com"}, false},
+      {5, "Insignia", 33, 1, 0.08, 0.55, "openssl-1.0.1",
+       {"Roku TV", "Fire TV Edition"}, {"insigniaproducts.com"}, false},
+      {6, "Amazon", 420, 4, 0.50, 0.45, "openssl-1.0.2",
+       {"Echo", "Echo Dot", "Echo Show", "Echo Plus", "Fire TV",
+        "Fire TV Stick", "Fire Tablet", "Cloud Cam", "Smart Plug", "Ring Doorbell"},
+       {"amazon.com", "amazonaws.com", "amazonalexa.com", "amazonvideo.com",
+        "media-amazon.com", "amazon-dss.com", "ssl-images-amazon.com",
+        "amcs-tachyon.com"}, true},
+      {7, "Nvidia", 52, 2, 0.50, 0.35, "openssl-1.1.0",
+       {"Shield TV", "Shield Pro", "Jetson"},
+       {"nvidia.com", "tegrazone.com"}, false},
+      {8, "Google", 275, 4, 0.45, 0.20, "openssl-1.1.1",
+       {"Home", "Home Mini", "Chromecast", "Chromecast Ultra", "Nest Thermostat",
+        "Nest Cam", "Nest Protect", "Wifi Router", "Nest Hub"},
+       {"google.com", "googleapis.com", "gstatic.com", "googleusercontent.com",
+        "ggpht.com", "ytimg.com", "youtube.com", "google-analytics.com",
+        "googlesyndication.com", "doubleclick.net", "nest.com"}, true},
+      {9, "HP", 20, 2, 0.35, 0.60, "openssl-1.0.1",
+       {"OfficeJet Printer", "LaserJet Printer", "Envy Printer"},
+       {"hp.com", "hpeprint.com"}, false},
+      {10, "Western Digital", 44, 1, 0.95, 0.75, "openssl-1.0.1",
+       {"My Cloud", "My Cloud Home", "EX2 NAS"},
+       {"mycloud.com", "wdc.com"}, false},
+      {11, "Xiaomi", 22, 2, 0.35, 0.45, "openssl-1.0.2",
+       {"Mi Box", "Mi Camera", "Mi Hub"}, {"mi.com", "xiaomi.com"}, false},
+      {12, "Sony", 95, 3, 0.50, 0.60, "openssl-1.0.2",
+       {"Bravia TV", "PlayStation 4", "PlayStation 3", "Soundbar", "Blu-ray Player"},
+       {"playstation.net", "sonyentertainmentnetwork.com", "sony.com"}, false},
+      {13, "Lutron", 10, 1, 0.25, 0.60, "polarssl-1.3",
+       {"Caseta Bridge", "RA2 Hub"}, {"lutron.com"}, false, false, true},
+      {14, "iDevices", 6, 1, 0.20, 0.35, "mbedtls-2.7",
+       {"Smart Switch", "Smart Outlet"}, {"idevicesinc.com"}, false},
+      {15, "TP-Link", 46, 2, 0.80, 0.70, "openssl-1.0.1",
+       {"Kasa Plug", "Kasa Camera", "Smart Bulb", "Range Extender"},
+       {"tplinkcloud.com", "tp-link.com"}, false},
+      {16, "Vizio", 30, 2, 0.35, 0.55, "openssl-1.0.1",
+       {"SmartCast TV", "Soundbar"}, {"vizio.com"}, false},
+      {17, "Pioneer", 8, 1, 0.05, 0.55, "openssl-1.0.1",
+       {"AV Receiver", "Network Player"}, {"pioneer-audio.com"}, false},
+      {18, "Onkyo", 8, 1, 0.05, 0.55, "openssl-1.0.1",
+       {"AV Receiver", "Stereo Amplifier"}, {"onkyo.com"}, false},
+      {19, "wink", 14, 1, 0.30, 0.50, "openssl-1.0.1",
+       {"Wink Hub", "Wink Hub 2"}, {"wink.com"}, false},
+      {20, "LG", 72, 3, 0.45, 0.60, "openssl-1.0.2",
+       {"webOS TV", "Smart Refrigerator", "Soundbar", "ThinQ Hub"},
+       {"lgtvsdp.com", "lge.com", "lgthinq.com"}, false},
+      {21, "Cisco", 10, 1, 0.35, 0.45, "openssl-1.0.2",
+       {"IP Phone", "Telepresence"}, {"cisco.com", "webex.com"}, false},
+      {22, "Philips", 42, 2, 0.40, 0.45, "openssl-1.0.2",
+       {"Hue Bridge", "Hue Bulb", "Smart TV", "Air Purifier"},
+       {"meethue.com", "philips.com"}, false},
+      {23, "Synology", 60, 2, 0.95, 1.00, "openssl-1.0.1",
+       {"DiskStation NAS", "RackStation", "Surveillance Station", "Router"},
+       {"synology.com", "quickconnect.to"}, false},
+      {24, "TiVo", 14, 1, 0.40, 0.60, "openssl-1.0.1",
+       {"TiVo Bolt", "TiVo Roamio", "TiVo Mini"}, {"tivo.com"}, false},
+      {25, "Wyze", 75, 1, 0.05, 0.35, "openssl-1.0.2",
+       {"Wyze Cam", "Wyze Cam Pan", "Wyze Plug", "Wyze Bulb"},
+       {"wyzecam.com", "wyze.com"}, false},
+      {26, "Sonos", 52, 2, 0.30, 0.10, "openssl-1.1.0",
+       {"One", "Beam", "Play:1", "Play:5", "Connect"},
+       {"sonos.com", "ws.sonos.com"}, false},
+      {27, "Amcrest", 6, 1, 0.30, 0.70, "openssl-1.0.0",
+       {"IP Camera", "Video Doorbell"}, {"amcrestcloud.com"}, false, false, true},
+      {28, "Panasonic", 13, 1, 0.35, 0.55, "openssl-1.0.1",
+       {"Viera TV", "Network Camera"}, {"panasonic.com"}, false},
+      {29, "QNAP", 9, 1, 0.60, 0.80, "openssl-1.0.1",
+       {"TS NAS", "TVS NAS"}, {"qnap.com", "myqnapcloud.com"}, false, false, true},
+      {30, "Fing", 5, 1, 0.20, 0.20, "openssl-1.1.0",
+       {"Fingbox"}, {"fing.com"}, false},
+      {31, "Brother", 9, 1, 0.10, 0.55, "openssl-1.0.1",
+       {"Laser Printer", "Inkjet Printer"}, {"brother.com"}, false},
+      {32, "Dish Network", 8, 1, 0.10, 0.60, "openssl-1.0.1",
+       {"Hopper", "Joey", "Wally"}, {"dishaccess.tv", "dish.com"}, false},
+      {33, "Skybell", 6, 1, 0.05, 0.45, "polarssl-1.3",
+       {"Video Doorbell"}, {"skybell.com"}, false},
+      {34, "NETGEAR", 10, 1, 0.05, 0.45, "openssl-1.0.2",
+       {"Nighthawk Router", "Orbi", "Smart Switch"}, {"netgear.com"}, false},
+      {35, "Arlo", 9, 1, 0.05, 0.40, "openssl-1.0.2",
+       {"Arlo Camera", "Arlo Pro", "Arlo Base Station"}, {"arlo.com"}, false},
+      {36, "iRobot", 9, 1, 0.25, 0.35, "openssl-1.0.2",
+       {"Roomba", "Braava"}, {"irobotapi.com"}, false},
+      {37, "Yamaha", 6, 1, 0.25, 0.40, "openssl-1.0.2",
+       {"MusicCast Receiver", "Soundbar"}, {"yamaha.com"}, false, false, true},
+      {38, "Texas Instruments", 5, 1, 0.05, 0.45, "polarssl-1.3",
+       {"SimpleLink DevKit", "Sensor Tag"}, {"ti.com"}, false},
+      {39, "Tesla", 4, 1, 0.25, 0.30, "openssl-1.1.0",
+       {"Powerwall", "Wall Connector"}, {"tesla.services", "tesla.com"}, false},
+      {40, "Bose", 13, 1, 0.10, 0.35, "openssl-1.0.2",
+       {"SoundTouch", "Home Speaker", "Soundbar"}, {"bose.com"}, false},
+      {41, "Sky", 6, 1, 0.30, 0.50, "openssl-1.0.1",
+       {"Sky Q Box", "Sky Hub"}, {"sky.com"}, false, false, true},
+      {42, "Humax", 4, 1, 0.30, 0.55, "openssl-1.0.1",
+       {"Set-top Box"}, {"humaxdigital.com"}, false, false, true},
+      {43, "Ubiquity", 7, 1, 0.40, 0.30, "openssl-1.1.0",
+       {"UniFi AP", "EdgeRouter", "Cloud Key"}, {"ubnt.com", "ui.com"}, false},
+      {44, "Logitech", 8, 1, 0.30, 0.40, "openssl-1.0.2",
+       {"Harmony Hub", "Circle Camera"}, {"logitech.com", "myharmony.com"}, false, false, true},
+      {45, "Netatmo", 16, 1, 0.35, 0.60, "openssl-1.0.1",
+       {"Weather Station", "Indoor Camera", "Thermostat"}, {"netatmo.net"}, false},
+      {46, "SiliconDust", 4, 0, 0.00, 0.35, "openssl-1.0.2",
+       {"HDHomeRun Prime"}, {}, false},
+      {47, "HDHomeRun", 4, 0, 0.00, 0.35, "openssl-1.0.2",
+       {"HDHomeRun Connect", "HDHomeRun Extend"}, {}, false},
+      {48, "Sense", 4, 1, 0.05, 0.35, "polarssl-1.3",
+       {"Energy Monitor"}, {"sense.com"}, false},
+      {49, "DirecTV", 5, 1, 0.30, 0.55, "openssl-1.0.1",
+       {"Genie", "Mini Genie"}, {"dtvce.com", "directv.com"}, false},
+      {50, "Denon", 5, 1, 0.10, 0.50, "openssl-1.0.1",
+       {"AVR Receiver", "HEOS Speaker"}, {"denon.com"}, false},
+      {51, "Marantz", 4, 1, 0.10, 0.50, "openssl-1.0.1",
+       {"AV Receiver"}, {"marantz.com"}, false},
+      {52, "Nanoleaf", 4, 1, 0.20, 0.25, "mbedtls-2.7",
+       {"Light Panels", "Canvas"}, {"nanoleaf.me"}, false},
+      {53, "VMware", 3, 1, 0.35, 0.30, "openssl-1.1.0",
+       {"ESXi Host"}, {"vmware.com"}, false, false, true},
+      {54, "Obihai", 4, 1, 0.20, 0.55, "openssl-1.0.1",
+       {"OBi200 VoIP", "OBi202 VoIP"}, {"obitalk.com"}, false, true},
+      {55, "Canary", 4, 1, 0.20, 0.35, "openssl-1.0.2",
+       {"Canary All-in-One", "Canary Flex"}, {"canaryis.com"}, false, true},
+      {56, "ecobee", 11, 1, 0.25, 0.30, "openssl-1.0.2",
+       {"Thermostat", "Switch+"}, {"ecobee.com"}, false},
+      {57, "Epson", 5, 1, 0.30, 0.55, "openssl-1.0.1",
+       {"WorkForce Printer", "EcoTank Printer"}, {"epsonconnect.com"}, false, false, true},
+      {58, "IKEA", 6, 1, 0.25, 0.30, "openssl-1.0.2",
+       {"Tradfri Gateway", "Symfonisk Speaker"}, {"ikea.com"}, false},
+      {59, "Belkin", 24, 1, 0.20, 1.00, "openssl-1.0.0",
+       {"Wemo Switch", "Wemo Plug", "Wemo Motion"}, {"belkin.com", "xbcs.net"}, false},
+      {60, "Nintendo", 16, 1, 0.25, 0.35, "openssl-1.0.2",
+       {"Switch", "Wii U", "3DS"}, {"nintendo.net"}, false},
+      {61, "Sleep number", 3, 1, 0.20, 0.40, "openssl-1.0.2",
+       {"Smart Bed Hub"}, {"sleepiq.sleepnumber.com"}, false, false, true},
+      {62, "Tuya", 4, 1, 0.20, 0.50, "mbedtls-2.7",
+       {"Smart Plug", "Smart Bulb"}, {"tuyaus.com", "tuya.com"}, false, true},
+      {63, "Canon", 4, 1, 0.30, 0.55, "openssl-1.0.1",
+       {"PIXMA Printer", "imageCLASS Printer"}, {"c-ij.com"}, false, false, true},
+      {64, "Vera", 3, 1, 0.25, 0.50, "openssl-1.0.1",
+       {"VeraEdge Hub"}, {"getvera.com"}, false, false, true},
+      {65, "Withings", 4, 1, 0.25, 0.30, "openssl-1.0.2",
+       {"Body Scale", "Sleep Mat"}, {"withings.net"}, false, false, true},
+  };
+
+  // Re-balance so the total is exactly 2,014 devices: any residual is
+  // absorbed by the largest vendor (Amazon).
+  int sum = 0;
+  for (const VendorSpec& v : t) sum += v.devices;
+  for (VendorSpec& v : t) {
+    if (v.name == "Amazon") {
+      v.devices += 2014 - sum;
+      break;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const std::vector<VendorSpec>& vendor_table() {
+  static const std::vector<VendorSpec> table = build_table();
+  return table;
+}
+
+const VendorSpec& vendor(const std::string& name) {
+  for (const VendorSpec& v : vendor_table()) {
+    if (v.name == name) return v;
+  }
+  throw std::out_of_range("unknown vendor: " + name);
+}
+
+int total_devices() {
+  int sum = 0;
+  for (const VendorSpec& v : vendor_table()) sum += v.devices;
+  return sum;
+}
+
+}  // namespace iotls::devicesim

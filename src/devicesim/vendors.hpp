@@ -1,0 +1,42 @@
+// The 65 device vendors of the study (Table 13) with their fleet parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotls::devicesim {
+
+/// Per-vendor generation parameters. These are the calibration knobs that
+/// make the synthetic fleet reproduce the paper's aggregate statistics
+/// (DESIGN.md §6); everything downstream is measured, not asserted.
+struct VendorSpec {
+  int index = 0;                   // Table 13 vendor index
+  std::string name;
+  int devices = 4;                 // fleet size for this vendor
+  int base_stacks = 1;             // vendor-level shared TLS stacks
+  double device_stack_rate = 0.4;  // expected extra device-unique stacks per device
+  double sloppiness = 0.35;        // propensity to retain vulnerable suites [0,1]
+  std::string base_era;            // corpus era its stacks derive from
+  std::vector<std::string> types;  // device type labels
+  std::vector<std::string> domains;  // own second-level domains
+  bool grease = false;             // modern stacks advertise GREASE (B.10)
+  /// Devices only contact the vendor's own servers (§5.2: Canary, Tuya and
+  /// Obihai devices exclusively visit vendor-signed servers).
+  bool isolated = false;
+  /// Every device carries its own firmware-specific stack and shares nothing
+  /// with its siblings — the DoC_device = 1 vendors of Fig. 2 (§4.3: devices
+  /// of ~20% of vendors use completely disjoint fingerprint sets).
+  bool disjoint = false;
+};
+
+/// The full vendor table, indexed per Table 13, device counts summing to
+/// 2,014 across 65 vendors.
+const std::vector<VendorSpec>& vendor_table();
+
+/// Lookup by name; throws std::out_of_range for unknown vendors.
+const VendorSpec& vendor(const std::string& name);
+
+/// Total devices across the table (== 2,014).
+int total_devices();
+
+}  // namespace iotls::devicesim

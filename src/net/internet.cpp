@@ -1,0 +1,94 @@
+#include "net/internet.hpp"
+
+#include "tls/alert.hpp"
+#include "tls/record.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotls::net {
+
+void SimInternet::add_server(SimServer server) {
+  servers_[server.sni] = std::move(server);
+}
+
+const SimServer* SimInternet::find(const std::string& sni) const {
+  auto it = servers_.find(sni);
+  return it == servers_.end() ? nullptr : &it->second;
+}
+
+std::vector<const SimServer*> SimInternet::servers() const {
+  std::vector<const SimServer*> out;
+  out.reserve(servers_.size());
+  for (const auto& [sni, server] : servers_) out.push_back(&server);
+  return out;
+}
+
+Bytes SimInternet::connect(VantagePoint vantage, BytesView client_records) const {
+  // Parse the client flight down to its ClientHello.
+  auto records = tls::parse_records(client_records);
+  Bytes handshakes = tls::handshake_payload(records);
+  auto msgs = tls::split_handshakes(BytesView(handshakes.data(), handshakes.size()));
+  const tls::ClientHello* hello_ptr = nullptr;
+  tls::ClientHello hello;
+  for (const auto& m : msgs) {
+    if (m.type == tls::HandshakeType::kClientHello) {
+      Bytes framed = tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
+      hello = tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
+      hello_ptr = &hello;
+      break;
+    }
+  }
+  if (hello_ptr == nullptr) throw ParseError("client flight carries no ClientHello");
+
+  auto sni = hello.sni();
+  if (!sni.has_value()) throw NetError("ClientHello carries no SNI; cannot route");
+  const SimServer* server = find(*sni);
+  if (server == nullptr) throw NetError("no route to host: " + *sni);
+  if (!server->reachable_from(vantage)) throw NetError("connection timed out: " + *sni);
+
+  std::uint16_t suite = server->negotiate(hello.cipher_suites);
+  if (suite == 0) {
+    // A reachable server with no ciphersuite overlap answers with a real
+    // fatal alert, exactly as a capture would show.
+    tls::Alert alert{tls::AlertLevel::kFatal, tls::AlertDescription::kHandshakeFailure};
+    Bytes payload = alert.encode();
+    return tls::encode_records(tls::ContentType::kAlert, 0x0303,
+                               BytesView(payload.data(), payload.size()));
+  }
+
+  tls::ServerHello sh;
+  sh.version = std::min<std::uint16_t>(hello.legacy_version, 0x0303);
+  // Deterministic per-connection server random derived from the inputs.
+  Rng rng(fnv1a64(*sni) ^ hello.random[0]);
+  for (auto& b : sh.random) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  sh.cipher_suite = suite;
+
+  tls::CertificateMsg cert_msg;
+  for (const x509::Certificate& cert : server->chain_for(vantage)) {
+    cert_msg.chain.push_back(cert.encode());
+  }
+
+  Bytes flight = sh.encode();
+  Bytes certs = cert_msg.encode();
+  flight.insert(flight.end(), certs.begin(), certs.end());
+
+  // Staple the OCSP response when the client asked (status_request) and the
+  // server has one (RFC 6066 CertificateStatus).
+  bool wants_status = false;
+  for (const tls::Extension& e : hello.extensions) {
+    if (e.type == 5) wants_status = true;
+  }
+  if (wants_status && server->stapled_response.has_value()) {
+    Bytes ocsp = server->stapled_response->encode();
+    Bytes status = tls::encode_handshake(tls::HandshakeType::kCertificateStatus,
+                                         BytesView(ocsp.data(), ocsp.size()));
+    flight.insert(flight.end(), status.begin(), status.end());
+  }
+
+  Bytes done = tls::encode_handshake(tls::HandshakeType::kServerHelloDone, {});
+  flight.insert(flight.end(), done.begin(), done.end());
+  return tls::encode_records(tls::ContentType::kHandshake, sh.version,
+                             BytesView(flight.data(), flight.size()));
+}
+
+}  // namespace iotls::net

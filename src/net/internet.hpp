@@ -1,0 +1,42 @@
+// The simulated internet: SNI-addressed servers answering TLS handshakes.
+//
+// Substitution (DESIGN.md §2): replaces live sockets. The handshake itself
+// is performed over real wire bytes — the caller supplies an encoded
+// ClientHello record stream and receives an encoded ServerHello+Certificate
+// record stream, exactly what a passive capture of the exchange would hold.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/server.hpp"
+#include "net/vantage.hpp"
+#include "util/bytes.hpp"
+
+namespace iotls::net {
+
+class SimInternet {
+ public:
+  /// Register a server; replaces any existing server with the same SNI.
+  void add_server(SimServer server);
+
+  const SimServer* find(const std::string& sni) const;
+  std::size_t server_count() const { return servers_.size(); }
+  std::vector<const SimServer*> servers() const;
+
+  /// Perform the server side of a TLS handshake:
+  ///  1. parse the client's record stream and extract its ClientHello;
+  ///  2. route by SNI (the hello's SNI must name a registered server);
+  ///  3. negotiate a ciphersuite;
+  ///  4. answer with records carrying ServerHello ‖ Certificate ‖ Done.
+  /// Throws NetError for unreachable hosts / unknown SNI / no shared suite,
+  /// and ParseError for malformed client bytes.
+  Bytes connect(VantagePoint vantage, BytesView client_records) const;
+
+ private:
+  std::map<std::string, SimServer> servers_;
+};
+
+}  // namespace iotls::net

@@ -1,0 +1,106 @@
+#include "net/prober.hpp"
+
+#include "tls/alert.hpp"
+#include "tls/record.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace iotls::net {
+
+namespace {
+
+/// Our own client hello: a modern, fixed configuration (the probing client
+/// is ours; only the *server's* response matters for the §5 dataset).
+tls::ClientHello prober_hello(const std::string& sni) {
+  tls::ClientHello ch;
+  ch.legacy_version = 0x0303;
+  Rng rng(fnv1a64("prober:" + sni));
+  for (auto& b : ch.random) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  ch.cipher_suites = {0xc02b, 0xc02f, 0xc02c, 0xc030, 0xcca9, 0xcca8,
+                      0xc013, 0xc014, 0x009c, 0x009d, 0x002f, 0x0035, 0x000a};
+  ch.set_sni(sni);
+  ch.extensions.push_back({5, {}});  // status_request: ask for an OCSP staple
+  ch.extensions.push_back({10, {0x00, 0x04, 0x00, 0x17, 0x00, 0x18}});
+  ch.extensions.push_back({11, {0x01, 0x00}});
+  ch.extensions.push_back({13, {0x00, 0x04, 0x04, 0x01, 0x05, 0x01}});
+  return ch;
+}
+
+}  // namespace
+
+bool MultiVantageResult::consistent_across_vantages() const {
+  std::optional<std::string> first_leaf;
+  for (const auto& [vantage, result] : by_vantage) {
+    if (!result.reachable || result.chain.empty()) continue;
+    std::string fp = result.chain.front().fingerprint();
+    if (!first_leaf.has_value()) {
+      first_leaf = fp;
+    } else if (*first_leaf != fp) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ProbeResult TlsProber::probe(const std::string& sni, VantagePoint vantage) const {
+  ProbeResult result;
+  result.sni = sni;
+  result.vantage = vantage;
+
+  Bytes hello_msg = prober_hello(sni).encode();
+  Bytes flight = tls::encode_records(tls::ContentType::kHandshake, 0x0301,
+                                     BytesView(hello_msg.data(), hello_msg.size()));
+  Bytes response;
+  try {
+    response = internet_->connect(vantage, BytesView(flight.data(), flight.size()));
+  } catch (const NetError& e) {
+    result.error = e.what();
+    return result;
+  }
+
+  // A fatal alert instead of a ServerHello: reachable at the TCP level but
+  // the handshake was refused.
+  if (auto alert = tls::find_alert(BytesView(response.data(), response.size()))) {
+    result.error = "alert: " + tls::alert_description_name(alert->description);
+    return result;
+  }
+
+  auto records = tls::parse_records(BytesView(response.data(), response.size()));
+  Bytes handshakes = tls::handshake_payload(records);
+  auto msgs = tls::split_handshakes(BytesView(handshakes.data(), handshakes.size()));
+  for (const auto& m : msgs) {
+    Bytes framed = tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
+    if (m.type == tls::HandshakeType::kServerHello) {
+      auto sh = tls::ServerHello::parse(BytesView(framed.data(), framed.size()));
+      result.negotiated_suite = sh.cipher_suite;
+    } else if (m.type == tls::HandshakeType::kCertificate) {
+      auto cert_msg = tls::CertificateMsg::parse(BytesView(framed.data(), framed.size()));
+      for (const Bytes& enc : cert_msg.chain) {
+        result.chain.push_back(
+            x509::Certificate::parse(BytesView(enc.data(), enc.size())));
+      }
+    } else if (m.type == tls::HandshakeType::kCertificateStatus) {
+      result.stapled =
+          x509::OcspResponse::parse(BytesView(m.body.data(), m.body.size()));
+    }
+  }
+  result.reachable = true;
+  return result;
+}
+
+MultiVantageResult TlsProber::probe_all_vantages(const std::string& sni) const {
+  MultiVantageResult out;
+  out.sni = sni;
+  for (VantagePoint v : kAllVantagePoints) out.by_vantage[v] = probe(sni, v);
+  return out;
+}
+
+std::vector<MultiVantageResult> TlsProber::survey(
+    const std::vector<std::string>& snis) const {
+  std::vector<MultiVantageResult> out;
+  out.reserve(snis.size());
+  for (const std::string& sni : snis) out.push_back(probe_all_vantages(sni));
+  return out;
+}
+
+}  // namespace iotls::net

@@ -1,0 +1,57 @@
+// Active TLS prober — our analogue of the paper's certificate harvester
+// (§5.1): connect to each SNI from each vantage point, record the served
+// chain, cross-check consistency across locations.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/internet.hpp"
+#include "net/vantage.hpp"
+#include "tls/serverhello.hpp"
+#include "x509/certificate.hpp"
+#include "x509/revocation.hpp"
+
+namespace iotls::net {
+
+/// Result of one probe (one SNI from one vantage point).
+struct ProbeResult {
+  std::string sni;
+  VantagePoint vantage = VantagePoint::kNewYork;
+  bool reachable = false;
+  std::uint16_t negotiated_suite = 0;
+  std::vector<x509::Certificate> chain;  // as served, leaf first
+  std::optional<x509::OcspResponse> stapled;  // CertificateStatus, if sent
+  std::string error;                     // set when !reachable
+};
+
+/// Harvest of one SNI across all vantage points.
+struct MultiVantageResult {
+  std::string sni;
+  std::map<VantagePoint, ProbeResult> by_vantage;
+
+  /// Leaf fingerprints identical at every reachable vantage?
+  bool consistent_across_vantages() const;
+};
+
+/// The prober drives full wire handshakes against the simulated internet.
+class TlsProber {
+ public:
+  explicit TlsProber(const SimInternet& internet) : internet_(&internet) {}
+
+  /// Probe one SNI from one vantage point.
+  ProbeResult probe(const std::string& sni, VantagePoint vantage) const;
+
+  /// Probe one SNI from all three vantage points.
+  MultiVantageResult probe_all_vantages(const std::string& sni) const;
+
+  /// Probe a list of SNIs from all vantage points.
+  std::vector<MultiVantageResult> survey(const std::vector<std::string>& snis) const;
+
+ private:
+  const SimInternet* internet_;
+};
+
+}  // namespace iotls::net

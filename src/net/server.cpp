@@ -1,0 +1,47 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+
+#include "tls/grease.hpp"
+
+namespace iotls::net {
+
+bool SimServer::reachable_from(VantagePoint v) const {
+  if (!reachable) return false;
+  return std::find(unreachable_from.begin(), unreachable_from.end(), v) ==
+         unreachable_from.end();
+}
+
+const std::vector<x509::Certificate>& SimServer::chain_for(VantagePoint v) const {
+  auto it = per_vantage_chain.find(v);
+  return it == per_vantage_chain.end() ? default_chain : it->second;
+}
+
+std::uint16_t SimServer::negotiate(
+    const std::vector<std::uint16_t>& client_suites) const {
+  auto supported = [this](std::uint16_t s) {
+    return std::find(supported_suites.begin(), supported_suites.end(), s) !=
+           supported_suites.end();
+  };
+  if (honor_client_order) {
+    for (std::uint16_t s : client_suites) {
+      if (tls::is_grease(s)) continue;
+      if (supported(s)) return s;
+    }
+    return 0;
+  }
+  for (std::uint16_t s : supported_suites) {
+    if (std::find(client_suites.begin(), client_suites.end(), s) !=
+        client_suites.end()) {
+      return s;
+    }
+  }
+  return 0;
+}
+
+const x509::Certificate* SimServer::leaf(VantagePoint v) const {
+  const auto& chain = chain_for(v);
+  return chain.empty() ? nullptr : &chain.front();
+}
+
+}  // namespace iotls::net

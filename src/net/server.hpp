@@ -1,0 +1,65 @@
+// A simulated TLS server keyed by SNI.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/vantage.hpp"
+#include "tls/clienthello.hpp"
+#include "tls/serverhello.hpp"
+#include "x509/certificate.hpp"
+#include "x509/revocation.hpp"
+
+namespace iotls::net {
+
+/// One server (FQDN). Holds the chain it serves — possibly varying by
+/// vantage point, as CDN-fronted servers do (§5.1, Table 16) — plus the IP
+/// addresses behind the name (certificate sharing across IPs, §5.1).
+struct SimServer {
+  std::string sni;
+  std::vector<std::string> ips;
+  std::uint16_t port = 443;
+  bool reachable = true;
+
+  /// Vantage points that cannot reach this server even when `reachable`
+  /// (regional outages / routing, Table 16's per-location misses).
+  std::vector<VantagePoint> unreachable_from;
+
+  bool reachable_from(VantagePoint v) const;
+
+  /// Chain served by default (leaf first). May be structurally broken on
+  /// purpose (missing intermediates, expired members, ...) — the scenario
+  /// decides; the server just serves bytes.
+  std::vector<x509::Certificate> default_chain;
+
+  /// Vantage-specific overrides (CDN behaviour).
+  std::map<VantagePoint, std::vector<x509::Certificate>> per_vantage_chain;
+
+  /// Pre-fetched OCSP response stapled into the handshake when the client
+  /// offers status_request (App. B.9). Most IoT servers have none.
+  std::optional<x509::OcspResponse> stapled_response;
+
+  /// Server-side ciphersuite preference, first match wins against the
+  /// client's proposal order is NOT used — like most deployed servers the
+  /// sim honours its own order (§B.7 discusses clients relying on servers
+  /// that honour *client* order; both policies are available).
+  std::vector<std::uint16_t> supported_suites = {
+      0xc02f, 0xc030, 0xc02b, 0xc02c, 0xcca8, 0x009c, 0x009d,
+      0xc013, 0xc014, 0x002f, 0x0035, 0x000a};
+
+  /// True: pick the first *client*-proposed suite the server supports
+  /// (the behaviour §B.7's lowest-vulnerable-index metric assumes).
+  bool honor_client_order = false;
+
+  const std::vector<x509::Certificate>& chain_for(VantagePoint v) const;
+
+  /// Negotiate a suite for a proposal list; 0 when no overlap.
+  std::uint16_t negotiate(const std::vector<std::uint16_t>& client_suites) const;
+
+  /// Leaf certificate at a vantage (nullptr when the chain is empty).
+  const x509::Certificate* leaf(VantagePoint v) const;
+};
+
+}  // namespace iotls::net

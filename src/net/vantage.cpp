@@ -1,0 +1,14 @@
+#include "net/vantage.hpp"
+
+namespace iotls::net {
+
+std::string vantage_name(VantagePoint v) {
+  switch (v) {
+    case VantagePoint::kNewYork: return "New York";
+    case VantagePoint::kFrankfurt: return "Frankfurt";
+    case VantagePoint::kSingapore: return "Singapore";
+  }
+  return "?";
+}
+
+}  // namespace iotls::net

@@ -1,0 +1,16 @@
+// Probing vantage points (§5.1: New York, Frankfurt, Singapore).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace iotls::net {
+
+enum class VantagePoint { kNewYork, kFrankfurt, kSingapore };
+
+constexpr std::array<VantagePoint, 3> kAllVantagePoints = {
+    VantagePoint::kNewYork, VantagePoint::kFrankfurt, VantagePoint::kSingapore};
+
+std::string vantage_name(VantagePoint v);
+
+}  // namespace iotls::net

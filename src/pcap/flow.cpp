@@ -1,0 +1,96 @@
+#include "pcap/flow.hpp"
+
+#include <algorithm>
+
+#include "tls/record.hpp"
+#include "util/error.hpp"
+
+namespace iotls::pcap {
+
+namespace {
+
+struct PendingSegment {
+  std::uint32_t seq;
+  Bytes payload;
+  std::uint32_t ts_sec;
+};
+
+}  // namespace
+
+std::vector<Flow> reassemble_flows(const std::vector<PcapPacket>& packets) {
+  std::map<FlowKey, std::vector<PendingSegment>> by_flow;
+  for (const PcapPacket& p : packets) {
+    TcpSegment seg;
+    try {
+      seg = parse_frame(BytesView(p.frame.data(), p.frame.size()));
+    } catch (const ParseError&) {
+      continue;  // non-TCP / corrupt frames are capture noise
+    }
+    if (seg.payload.empty()) continue;  // pure ACK/SYN
+    FlowKey key{seg.src_ip, seg.dst_ip, seg.src_port, seg.dst_port};
+    by_flow[key].push_back({seg.seq, std::move(seg.payload), p.ts_sec});
+  }
+
+  std::vector<Flow> flows;
+  flows.reserve(by_flow.size());
+  for (auto& [key, segments] : by_flow) {
+    std::stable_sort(segments.begin(), segments.end(),
+                     [](const PendingSegment& a, const PendingSegment& b) {
+                       // Sequence numbers wrap; compare as signed distance.
+                       return static_cast<std::int32_t>(a.seq - b.seq) < 0;
+                     });
+    Flow flow;
+    flow.key = key;
+    flow.first_ts_sec = segments.front().ts_sec;
+    std::uint32_t expected = segments.front().seq;
+    for (const PendingSegment& seg : segments) {
+      if (seg.seq == expected) {
+        flow.stream.insert(flow.stream.end(), seg.payload.begin(), seg.payload.end());
+        expected += static_cast<std::uint32_t>(seg.payload.size());
+      } else if (static_cast<std::int32_t>(seg.seq - expected) < 0) {
+        continue;  // retransmission / duplicate
+      } else {
+        break;  // gap: stop at the contiguous prefix
+      }
+      flow.first_ts_sec = std::min(flow.first_ts_sec, seg.ts_sec);
+    }
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+std::vector<CapturedClientHello> extract_client_hellos(
+    const std::vector<PcapPacket>& packets) {
+  std::vector<CapturedClientHello> out;
+  for (const Flow& flow : reassemble_flows(packets)) {
+    std::vector<tls::Record> records;
+    try {
+      records = tls::parse_records(BytesView(flow.stream.data(), flow.stream.size()));
+    } catch (const ParseError&) {
+      continue;  // not a TLS stream
+    }
+    Bytes handshakes = tls::handshake_payload(records);
+    std::vector<tls::HandshakeMessage> msgs;
+    try {
+      msgs = tls::split_handshakes(BytesView(handshakes.data(), handshakes.size()));
+    } catch (const ParseError&) {
+      continue;
+    }
+    for (const tls::HandshakeMessage& m : msgs) {
+      if (m.type != tls::HandshakeType::kClientHello) continue;
+      Bytes framed = tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
+      try {
+        CapturedClientHello captured;
+        captured.flow = flow.key;
+        captured.ts_sec = flow.first_ts_sec;
+        captured.hello = tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
+        out.push_back(std::move(captured));
+      } catch (const ParseError&) {
+        // Malformed hello inside an otherwise valid stream: skip it.
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace iotls::pcap

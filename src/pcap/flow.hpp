@@ -1,0 +1,52 @@
+// TCP flow reassembly and TLS ClientHello extraction from captures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pcap/packet.hpp"
+#include "pcap/pcapfile.hpp"
+#include "tls/clienthello.hpp"
+
+namespace iotls::pcap {
+
+/// Direction-sensitive flow key (a TCP connection contributes two flows,
+/// one per direction).
+struct FlowKey {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+/// One reassembled unidirectional byte stream.
+struct Flow {
+  FlowKey key;
+  Bytes stream;
+  std::uint32_t first_ts_sec = 0;  // timestamp of the earliest segment
+};
+
+/// Reassemble per-direction streams from captured frames: segments are
+/// ordered by sequence number relative to the SYN (or the first segment
+/// seen), duplicates dropped. Frames that fail to parse are skipped — real
+/// captures contain non-TCP noise.
+std::vector<Flow> reassemble_flows(const std::vector<PcapPacket>& packets);
+
+/// A ClientHello recovered from a capture, with its transport context.
+struct CapturedClientHello {
+  FlowKey flow;
+  std::uint32_t ts_sec = 0;
+  tls::ClientHello hello;
+};
+
+/// Extract every well-formed ClientHello from every flow of a capture:
+/// reassemble → TLS records → handshake stream → ClientHello messages.
+/// Flows that do not carry TLS are skipped silently.
+std::vector<CapturedClientHello> extract_client_hellos(
+    const std::vector<PcapPacket>& packets);
+
+}  // namespace iotls::pcap

@@ -1,0 +1,181 @@
+#include "pcap/packet.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/reader.hpp"
+#include "util/writer.hpp"
+
+namespace iotls::pcap {
+
+namespace {
+
+constexpr std::uint16_t kEthertypeIpv4 = 0x0800;
+constexpr std::uint8_t kProtoTcp = 6;
+constexpr std::size_t kEthHeader = 14;
+constexpr std::size_t kIpv4Header = 20;  // no options
+constexpr std::size_t kTcpHeader = 20;   // no options
+
+// Sum 16-bit big-endian words with end-around carry (RFC 1071), without the
+// final complement, so callers can chain pseudo-header and segment sums.
+std::uint32_t checksum_accumulate(BytesView data, std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i]) << 8;
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return acc;
+}
+
+std::uint16_t tcp_checksum(const TcpSegment& s, BytesView tcp_bytes) {
+  // Pseudo-header: src ‖ dst ‖ 0 ‖ proto ‖ tcp length.
+  Writer pseudo;
+  pseudo.u32(s.src_ip.value);
+  pseudo.u32(s.dst_ip.value);
+  pseudo.u8(0);
+  pseudo.u8(kProtoTcp);
+  pseudo.u16(static_cast<std::uint16_t>(tcp_bytes.size()));
+  std::uint32_t acc = checksum_accumulate(
+      BytesView(pseudo.data().data(), pseudo.size()), 0);
+  acc = checksum_accumulate(tcp_bytes, acc);
+  return static_cast<std::uint16_t>(~acc & 0xffff);
+}
+
+}  // namespace
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+Ipv4Addr Ipv4Addr::from_string(const std::string& dotted) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char extra = 0;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw ParseError("invalid IPv4 address: " + dotted);
+  }
+  return Ipv4Addr{a << 24 | b << 16 | c << 8 | d};
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value >> 24, (value >> 16) & 0xff,
+                (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::uint16_t internet_checksum(BytesView data) {
+  return static_cast<std::uint16_t>(~checksum_accumulate(data, 0) & 0xffff);
+}
+
+Bytes encode_frame(const TcpSegment& s) {
+  // TCP header + payload (checksum patched after assembly).
+  Writer tcp;
+  tcp.u16(s.src_port);
+  tcp.u16(s.dst_port);
+  tcp.u32(s.seq);
+  tcp.u32(s.ack);
+  tcp.u8(static_cast<std::uint8_t>((kTcpHeader / 4) << 4));  // data offset
+  tcp.u8(s.flags);
+  tcp.u16(65535);  // window
+  tcp.u16(0);      // checksum placeholder
+  tcp.u16(0);      // urgent pointer
+  tcp.raw(BytesView(s.payload.data(), s.payload.size()));
+  Bytes tcp_bytes = tcp.take();
+  std::uint16_t tsum = tcp_checksum(s, BytesView(tcp_bytes.data(), tcp_bytes.size()));
+  tcp_bytes[16] = static_cast<std::uint8_t>(tsum >> 8);
+  tcp_bytes[17] = static_cast<std::uint8_t>(tsum);
+
+  // IPv4 header.
+  std::size_t total_len = kIpv4Header + tcp_bytes.size();
+  if (total_len > 0xffff) throw EncodeError("IPv4 total length overflow");
+  Writer ip;
+  ip.u8(0x45);  // version 4, IHL 5
+  ip.u8(0);     // DSCP/ECN
+  ip.u16(static_cast<std::uint16_t>(total_len));
+  ip.u16(0);       // identification
+  ip.u16(0x4000);  // DF
+  ip.u8(64);       // TTL
+  ip.u8(kProtoTcp);
+  ip.u16(0);  // header checksum placeholder
+  ip.u32(s.src_ip.value);
+  ip.u32(s.dst_ip.value);
+  Bytes ip_bytes = ip.take();
+  std::uint16_t isum = internet_checksum(BytesView(ip_bytes.data(), ip_bytes.size()));
+  ip_bytes[10] = static_cast<std::uint8_t>(isum >> 8);
+  ip_bytes[11] = static_cast<std::uint8_t>(isum);
+
+  // Ethernet header.
+  Writer frame;
+  frame.raw(BytesView(s.dst_mac.bytes.data(), s.dst_mac.bytes.size()));
+  frame.raw(BytesView(s.src_mac.bytes.data(), s.src_mac.bytes.size()));
+  frame.u16(kEthertypeIpv4);
+  frame.raw(BytesView(ip_bytes.data(), ip_bytes.size()));
+  frame.raw(BytesView(tcp_bytes.data(), tcp_bytes.size()));
+  return frame.take();
+}
+
+TcpSegment parse_frame(BytesView frame) {
+  Reader r(frame);
+  TcpSegment s;
+
+  // Ethernet.
+  BytesView dst = r.view(6);
+  BytesView src = r.view(6);
+  std::copy(dst.begin(), dst.end(), s.dst_mac.bytes.begin());
+  std::copy(src.begin(), src.end(), s.src_mac.bytes.begin());
+  if (r.u16() != kEthertypeIpv4) throw ParseError("frame is not IPv4");
+
+  // IPv4.
+  std::size_t ip_start = r.position();
+  std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) throw ParseError("not an IPv4 packet");
+  std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (ihl < kIpv4Header) throw ParseError("IPv4 IHL too small");
+  r.u8();  // DSCP
+  std::uint16_t total_len = r.u16();
+  if (total_len < ihl) throw ParseError("IPv4 total length < header length");
+  if (total_len > frame.size() - kEthHeader)
+    throw ParseError("IPv4 total length exceeds frame");
+  r.u16();  // identification
+  std::uint16_t flags_frag = r.u16();
+  if ((flags_frag & 0x1fff) != 0 || (flags_frag & 0x2000) != 0)
+    throw ParseError("IP fragmentation not supported");
+  r.u8();  // TTL
+  if (r.u8() != kProtoTcp) throw ParseError("IP protocol is not TCP");
+  r.u16();  // header checksum (verified over the whole header below)
+  s.src_ip.value = r.u32();
+  s.dst_ip.value = r.u32();
+  r.skip(ihl - kIpv4Header);  // IP options
+  if (internet_checksum(frame.subspan(kEthHeader, ihl)) != 0)
+    throw ParseError("bad IPv4 header checksum");
+
+  // TCP.
+  std::size_t tcp_len = total_len - ihl;
+  if (tcp_len < kTcpHeader) throw ParseError("TCP segment shorter than header");
+  BytesView tcp_bytes = frame.subspan(kEthHeader + ihl, tcp_len);
+  Reader t(tcp_bytes);
+  s.src_port = t.u16();
+  s.dst_port = t.u16();
+  s.seq = t.u32();
+  s.ack = t.u32();
+  std::size_t data_offset = static_cast<std::size_t>(t.u8() >> 4) * 4;
+  if (data_offset < kTcpHeader || data_offset > tcp_len)
+    throw ParseError("bad TCP data offset");
+  s.flags = t.u8();
+  t.u16();  // window
+  t.u16();  // checksum (verified below)
+  t.u16();  // urgent
+  s.payload = to_bytes(tcp_bytes.subspan(data_offset));
+  if (tcp_checksum(s, tcp_bytes) != 0)
+    throw ParseError("bad TCP checksum");
+
+  (void)ip_start;
+  return s;
+}
+
+}  // namespace iotls::pcap

@@ -1,0 +1,72 @@
+// Ethernet / IPv4 / TCP frame encoding and parsing with real checksums.
+//
+// The paper's underlying data is packet captures (IoT Inspector, lab pcaps,
+// Wireshark case studies). This module provides the byte-level framing so
+// the pipeline can fingerprint TLS straight out of capture files.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace iotls::pcap {
+
+/// A MAC address.
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  std::string to_string() const;  // "aa:bb:cc:dd:ee:ff"
+  friend bool operator==(const MacAddr&, const MacAddr&) = default;
+};
+
+/// An IPv4 address held in host order.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  static Ipv4Addr from_string(const std::string& dotted);  // throws ParseError
+  std::string to_string() const;
+
+  friend bool operator==(const Ipv4Addr&, const Ipv4Addr&) = default;
+  friend auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+};
+
+/// TCP flag bits.
+enum TcpFlags : std::uint8_t {
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+};
+
+/// One TCP segment with its addressing — the parsed form of an
+/// Ethernet+IPv4+TCP frame.
+struct TcpSegment {
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  Bytes payload;
+
+  friend bool operator==(const TcpSegment&, const TcpSegment&) = default;
+};
+
+/// RFC 1071 ones'-complement checksum over 16-bit words.
+std::uint16_t internet_checksum(BytesView data);
+
+/// Encode a segment as a full Ethernet frame (Ethernet ‖ IPv4 ‖ TCP ‖ payload)
+/// with valid IPv4 header and TCP checksums.
+Bytes encode_frame(const TcpSegment& segment);
+
+/// Parse a full Ethernet frame; verifies ethertype, IPv4 structure and both
+/// checksums. Throws ParseError on any violation.
+TcpSegment parse_frame(BytesView frame);
+
+}  // namespace iotls::pcap

@@ -1,0 +1,158 @@
+#include "pcap/pcapfile.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace iotls::pcap {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kLinktypeEthernet = 1;
+constexpr std::uint32_t kSnaplen = 65535;
+
+void put_le32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_le16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+class LeReader {
+ public:
+  LeReader(BytesView data, bool swapped) : data_(data), swapped_(swapped) {}
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v;
+    if (swapped_) {
+      v = static_cast<std::uint32_t>(data_[pos_]) << 24 |
+          static_cast<std::uint32_t>(data_[pos_ + 1]) << 16 |
+          static_cast<std::uint32_t>(data_[pos_ + 2]) << 8 |
+          static_cast<std::uint32_t>(data_[pos_ + 3]);
+    } else {
+      v = static_cast<std::uint32_t>(data_[pos_]) |
+          static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+          static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+          static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint16_t u16() {
+    require(2);
+    std::uint16_t v;
+    if (swapped_) {
+      v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+    } else {
+      v = static_cast<std::uint16_t>(data_[pos_] | data_[pos_ + 1] << 8);
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  Bytes bytes(std::size_t n) {
+    require(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  bool empty() const { return pos_ == data_.size(); }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw ParseError("pcap: truncated file");
+  }
+
+  BytesView data_;
+  bool swapped_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes write_pcap(const std::vector<PcapPacket>& packets) {
+  Bytes out;
+  put_le32(out, kMagic);
+  put_le16(out, 2);  // version major
+  put_le16(out, 4);  // version minor
+  put_le32(out, 0);  // thiszone
+  put_le32(out, 0);  // sigfigs
+  put_le32(out, kSnaplen);
+  put_le32(out, kLinktypeEthernet);
+  for (const PcapPacket& p : packets) {
+    if (p.frame.size() > kSnaplen) throw EncodeError("pcap: frame exceeds snaplen");
+    put_le32(out, p.ts_sec);
+    put_le32(out, p.ts_usec);
+    put_le32(out, static_cast<std::uint32_t>(p.frame.size()));  // incl_len
+    put_le32(out, static_cast<std::uint32_t>(p.frame.size()));  // orig_len
+    out.insert(out.end(), p.frame.begin(), p.frame.end());
+  }
+  return out;
+}
+
+std::vector<PcapPacket> read_pcap(BytesView file) {
+  if (file.size() < 24) throw ParseError("pcap: file shorter than global header");
+  std::uint32_t raw_magic = static_cast<std::uint32_t>(file[0]) |
+                            static_cast<std::uint32_t>(file[1]) << 8 |
+                            static_cast<std::uint32_t>(file[2]) << 16 |
+                            static_cast<std::uint32_t>(file[3]) << 24;
+  bool swapped;
+  if (raw_magic == kMagic) {
+    swapped = false;
+  } else if (raw_magic == kMagicSwapped) {
+    swapped = true;
+  } else {
+    throw ParseError("pcap: bad magic");
+  }
+
+  LeReader r(file, swapped);
+  r.u32();  // magic
+  r.u16();  // version major
+  r.u16();  // version minor
+  r.u32();  // thiszone
+  r.u32();  // sigfigs
+  r.u32();  // snaplen
+  if (r.u32() != kLinktypeEthernet)
+    throw ParseError("pcap: unsupported linktype (want Ethernet)");
+
+  std::vector<PcapPacket> out;
+  while (!r.empty()) {
+    PcapPacket p;
+    p.ts_sec = r.u32();
+    p.ts_usec = r.u32();
+    std::uint32_t incl_len = r.u32();
+    std::uint32_t orig_len = r.u32();
+    if (incl_len > orig_len) throw ParseError("pcap: incl_len > orig_len");
+    p.frame = r.bytes(incl_len);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void write_pcap_file(const std::string& path, const std::vector<PcapPacket>& packets) {
+  Bytes data = write_pcap(packets);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw EncodeError("pcap: cannot open " + path + " for writing");
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+}
+
+std::vector<PcapPacket> read_pcap_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw ParseError("pcap: cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  return read_pcap(BytesView(data.data(), data.size()));
+}
+
+}  // namespace iotls::pcap

@@ -1,0 +1,33 @@
+// libpcap classic file format (de-facto standard, magic 0xa1b2c3d4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace iotls::pcap {
+
+/// One captured packet: microsecond timestamp plus the raw frame.
+struct PcapPacket {
+  std::uint32_t ts_sec = 0;
+  std::uint32_t ts_usec = 0;
+  Bytes frame;
+
+  friend bool operator==(const PcapPacket&, const PcapPacket&) = default;
+};
+
+/// Serialize packets as a classic pcap capture (little-endian, linktype
+/// Ethernet, snaplen 65535). The output is readable by tcpdump/Wireshark.
+Bytes write_pcap(const std::vector<PcapPacket>& packets);
+
+/// Parse a classic pcap capture; accepts both byte orders. Throws ParseError
+/// on bad magic, truncation, or unsupported linktype.
+std::vector<PcapPacket> read_pcap(BytesView file);
+
+/// Convenience wrappers for on-disk captures.
+void write_pcap_file(const std::string& path, const std::vector<PcapPacket>& packets);
+std::vector<PcapPacket> read_pcap_file(const std::string& path);
+
+}  // namespace iotls::pcap

@@ -1,0 +1,80 @@
+#include "report/chart.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace iotls::report {
+
+std::string render_cdf(const std::string& label, std::vector<double> values,
+                       const std::vector<double>& thresholds) {
+  std::sort(values.begin(), values.end());
+  std::string out = label + " (n=" + std::to_string(values.size()) + ")\n";
+  for (double t : thresholds) {
+    std::size_t covered = static_cast<std::size_t>(
+        std::upper_bound(values.begin(), values.end(), t) - values.begin());
+    double ratio = values.empty() ? 0 : static_cast<double>(covered) / values.size();
+    int bar = static_cast<int>(ratio * 40);
+    char line[160];
+    std::snprintf(line, sizeof line, "  <= %5.2f : %6.2f%%  |%-40s|\n", t,
+                  ratio * 100.0, std::string(static_cast<std::size_t>(bar), '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string render_bars(const std::string& title,
+                        const std::vector<std::pair<std::string, double>>& bars,
+                        int width) {
+  double max = 0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    max = std::max(max, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::string out = title + "\n";
+  for (const auto& [label, value] : bars) {
+    int len = max > 0 ? static_cast<int>(value / max * width) : 0;
+    std::string line = "  " + label;
+    line.append(label_width - label.size(), ' ');
+    line += " | " + std::string(static_cast<std::size_t>(len), '#');
+    line += " " + fmt_double(value, 2) + "\n";
+    out += line;
+  }
+  return out;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  auto q = [&](double p) {
+    double idx = p * static_cast<double>(values.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(idx);
+    std::size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return values[lo] * (1 - frac) + values[hi] * frac;
+  };
+  s.min = values.front();
+  s.p25 = q(0.25);
+  s.median = q(0.5);
+  s.p75 = q(0.75);
+  s.max = values.back();
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+std::string render_summary(const std::string& label, const Summary& s) {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "  %-28s n=%-5zu min=%-8.1f p25=%-8.1f med=%-8.1f p75=%-8.1f "
+                "max=%-8.1f mean=%.1f\n",
+                label.c_str(), s.n, s.min, s.p25, s.median, s.p75, s.max, s.mean);
+  return line;
+}
+
+}  // namespace iotls::report

@@ -1,0 +1,31 @@
+// Text renderers for the paper's figures: CDFs, histograms, scatter
+// summaries. Benchmarks print these so every figure has a regenerable
+// console form.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iotls::report {
+
+/// Render a CDF of `values` sampled at fixed thresholds, e.g.
+///   DoC <= 0.00 : 12.3%   |#####            |
+std::string render_cdf(const std::string& label, std::vector<double> values,
+                       const std::vector<double>& thresholds);
+
+/// Render a labelled horizontal bar chart from (label, value) pairs.
+std::string render_bars(const std::string& title,
+                        const std::vector<std::pair<std::string, double>>& bars,
+                        int width = 48);
+
+/// Summarize a distribution (min / p25 / median / p75 / max / mean).
+struct Summary {
+  double min = 0, p25 = 0, median = 0, p75 = 0, max = 0, mean = 0;
+  std::size_t n = 0;
+};
+Summary summarize(std::vector<double> values);
+std::string render_summary(const std::string& label, const Summary& s);
+
+}  // namespace iotls::report

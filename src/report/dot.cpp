@@ -1,0 +1,74 @@
+#include "report/dot.hpp"
+
+#include <map>
+
+namespace iotls::report {
+
+namespace {
+
+const char* level_color(tls::SecurityLevel level) {
+  switch (level) {
+    case tls::SecurityLevel::kOptimal:
+    case tls::SecurityLevel::kSuboptimal:
+      return "#4c78c8";  // blue
+    case tls::SecurityLevel::kVulnerable:
+      return "#d62728";  // red
+    case tls::SecurityLevel::kSignalling:
+      return "#cccccc";
+  }
+  return "#cccccc";
+}
+
+/// Stable compact node id per fingerprint key.
+std::string fp_node_id(std::map<std::string, int>& ids, const std::string& key) {
+  auto it = ids.find(key);
+  if (it == ids.end()) it = ids.emplace(key, static_cast<int>(ids.size())).first;
+  return "fp" + std::to_string(it->second);
+}
+
+}  // namespace
+
+std::string vendor_fp_dot(const core::VendorFpGraph& graph) {
+  std::string out = "graph vendor_fingerprints {\n"
+                    "  layout=sfdp; overlap=prism; splines=false;\n"
+                    "  node [fontsize=8];\n";
+  for (const auto& [vendor, index] : graph.vendor_index) {
+    out += "  \"v" + std::to_string(index) + "\" [shape=box, style=filled, "
+           "fillcolor=white, label=\"" + std::to_string(index) + "\"];\n";
+  }
+  std::map<std::string, int> fp_ids;
+  for (const auto& [key, level] : graph.fp_level) {
+    out += "  \"" + fp_node_id(fp_ids, key) + "\" [shape=circle, style=filled, "
+           "label=\"\", fillcolor=\"" + level_color(level) + "\"];\n";
+  }
+  for (const auto& [vendor, key] : graph.edges) {
+    int index = graph.vendor_index.at(vendor);
+    out += "  \"v" + std::to_string(index) + "\" -- \"" + fp_node_id(fp_ids, key) +
+           "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string type_cluster_dot(const core::TypeClusterStats& stats) {
+  std::string out = "graph type_clusters {\n"
+                    "  layout=sfdp; overlap=prism;\n"
+                    "  node [fontsize=8];\n";
+  std::map<std::string, int> fp_ids;
+  int type_id = 0;
+  for (const auto& [type, fps] : stats.type_fps) {
+    std::string tnode = "t" + std::to_string(type_id++);
+    out += "  \"" + tnode + "\" [shape=box, style=filled, fillcolor=white, label=\"" +
+           type + "\"];\n";
+    for (const std::string& key : fps) {
+      std::string fnode = fp_node_id(fp_ids, key);
+      out += "  \"" + fnode + "\" [shape=circle, label=\"\", style=filled, "
+             "fillcolor=\"#9ecae1\"];\n";
+      out += "  \"" + tnode + "\" -- \"" + fnode + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace iotls::report

@@ -1,0 +1,19 @@
+// Graphviz DOT export for the paper's graph figures (Figs. 1, 3, 4).
+#pragma once
+
+#include <string>
+
+#include "core/device_metrics.hpp"
+#include "core/vendor_metrics.hpp"
+
+namespace iotls::report {
+
+/// Fig. 1: the vendor–fingerprint bipartite graph. Vendor nodes are white
+/// boxes labelled with their Table-13 index; fingerprint nodes are coloured
+/// by security level (blue = optimal/suboptimal, orange/red = vulnerable).
+std::string vendor_fp_dot(const core::VendorFpGraph& graph);
+
+/// Fig. 3: device types of one vendor against their fingerprints.
+std::string type_cluster_dot(const core::TypeClusterStats& stats);
+
+}  // namespace iotls::report

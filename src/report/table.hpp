@@ -1,0 +1,29 @@
+// Fixed-width text table renderer for the benchmark harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotls::report {
+
+/// A simple console table: headers plus rows, rendered with column widths
+/// fitted to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns and a header separator.
+  std::string render() const;
+
+  /// Render as CSV (quoting cells containing commas/quotes).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iotls::report

@@ -1,0 +1,402 @@
+#include "tls/ciphersuite.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "tls/grease.hpp"
+
+namespace iotls::tls {
+
+namespace {
+
+using KA = KexAuth;
+using C = Cipher;
+using M = Mac;
+
+struct Entry {
+  std::uint16_t code;
+  const char* name;
+  KA kex_auth;
+  C cipher;
+  M mac;
+};
+
+// A representative slice of the IANA registry: every family the paper's
+// dataset exercises (modern browser suites, legacy RSA/DHE CBC, export and
+// anonymous suites, KRB5, PSK, Camellia/SEED, ECDH(E) with RC4/3DES, CCM,
+// ChaCha) plus the two SCSVs.
+constexpr Entry kRegistry[] = {
+    {0x0000, "TLS_NULL_WITH_NULL_NULL", KA::kNull, C::kNull, M::kNull},
+    {0x0001, "TLS_RSA_WITH_NULL_MD5", KA::kRsa, C::kNull, M::kMd5},
+    {0x0002, "TLS_RSA_WITH_NULL_SHA", KA::kRsa, C::kNull, M::kSha1},
+    {0x0003, "TLS_RSA_EXPORT_WITH_RC4_40_MD5", KA::kRsaExport, C::kRc4_40, M::kMd5},
+    {0x0004, "TLS_RSA_WITH_RC4_128_MD5", KA::kRsa, C::kRc4_128, M::kMd5},
+    {0x0005, "TLS_RSA_WITH_RC4_128_SHA", KA::kRsa, C::kRc4_128, M::kSha1},
+    {0x0006, "TLS_RSA_EXPORT_WITH_RC2_CBC_40_MD5", KA::kRsaExport, C::kRc2Cbc40, M::kMd5},
+    {0x0007, "TLS_RSA_WITH_IDEA_CBC_SHA", KA::kRsa, C::kIdeaCbc, M::kSha1},
+    {0x0008, "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA", KA::kRsaExport, C::kDes40Cbc, M::kSha1},
+    {0x0009, "TLS_RSA_WITH_DES_CBC_SHA", KA::kRsa, C::kDesCbc, M::kSha1},
+    {0x000a, "TLS_RSA_WITH_3DES_EDE_CBC_SHA", KA::kRsa, C::kTripleDesEdeCbc, M::kSha1},
+    {0x0011, "TLS_DHE_DSS_EXPORT_WITH_DES40_CBC_SHA", KA::kDhExport, C::kDes40Cbc, M::kSha1},
+    {0x0012, "TLS_DHE_DSS_WITH_DES_CBC_SHA", KA::kDhe, C::kDesCbc, M::kSha1},
+    {0x0013, "TLS_DHE_DSS_WITH_3DES_EDE_CBC_SHA", KA::kDhe, C::kTripleDesEdeCbc, M::kSha1},
+    {0x0014, "TLS_DHE_RSA_EXPORT_WITH_DES40_CBC_SHA", KA::kDhExport, C::kDes40Cbc, M::kSha1},
+    {0x0015, "TLS_DHE_RSA_WITH_DES_CBC_SHA", KA::kDhe, C::kDesCbc, M::kSha1},
+    {0x0016, "TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA", KA::kDhe, C::kTripleDesEdeCbc, M::kSha1},
+    {0x0017, "TLS_DH_anon_EXPORT_WITH_RC4_40_MD5", KA::kDhAnon, C::kRc4_40, M::kMd5},
+    {0x0018, "TLS_DH_anon_WITH_RC4_128_MD5", KA::kDhAnon, C::kRc4_128, M::kMd5},
+    {0x0019, "TLS_DH_anon_EXPORT_WITH_DES40_CBC_SHA", KA::kDhAnon, C::kDes40Cbc, M::kSha1},
+    {0x001a, "TLS_DH_anon_WITH_DES_CBC_SHA", KA::kDhAnon, C::kDesCbc, M::kSha1},
+    {0x001b, "TLS_DH_anon_WITH_3DES_EDE_CBC_SHA", KA::kDhAnon, C::kTripleDesEdeCbc, M::kSha1},
+    {0x001e, "TLS_KRB5_WITH_DES_CBC_SHA", KA::kKrb5, C::kDesCbc, M::kSha1},
+    {0x001f, "TLS_KRB5_WITH_3DES_EDE_CBC_SHA", KA::kKrb5, C::kTripleDesEdeCbc, M::kSha1},
+    {0x0020, "TLS_KRB5_WITH_RC4_128_SHA", KA::kKrb5, C::kRc4_128, M::kSha1},
+    {0x0022, "TLS_KRB5_WITH_DES_CBC_MD5", KA::kKrb5, C::kDesCbc, M::kMd5},
+    {0x0023, "TLS_KRB5_WITH_3DES_EDE_CBC_MD5", KA::kKrb5, C::kTripleDesEdeCbc, M::kMd5},
+    {0x0024, "TLS_KRB5_WITH_RC4_128_MD5", KA::kKrb5, C::kRc4_128, M::kMd5},
+    {0x0026, "TLS_KRB5_EXPORT_WITH_DES_CBC_40_SHA", KA::kKrb5Export, C::kDes40Cbc, M::kSha1},
+    {0x0027, "TLS_KRB5_EXPORT_WITH_RC2_CBC_40_SHA", KA::kKrb5Export, C::kRc2Cbc40, M::kSha1},
+    {0x0028, "TLS_KRB5_EXPORT_WITH_RC4_40_SHA", KA::kKrb5Export, C::kRc4_40, M::kSha1},
+    {0x0029, "TLS_KRB5_EXPORT_WITH_DES_CBC_40_MD5", KA::kKrb5Export, C::kDes40Cbc, M::kMd5},
+    {0x002a, "TLS_KRB5_EXPORT_WITH_RC2_CBC_40_MD5", KA::kKrb5Export, C::kRc2Cbc40, M::kMd5},
+    {0x002b, "TLS_KRB5_EXPORT_WITH_RC4_40_MD5", KA::kKrb5Export, C::kRc4_40, M::kMd5},
+    {0x002f, "TLS_RSA_WITH_AES_128_CBC_SHA", KA::kRsa, C::kAes128Cbc, M::kSha1},
+    {0x0032, "TLS_DHE_DSS_WITH_AES_128_CBC_SHA", KA::kDhe, C::kAes128Cbc, M::kSha1},
+    {0x0033, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA", KA::kDhe, C::kAes128Cbc, M::kSha1},
+    {0x0034, "TLS_DH_anon_WITH_AES_128_CBC_SHA", KA::kDhAnon, C::kAes128Cbc, M::kSha1},
+    {0x0035, "TLS_RSA_WITH_AES_256_CBC_SHA", KA::kRsa, C::kAes256Cbc, M::kSha1},
+    {0x0038, "TLS_DHE_DSS_WITH_AES_256_CBC_SHA", KA::kDhe, C::kAes256Cbc, M::kSha1},
+    {0x0039, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA", KA::kDhe, C::kAes256Cbc, M::kSha1},
+    {0x003a, "TLS_DH_anon_WITH_AES_256_CBC_SHA", KA::kDhAnon, C::kAes256Cbc, M::kSha1},
+    {0x003b, "TLS_RSA_WITH_NULL_SHA256", KA::kRsa, C::kNull, M::kSha256},
+    {0x003c, "TLS_RSA_WITH_AES_128_CBC_SHA256", KA::kRsa, C::kAes128Cbc, M::kSha256},
+    {0x003d, "TLS_RSA_WITH_AES_256_CBC_SHA256", KA::kRsa, C::kAes256Cbc, M::kSha256},
+    {0x0040, "TLS_DHE_DSS_WITH_AES_128_CBC_SHA256", KA::kDhe, C::kAes128Cbc, M::kSha256},
+    {0x0041, "TLS_RSA_WITH_CAMELLIA_128_CBC_SHA", KA::kRsa, C::kCamellia128Cbc, M::kSha1},
+    {0x0044, "TLS_DHE_DSS_WITH_CAMELLIA_128_CBC_SHA", KA::kDhe, C::kCamellia128Cbc, M::kSha1},
+    {0x0045, "TLS_DHE_RSA_WITH_CAMELLIA_128_CBC_SHA", KA::kDhe, C::kCamellia128Cbc, M::kSha1},
+    {0x0067, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA256", KA::kDhe, C::kAes128Cbc, M::kSha256},
+    {0x006a, "TLS_DHE_DSS_WITH_AES_256_CBC_SHA256", KA::kDhe, C::kAes256Cbc, M::kSha256},
+    {0x006b, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA256", KA::kDhe, C::kAes256Cbc, M::kSha256},
+    {0x006c, "TLS_DH_anon_WITH_AES_128_CBC_SHA256", KA::kDhAnon, C::kAes128Cbc, M::kSha256},
+    {0x006d, "TLS_DH_anon_WITH_AES_256_CBC_SHA256", KA::kDhAnon, C::kAes256Cbc, M::kSha256},
+    {0x0084, "TLS_RSA_WITH_CAMELLIA_256_CBC_SHA", KA::kRsa, C::kCamellia256Cbc, M::kSha1},
+    {0x0087, "TLS_DHE_DSS_WITH_CAMELLIA_256_CBC_SHA", KA::kDhe, C::kCamellia256Cbc, M::kSha1},
+    {0x0088, "TLS_DHE_RSA_WITH_CAMELLIA_256_CBC_SHA", KA::kDhe, C::kCamellia256Cbc, M::kSha1},
+    {0x008c, "TLS_PSK_WITH_AES_128_CBC_SHA", KA::kPsk, C::kAes128Cbc, M::kSha1},
+    {0x008d, "TLS_PSK_WITH_AES_256_CBC_SHA", KA::kPsk, C::kAes256Cbc, M::kSha1},
+    {0x0096, "TLS_RSA_WITH_SEED_CBC_SHA", KA::kRsa, C::kSeedCbc, M::kSha1},
+    {0x009c, "TLS_RSA_WITH_AES_128_GCM_SHA256", KA::kRsa, C::kAes128Gcm, M::kAead},
+    {0x009d, "TLS_RSA_WITH_AES_256_GCM_SHA384", KA::kRsa, C::kAes256Gcm, M::kAead},
+    {0x009e, "TLS_DHE_RSA_WITH_AES_128_GCM_SHA256", KA::kDhe, C::kAes128Gcm, M::kAead},
+    {0x009f, "TLS_DHE_RSA_WITH_AES_256_GCM_SHA384", KA::kDhe, C::kAes256Gcm, M::kAead},
+    {0x00a2, "TLS_DHE_DSS_WITH_AES_128_GCM_SHA256", KA::kDhe, C::kAes128Gcm, M::kAead},
+    {0x00a3, "TLS_DHE_DSS_WITH_AES_256_GCM_SHA384", KA::kDhe, C::kAes256Gcm, M::kAead},
+    {0x00a6, "TLS_DH_anon_WITH_AES_128_GCM_SHA256", KA::kDhAnon, C::kAes128Gcm, M::kAead},
+    {0x00a7, "TLS_DH_anon_WITH_AES_256_GCM_SHA384", KA::kDhAnon, C::kAes256Gcm, M::kAead},
+    {0x00ae, "TLS_PSK_WITH_AES_128_CBC_SHA256", KA::kPsk, C::kAes128Cbc, M::kSha256},
+    {0x00ff, "TLS_EMPTY_RENEGOTIATION_INFO_SCSV", KA::kNull, C::kNull, M::kNull},
+    {0x1301, "TLS_AES_128_GCM_SHA256", KA::kTls13, C::kAes128Gcm, M::kAead},
+    {0x1302, "TLS_AES_256_GCM_SHA384", KA::kTls13, C::kAes256Gcm, M::kAead},
+    {0x1303, "TLS_CHACHA20_POLY1305_SHA256", KA::kTls13, C::kChaCha20Poly1305, M::kAead},
+    {0x1304, "TLS_AES_128_CCM_SHA256", KA::kTls13, C::kAes128Ccm, M::kAead},
+    {0x1305, "TLS_AES_128_CCM_8_SHA256", KA::kTls13, C::kAes128Ccm8, M::kAead},
+    {0x5600, "TLS_FALLBACK_SCSV", KA::kNull, C::kNull, M::kNull},
+    {0xc002, "TLS_ECDH_ECDSA_WITH_RC4_128_SHA", KA::kEcdh, C::kRc4_128, M::kSha1},
+    {0xc003, "TLS_ECDH_ECDSA_WITH_3DES_EDE_CBC_SHA", KA::kEcdh, C::kTripleDesEdeCbc, M::kSha1},
+    {0xc004, "TLS_ECDH_ECDSA_WITH_AES_128_CBC_SHA", KA::kEcdh, C::kAes128Cbc, M::kSha1},
+    {0xc005, "TLS_ECDH_ECDSA_WITH_AES_256_CBC_SHA", KA::kEcdh, C::kAes256Cbc, M::kSha1},
+    {0xc007, "TLS_ECDHE_ECDSA_WITH_RC4_128_SHA", KA::kEcdhe, C::kRc4_128, M::kSha1},
+    {0xc008, "TLS_ECDHE_ECDSA_WITH_3DES_EDE_CBC_SHA", KA::kEcdhe, C::kTripleDesEdeCbc, M::kSha1},
+    {0xc009, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA", KA::kEcdhe, C::kAes128Cbc, M::kSha1},
+    {0xc00a, "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA", KA::kEcdhe, C::kAes256Cbc, M::kSha1},
+    {0xc00c, "TLS_ECDH_RSA_WITH_RC4_128_SHA", KA::kEcdh, C::kRc4_128, M::kSha1},
+    {0xc00d, "TLS_ECDH_RSA_WITH_3DES_EDE_CBC_SHA", KA::kEcdh, C::kTripleDesEdeCbc, M::kSha1},
+    {0xc00e, "TLS_ECDH_RSA_WITH_AES_128_CBC_SHA", KA::kEcdh, C::kAes128Cbc, M::kSha1},
+    {0xc00f, "TLS_ECDH_RSA_WITH_AES_256_CBC_SHA", KA::kEcdh, C::kAes256Cbc, M::kSha1},
+    {0xc011, "TLS_ECDHE_RSA_WITH_RC4_128_SHA", KA::kEcdhe, C::kRc4_128, M::kSha1},
+    {0xc012, "TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA", KA::kEcdhe, C::kTripleDesEdeCbc, M::kSha1},
+    {0xc013, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA", KA::kEcdhe, C::kAes128Cbc, M::kSha1},
+    {0xc014, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA", KA::kEcdhe, C::kAes256Cbc, M::kSha1},
+    {0xc015, "TLS_ECDH_anon_WITH_NULL_SHA", KA::kEcdhAnon, C::kNull, M::kSha1},
+    {0xc016, "TLS_ECDH_anon_WITH_RC4_128_SHA", KA::kEcdhAnon, C::kRc4_128, M::kSha1},
+    {0xc017, "TLS_ECDH_anon_WITH_3DES_EDE_CBC_SHA", KA::kEcdhAnon, C::kTripleDesEdeCbc, M::kSha1},
+    {0xc018, "TLS_ECDH_anon_WITH_AES_128_CBC_SHA", KA::kEcdhAnon, C::kAes128Cbc, M::kSha1},
+    {0xc019, "TLS_ECDH_anon_WITH_AES_256_CBC_SHA", KA::kEcdhAnon, C::kAes256Cbc, M::kSha1},
+    {0xc023, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256", KA::kEcdhe, C::kAes128Cbc, M::kSha256},
+    {0xc024, "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA384", KA::kEcdhe, C::kAes256Cbc, M::kSha384},
+    {0xc025, "TLS_ECDH_ECDSA_WITH_AES_128_CBC_SHA256", KA::kEcdh, C::kAes128Cbc, M::kSha256},
+    {0xc026, "TLS_ECDH_ECDSA_WITH_AES_256_CBC_SHA384", KA::kEcdh, C::kAes256Cbc, M::kSha384},
+    {0xc027, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256", KA::kEcdhe, C::kAes128Cbc, M::kSha256},
+    {0xc028, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384", KA::kEcdhe, C::kAes256Cbc, M::kSha384},
+    {0xc029, "TLS_ECDH_RSA_WITH_AES_128_CBC_SHA256", KA::kEcdh, C::kAes128Cbc, M::kSha256},
+    {0xc02a, "TLS_ECDH_RSA_WITH_AES_256_CBC_SHA384", KA::kEcdh, C::kAes256Cbc, M::kSha384},
+    {0xc02b, "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", KA::kEcdhe, C::kAes128Gcm, M::kAead},
+    {0xc02c, "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384", KA::kEcdhe, C::kAes256Gcm, M::kAead},
+    {0xc02d, "TLS_ECDH_ECDSA_WITH_AES_128_GCM_SHA256", KA::kEcdh, C::kAes128Gcm, M::kAead},
+    {0xc02e, "TLS_ECDH_ECDSA_WITH_AES_256_GCM_SHA384", KA::kEcdh, C::kAes256Gcm, M::kAead},
+    {0xc02f, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", KA::kEcdhe, C::kAes128Gcm, M::kAead},
+    {0xc030, "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384", KA::kEcdhe, C::kAes256Gcm, M::kAead},
+    {0xc031, "TLS_ECDH_RSA_WITH_AES_128_GCM_SHA256", KA::kEcdh, C::kAes128Gcm, M::kAead},
+    {0xc032, "TLS_ECDH_RSA_WITH_AES_256_GCM_SHA384", KA::kEcdh, C::kAes256Gcm, M::kAead},
+    {0xc035, "TLS_ECDHE_PSK_WITH_AES_128_CBC_SHA", KA::kEcdhePsk, C::kAes128Cbc, M::kSha1},
+    {0xc036, "TLS_ECDHE_PSK_WITH_AES_256_CBC_SHA", KA::kEcdhePsk, C::kAes256Cbc, M::kSha1},
+    {0xc09c, "TLS_RSA_WITH_AES_128_CCM", KA::kRsa, C::kAes128Ccm, M::kAead},
+    {0xc09d, "TLS_RSA_WITH_AES_256_CCM", KA::kRsa, C::kAes256Ccm, M::kAead},
+    {0xc09e, "TLS_DHE_RSA_WITH_AES_128_CCM", KA::kDhe, C::kAes128Ccm, M::kAead},
+    {0xc09f, "TLS_DHE_RSA_WITH_AES_256_CCM", KA::kDhe, C::kAes256Ccm, M::kAead},
+    {0xc0ac, "TLS_ECDHE_ECDSA_WITH_AES_128_CCM", KA::kEcdhe, C::kAes128Ccm, M::kAead},
+    {0xc0ad, "TLS_ECDHE_ECDSA_WITH_AES_256_CCM", KA::kEcdhe, C::kAes256Ccm, M::kAead},
+    {0xc0ae, "TLS_ECDHE_ECDSA_WITH_AES_128_CCM_8", KA::kEcdhe, C::kAes128Ccm8, M::kAead},
+    {0xcca8, "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256", KA::kEcdhe, C::kChaCha20Poly1305, M::kAead},
+    {0xcca9, "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256", KA::kEcdhe, C::kChaCha20Poly1305, M::kAead},
+    {0xccaa, "TLS_DHE_RSA_WITH_CHACHA20_POLY1305_SHA256", KA::kDhe, C::kChaCha20Poly1305, M::kAead},
+    {0xccab, "TLS_PSK_WITH_CHACHA20_POLY1305_SHA256", KA::kPsk, C::kChaCha20Poly1305, M::kAead},
+    {0xccac, "TLS_ECDHE_PSK_WITH_CHACHA20_POLY1305_SHA256", KA::kEcdhePsk, C::kChaCha20Poly1305, M::kAead},
+};
+
+const std::map<std::uint16_t, const Entry*>& registry_index() {
+  static const auto* index = [] {
+    auto* m = new std::map<std::uint16_t, const Entry*>();
+    for (const Entry& e : kRegistry) (*m)[e.code] = &e;
+    return m;
+  }();
+  return *index;
+}
+
+}  // namespace
+
+CipherSuiteInfo suite_info(std::uint16_t code) {
+  CipherSuiteInfo info;
+  info.code = code;
+  if (is_grease(code)) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "GREASE_0x%04x", code);
+    info.name = buf;
+    info.is_scsv = true;  // signalling-only, like the SCSVs
+    return info;
+  }
+  auto it = registry_index().find(code);
+  if (it == registry_index().end()) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "UNKNOWN_0x%04x", code);
+    info.name = buf;
+    return info;
+  }
+  const Entry& e = *it->second;
+  info.name = e.name;
+  info.kex_auth = e.kex_auth;
+  info.cipher = e.cipher;
+  info.mac = e.mac;
+  info.is_scsv = (code == kEmptyRenegotiationInfoScsv || code == kFallbackScsv);
+  return info;
+}
+
+bool is_registered_suite(std::uint16_t code) {
+  return registry_index().count(code) > 0;
+}
+
+std::vector<std::uint16_t> all_registered_suites() {
+  std::vector<std::uint16_t> out;
+  out.reserve(registry_index().size());
+  for (const auto& [code, entry] : registry_index()) out.push_back(code);
+  return out;
+}
+
+std::string kex_auth_name(KexAuth k) {
+  switch (k) {
+    case KA::kNull: return "NULL";
+    case KA::kRsa: return "RSA";
+    case KA::kRsaExport: return "RSA_EXPORT";
+    case KA::kDh: return "DH";
+    case KA::kDhe: return "DHE";
+    case KA::kDhExport: return "DHE_EXPORT";
+    case KA::kDhAnon: return "DH_ANON";
+    case KA::kEcdh: return "ECDH";
+    case KA::kEcdhe: return "ECDHE";
+    case KA::kEcdhAnon: return "ECDH_ANON";
+    case KA::kKrb5: return "KRB5";
+    case KA::kKrb5Export: return "KRB5_EXPORT";
+    case KA::kPsk: return "PSK";
+    case KA::kDhePsk: return "DHE_PSK";
+    case KA::kEcdhePsk: return "ECDHE_PSK";
+    case KA::kRsaPsk: return "RSA_PSK";
+    case KA::kSrp: return "SRP";
+    case KA::kTls13: return "TLS13";
+  }
+  return "?";
+}
+
+std::string cipher_name(Cipher c) {
+  switch (c) {
+    case C::kNull: return "NULL";
+    case C::kRc2Cbc40: return "RC2_CBC_40";
+    case C::kRc4_40: return "RC4_40";
+    case C::kRc4_128: return "RC4_128";
+    case C::kDes40Cbc: return "DES40_CBC";
+    case C::kDesCbc: return "DES_CBC";
+    case C::kTripleDesEdeCbc: return "3DES_EDE_CBC";
+    case C::kIdeaCbc: return "IDEA_CBC";
+    case C::kSeedCbc: return "SEED_CBC";
+    case C::kAes128Cbc: return "AES_128_CBC";
+    case C::kAes256Cbc: return "AES_256_CBC";
+    case C::kAes128Gcm: return "AES_128_GCM";
+    case C::kAes256Gcm: return "AES_256_GCM";
+    case C::kAes128Ccm: return "AES_128_CCM";
+    case C::kAes128Ccm8: return "AES_128_CCM_8";
+    case C::kAes256Ccm: return "AES_256_CCM";
+    case C::kCamellia128Cbc: return "CAMELLIA_128_CBC";
+    case C::kCamellia256Cbc: return "CAMELLIA_256_CBC";
+    case C::kChaCha20Poly1305: return "CHACHA20_POLY1305";
+  }
+  return "?";
+}
+
+std::string mac_name(Mac m) {
+  switch (m) {
+    case M::kNull: return "NULL";
+    case M::kMd5: return "MD5";
+    case M::kSha1: return "SHA";
+    case M::kSha256: return "SHA256";
+    case M::kSha384: return "SHA384";
+    case M::kAead: return "AEAD";
+  }
+  return "?";
+}
+
+std::string security_level_name(SecurityLevel s) {
+  switch (s) {
+    case SecurityLevel::kOptimal: return "optimal";
+    case SecurityLevel::kSuboptimal: return "suboptimal";
+    case SecurityLevel::kVulnerable: return "vulnerable";
+    case SecurityLevel::kSignalling: return "signalling";
+  }
+  return "?";
+}
+
+bool is_pfs(KexAuth k) {
+  switch (k) {
+    case KA::kDhe:
+    case KA::kEcdhe:
+    case KA::kDhePsk:
+    case KA::kEcdhePsk:
+    case KA::kTls13:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_anon(KexAuth k) { return k == KA::kDhAnon || k == KA::kEcdhAnon; }
+
+bool is_export_grade(const CipherSuiteInfo& s) {
+  switch (s.kex_auth) {
+    case KA::kRsaExport:
+    case KA::kDhExport:
+    case KA::kKrb5Export:
+      return true;
+    default:
+      break;
+  }
+  switch (s.cipher) {
+    case C::kRc2Cbc40:
+    case C::kRc4_40:
+    case C::kDes40Cbc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+SecurityLevel classify_suite(const CipherSuiteInfo& s) {
+  if (s.is_scsv) return SecurityLevel::kSignalling;
+  // Vulnerable rules (§4.2): anon kex, export grade, NULL/RC2/RC4/DES/3DES.
+  if (is_anon(s.kex_auth) || is_export_grade(s)) return SecurityLevel::kVulnerable;
+  switch (s.cipher) {
+    case C::kNull:
+    case C::kRc2Cbc40:
+    case C::kRc4_40:
+    case C::kRc4_128:
+    case C::kDes40Cbc:
+    case C::kDesCbc:
+    case C::kTripleDesEdeCbc:
+      return SecurityLevel::kVulnerable;
+    default:
+      break;
+  }
+  // Optimal: the modern-browser set — TLS 1.3 suites and ECDHE paired with
+  // an AEAD (AES-GCM or ChaCha20-Poly1305).
+  bool aead_modern = s.cipher == C::kAes128Gcm || s.cipher == C::kAes256Gcm ||
+                     s.cipher == C::kChaCha20Poly1305;
+  if (s.kex_auth == KA::kTls13) return SecurityLevel::kOptimal;
+  if (s.kex_auth == KA::kEcdhe && aead_modern) return SecurityLevel::kOptimal;
+  return SecurityLevel::kSuboptimal;
+}
+
+SecurityLevel classify_suite(std::uint16_t code) {
+  return classify_suite(suite_info(code));
+}
+
+std::vector<std::string> vulnerable_components(const CipherSuiteInfo& s) {
+  std::vector<std::string> tags;
+  if (s.is_scsv) return tags;
+  if (is_anon(s.kex_auth)) tags.push_back("ANON");
+  if (is_export_grade(s)) tags.push_back("EXPORT");
+  switch (s.cipher) {
+    case C::kNull: tags.push_back("NULL"); break;
+    case C::kRc2Cbc40: tags.push_back("RC2"); break;
+    case C::kRc4_40:
+    case C::kRc4_128: tags.push_back("RC4"); break;
+    case C::kDes40Cbc:
+    case C::kDesCbc: tags.push_back("DES"); break;
+    case C::kTripleDesEdeCbc: tags.push_back("3DES"); break;
+    default: break;
+  }
+  return tags;
+}
+
+SecurityLevel classify_suite_list(const std::vector<std::uint16_t>& codes) {
+  bool any = false;
+  bool any_vulnerable = false;
+  bool all_optimal = true;
+  for (std::uint16_t code : codes) {
+    CipherSuiteInfo info = suite_info(code);
+    SecurityLevel level = classify_suite(info);
+    if (level == SecurityLevel::kSignalling) continue;
+    any = true;
+    if (level == SecurityLevel::kVulnerable) any_vulnerable = true;
+    if (level != SecurityLevel::kOptimal) all_optimal = false;
+  }
+  if (!any) return SecurityLevel::kSuboptimal;
+  if (any_vulnerable) return SecurityLevel::kVulnerable;
+  return all_optimal ? SecurityLevel::kOptimal : SecurityLevel::kSuboptimal;
+}
+
+std::vector<std::string> list_vulnerable_components(
+    const std::vector<std::uint16_t>& codes) {
+  std::set<std::string> tags;
+  for (std::uint16_t code : codes) {
+    for (auto& t : vulnerable_components(suite_info(code))) tags.insert(t);
+  }
+  return std::vector<std::string>(tags.begin(), tags.end());
+}
+
+bool similar_cipher(Cipher a, Cipher b) {
+  if (a == b) return true;
+  auto pair_match = [&](Cipher x, Cipher y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  return pair_match(C::kAes128Cbc, C::kAes256Cbc) ||
+         pair_match(C::kAes128Gcm, C::kAes256Gcm) ||
+         pair_match(C::kAes128Ccm, C::kAes256Ccm) ||
+         pair_match(C::kCamellia128Cbc, C::kCamellia256Cbc);
+}
+
+bool similar_mac(Mac a, Mac b) {
+  if (a == b) return true;
+  return (a == M::kSha256 && b == M::kSha384) || (a == M::kSha384 && b == M::kSha256);
+}
+
+}  // namespace iotls::tls

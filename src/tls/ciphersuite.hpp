@@ -1,0 +1,138 @@
+// IANA ciphersuite registry with component decomposition and the paper's
+// three-level security classification (§4.2).
+//
+// Each suite decomposes into {key exchange + authentication, cipher, MAC},
+// the three components the paper analyses separately (Fig. 12, App. B.8).
+// Classification rules follow §4.2:
+//   Vulnerable — anonymous key exchange, export-grade, NULL encryption,
+//                RC2/RC4, DES and 3DES. (MD5/SHA-1 as a MAC is NOT counted
+//                as vulnerable, per the paper's footnote.)
+//   Optimal    — equivalent to a modern browser: TLS 1.3 suites and
+//                ECDHE + AES-GCM / ChaCha20-Poly1305 (Chromium's secure set).
+//   Suboptimal — everything else (non-PFS RSA key transport, CBC modes,
+//                PSK, Camellia/SEED/IDEA, ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iotls::tls {
+
+/// Combined key-exchange + authentication component (Fig. 12 x-axis).
+enum class KexAuth : std::uint8_t {
+  kNull,
+  kRsa,          // RSA key transport (non-PFS)
+  kRsaExport,
+  kDh,           // static DH (non-PFS)
+  kDhe,          // DHE_RSA / DHE_DSS (PFS)
+  kDhExport,
+  kDhAnon,
+  kEcdh,         // static ECDH (non-PFS)
+  kEcdhe,        // ECDHE_RSA / ECDHE_ECDSA (PFS)
+  kEcdhAnon,
+  kKrb5,
+  kKrb5Export,
+  kPsk,
+  kDhePsk,
+  kEcdhePsk,
+  kRsaPsk,
+  kSrp,
+  kTls13,        // TLS 1.3 suites: kex negotiated separately, always PFS
+};
+
+/// Bulk cipher component.
+enum class Cipher : std::uint8_t {
+  kNull,
+  kRc2Cbc40,
+  kRc4_40,
+  kRc4_128,
+  kDes40Cbc,
+  kDesCbc,
+  kTripleDesEdeCbc,
+  kIdeaCbc,
+  kSeedCbc,
+  kAes128Cbc,
+  kAes256Cbc,
+  kAes128Gcm,
+  kAes256Gcm,
+  kAes128Ccm,
+  kAes128Ccm8,
+  kAes256Ccm,
+  kCamellia128Cbc,
+  kCamellia256Cbc,
+  kChaCha20Poly1305,
+};
+
+/// MAC component ("AEAD" for GCM/CCM/ChaCha suites).
+enum class Mac : std::uint8_t { kNull, kMd5, kSha1, kSha256, kSha384, kAead };
+
+/// The paper's three security levels plus a bucket for signalling values
+/// (SCSVs, GREASE) which carry no algorithms.
+enum class SecurityLevel : std::uint8_t {
+  kOptimal,
+  kSuboptimal,
+  kVulnerable,
+  kSignalling,
+};
+
+/// One registry entry.
+struct CipherSuiteInfo {
+  std::uint16_t code = 0;
+  std::string name;
+  KexAuth kex_auth = KexAuth::kNull;
+  Cipher cipher = Cipher::kNull;
+  Mac mac = Mac::kNull;
+  bool is_scsv = false;  // TLS_EMPTY_RENEGOTIATION_INFO_SCSV / TLS_FALLBACK_SCSV
+};
+
+/// Signalling code points measured by the paper.
+constexpr std::uint16_t kEmptyRenegotiationInfoScsv = 0x00ff;  // B.8 exclusion
+constexpr std::uint16_t kFallbackScsv = 0x5600;                // B.3.1
+
+/// Look up a suite by code. Unknown (but non-GREASE) codes return a
+/// synthesized "UNKNOWN_0xXXXX" entry so analysis never loses data.
+CipherSuiteInfo suite_info(std::uint16_t code);
+
+/// True if `code` is present in the built-in registry.
+bool is_registered_suite(std::uint16_t code);
+
+/// All registered codes, ascending (for property tests and sweeps).
+std::vector<std::uint16_t> all_registered_suites();
+
+/// Names of components, for report rendering.
+std::string kex_auth_name(KexAuth k);
+std::string cipher_name(Cipher c);
+std::string mac_name(Mac m);
+std::string security_level_name(SecurityLevel s);
+
+/// Component predicates used by the classification and by Fig. 9 labels.
+bool is_pfs(KexAuth k);
+bool is_anon(KexAuth k);
+bool is_export_grade(const CipherSuiteInfo& s);
+
+/// Classify one suite per §4.2 (see file header).
+SecurityLevel classify_suite(const CipherSuiteInfo& s);
+SecurityLevel classify_suite(std::uint16_t code);
+
+/// Vulnerable-component tags for a suite, e.g. {"3DES"}, {"RC4"},
+/// {"EXPORT","RC2"}; empty when the suite has no vulnerable component.
+/// These are the labels used by Table 5 / Fig. 9.
+std::vector<std::string> vulnerable_components(const CipherSuiteInfo& s);
+
+/// Classify a whole proposed list: the worst level of any member, ignoring
+/// signalling values. An empty list classifies as suboptimal.
+SecurityLevel classify_suite_list(const std::vector<std::uint16_t>& codes);
+
+/// Union of vulnerable-component tags across a proposed list (sorted,
+/// deduplicated).
+std::vector<std::string> list_vulnerable_components(
+    const std::vector<std::uint16_t>& codes);
+
+/// Two ciphers are "similar" when they differ only in key length at the same
+/// security level (App. B.2: AES_128_CBC ~ AES_256_CBC, SHA256 ~ SHA384).
+bool similar_cipher(Cipher a, Cipher b);
+bool similar_mac(Mac a, Mac b);
+
+}  // namespace iotls::tls

@@ -1,0 +1,53 @@
+#include "tls/extension.hpp"
+
+#include <cstdio>
+
+#include "tls/grease.hpp"
+
+namespace iotls::tls {
+
+std::string extension_name(std::uint16_t code) {
+  if (is_grease(code)) return "GREASE";
+  switch (static_cast<ExtensionType>(code)) {
+    case ExtensionType::kServerName: return "server_name";
+    case ExtensionType::kMaxFragmentLength: return "max_fragment_length";
+    case ExtensionType::kStatusRequest: return "status_request";
+    case ExtensionType::kSupportedGroups: return "supported_groups";
+    case ExtensionType::kEcPointFormats: return "ec_point_formats";
+    case ExtensionType::kSignatureAlgorithms: return "signature_algorithms";
+    case ExtensionType::kUseSrtp: return "use_srtp";
+    case ExtensionType::kHeartbeat: return "heartbeat";
+    case ExtensionType::kAlpn: return "application_layer_protocol_negotiation";
+    case ExtensionType::kSignedCertificateTimestamp: return "signed_certificate_timestamp";
+    case ExtensionType::kClientCertificateType: return "client_certificate_type";
+    case ExtensionType::kServerCertificateType: return "server_certificate_type";
+    case ExtensionType::kPadding: return "padding";
+    case ExtensionType::kEncryptThenMac: return "encrypt_then_mac";
+    case ExtensionType::kExtendedMasterSecret: return "extended_master_secret";
+    case ExtensionType::kCompressCertificate: return "compress_certificate";
+    case ExtensionType::kRecordSizeLimit: return "record_size_limit";
+    case ExtensionType::kSessionTicket: return "session_ticket";
+    case ExtensionType::kPreSharedKey: return "pre_shared_key";
+    case ExtensionType::kEarlyData: return "early_data";
+    case ExtensionType::kSupportedVersions: return "supported_versions";
+    case ExtensionType::kCookie: return "cookie";
+    case ExtensionType::kPskKeyExchangeModes: return "psk_key_exchange_modes";
+    case ExtensionType::kCertificateAuthorities: return "certificate_authorities";
+    case ExtensionType::kPostHandshakeAuth: return "post_handshake_auth";
+    case ExtensionType::kSignatureAlgorithmsCert: return "signature_algorithms_cert";
+    case ExtensionType::kKeyShare: return "key_share";
+    case ExtensionType::kNextProtocolNegotiation: return "next_protocol_negotiation";
+    case ExtensionType::kApplicationSettings: return "application_settings";
+    case ExtensionType::kRenegotiationInfo: return "renegotiation_info";
+  }
+  char buf[12];
+  std::snprintf(buf, sizeof buf, "ext_0x%04x", code);
+  return buf;
+}
+
+bool is_application_specific_extension(std::uint16_t code) {
+  return code == static_cast<std::uint16_t>(ExtensionType::kAlpn) ||
+         code == static_cast<std::uint16_t>(ExtensionType::kNextProtocolNegotiation);
+}
+
+}  // namespace iotls::tls

@@ -1,0 +1,50 @@
+// TLS extension type registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iotls::tls {
+
+/// Well-known ExtensionType codes (IANA "TLS ExtensionType Values").
+enum class ExtensionType : std::uint16_t {
+  kServerName = 0,
+  kMaxFragmentLength = 1,
+  kStatusRequest = 5,               // OCSP stapling request (App. B.9)
+  kSupportedGroups = 10,
+  kEcPointFormats = 11,
+  kSignatureAlgorithms = 13,
+  kUseSrtp = 14,
+  kHeartbeat = 15,
+  kAlpn = 16,                       // application-specific (App. B.3.3)
+  kSignedCertificateTimestamp = 18,
+  kClientCertificateType = 19,
+  kServerCertificateType = 20,
+  kPadding = 21,
+  kEncryptThenMac = 22,
+  kExtendedMasterSecret = 23,
+  kCompressCertificate = 27,
+  kRecordSizeLimit = 28,
+  kSessionTicket = 35,
+  kPreSharedKey = 41,
+  kEarlyData = 42,
+  kSupportedVersions = 43,
+  kCookie = 44,
+  kPskKeyExchangeModes = 45,
+  kCertificateAuthorities = 47,
+  kPostHandshakeAuth = 49,
+  kSignatureAlgorithmsCert = 50,
+  kKeyShare = 51,
+  kNextProtocolNegotiation = 0x3374,  // application-specific (App. B.3.3)
+  kApplicationSettings = 0x4469,
+  kRenegotiationInfo = 0xff01,
+};
+
+/// Name of an extension code; unknown codes render as "ext_0xXXXX";
+/// GREASE codes render as "GREASE".
+std::string extension_name(std::uint16_t code);
+
+/// Extensions the paper calls "application-specific" (ALPN / NPN, B.3.3).
+bool is_application_specific_extension(std::uint16_t code);
+
+}  // namespace iotls::tls

@@ -1,0 +1,64 @@
+#include "tls/fingerprint.hpp"
+
+#include "crypto/md5.hpp"
+#include "tls/grease.hpp"
+#include "util/rng.hpp"
+
+namespace iotls::tls {
+
+namespace {
+
+void append_list(std::string& out, const std::vector<std::uint16_t>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back('-');
+    out += std::to_string(values[i]);
+  }
+}
+
+}  // namespace
+
+std::string Fingerprint::key() const {
+  std::string out = std::to_string(version);
+  out.push_back(',');
+  append_list(out, cipher_suites);
+  out.push_back(',');
+  append_list(out, extensions);
+  return out;
+}
+
+std::string Fingerprint::ja3() const { return crypto::md5_hex(key()); }
+
+Fingerprint fingerprint_of(const ClientHello& ch, const FingerprintOptions& opts) {
+  Fingerprint fp;
+  fp.version = opts.include_version ? ch.offered_version() : 0;
+  for (std::uint16_t suite : ch.cipher_suites) {
+    if (opts.strip_grease && is_grease(suite)) continue;
+    fp.cipher_suites.push_back(suite);
+  }
+  if (opts.include_extensions) {
+    for (std::uint16_t type : ch.extension_types()) {
+      if (opts.strip_grease && is_grease(type)) continue;
+      fp.extensions.push_back(type);
+    }
+  }
+  return fp;
+}
+
+bool has_grease_ciphersuite(const ClientHello& ch) {
+  for (std::uint16_t suite : ch.cipher_suites)
+    if (is_grease(suite)) return true;
+  return false;
+}
+
+bool has_grease_extension(const ClientHello& ch) {
+  for (const Extension& e : ch.extensions)
+    if (is_grease(e.type)) return true;
+  return false;
+}
+
+}  // namespace iotls::tls
+
+std::size_t std::hash<iotls::tls::Fingerprint>::operator()(
+    const iotls::tls::Fingerprint& fp) const noexcept {
+  return static_cast<std::size_t>(iotls::fnv1a64(fp.key()));
+}

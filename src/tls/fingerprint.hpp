@@ -1,0 +1,59 @@
+// TLS client fingerprints (§4.1).
+//
+// The paper fingerprints a ClientHello as the 3-tuple
+//   {ciphersuites, extension types, TLS version}
+// because IoT Inspector does not retain full payloads. We mirror that exactly
+// and, following the JA3 convention, strip GREASE values before normalizing
+// so a GREASE-rotating client keeps one stable fingerprint (App. B.10 counts
+// GREASE presence separately).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tls/clienthello.hpp"
+
+namespace iotls::tls {
+
+/// How to build the fingerprint key; used by the fingerprint-definition
+/// ablation (DESIGN.md §5).
+struct FingerprintOptions {
+  bool strip_grease = true;
+  bool include_extensions = true;   // false: ciphersuites-only ablation
+  bool include_version = true;
+};
+
+/// A normalized client fingerprint.
+struct Fingerprint {
+  std::uint16_t version = 0;
+  std::vector<std::uint16_t> cipher_suites;  // proposal order preserved
+  std::vector<std::uint16_t> extensions;     // proposal order preserved
+
+  /// Canonical string key, e.g. "771,4865-4866-49195,0-11-10-35".
+  /// (JA3-style field layout; "-" joins list members, "," joins fields.)
+  std::string key() const;
+
+  /// MD5 of key() in hex — the JA3-style digest used as a compact id.
+  std::string ja3() const;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Extract the fingerprint of a ClientHello.
+Fingerprint fingerprint_of(const ClientHello& ch,
+                           const FingerprintOptions& opts = {});
+
+/// Fingerprint whose lists contain any GREASE value (before stripping) —
+/// inputs to the App. B.10 measurement.
+bool has_grease_ciphersuite(const ClientHello& ch);
+bool has_grease_extension(const ClientHello& ch);
+
+}  // namespace iotls::tls
+
+template <>
+struct std::hash<iotls::tls::Fingerprint> {
+  std::size_t operator()(const iotls::tls::Fingerprint& fp) const noexcept;
+};

@@ -1,0 +1,18 @@
+#include "tls/grease.hpp"
+
+namespace iotls::tls {
+
+std::vector<std::uint16_t> grease_values() {
+  std::vector<std::uint16_t> out;
+  out.reserve(16);
+  for (unsigned i = 0; i < 16; ++i) out.push_back(grease_value(i));
+  return out;
+}
+
+std::uint16_t grease_value(unsigned i) {
+  unsigned nibble = i % 16;
+  std::uint16_t b = static_cast<std::uint16_t>(nibble << 4 | 0x0a);
+  return static_cast<std::uint16_t>(b << 8 | b);
+}
+
+}  // namespace iotls::tls

@@ -1,0 +1,25 @@
+// GREASE (RFC 8701) reserved values.
+//
+// GREASE values may appear in ciphersuite lists and extension lists; the
+// paper measures their presence per device (App. B.10). Fingerprinting
+// follows the JA3 convention of stripping GREASE before normalization so a
+// client that rotates GREASE values keeps a stable fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iotls::tls {
+
+/// True for the sixteen 0xNaNa values (0x0a0a, 0x1a1a, ..., 0xfafa).
+constexpr bool is_grease(std::uint16_t v) {
+  return (v & 0x0f0f) == 0x0a0a && (v >> 8) == (v & 0xff);
+}
+
+/// All sixteen GREASE values in ascending order.
+std::vector<std::uint16_t> grease_values();
+
+/// The i-th GREASE value (i in [0,16), wraps).
+std::uint16_t grease_value(unsigned i);
+
+}  // namespace iotls::tls

@@ -1,0 +1,49 @@
+#include "tls/record.hpp"
+
+#include "util/error.hpp"
+#include "util/reader.hpp"
+#include "util/writer.hpp"
+
+namespace iotls::tls {
+
+Bytes encode_records(ContentType type, std::uint16_t version, BytesView payload) {
+  Writer w;
+  std::size_t offset = 0;
+  do {
+    std::size_t take = std::min(payload.size() - offset, kMaxFragment);
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u16(version);
+    w.u16(static_cast<std::uint16_t>(take));
+    w.raw(payload.subspan(offset, take));
+    offset += take;
+  } while (offset < payload.size());
+  return w.take();
+}
+
+std::vector<Record> parse_records(BytesView stream) {
+  std::vector<Record> out;
+  Reader r(stream);
+  while (!r.empty()) {
+    Record rec;
+    std::uint8_t type = r.u8();
+    if (type < 20 || type > 23) throw ParseError("unknown TLS record content type");
+    rec.type = static_cast<ContentType>(type);
+    rec.version = r.u16();
+    std::uint16_t len = r.u16();
+    if (len > kMaxFragment) throw ParseError("TLS record fragment exceeds 2^14");
+    rec.payload = r.bytes(len);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Bytes handshake_payload(const std::vector<Record>& records) {
+  Bytes out;
+  for (const Record& rec : records) {
+    if (rec.type != ContentType::kHandshake) continue;
+    out.insert(out.end(), rec.payload.begin(), rec.payload.end());
+  }
+  return out;
+}
+
+}  // namespace iotls::tls

@@ -1,0 +1,42 @@
+// TLS record layer (TLSPlaintext, RFC 5246 §6.2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace iotls::tls {
+
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+/// One plaintext record.
+struct Record {
+  ContentType type = ContentType::kHandshake;
+  std::uint16_t version = 0x0303;
+  Bytes payload;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// Maximum fragment size (2^14, RFC 5246).
+constexpr std::size_t kMaxFragment = 16384;
+
+/// Encode one record; payloads longer than kMaxFragment are split into
+/// multiple records of the same type.
+Bytes encode_records(ContentType type, std::uint16_t version, BytesView payload);
+
+/// Parse a byte stream into records; throws ParseError on truncation or
+/// oversized fragments.
+std::vector<Record> parse_records(BytesView stream);
+
+/// Concatenate the payloads of all handshake-type records in order —
+/// the defragmented handshake stream feeding split_handshakes().
+Bytes handshake_payload(const std::vector<Record>& records);
+
+}  // namespace iotls::tls

@@ -1,0 +1,29 @@
+#include "tls/version.hpp"
+
+#include <cstdio>
+
+namespace iotls::tls {
+
+std::string version_name(Version v) {
+  switch (v) {
+    case Version::kSsl30: return "SSL 3.0";
+    case Version::kTls10: return "TLS 1.0";
+    case Version::kTls11: return "TLS 1.1";
+    case Version::kTls12: return "TLS 1.2";
+    case Version::kTls13: return "TLS 1.3";
+  }
+  return version_name(static_cast<std::uint16_t>(v));
+}
+
+std::string version_name(std::uint16_t code) {
+  if (is_known_version(code)) return version_name(static_cast<Version>(code));
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%04x", code);
+  return buf;
+}
+
+bool is_known_version(std::uint16_t code) {
+  return code >= 0x0300 && code <= 0x0304;
+}
+
+}  // namespace iotls::tls

@@ -1,0 +1,29 @@
+// TLS/SSL protocol version codes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iotls::tls {
+
+/// Wire-format protocol versions (ProtocolVersion in RFC 5246/8446).
+enum class Version : std::uint16_t {
+  kSsl30 = 0x0300,
+  kTls10 = 0x0301,
+  kTls11 = 0x0302,
+  kTls12 = 0x0303,
+  kTls13 = 0x0304,
+};
+
+/// Human-readable name ("TLS 1.2"); unknown codes render as "0xXXXX".
+std::string version_name(Version v);
+std::string version_name(std::uint16_t code);
+
+/// True for the five codes above.
+bool is_known_version(std::uint16_t code);
+
+/// The paper treats SSL 3.0 as deprecated (2015) and flags devices still
+/// proposing it (App. B.3.2).
+inline bool is_deprecated_version(Version v) { return v <= Version::kTls10; }
+
+}  // namespace iotls::tls

@@ -1,0 +1,20 @@
+// Basic byte-buffer aliases shared by every wire-format module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iotls {
+
+/// Owned byte buffer. All wire formats (TLS, X.509 TLV, pcap) encode into
+/// and parse out of this type.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Convenience: make an owned copy of a view.
+inline Bytes to_bytes(BytesView v) { return Bytes(v.begin(), v.end()); }
+
+}  // namespace iotls

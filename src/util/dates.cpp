@@ -1,0 +1,52 @@
+#include "util/dates.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace iotls {
+
+std::int64_t days_from_civil(CivilDate d) {
+  // Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  std::int64_t y = d.year;
+  y -= d.month <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (d.month + (d.month > 2 ? -3 : 9)) + 2) / 5 + d.day - 1);   // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);                 // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;   // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);                 // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                      // [0, 11]
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;                            // [1, 31]
+  const unsigned month = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));        // [1, 12]
+  return CivilDate{static_cast<int>(y + (month <= 2)), static_cast<int>(month),
+                   static_cast<int>(day)};
+}
+
+std::string format_date(std::int64_t days_since_epoch) {
+  CivilDate d = civil_from_days(days_since_epoch);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::int64_t parse_date(const std::string& iso) {
+  int y = 0, m = 0, d = 0;
+  char extra = 0;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d%c", &y, &m, &d, &extra) != 3 ||
+      m < 1 || m > 12 || d < 1 || d > 31) {
+    throw ParseError("invalid ISO date: " + iso);
+  }
+  return days_from_civil({y, m, d});
+}
+
+}  // namespace iotls

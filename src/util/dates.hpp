@@ -1,0 +1,40 @@
+// Civil-calendar date arithmetic for certificate validity handling.
+//
+// Certificates, CT entries and fleet events all carry timestamps as days
+// since the Unix epoch (1970-01-01). The conversions below use Howard
+// Hinnant's well-known civil-calendar algorithms; they are exact over the
+// proleptic Gregorian calendar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iotls {
+
+/// A calendar date (proleptic Gregorian).
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Days since 1970-01-01 (negative before the epoch).
+std::int64_t days_from_civil(CivilDate d);
+
+/// Inverse of days_from_civil.
+CivilDate civil_from_days(std::int64_t days);
+
+/// "YYYY-MM-DD".
+std::string format_date(std::int64_t days_since_epoch);
+
+/// Parse "YYYY-MM-DD"; throws ParseError on malformed input.
+std::int64_t parse_date(const std::string& iso);
+
+/// Convenience: days-since-epoch for a literal date.
+inline std::int64_t days(int y, int m, int d) {
+  return days_from_civil({y, m, d});
+}
+
+}  // namespace iotls

@@ -1,0 +1,31 @@
+// Error types for wire-format parsing and protocol simulation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace iotls {
+
+/// Thrown when input bytes cannot be decoded as the expected wire format.
+/// Parsing functions validate all length fields before use; a truncated or
+/// malformed buffer always surfaces as ParseError, never as UB.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an encode request is semantically invalid (e.g. a list longer
+/// than its 16-bit length prefix can express).
+class EncodeError : public std::runtime_error {
+ public:
+  explicit EncodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by the network simulator for connection-level failures
+/// (unreachable host, closed port, handshake rejection).
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace iotls

@@ -1,0 +1,18 @@
+// Hex encoding/decoding helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace iotls {
+
+/// Lower-case hex encoding of a byte buffer ("deadbeef").
+std::string to_hex(BytesView bytes);
+
+/// Parse a hex string (even length, case-insensitive) into bytes.
+/// Throws ParseError on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace iotls

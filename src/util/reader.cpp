@@ -1,0 +1,80 @@
+#include "util/reader.hpp"
+
+#include "util/error.hpp"
+
+namespace iotls {
+
+void Reader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw ParseError("buffer underflow: need " + std::to_string(n) +
+                     " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t Reader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  require(2);
+  auto v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u24() {
+  require(3);
+  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 16 |
+                    static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                    static_cast<std::uint32_t>(data_[pos_ + 2]);
+  pos_ += 3;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+BytesView Reader::view(std::size_t n) {
+  require(n);
+  BytesView v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+Bytes Reader::bytes(std::size_t n) {
+  BytesView v = view(n);
+  return Bytes(v.begin(), v.end());
+}
+
+std::string Reader::str(std::size_t n) {
+  BytesView v = view(n);
+  return std::string(v.begin(), v.end());
+}
+
+void Reader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+void Reader::expect_end(const char* context) const {
+  if (!empty()) {
+    throw ParseError(std::string(context) + ": " +
+                     std::to_string(remaining()) + " trailing bytes");
+  }
+}
+
+}  // namespace iotls

@@ -1,0 +1,51 @@
+// Bounds-checked big-endian byte reader used by every parser in the tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace iotls {
+
+/// Sequential reader over a byte view. All multi-byte integers are read
+/// big-endian (network order), matching TLS and our TLV formats. Every read
+/// validates remaining length and throws ParseError on underflow, so parsers
+/// built on Reader are safe on arbitrary (fuzzed/truncated) input.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u24();  // TLS length fields are often 24-bit
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// Read exactly n bytes as a sub-view (no copy).
+  BytesView view(std::size_t n);
+
+  /// Read exactly n bytes as an owned buffer.
+  Bytes bytes(std::size_t n);
+
+  /// Read n bytes as a UTF-8/ASCII string.
+  std::string str(std::size_t n);
+
+  /// Skip n bytes.
+  void skip(std::size_t n);
+
+  /// Require that exactly zero bytes remain (strict parsers call this last).
+  void expect_end(const char* context) const;
+
+ private:
+  void require(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace iotls

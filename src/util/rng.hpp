@@ -1,0 +1,84 @@
+// Deterministic, seedable PRNG for reproducible fleet generation.
+//
+// Every simulated artifact in this repo (fleet events, server scenarios,
+// vantage-point jitter) is generated from an explicit seed, so each run of
+// the benchmark harness regenerates identical tables. We use xoshiro256**
+// seeded via SplitMix64, the standard construction from Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace iotls {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit hash of a string, for deriving per-entity sub-seeds
+/// (e.g. one independent stream per device id).
+std::uint64_t fnv1a64(std::string_view s);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent generator for a named sub-stream. Deterministic:
+  /// same parent seed + same name => same child stream.
+  Rng fork(std::string_view name) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(uniform(0, v.size() - 1))];
+  }
+
+  /// Pick an index according to non-negative weights (at least one > 0).
+  std::size_t weighted(const std::vector<double>& weights);
+
+  /// Zipf-like rank sample over n items with exponent s: heavy head, long
+  /// tail — matches the long-tail SLD popularity the paper reports (§5.1).
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(0, i - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n). Requires k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t seed_;      // retained so fork() is reproducible
+  std::uint64_t state_[4];
+};
+
+}  // namespace iotls

@@ -1,0 +1,33 @@
+// Small string helpers used by domain handling and report rendering.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotls {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join with a delimiter string.
+std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Second-level domain of an FQDN: "a2.tuyaus.com" -> "tuyaus.com".
+/// Handles a small list of two-part public suffixes seen in the paper's
+/// dataset ("co.kr", "co.uk", "com.cn"), e.g. "pavv.co.kr" -> "pavv.co.kr".
+std::string second_level_domain(std::string_view fqdn);
+
+/// Format a double with fixed decimals (report tables).
+std::string fmt_double(double v, int decimals);
+
+/// Format a ratio as a percentage string, e.g. 0.7747 -> "77.47%".
+std::string fmt_percent(double ratio, int decimals = 2);
+
+}  // namespace iotls

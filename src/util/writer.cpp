@@ -1,0 +1,55 @@
+#include "util/writer.hpp"
+
+#include "util/error.hpp"
+
+namespace iotls {
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u24(std::uint32_t v) {
+  if (v >= (1u << 24)) throw EncodeError("u24 overflow");
+  out_.push_back(static_cast<std::uint8_t>(v >> 16));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void Writer::raw(BytesView bytes) { out_.insert(out_.end(), bytes.begin(), bytes.end()); }
+
+void Writer::str(std::string_view s) {
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+std::size_t Writer::begin_length(int width) {
+  if (width < 1 || width > 3) throw EncodeError("length prefix width must be 1..3");
+  // Token encodes offset and width; prefix bytes are zero-filled for now.
+  std::size_t token = out_.size() << 2 | static_cast<std::size_t>(width);
+  for (int i = 0; i < width; ++i) out_.push_back(0);
+  return token;
+}
+
+void Writer::end_length(std::size_t token) {
+  std::size_t offset = token >> 2;
+  int width = static_cast<int>(token & 3);
+  std::size_t payload = out_.size() - offset - static_cast<std::size_t>(width);
+  std::size_t max = (std::size_t{1} << (8 * width)) - 1;
+  if (payload > max) throw EncodeError("length prefix overflow");
+  for (int i = 0; i < width; ++i) {
+    out_[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload >> (8 * (width - 1 - i)));
+  }
+}
+
+}  // namespace iotls

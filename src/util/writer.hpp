@@ -1,0 +1,41 @@
+// Big-endian byte writer with length-prefix backpatching.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace iotls {
+
+/// Appending writer producing network-order bytes. Supports deferred length
+/// prefixes (begin_length/end_length) for nested TLS/TLV structures.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u24(std::uint32_t v);  // throws EncodeError if v >= 2^24
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(BytesView bytes);
+  void str(std::string_view s);
+
+  /// Reserve a big-endian length prefix of `width` bytes (1, 2, or 3) and
+  /// return a token; end_length(token) backpatches it with the number of
+  /// bytes written in between. Nesting is allowed.
+  std::size_t begin_length(int width);
+  void end_length(std::size_t token);
+
+  std::size_t size() const { return out_.size(); }
+  const Bytes& data() const& { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  struct Pending {
+    std::size_t offset;
+    int width;
+  };
+  Bytes out_;
+};
+
+}  // namespace iotls

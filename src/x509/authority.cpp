@@ -1,0 +1,77 @@
+#include "x509/authority.hpp"
+
+#include "util/rng.hpp"
+
+namespace iotls::x509 {
+
+void KeyRegistry::register_key(const crypto::KeyPair& key) {
+  keys_[key.key_id] = key;
+}
+
+const crypto::KeyPair* KeyRegistry::find(const std::string& key_id) const {
+  auto it = keys_.find(key_id);
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+CertificateAuthority CertificateAuthority::make_root(
+    const std::string& common_name, const std::string& org, CaKind kind,
+    std::int64_t not_before, std::int64_t not_after) {
+  CertificateAuthority ca;
+  ca.kind_ = kind;
+  ca.key_ = crypto::derive_keypair("ca:" + org + ":" + common_name);
+
+  Certificate& c = ca.cert_;
+  c.subject = DistinguishedName{common_name, org, "US"};
+  c.issuer = c.subject;  // self-signed root
+  c.serial = fnv1a64(common_name) | 1;
+  c.not_before = not_before;
+  c.not_after = not_after;
+  c.is_ca = true;
+  c.subject_key_id = ca.key_.key_id;
+  c.authority_key_id = ca.key_.key_id;
+  Bytes tbs = c.tbs_bytes();
+  c.signature = crypto::sign(ca.key_, BytesView(tbs.data(), tbs.size()));
+  return ca;
+}
+
+CertificateAuthority CertificateAuthority::subordinate(
+    const std::string& common_name, std::int64_t not_before,
+    std::int64_t not_after, const std::string& org) const {
+  const std::string child_org = org.empty() ? organization() : org;
+  CertificateAuthority sub;
+  sub.kind_ = kind_;
+  sub.key_ = crypto::derive_keypair("ca:" + child_org + ":" + common_name);
+
+  IssueRequest req;
+  req.subject = DistinguishedName{common_name, child_org, "US"};
+  req.not_before = not_before;
+  req.not_after = not_after;
+  req.is_ca = true;
+  req.subject_key = &sub.key_;
+  sub.cert_ = issue(req);
+  return sub;
+}
+
+Certificate CertificateAuthority::issue(const IssueRequest& req) const {
+  Certificate c;
+  c.serial = (fnv1a64(req.subject.common_name) << 16) | next_serial_++;
+  c.subject = req.subject;
+  c.issuer = cert_.subject;
+  c.not_before = req.not_before;
+  c.not_after = req.not_after;
+  c.san_dns = req.san_dns;
+  c.is_ca = req.is_ca;
+  crypto::KeyPair subject_key =
+      req.subject_key ? *req.subject_key : subject_keypair(req.subject.common_name);
+  c.subject_key_id = subject_key.key_id;
+  c.authority_key_id = key_.key_id;
+  Bytes tbs = c.tbs_bytes();
+  c.signature = crypto::sign(key_, BytesView(tbs.data(), tbs.size()));
+  return c;
+}
+
+crypto::KeyPair subject_keypair(const std::string& common_name) {
+  return crypto::derive_keypair("subject:" + common_name);
+}
+
+}  // namespace iotls::x509

@@ -1,0 +1,88 @@
+// Certificate authorities: key management and certificate issuance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "x509/certificate.hpp"
+
+namespace iotls::x509 {
+
+/// The paper's issuer taxonomy (§5.2): public-trust CAs have their root in
+/// major trust stores; private CAs (usually device vendors) do not.
+enum class CaKind { kPublicTrust, kPrivate };
+
+/// Registry mapping key identifiers to verification keys. Conceptually the
+/// table of issuer *public* keys a validator consults; with our keyed-hash
+/// signature substitution it stores the issuing key pairs (see
+/// crypto/signature.hpp).
+class KeyRegistry {
+ public:
+  void register_key(const crypto::KeyPair& key);
+  const crypto::KeyPair* find(const std::string& key_id) const;
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::map<std::string, crypto::KeyPair> keys_;
+};
+
+/// Parameters for issuing one certificate.
+struct IssueRequest {
+  DistinguishedName subject;
+  std::vector<std::string> san_dns;
+  std::int64_t not_before = 0;
+  std::int64_t not_after = 0;
+  bool is_ca = false;
+  /// Key pair of the subject; derived from subject CN when absent.
+  const crypto::KeyPair* subject_key = nullptr;
+};
+
+/// A certificate authority: a named key holder that signs certificates.
+/// Roots self-sign; intermediates are created via `subordinate()`.
+class CertificateAuthority {
+ public:
+  /// Create a root CA. `org` becomes the issuer-organization string the
+  /// Fig. 5 analysis groups by. The key pair derives deterministically from
+  /// the CA's distinguished name, keeping the whole PKI reproducible.
+  static CertificateAuthority make_root(const std::string& common_name,
+                                        const std::string& org, CaKind kind,
+                                        std::int64_t not_before,
+                                        std::int64_t not_after);
+
+  /// Create an intermediate signed by *this* CA. By default the child keeps
+  /// this CA's organization; pass `org` for cross-signing arrangements
+  /// (e.g. a "Netflix" intermediate under a public root, §5.4).
+  CertificateAuthority subordinate(const std::string& common_name,
+                                   std::int64_t not_before,
+                                   std::int64_t not_after,
+                                   const std::string& org = "") const;
+
+  /// Issue an end-entity (or CA) certificate signed by this authority.
+  Certificate issue(const IssueRequest& req) const;
+
+  const Certificate& certificate() const { return cert_; }
+  const crypto::KeyPair& key() const { return key_; }
+  const DistinguishedName& name() const { return cert_.subject; }
+  const std::string& organization() const { return cert_.subject.organization; }
+  CaKind kind() const { return kind_; }
+
+  /// Register this CA's verification key.
+  void publish_key(KeyRegistry& registry) const { registry.register_key(key_); }
+
+ private:
+  CertificateAuthority() = default;
+
+  Certificate cert_;
+  crypto::KeyPair key_;
+  CaKind kind_ = CaKind::kPrivate;
+  mutable std::uint64_t next_serial_ = 1;
+};
+
+/// Derive the deterministic subject key pair for an end-entity name.
+crypto::KeyPair subject_keypair(const std::string& common_name);
+
+}  // namespace iotls::x509

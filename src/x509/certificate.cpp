@@ -1,0 +1,145 @@
+#include "x509/certificate.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/reader.hpp"
+#include "util/writer.hpp"
+
+namespace iotls::x509 {
+
+namespace {
+
+// TLV tags for certificate fields. Each field encodes as
+//   tag(u8) ‖ length(u16) ‖ value
+// inside an outer TBS / certificate envelope.
+enum Tag : std::uint8_t {
+  kTagSerial = 0x01,
+  kTagSubjectCn = 0x02,
+  kTagSubjectOrg = 0x03,
+  kTagSubjectCountry = 0x04,
+  kTagIssuerCn = 0x05,
+  kTagIssuerOrg = 0x06,
+  kTagIssuerCountry = 0x07,
+  kTagNotBefore = 0x08,
+  kTagNotAfter = 0x09,
+  kTagSanDns = 0x0a,       // repeated
+  kTagIsCa = 0x0b,
+  kTagSubjectKeyId = 0x0c,
+  kTagAuthorityKeyId = 0x0d,
+  kTagTbsEnvelope = 0x20,
+  kTagSignature = 0x21,
+};
+
+void put_tlv(Writer& w, Tag tag, BytesView value) {
+  if (value.size() > 0xffff) throw EncodeError("TLV value too long");
+  w.u8(tag);
+  w.u16(static_cast<std::uint16_t>(value.size()));
+  w.raw(value);
+}
+
+void put_str(Writer& w, Tag tag, const std::string& s) {
+  put_tlv(w, tag, BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void put_u64(Writer& w, Tag tag, std::uint64_t v) {
+  Writer inner;
+  inner.u64(v);
+  put_tlv(w, tag, BytesView(inner.data().data(), inner.size()));
+}
+
+void put_i64(Writer& w, Tag tag, std::int64_t v) {
+  put_u64(w, tag, static_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+Bytes Certificate::tbs_bytes() const {
+  Writer body;
+  put_u64(body, kTagSerial, serial);
+  put_str(body, kTagSubjectCn, subject.common_name);
+  put_str(body, kTagSubjectOrg, subject.organization);
+  put_str(body, kTagSubjectCountry, subject.country);
+  put_str(body, kTagIssuerCn, issuer.common_name);
+  put_str(body, kTagIssuerOrg, issuer.organization);
+  put_str(body, kTagIssuerCountry, issuer.country);
+  put_i64(body, kTagNotBefore, not_before);
+  put_i64(body, kTagNotAfter, not_after);
+  for (const std::string& san : san_dns) put_str(body, kTagSanDns, san);
+  Writer flag;
+  flag.u8(is_ca ? 1 : 0);
+  put_tlv(body, kTagIsCa, BytesView(flag.data().data(), flag.size()));
+  put_str(body, kTagSubjectKeyId, subject_key_id);
+  put_str(body, kTagAuthorityKeyId, authority_key_id);
+
+  Writer outer;
+  outer.u8(kTagTbsEnvelope);
+  std::size_t len = outer.begin_length(3);
+  outer.raw(BytesView(body.data().data(), body.size()));
+  outer.end_length(len);
+  return outer.take();
+}
+
+Bytes Certificate::encode() const {
+  Writer w;
+  Bytes tbs = tbs_bytes();
+  w.raw(BytesView(tbs.data(), tbs.size()));
+  w.u8(kTagSignature);
+  std::size_t len = w.begin_length(3);
+  w.raw(BytesView(signature.data(), signature.size()));
+  w.end_length(len);
+  return w.take();
+}
+
+Certificate Certificate::parse(BytesView encoded) {
+  Reader outer(encoded);
+  if (outer.u8() != kTagTbsEnvelope) throw ParseError("certificate: bad TBS tag");
+  std::uint32_t tbs_len = outer.u24();
+  Reader body(outer.view(tbs_len));
+
+  Certificate cert;
+  while (!body.empty()) {
+    std::uint8_t tag = body.u8();
+    std::uint16_t len = body.u16();
+    Reader value(body.view(len));
+    auto as_str = [&] { return value.str(len); };
+    switch (tag) {
+      case kTagSerial: cert.serial = value.u64(); break;
+      case kTagSubjectCn: cert.subject.common_name = as_str(); break;
+      case kTagSubjectOrg: cert.subject.organization = as_str(); break;
+      case kTagSubjectCountry: cert.subject.country = as_str(); break;
+      case kTagIssuerCn: cert.issuer.common_name = as_str(); break;
+      case kTagIssuerOrg: cert.issuer.organization = as_str(); break;
+      case kTagIssuerCountry: cert.issuer.country = as_str(); break;
+      case kTagNotBefore: cert.not_before = static_cast<std::int64_t>(value.u64()); break;
+      case kTagNotAfter: cert.not_after = static_cast<std::int64_t>(value.u64()); break;
+      case kTagSanDns: cert.san_dns.push_back(as_str()); break;
+      case kTagIsCa: cert.is_ca = value.u8() != 0; break;
+      case kTagSubjectKeyId: cert.subject_key_id = as_str(); break;
+      case kTagAuthorityKeyId: cert.authority_key_id = as_str(); break;
+      default:
+        throw ParseError("certificate: unknown TBS tag " + std::to_string(tag));
+    }
+  }
+
+  if (outer.u8() != kTagSignature) throw ParseError("certificate: bad signature tag");
+  std::uint32_t sig_len = outer.u24();
+  cert.signature = outer.bytes(sig_len);
+  outer.expect_end("certificate");
+  return cert;
+}
+
+std::string Certificate::fingerprint() const {
+  Bytes enc = encode();
+  return crypto::sha256_hex(BytesView(enc.data(), enc.size()));
+}
+
+bool Certificate::matches_hostname(const std::string& host) const {
+  if (!subject.common_name.empty() && hostname_matches(subject.common_name, host))
+    return true;
+  for (const std::string& san : san_dns) {
+    if (hostname_matches(san, host)) return true;
+  }
+  return false;
+}
+
+}  // namespace iotls::x509

@@ -1,0 +1,64 @@
+// Certificate model with a real TLV (DER-style) wire encoding.
+//
+// Substitution note (DESIGN.md §2): full ASN.1 DER is replaced by a compact
+// tag–length–value encoding carrying the same certificate fields the paper's
+// measurements read: subject/issuer, validity window, SAN, basicConstraints,
+// key identifiers and the signature over the TBS bytes. Certificates travel
+// on the wire inside real TLS Certificate messages, and every analysis
+// consumes parsed-from-bytes certificates, not in-memory shortcuts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "x509/name.hpp"
+
+namespace iotls::x509 {
+
+/// A certificate. Validity timestamps are days since the Unix epoch.
+struct Certificate {
+  std::uint64_t serial = 0;
+  DistinguishedName subject;
+  DistinguishedName issuer;
+  std::int64_t not_before = 0;
+  std::int64_t not_after = 0;
+  std::vector<std::string> san_dns;   // subjectAltName dNSName entries
+  bool is_ca = false;                 // basicConstraints CA flag
+  std::string subject_key_id;         // hex id of the subject's key
+  std::string authority_key_id;       // hex id of the signing key
+  Bytes signature;                    // over tbs_bytes()
+
+  /// Encode the to-be-signed portion (everything except the signature).
+  Bytes tbs_bytes() const;
+
+  /// Encode the full certificate (TBS ‖ signature TLV).
+  Bytes encode() const;
+
+  /// Strict parse; throws ParseError on malformed input.
+  static Certificate parse(BytesView encoded);
+
+  /// Hex SHA-256 of encode() — the identity used for CT lookups and
+  /// certificate-sharing analysis (§5.1).
+  std::string fingerprint() const;
+
+  /// Validity period in days (not_after - not_before).
+  std::int64_t validity_days() const { return not_after - not_before; }
+
+  /// Subject and issuer are identical (the paper's "self-signed" status).
+  bool self_signed() const { return subject == issuer; }
+
+  /// True if `host` matches the subject CN or any SAN dNSName
+  /// (the paper's Common Name mismatch check, §5.3).
+  bool matches_hostname(const std::string& host) const;
+
+  /// Expiry check at a given day.
+  bool expired_at(std::int64_t day) const { return day > not_after; }
+  bool not_yet_valid_at(std::int64_t day) const { return day < not_before; }
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+}  // namespace iotls::x509

@@ -1,0 +1,35 @@
+#include "x509/name.hpp"
+
+#include "util/strings.hpp"
+
+namespace iotls::x509 {
+
+std::string DistinguishedName::to_string() const {
+  std::string out;
+  auto add = [&out](const char* key, const std::string& value) {
+    if (value.empty()) return;
+    if (!out.empty()) out += ", ";
+    out += key;
+    out += '=';
+    out += value;
+  };
+  add("CN", common_name);
+  add("O", organization);
+  add("C", country);
+  return out;
+}
+
+bool hostname_matches(const std::string& pattern, const std::string& host) {
+  std::string p = to_lower(pattern);
+  std::string h = to_lower(host);
+  if (p == h) return true;
+  if (!starts_with(p, "*.")) return false;
+  // "*.example.com" matches "a.example.com" but not "example.com" or
+  // "a.b.example.com" (wildcard covers exactly one label).
+  std::string suffix = p.substr(1);  // ".example.com"
+  if (!ends_with(h, suffix)) return false;
+  std::string label = h.substr(0, h.size() - suffix.size());
+  return !label.empty() && label.find('.') == std::string::npos;
+}
+
+}  // namespace iotls::x509

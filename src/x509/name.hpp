@@ -1,0 +1,27 @@
+// X.509 distinguished names (simplified RDN set).
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace iotls::x509 {
+
+/// A distinguished name with the attributes our measurements use.
+struct DistinguishedName {
+  std::string common_name;    // CN
+  std::string organization;   // O  — the issuer-organization key in Fig. 5
+  std::string country;        // C
+
+  /// "CN=appboot.netflix.com, O=Netflix, C=US"; empty attributes omitted.
+  std::string to_string() const;
+
+  friend bool operator==(const DistinguishedName&, const DistinguishedName&) = default;
+  friend std::strong_ordering operator<=>(const DistinguishedName&,
+                                          const DistinguishedName&) = default;
+};
+
+/// Hostname matching per RFC 6125 (simplified): exact case-insensitive match,
+/// or a single leading "*." wildcard covering exactly one label.
+bool hostname_matches(const std::string& pattern, const std::string& host);
+
+}  // namespace iotls::x509

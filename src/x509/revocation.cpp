@@ -1,0 +1,95 @@
+#include "x509/revocation.hpp"
+
+#include "util/error.hpp"
+#include "util/reader.hpp"
+#include "util/writer.hpp"
+
+namespace iotls::x509 {
+
+std::string revocation_status_name(RevocationStatus s) {
+  switch (s) {
+    case RevocationStatus::kGood: return "good";
+    case RevocationStatus::kRevoked: return "revoked";
+    case RevocationStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Bytes OcspResponse::signed_bytes() const {
+  Writer w;
+  w.u64(serial);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(static_cast<std::uint64_t>(this_update));
+  w.u64(static_cast<std::uint64_t>(next_update));
+  w.u8(static_cast<std::uint8_t>(responder_key_id.size()));
+  w.str(responder_key_id);
+  return w.take();
+}
+
+Bytes OcspResponse::encode() const {
+  Writer w;
+  Bytes body = signed_bytes();
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.raw(BytesView(body.data(), body.size()));
+  w.u16(static_cast<std::uint16_t>(signature.size()));
+  w.raw(BytesView(signature.data(), signature.size()));
+  return w.take();
+}
+
+OcspResponse OcspResponse::parse(BytesView encoded) {
+  Reader outer(encoded);
+  std::uint16_t body_len = outer.u16();
+  Reader r(outer.view(body_len));
+  OcspResponse resp;
+  resp.serial = r.u64();
+  std::uint8_t status = r.u8();
+  if (status > 2) throw ParseError("OCSP: bad status value");
+  resp.status = static_cast<RevocationStatus>(status);
+  resp.this_update = static_cast<std::int64_t>(r.u64());
+  resp.next_update = static_cast<std::int64_t>(r.u64());
+  std::uint8_t key_len = r.u8();
+  resp.responder_key_id = r.str(key_len);
+  r.expect_end("OCSP body");
+  std::uint16_t sig_len = outer.u16();
+  resp.signature = outer.bytes(sig_len);
+  outer.expect_end("OCSP response");
+  return resp;
+}
+
+bool verify_ocsp(const OcspResponse& response, const KeyRegistry& keys) {
+  const crypto::KeyPair* key = keys.find(response.responder_key_id);
+  if (key == nullptr) return false;
+  Bytes body = response.signed_bytes();
+  return crypto::verify(*key, BytesView(body.data(), body.size()),
+                        BytesView(response.signature.data(), response.signature.size()));
+}
+
+void Crl::revoke(std::uint64_t serial, std::int64_t day) {
+  revoked_.emplace(serial, day);
+}
+
+std::optional<std::int64_t> Crl::revoked_on(std::uint64_t serial) const {
+  auto it = revoked_.find(serial);
+  if (it == revoked_.end()) return std::nullopt;
+  return it->second;
+}
+
+OcspResponse OcspResponder::respond(const Certificate& cert, std::int64_t day) const {
+  OcspResponse resp;
+  resp.serial = cert.serial;
+  resp.this_update = day;
+  resp.next_update = day + validity_days_;
+  resp.responder_key_id = ca_->key().key_id;
+  if (cert.authority_key_id != ca_->key().key_id) {
+    resp.status = RevocationStatus::kUnknown;  // not our certificate
+  } else if (crl_ != nullptr && crl_->is_revoked(cert.serial)) {
+    resp.status = RevocationStatus::kRevoked;
+  } else {
+    resp.status = RevocationStatus::kGood;
+  }
+  Bytes body = resp.signed_bytes();
+  resp.signature = crypto::sign(ca_->key(), BytesView(body.data(), body.size()));
+  return resp;
+}
+
+}  // namespace iotls::x509

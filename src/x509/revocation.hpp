@@ -1,0 +1,84 @@
+// Revocation: CRLs and OCSP with stapling support.
+//
+// §5.3 highlights that vendor-signed certificates are effectively
+// irrevocable ("the inability of public-not-trust issuers to quickly replace
+// or rotate the certificate may open the door to attackers") and App. B.9
+// measures which devices request OCSP staples. This module provides the
+// server-side machinery those observations implicate: per-CA revocation
+// lists, signed OCSP responses, and wire encoding so responses can be
+// stapled into the TLS handshake (CertificateStatus message).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "x509/authority.hpp"
+#include "x509/certificate.hpp"
+
+namespace iotls::x509 {
+
+enum class RevocationStatus { kGood, kRevoked, kUnknown };
+
+std::string revocation_status_name(RevocationStatus s);
+
+/// A signed OCSP response for one certificate serial.
+struct OcspResponse {
+  std::uint64_t serial = 0;
+  RevocationStatus status = RevocationStatus::kUnknown;
+  std::int64_t this_update = 0;   // day produced
+  std::int64_t next_update = 0;   // stale afterwards
+  std::string responder_key_id;   // key that signed it
+  Bytes signature;                // over the TLV body
+
+  Bytes signed_bytes() const;     // the TLV body covered by the signature
+  Bytes encode() const;           // body ‖ signature (wire form for stapling)
+  static OcspResponse parse(BytesView encoded);
+
+  bool stale_at(std::int64_t day) const { return day > next_update; }
+
+  friend bool operator==(const OcspResponse&, const OcspResponse&) = default;
+};
+
+/// Verify an OCSP response against the responder's key (found in `keys`).
+bool verify_ocsp(const OcspResponse& response, const KeyRegistry& keys);
+
+/// A certificate revocation list for one issuing CA.
+class Crl {
+ public:
+  explicit Crl(const CertificateAuthority* issuer) : issuer_(issuer) {}
+
+  void revoke(std::uint64_t serial, std::int64_t day);
+  bool is_revoked(std::uint64_t serial) const { return revoked_.count(serial) > 0; }
+  std::size_t size() const { return revoked_.size(); }
+  std::optional<std::int64_t> revoked_on(std::uint64_t serial) const;
+
+  const CertificateAuthority* issuer() const { return issuer_; }
+
+ private:
+  const CertificateAuthority* issuer_;
+  std::map<std::uint64_t, std::int64_t> revoked_;  // serial -> revocation day
+};
+
+/// OCSP responder for one CA: answers status queries with signed responses.
+class OcspResponder {
+ public:
+  /// `validity_days`: how long each response stays fresh (the paper's
+  /// stapling discussion; short responses bound the attack window).
+  OcspResponder(const CertificateAuthority* ca, Crl* crl,
+                std::int64_t validity_days = 7)
+      : ca_(ca), crl_(crl), validity_days_(validity_days) {}
+
+  /// Produce a signed response for a certificate at `day`. Certificates not
+  /// issued by this CA get kUnknown.
+  OcspResponse respond(const Certificate& cert, std::int64_t day) const;
+
+ private:
+  const CertificateAuthority* ca_;
+  Crl* crl_;
+  std::int64_t validity_days_;
+};
+
+}  // namespace iotls::x509

@@ -1,0 +1,53 @@
+#include "x509/truststore.hpp"
+
+namespace iotls::x509 {
+
+void TrustStore::add_root(const Certificate& root) {
+  by_key_[root.subject_key_id] = root;
+}
+
+bool TrustStore::contains_key(const std::string& subject_key_id) const {
+  return by_key_.count(subject_key_id) > 0;
+}
+
+const Certificate* TrustStore::find_by_subject(const DistinguishedName& subject) const {
+  for (const auto& [key_id, cert] : by_key_) {
+    if (cert.subject == subject) return &cert;
+  }
+  return nullptr;
+}
+
+const Certificate* TrustStore::find_by_key(const std::string& subject_key_id) const {
+  auto it = by_key_.find(subject_key_id);
+  return it == by_key_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Certificate*> TrustStore::roots() const {
+  std::vector<const Certificate*> out;
+  out.reserve(by_key_.size());
+  for (const auto& [key_id, cert] : by_key_) out.push_back(&cert);
+  return out;
+}
+
+bool TrustStoreSet::contains_key(const std::string& subject_key_id) const {
+  for (const TrustStore& s : stores_) {
+    if (s.contains_key(subject_key_id)) return true;
+  }
+  return false;
+}
+
+const Certificate* TrustStoreSet::find_by_subject(const DistinguishedName& subject) const {
+  for (const TrustStore& s : stores_) {
+    if (const Certificate* c = s.find_by_subject(subject)) return c;
+  }
+  return nullptr;
+}
+
+const Certificate* TrustStoreSet::find_by_key(const std::string& subject_key_id) const {
+  for (const TrustStore& s : stores_) {
+    if (const Certificate* c = s.find_by_key(subject_key_id)) return c;
+  }
+  return nullptr;
+}
+
+}  // namespace iotls::x509

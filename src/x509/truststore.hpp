@@ -1,0 +1,53 @@
+// Root trust stores (Mozilla / Apple / Microsoft analogues, §5.3).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "x509/certificate.hpp"
+
+namespace iotls::x509 {
+
+/// A named collection of trusted root certificates, keyed by subject key id.
+class TrustStore {
+ public:
+  explicit TrustStore(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add_root(const Certificate& root);
+  bool contains_key(const std::string& subject_key_id) const;
+
+  /// Find a root by subject DN (used when a served chain omits its root, as
+  /// RFC 5246 permits).
+  const Certificate* find_by_subject(const DistinguishedName& subject) const;
+  const Certificate* find_by_key(const std::string& subject_key_id) const;
+
+  std::size_t size() const { return by_key_.size(); }
+  std::vector<const Certificate*> roots() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, Certificate> by_key_;  // subject_key_id -> root
+};
+
+/// The union the paper validates against: Zeek's default Mozilla store
+/// supplemented with Apple and Microsoft (§5.3). Lookups consult each store
+/// in turn.
+class TrustStoreSet {
+ public:
+  void add(TrustStore store) { stores_.push_back(std::move(store)); }
+
+  bool contains_key(const std::string& subject_key_id) const;
+  const Certificate* find_by_subject(const DistinguishedName& subject) const;
+  const Certificate* find_by_key(const std::string& subject_key_id) const;
+
+  const std::vector<TrustStore>& stores() const { return stores_; }
+
+ private:
+  std::vector<TrustStore> stores_;
+};
+
+}  // namespace iotls::x509

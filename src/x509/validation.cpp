@@ -1,0 +1,189 @@
+#include "x509/validation.hpp"
+
+#include "util/error.hpp"
+
+namespace iotls::x509 {
+
+std::string chain_status_name(ChainStatus s) {
+  switch (s) {
+    case ChainStatus::kOk: return "ok";
+    case ChainStatus::kOkRootOmitted: return "ok (root omitted)";
+    case ChainStatus::kSelfSigned: return "self-signed certificate";
+    case ChainStatus::kUntrustedRoot: return "untrusted root CA";
+    case ChainStatus::kIncompleteChain: return "incomplete chain";
+    case ChainStatus::kBadSignature: return "bad signature";
+    case ChainStatus::kEmptyChain: return "empty chain";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Verify cert's signature using the key identified by its authority_key_id.
+/// Returns false when the key is unknown or the signature does not verify.
+bool signature_ok(const Certificate& cert, const KeyRegistry& keys) {
+  const crypto::KeyPair* key = keys.find(cert.authority_key_id);
+  if (key == nullptr) return false;
+  Bytes tbs = cert.tbs_bytes();
+  return crypto::verify(*key, BytesView(tbs.data(), tbs.size()),
+                        BytesView(cert.signature.data(), cert.signature.size()));
+}
+
+}  // namespace
+
+std::vector<Certificate> normalize_chain_order(std::vector<Certificate> chain,
+                                               const std::string& hostname) {
+  if (chain.size() < 2) return chain;
+
+  // Degenerate duplicate chains (identical certs) are already "ordered".
+  bool all_identical = true;
+  for (const Certificate& cert : chain) {
+    if (!(cert == chain.front())) all_identical = false;
+  }
+  if (all_identical) return chain;
+
+  // Pick the leaf: covers the hostname, else is nobody's issuer.
+  std::size_t leaf_index = chain.size();
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i].matches_hostname(hostname)) {
+      leaf_index = i;
+      break;
+    }
+  }
+  if (leaf_index == chain.size()) {
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      bool signs_someone = false;
+      for (std::size_t j = 0; j < chain.size(); ++j) {
+        if (i != j && chain[j].issuer == chain[i].subject) signs_someone = true;
+      }
+      if (!signs_someone) {
+        leaf_index = i;
+        break;
+      }
+    }
+  }
+  if (leaf_index == chain.size()) return chain;  // cyclic/odd: leave as served
+
+  std::vector<Certificate> ordered;
+  std::vector<bool> used(chain.size(), false);
+  ordered.push_back(chain[leaf_index]);
+  used[leaf_index] = true;
+  bool extended = true;
+  while (extended) {
+    extended = false;
+    const Certificate& tail = ordered.back();
+    if (tail.self_signed()) break;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (used[i] || chain[i].subject != tail.issuer) continue;
+      ordered.push_back(chain[i]);
+      used[i] = true;
+      extended = true;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (!used[i]) ordered.push_back(chain[i]);
+  }
+  return ordered;
+}
+
+ValidationResult validate_chain(const std::vector<Certificate>& chain,
+                                const std::string& hostname,
+                                const TrustStoreSet& trust,
+                                const KeyRegistry& keys, std::int64_t now) {
+  ValidationResult result;
+  result.chain_length = chain.size();
+  if (chain.empty()) {
+    result.status = ChainStatus::kEmptyChain;
+    result.detail = "server presented no certificates";
+    return result;
+  }
+
+  const Certificate& leaf = chain.front();
+  result.hostname_ok = leaf.matches_hostname(hostname);
+  for (const Certificate& cert : chain) {
+    if (cert.expired_at(now)) result.expired = true;
+    if (cert.not_yet_valid_at(now)) result.not_yet_valid = true;
+  }
+
+  // Signature walk: every certificate must verify under its authority key;
+  // adjacency must link issuer(i) == subject(i+1).
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    if (chain[i].issuer != chain[i + 1].subject) {
+      result.status = ChainStatus::kIncompleteChain;
+      result.detail = "issuer of '" + chain[i].subject.common_name +
+                      "' does not match next subject";
+      return result;
+    }
+  }
+  for (const Certificate& cert : chain) {
+    // A self-signed member verifies under its own key (in the registry if
+    // the signer published it); failure anywhere is a hard error.
+    if (!signature_ok(cert, keys)) {
+      result.status = ChainStatus::kBadSignature;
+      result.detail = "signature of '" + cert.subject.common_name +
+                      "' does not verify (authority key " +
+                      cert.authority_key_id + ")";
+      return result;
+    }
+  }
+
+  // The paper's "self-signed certificate" category: the leaf itself has
+  // identical subject and issuer. (A chain of repeated identical certs, as
+  // log.samsunghrm.com serves, lands here too.)
+  if (leaf.self_signed() && !trust.contains_key(leaf.subject_key_id)) {
+    result.status = ChainStatus::kSelfSigned;
+    result.detail = "leaf is self-signed (" + leaf.subject.to_string() + ")";
+    return result;
+  }
+
+  const Certificate& top = chain.back();
+  if (top.self_signed()) {
+    // Full chain ends in a root: trusted iff the root is in a store.
+    if (trust.contains_key(top.subject_key_id)) {
+      result.status = ChainStatus::kOk;
+      result.detail = "chain anchors at trusted root '" +
+                      top.subject.common_name + "'";
+    } else {
+      result.status = ChainStatus::kUntrustedRoot;
+      result.detail = "root '" + top.subject.common_name +
+                      "' is in no trust store";
+    }
+    return result;
+  }
+
+  // Root omitted from the served chain: acceptable if a store knows the
+  // issuing key (RFC 5246 allows omitting a root the peer already has).
+  if (trust.contains_key(top.authority_key_id)) {
+    result.status = ChainStatus::kOkRootOmitted;
+    result.detail = "root omitted; issuer key found in trust store";
+  } else {
+    result.status = ChainStatus::kIncompleteChain;
+    result.detail = "issuer '" + top.issuer.to_string() +
+                    "' of topmost certificate not found in chain or stores";
+  }
+  return result;
+}
+
+ValidationResult validate_encoded_chain(const std::vector<Bytes>& encoded_chain,
+                                        const std::string& hostname,
+                                        const TrustStoreSet& trust,
+                                        const KeyRegistry& keys,
+                                        std::int64_t now) {
+  std::vector<Certificate> chain;
+  chain.reserve(encoded_chain.size());
+  for (const Bytes& enc : encoded_chain) {
+    try {
+      chain.push_back(Certificate::parse(BytesView(enc.data(), enc.size())));
+    } catch (const ParseError& e) {
+      ValidationResult result;
+      result.status = ChainStatus::kBadSignature;
+      result.chain_length = encoded_chain.size();
+      result.detail = std::string("undecodable certificate: ") + e.what();
+      return result;
+    }
+  }
+  return validate_chain(chain, hostname, trust, keys, now);
+}
+
+}  // namespace iotls::x509

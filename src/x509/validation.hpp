@@ -1,0 +1,86 @@
+// Certificate chain validation with the paper's verdict taxonomy (§5.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "x509/authority.hpp"
+#include "x509/certificate.hpp"
+#include "x509/truststore.hpp"
+
+namespace iotls::x509 {
+
+/// Structural chain verdicts matching the categories the paper reports
+/// (Tables 7/14/17): a chain is one of —
+///   kOk              valid to a trust-store root present in the chain;
+///   kOkRootOmitted   valid, root absent from the chain but found in a trust
+///                    store (permitted by RFC 5246 §7.4.2);
+///   kSelfSigned      the leaf has identical subject and issuer
+///                    ("self-signed certificate" rows in Table 14);
+///   kUntrustedRoot   the chain terminates at a self-signed root that is in
+///                    no trust store ("private root CA" rows);
+///   kIncompleteChain the topmost certificate's issuer is neither in the
+///                    chain nor in any trust store (missing intermediates);
+///   kBadSignature    some adjacent signature fails to verify;
+///   kEmptyChain      the server presented no certificates.
+enum class ChainStatus {
+  kOk,
+  kOkRootOmitted,
+  kSelfSigned,
+  kUntrustedRoot,
+  kIncompleteChain,
+  kBadSignature,
+  kEmptyChain,
+};
+
+std::string chain_status_name(ChainStatus s);
+
+/// True for the two verdicts the paper counts as "valid chain".
+inline bool chain_trusted(ChainStatus s) {
+  return s == ChainStatus::kOk || s == ChainStatus::kOkRootOmitted;
+}
+
+/// Full validation outcome. Expiry and hostname problems are orthogonal to
+/// the structural verdict (the paper reports them in separate tables), so
+/// they are flags rather than statuses.
+struct ValidationResult {
+  ChainStatus status = ChainStatus::kEmptyChain;
+  bool expired = false;         // any chain member expired at `now`
+  bool not_yet_valid = false;   // any chain member not yet valid at `now`
+  bool hostname_ok = false;     // leaf CN/SAN covers the requested host
+  std::size_t chain_length = 0; // as served (excluding any store-found root)
+  std::string detail;           // human-readable explanation
+
+  /// "Fully clean": trusted chain, in validity window, hostname matches.
+  bool clean() const {
+    return chain_trusted(status) && !expired && !not_yet_valid && hostname_ok;
+  }
+};
+
+/// Reorder an arbitrarily-ordered served chain into leaf-first issuer order
+/// (misordered chains are a common server misconfiguration that validators
+/// like Zeek and browsers tolerate). The leaf is the certificate covering
+/// `hostname`, falling back to the one that signs no other member. Members
+/// that do not link are appended unchanged, preserving incomplete-chain
+/// semantics. Duplicates (the samsunghrm pattern) are preserved.
+std::vector<Certificate> normalize_chain_order(std::vector<Certificate> chain,
+                                               const std::string& hostname);
+
+/// Validate a served chain (leaf first) for `hostname` at day `now`.
+/// `keys` is the registry of issuer verification keys; `trust` is the union
+/// of root stores (Mozilla+Apple+Microsoft analogue).
+ValidationResult validate_chain(const std::vector<Certificate>& chain,
+                                const std::string& hostname,
+                                const TrustStoreSet& trust,
+                                const KeyRegistry& keys, std::int64_t now);
+
+/// Decode and validate a chain of encoded certificates (e.g. straight from a
+/// TLS Certificate message). Malformed members yield kBadSignature with a
+/// detail message rather than an exception.
+ValidationResult validate_encoded_chain(const std::vector<Bytes>& encoded_chain,
+                                        const std::string& hostname,
+                                        const TrustStoreSet& trust,
+                                        const KeyRegistry& keys,
+                                        std::int64_t now);
+
+}  // namespace iotls::x509

@@ -1,0 +1,192 @@
+// Tests for the ACME substrate and the automated-renewal agent (§7).
+#include <gtest/gtest.h>
+
+#include "acme/acme.hpp"
+#include "acme/renewal.hpp"
+#include "util/dates.hpp"
+#include "x509/validation.hpp"
+
+namespace iotls::acme {
+namespace {
+
+struct AcmeFixture {
+  x509::CertificateAuthority root = x509::CertificateAuthority::make_root(
+      "ACME Test Root", "Let's Encrypt", x509::CaKind::kPublicTrust,
+      days(2015, 1, 1), days(2040, 1, 1));
+  x509::CertificateAuthority intermediate =
+      root.subordinate("ACME Test Issuing", days(2016, 1, 1), days(2038, 1, 1));
+  ct::CtLog log{"acme-test-log"};
+  AcmeDirectory directory{&intermediate, DirectoryPolicy{}, &log};
+  ChallengeBoard board;
+  std::int64_t today = days(2022, 4, 1);
+};
+
+// ---------------------------------------------------------------- directory
+
+TEST(Acme, AccountRegistrationIdempotent) {
+  AcmeFixture f;
+  std::string a = f.directory.register_account("ops@vendor.example");
+  std::string b = f.directory.register_account("ops@vendor.example");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, f.directory.register_account("other@vendor.example"));
+}
+
+TEST(Acme, FullIssuanceFlow) {
+  AcmeFixture f;
+  std::string account = f.directory.register_account("ops@vendor.example");
+  Order order = f.directory.new_order(account, {"iot.vendor.example"}, f.today);
+  EXPECT_EQ(order.status, OrderStatus::kPending);
+  EXPECT_FALSE(order.challenge.token.empty());
+
+  f.board.publish("iot.vendor.example", order.challenge.token,
+                  order.challenge.key_authorization);
+  Order& validated = f.directory.validate(order.id, f.board);
+  EXPECT_EQ(validated.status, OrderStatus::kReady);
+
+  Order& final_order = f.directory.finalize(order.id, f.today);
+  EXPECT_EQ(final_order.status, OrderStatus::kValid);
+  ASSERT_TRUE(final_order.certificate.has_value());
+  EXPECT_EQ(final_order.certificate->validity_days(), 90);  // policy default
+  EXPECT_TRUE(final_order.certificate->matches_hostname("iot.vendor.example"));
+  EXPECT_TRUE(f.log.contains(final_order.certificate->fingerprint()));
+}
+
+TEST(Acme, ChallengeWithoutPublicationFails) {
+  AcmeFixture f;
+  std::string account = f.directory.register_account("ops@vendor.example");
+  Order order = f.directory.new_order(account, {"iot.vendor.example"}, f.today);
+  Order& validated = f.directory.validate(order.id, f.board);  // nothing published
+  EXPECT_EQ(validated.status, OrderStatus::kInvalid);
+  EXPECT_THROW(f.directory.finalize(order.id, f.today), std::logic_error);
+}
+
+TEST(Acme, WrongKeyAuthorizationFails) {
+  AcmeFixture f;
+  std::string account = f.directory.register_account("ops@vendor.example");
+  Order order = f.directory.new_order(account, {"iot.vendor.example"}, f.today);
+  f.board.publish("iot.vendor.example", order.challenge.token, "not-the-answer");
+  EXPECT_EQ(f.directory.validate(order.id, f.board).status, OrderStatus::kInvalid);
+}
+
+TEST(Acme, MultiIdentifierOrderNeedsAllHosts) {
+  AcmeFixture f;
+  std::string account = f.directory.register_account("ops@vendor.example");
+  Order order = f.directory.new_order(
+      account, {"a.vendor.example", "b.vendor.example"}, f.today);
+  f.board.publish("a.vendor.example", order.challenge.token,
+                  order.challenge.key_authorization);
+  // b not published -> invalid.
+  EXPECT_EQ(f.directory.validate(order.id, f.board).status, OrderStatus::kInvalid);
+}
+
+TEST(Acme, OrderValidationGuards) {
+  AcmeFixture f;
+  EXPECT_THROW(f.directory.new_order("acct-unknown", {"x"}, f.today),
+               std::invalid_argument);
+  std::string account = f.directory.register_account("ops@vendor.example");
+  EXPECT_THROW(f.directory.new_order(account, {}, f.today), std::invalid_argument);
+  std::vector<std::string> too_many(101, "x.example");
+  EXPECT_THROW(f.directory.new_order(account, too_many, f.today),
+               std::invalid_argument);
+}
+
+TEST(Acme, IssuedCertificateValidatesToRoot) {
+  AcmeFixture f;
+  x509::KeyRegistry keys;
+  f.root.publish_key(keys);
+  f.intermediate.publish_key(keys);
+  x509::TrustStoreSet trust;
+  x509::TrustStore store("test");
+  store.add_root(f.root.certificate());
+  trust.add(std::move(store));
+
+  std::string account = f.directory.register_account("Vendor Org");
+  Order order = f.directory.new_order(account, {"iot.vendor.example"}, f.today);
+  f.board.publish("iot.vendor.example", order.challenge.token,
+                  order.challenge.key_authorization);
+  f.directory.validate(order.id, f.board);
+  Order& final_order = f.directory.finalize(order.id, f.today);
+
+  std::vector<x509::Certificate> chain = {*final_order.certificate,
+                                          f.intermediate.certificate()};
+  auto result = x509::validate_chain(chain, "iot.vendor.example", trust, keys,
+                                     f.today + 10);
+  EXPECT_TRUE(x509::chain_trusted(result.status));
+  EXPECT_TRUE(result.clean());
+}
+
+// ---------------------------------------------------------------- renewal
+
+net::SimServer legacy_server(const std::string& sni, std::int64_t nb,
+                             std::int64_t validity) {
+  static auto vendor_ca = x509::CertificateAuthority::make_root(
+      "Legacy Vendor CA", "LegacyVendor", x509::CaKind::kPrivate,
+      days(2010, 1, 1), days(2045, 1, 1));
+  net::SimServer server;
+  server.sni = sni;
+  x509::IssueRequest req;
+  req.subject.common_name = sni;
+  req.san_dns = {sni};
+  req.not_before = nb;
+  req.not_after = nb + validity;
+  server.default_chain = {vendor_ca.issue(req)};
+  return server;
+}
+
+TEST(Renewal, ReplacesExpiringCertificates) {
+  AcmeFixture f;
+  // A vendor-signed cert that has long expired, and a fresh short-lived one
+  // that is policy-compliant (neither near expiry nor over-long).
+  net::SimServer stale = legacy_server("stale.vendor.example", days(2012, 1, 1), 3000);
+  net::SimServer fresh = legacy_server("fresh.vendor.example", f.today - 10, 90);
+
+  RenewalAgent agent(&f.directory, &f.board, "Vendor Org");
+  agent.manage(&stale);
+  agent.manage(&fresh);
+  EXPECT_EQ(agent.tick(f.today), 1u);  // only the expired one renews
+  EXPECT_EQ(agent.renewals(), 1u);
+  EXPECT_EQ(agent.failures(), 0u);
+
+  const x509::Certificate* leaf = stale.leaf(net::VantagePoint::kNewYork);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->validity_days(), 90);
+  EXPECT_FALSE(leaf->expired_at(f.today));
+  EXPECT_EQ(leaf->issuer.organization, "Let's Encrypt");
+}
+
+TEST(Renewal, SteadyStateKeepsEstateFresh) {
+  AcmeFixture f;
+  std::vector<net::SimServer> servers;
+  for (int i = 0; i < 10; ++i) {
+    servers.push_back(legacy_server("s" + std::to_string(i) + ".vendor.example",
+                                    days(2013, 1, 1), 36500));
+  }
+  ct::CtIndex index;
+  index.add_log(&f.log);
+  RenewalAgent agent(&f.directory, &f.board, "Vendor Org");
+  std::vector<net::SimServer*> ptrs;
+  for (auto& s : servers) {
+    agent.manage(&s);
+    ptrs.push_back(&s);
+  }
+
+  // Before adoption: 100-year certs, none logged.
+  EstateHealth before = measure_estate(ptrs, index, f.today);
+  EXPECT_EQ(before.validity_over_5y, 10u);
+  EXPECT_EQ(before.ct_logged, 0u);
+
+  // Run two simulated years of weekly ticks.
+  for (std::int64_t day = f.today; day < f.today + 730; day += 7) agent.tick(day);
+
+  EstateHealth after = measure_estate(ptrs, index, f.today + 730);
+  EXPECT_EQ(after.expired, 0u);
+  EXPECT_EQ(after.validity_over_5y, 0u);
+  EXPECT_EQ(after.ct_logged, 10u);
+  EXPECT_NEAR(after.mean_validity_days, 90, 1);
+  // ~90-day certs renewed ~30 days early over 2 years: about 12 cycles each.
+  EXPECT_GT(agent.renewals(), 10u * 8);
+  EXPECT_EQ(agent.failures(), 0u);
+}
+
+}  // namespace
+}  // namespace iotls::acme

@@ -1,0 +1,162 @@
+// Tests for the known-library fingerprint corpus.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/corpus.hpp"
+#include "util/dates.hpp"
+
+namespace iotls::corpus {
+namespace {
+
+const LibraryCorpus& corpus() {
+  static const LibraryCorpus c = LibraryCorpus::standard();
+  return c;
+}
+
+TEST(Corpus, AppendixB1Composition) {
+  // The paper's corpus: 19 + 38 + 113 + 5,591 + 1,130 = 6,891 builds.
+  EXPECT_EQ(corpus().count_family(Family::kOpenSsl), 19u);
+  EXPECT_EQ(corpus().count_family(Family::kWolfSsl), 38u);
+  EXPECT_EQ(corpus().count_family(Family::kMbedTls), 113u);
+  EXPECT_EQ(corpus().count_family(Family::kCurlOpenSsl), 5591u);
+  EXPECT_EQ(corpus().count_family(Family::kCurlWolfSsl), 1130u);
+  EXPECT_EQ(corpus().size(), 6891u);
+}
+
+TEST(Corpus, ConsecutiveVersionsShareFingerprints) {
+  // §4.1: consecutive versions may share a fingerprint; the corpus must
+  // collapse far below one fingerprint per build.
+  EXPECT_LT(corpus().distinct_fingerprints(), corpus().size() / 10);
+  EXPECT_GT(corpus().distinct_fingerprints(), 20u);
+}
+
+TEST(Corpus, ExactMatchFindsAllSharers) {
+  // An OpenSSL 1.0.2-era fingerprint matches every 1.0.2 build — including
+  // early-curl pairings, whose client leaves the library defaults untouched.
+  tls::Fingerprint fp = era_fingerprint(corpus().era("openssl-1.0.2"));
+  auto matches = corpus().match(fp);
+  ASSERT_FALSE(matches.empty());
+  for (const KnownLibrary* lib : matches) {
+    EXPECT_TRUE(lib->family == Family::kOpenSsl ||
+                lib->family == Family::kCurlOpenSsl)
+        << lib->version;
+    EXPECT_NE(lib->version.find("1.0.2"), std::string::npos) << lib->version;
+  }
+}
+
+TEST(Corpus, BestMatchPicksHighestVersion) {
+  // §4.1: "if versions i..j share fingerprint F, report the highest".
+  tls::Fingerprint fp = era_fingerprint(corpus().era("openssl-1.0.2"));
+  const KnownLibrary* best = corpus().best_match(fp);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->version, "OpenSSL 1.0.2u");  // latest 1.0.2 release
+}
+
+TEST(Corpus, UnmatchedFingerprintReturnsNull) {
+  tls::Fingerprint fp;
+  fp.version = 0x0303;
+  fp.cipher_suites = {0xbeef};
+  EXPECT_TRUE(corpus().match(fp).empty());
+  EXPECT_EQ(corpus().best_match(fp), nullptr);
+}
+
+TEST(Corpus, CurlChangesExtensionsNotSuites) {
+  tls::Fingerprint lib = era_fingerprint(corpus().era("openssl-1.0.2"));
+  // Find a curl+OpenSSL 1.0.2 entry with a modern curl (>= 7.47: ALPN).
+  const KnownLibrary* curl_build = nullptr;
+  for (const KnownLibrary& entry : corpus().entries()) {
+    if (entry.family == Family::kCurlOpenSsl &&
+        entry.version.find("curl 7.52") != std::string::npos &&
+        entry.version.find("OpenSSL 1.0.2u") != std::string::npos) {
+      curl_build = &entry;
+      break;
+    }
+  }
+  ASSERT_NE(curl_build, nullptr);
+  EXPECT_EQ(curl_build->fp.cipher_suites, lib.cipher_suites);
+  EXPECT_NE(curl_build->fp.extensions, lib.extensions);
+  // ALPN (16) present in the curl build but not the bare library default.
+  auto has16 = [](const std::vector<std::uint16_t>& exts) {
+    return std::find(exts.begin(), exts.end(), 16) != exts.end();
+  };
+  EXPECT_TRUE(has16(curl_build->fp.extensions));
+  EXPECT_FALSE(has16(lib.extensions));
+}
+
+TEST(Corpus, SupportStatus) {
+  // OpenSSL 1.0.0t went EOL in 2015; 1.1.1 outlives the capture window.
+  const KnownLibrary* old_build = nullptr;
+  const KnownLibrary* new_build = nullptr;
+  for (const KnownLibrary& entry : corpus().entries()) {
+    if (entry.version == "OpenSSL 1.0.0t") old_build = &entry;
+    if (entry.version == "OpenSSL 1.1.1i") new_build = &entry;
+  }
+  ASSERT_NE(old_build, nullptr);
+  ASSERT_NE(new_build, nullptr);
+  std::int64_t d2020 = days(2020, 8, 1);
+  EXPECT_FALSE(old_build->supported_at(d2020));
+  EXPECT_TRUE(new_build->supported_at(d2020));
+}
+
+TEST(Corpus, ErasAreDistinctFingerprints) {
+  std::set<std::string> keys;
+  for (const std::string& name : corpus().era_names()) {
+    keys.insert(era_fingerprint(corpus().era(name)).key());
+  }
+  EXPECT_EQ(keys.size(), corpus().era_names().size());
+}
+
+TEST(Corpus, UnknownEraThrows) {
+  EXPECT_THROW(corpus().era("openssl-9.9"), std::out_of_range);
+}
+
+TEST(Corpus, EraEvolutionIsSane) {
+  // TLS 1.3 suites appear only in the latest eras; RC4 disappears by 1.1.0.
+  auto has_suite = [&](const char* era, std::uint16_t suite) {
+    const auto& suites = corpus().era(era).suites;
+    return std::find(suites.begin(), suites.end(), suite) != suites.end();
+  };
+  EXPECT_TRUE(has_suite("openssl-1.1.1", 0x1301));
+  EXPECT_FALSE(has_suite("openssl-1.0.2", 0x1301));
+  EXPECT_TRUE(has_suite("openssl-1.0.1", 0x0005));   // RC4 still present
+  EXPECT_FALSE(has_suite("openssl-1.1.0", 0x0005));  // dropped
+  EXPECT_TRUE(has_suite("wolfssl-4.0", 0x1301));
+  EXPECT_FALSE(has_suite("polarssl-1.2", 0x1301));
+}
+
+TEST(Corpus, DeterministicAcrossBuilds) {
+  LibraryCorpus a = LibraryCorpus::standard();
+  LibraryCorpus b = LibraryCorpus::standard();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 511) {
+    EXPECT_EQ(a.entries()[i].version, b.entries()[i].version);
+    EXPECT_EQ(a.entries()[i].fp, b.entries()[i].fp);
+  }
+}
+
+// Every entry must have a plausible release/EOL ordering and non-empty data.
+class CorpusSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusSweep, EntriesWellFormed) {
+  std::size_t start = static_cast<std::size_t>(GetParam()) * 1000;
+  std::size_t end = std::min(start + 1000, corpus().size());
+  for (std::size_t i = start; i < end; ++i) {
+    const KnownLibrary& lib = corpus().entries()[i];
+    EXPECT_FALSE(lib.version.empty());
+    EXPECT_FALSE(lib.fp.cipher_suites.empty()) << lib.version;
+    EXPECT_GT(lib.release_day, days(2007, 1, 1)) << lib.version;
+    EXPECT_LE(lib.release_day, days(2021, 6, 1)) << lib.version;
+    // The curl pairings can be built AFTER the TLS library's EOL — the paper
+    // itself observes up-to-date curl linking severely outdated libraries
+    // (App. B.2) — so the release/EOL ordering only binds plain libraries.
+    if (lib.family != Family::kCurlOpenSsl && lib.family != Family::kCurlWolfSsl) {
+      EXPECT_GE(lib.support_end_day, lib.release_day) << lib.version;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, CorpusSweep, ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace iotls::corpus

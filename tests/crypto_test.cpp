@@ -1,0 +1,184 @@
+// Tests for the crypto substrate against published test vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/md5.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signature.hpp"
+#include "util/hex.hpp"
+
+namespace iotls::crypto {
+namespace {
+
+std::string hex(const Md5Digest& d) { return to_hex(BytesView(d.data(), d.size())); }
+std::string hex(const Sha256Digest& d) { return to_hex(BytesView(d.data(), d.size())); }
+
+// ---------------------------------------------------------------- MD5 (RFC 1321)
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(hex(md5(std::string_view(""))), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(hex(md5(std::string_view("a"))), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(hex(md5(std::string_view("abc"))), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(hex(md5(std::string_view("message digest"))),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(hex(md5(std::string_view("abcdefghijklmnopqrstuvwxyz"))),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(hex(md5(std::string_view(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"))),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(hex(md5(std::string_view("1234567890123456789012345678901234567890"
+                                     "1234567890123456789012345678901234567890"))),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, QuickBrownFox) {
+  EXPECT_EQ(md5_hex("The quick brown fox jumps over the lazy dog"),
+            "9e107d9d372bb6826bd81d3542a419d6");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  std::string msg(1000, 'x');
+  Md5 ctx;
+  // Feed in awkward chunk sizes straddling block boundaries.
+  std::size_t offsets[] = {0, 1, 64, 65, 127, 128, 400, 999, 1000};
+  for (std::size_t i = 0; i + 1 < std::size(offsets); ++i) {
+    ctx.update(std::string_view(msg).substr(offsets[i], offsets[i + 1] - offsets[i]));
+  }
+  EXPECT_EQ(hex(ctx.finish()), hex(md5(std::string_view(msg))));
+}
+
+TEST(Md5, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block / 56-byte padding boundary.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(n, 'q');
+    Md5 a;
+    a.update(std::string_view(msg));
+    Md5 b;
+    for (char c : msg) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(hex(a.finish()), hex(b.finish())) << "length " << n;
+  }
+}
+
+// ---------------------------------------------------------------- SHA-256 (FIPS 180-4)
+
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(hex(sha256(std::string_view(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex(sha256(std::string_view("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex(sha256(std::string_view(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(std::string_view(chunk));
+  EXPECT_EQ(hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(n, 'z');
+    Sha256 a;
+    a.update(std::string_view(msg));
+    Sha256 b;
+    for (char c : msg) b.update(std::string_view(&c, 1));
+    EXPECT_EQ(hex(a.finish()), hex(b.finish())) << "length " << n;
+  }
+}
+
+// ---------------------------------------------------------------- HMAC (RFC 4231)
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  std::string data = "Hi There";
+  auto mac = hmac_sha256(BytesView(key.data(), key.size()),
+                         BytesView(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                   data.size()));
+  EXPECT_EQ(hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  std::string key = "Jefe";
+  std::string data = "what do ya want for nothing?";
+  auto mac = hmac_sha256(
+      BytesView(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      BytesView(reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  EXPECT_EQ(hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  auto mac = hmac_sha256(BytesView(key.data(), key.size()),
+                         BytesView(data.data(), data.size()));
+  EXPECT_EQ(hex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {  // RFC 4231 case 6
+  Bytes key(131, 0xaa);
+  std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  auto mac = hmac_sha256(
+      BytesView(key.data(), key.size()),
+      BytesView(reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  EXPECT_EQ(hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// ---------------------------------------------------------------- signatures
+
+TEST(Signature, DeriveIsDeterministic) {
+  KeyPair a = derive_keypair("DigiCert");
+  KeyPair b = derive_keypair("DigiCert");
+  EXPECT_EQ(a.secret, b.secret);
+  EXPECT_EQ(a.key_id, b.key_id);
+  EXPECT_EQ(a.key_id.size(), 16u);
+}
+
+TEST(Signature, DistinctLabelsDistinctKeys) {
+  EXPECT_NE(derive_keypair("DigiCert").key_id, derive_keypair("Roku").key_id);
+}
+
+TEST(Signature, SignVerifyRoundTrip) {
+  KeyPair key = derive_keypair("test-ca");
+  Bytes msg = {1, 2, 3, 4, 5};
+  Bytes sig = sign(key, BytesView(msg.data(), msg.size()));
+  EXPECT_TRUE(verify(key, BytesView(msg.data(), msg.size()),
+                     BytesView(sig.data(), sig.size())));
+}
+
+TEST(Signature, TamperedMessageFails) {
+  KeyPair key = derive_keypair("test-ca");
+  Bytes msg = {1, 2, 3, 4, 5};
+  Bytes sig = sign(key, BytesView(msg.data(), msg.size()));
+  msg[2] ^= 0x01;
+  EXPECT_FALSE(verify(key, BytesView(msg.data(), msg.size()),
+                      BytesView(sig.data(), sig.size())));
+}
+
+TEST(Signature, WrongKeyFails) {
+  KeyPair key = derive_keypair("test-ca");
+  KeyPair other = derive_keypair("other-ca");
+  Bytes msg = {9, 9, 9};
+  Bytes sig = sign(key, BytesView(msg.data(), msg.size()));
+  EXPECT_FALSE(verify(other, BytesView(msg.data(), msg.size()),
+                      BytesView(sig.data(), sig.size())));
+}
+
+TEST(Signature, TruncatedSignatureFails) {
+  KeyPair key = derive_keypair("test-ca");
+  Bytes msg = {7};
+  Bytes sig = sign(key, BytesView(msg.data(), msg.size()));
+  sig.pop_back();
+  EXPECT_FALSE(verify(key, BytesView(msg.data(), msg.size()),
+                      BytesView(sig.data(), sig.size())));
+}
+
+}  // namespace
+}  // namespace iotls::crypto

@@ -1,0 +1,263 @@
+// Tests for the Certificate Transparency substrate (Merkle tree + logs).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ct/ctlog.hpp"
+#include "ct/merkle.hpp"
+#include "util/hex.hpp"
+#include "x509/authority.hpp"
+
+namespace iotls::ct {
+namespace {
+
+Bytes entry(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+BytesView view(const Bytes& b) { return BytesView(b.data(), b.size()); }
+
+// ------------------------------------------------------------- Merkle basics
+
+TEST(Merkle, EmptyTreeHashIsSha256OfEmpty) {
+  Hash h = empty_tree_hash();
+  EXPECT_EQ(to_hex(BytesView(h.data(), h.size())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Merkle, Rfc6962LeafAndNodeDomainSeparation) {
+  // leaf(x) != SHA256(x): the 0x00 prefix separates domains.
+  Bytes e = entry("hello");
+  Hash leaf = leaf_hash(view(e));
+  Hash plain = crypto::sha256(view(e));
+  EXPECT_NE(leaf, plain);
+  // node(a,b) != node(b,a) in general.
+  Hash a = leaf_hash(view(entry("a")));
+  Hash b = leaf_hash(view(entry("b")));
+  EXPECT_NE(node_hash(a, b), node_hash(b, a));
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  MerkleTree t;
+  Bytes e = entry("only");
+  t.append(view(e));
+  EXPECT_EQ(t.root(), leaf_hash(view(e)));
+}
+
+TEST(Merkle, RootChangesOnAppend) {
+  MerkleTree t;
+  t.append(view(entry("a")));
+  Hash r1 = t.root();
+  t.append(view(entry("b")));
+  EXPECT_NE(t.root(), r1);
+}
+
+TEST(Merkle, HistoricalRootsStable) {
+  MerkleTree t;
+  std::vector<Hash> heads;
+  for (int i = 0; i < 20; ++i) {
+    t.append(view(entry("e" + std::to_string(i))));
+    heads.push_back(t.root());
+  }
+  // Appending never rewrites history: root(n) is still the old head.
+  for (int n = 1; n <= 20; ++n) {
+    EXPECT_EQ(t.root(static_cast<std::uint64_t>(n)),
+              heads[static_cast<std::size_t>(n - 1)]);
+  }
+}
+
+// -------------------------------------------------- inclusion proofs
+
+class InclusionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InclusionSweep, EveryLeafProvableAtEverySize) {
+  const int size = GetParam();
+  MerkleTree t;
+  std::vector<Bytes> entries;
+  for (int i = 0; i < size; ++i) {
+    entries.push_back(entry("leaf" + std::to_string(i)));
+    t.append(view(entries.back()));
+  }
+  for (std::uint64_t n = 1; n <= static_cast<std::uint64_t>(size); ++n) {
+    Hash head = t.root(n);
+    for (std::uint64_t m = 0; m < n; ++m) {
+      auto proof = t.inclusion_proof(m, n);
+      EXPECT_TRUE(verify_inclusion(leaf_hash(view(entries[m])), m, n, proof, head))
+          << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InclusionSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 31, 33, 64, 100));
+
+TEST(Merkle, InclusionProofRejectsWrongLeaf) {
+  MerkleTree t;
+  for (int i = 0; i < 10; ++i) t.append(view(entry("x" + std::to_string(i))));
+  auto proof = t.inclusion_proof(3, 10);
+  EXPECT_TRUE(verify_inclusion(leaf_hash(view(entry("x3"))), 3, 10, proof, t.root()));
+  EXPECT_FALSE(verify_inclusion(leaf_hash(view(entry("x4"))), 3, 10, proof, t.root()));
+}
+
+TEST(Merkle, InclusionProofRejectsWrongIndex) {
+  MerkleTree t;
+  for (int i = 0; i < 10; ++i) t.append(view(entry("x" + std::to_string(i))));
+  auto proof = t.inclusion_proof(3, 10);
+  EXPECT_FALSE(verify_inclusion(leaf_hash(view(entry("x3"))), 4, 10, proof, t.root()));
+}
+
+TEST(Merkle, InclusionProofRejectsTamperedPath) {
+  MerkleTree t;
+  for (int i = 0; i < 10; ++i) t.append(view(entry("x" + std::to_string(i))));
+  auto proof = t.inclusion_proof(3, 10);
+  ASSERT_FALSE(proof.empty());
+  proof[0][0] ^= 0x01;
+  EXPECT_FALSE(verify_inclusion(leaf_hash(view(entry("x3"))), 3, 10, proof, t.root()));
+}
+
+TEST(Merkle, InclusionProofBadIndicesThrow) {
+  MerkleTree t;
+  t.append(view(entry("a")));
+  EXPECT_THROW(t.inclusion_proof(1, 1), std::out_of_range);
+  EXPECT_THROW(t.inclusion_proof(0, 2), std::out_of_range);
+}
+
+// -------------------------------------------------- consistency proofs
+
+class ConsistencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencySweep, AllSizePairsConsistent) {
+  const int size = GetParam();
+  MerkleTree t;
+  for (int i = 0; i < size; ++i) t.append(view(entry("c" + std::to_string(i))));
+  for (std::uint64_t first = 1; first <= static_cast<std::uint64_t>(size); ++first) {
+    for (std::uint64_t second = first; second <= static_cast<std::uint64_t>(size);
+         ++second) {
+      auto proof = t.consistency_proof(first, second);
+      EXPECT_TRUE(verify_consistency(first, second, t.root(first),
+                                     t.root(second), proof))
+          << "first=" << first << " second=" << second;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConsistencySweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 9, 16, 17, 33));
+
+TEST(Merkle, ConsistencyRejectsForkedHistory) {
+  // The forked log rewrites an entry *inside* the already-published prefix
+  // (index 3 of 5), so its size-8 head cannot be proven consistent with the
+  // honest size-5 head any observer recorded.
+  MerkleTree honest, forked;
+  for (int i = 0; i < 8; ++i) honest.append(view(entry("h" + std::to_string(i))));
+  for (int i = 0; i < 8; ++i)
+    forked.append(view(entry(i == 3 ? std::string("EVIL") : "h" + std::to_string(i))));
+
+  auto proof = forked.consistency_proof(5, 8);
+  EXPECT_FALSE(verify_consistency(5, 8, honest.root(5), forked.root(8), proof));
+  // But it does connect its own (rewritten) prefix.
+  EXPECT_TRUE(verify_consistency(5, 8, forked.root(5), forked.root(8), proof));
+}
+
+TEST(Merkle, ConsistencySameSizeEmptyProof) {
+  MerkleTree t;
+  for (int i = 0; i < 6; ++i) t.append(view(entry(std::to_string(i))));
+  auto proof = t.consistency_proof(6, 6);
+  EXPECT_TRUE(proof.empty());
+  EXPECT_TRUE(verify_consistency(6, 6, t.root(), t.root(), proof));
+}
+
+// -------------------------------------------------- CT log
+
+x509::Certificate make_cert(const std::string& host) {
+  static auto ca = x509::CertificateAuthority::make_root(
+      "CT Test CA", "TestOrg", x509::CaKind::kPublicTrust, 15000, 30000);
+  x509::IssueRequest req;
+  req.subject.common_name = host;
+  req.not_before = 18000;
+  req.not_after = 18398;
+  return ca.issue(req);
+}
+
+TEST(CtLog, SubmitAndLookup) {
+  CtLog log("argon");
+  x509::Certificate cert = make_cert("logged.example.com");
+  Sct sct = log.submit(cert, 18100);
+  EXPECT_EQ(sct.leaf_index, 0u);
+  EXPECT_TRUE(log.contains(cert.fingerprint()));
+  EXPECT_FALSE(log.contains("0000"));
+  auto found = log.lookup(cert.fingerprint());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->leaf_index, 0u);
+}
+
+TEST(CtLog, SubmitIsIdempotent) {
+  CtLog log("argon");
+  x509::Certificate cert = make_cert("idem.example.com");
+  Sct first = log.submit(cert, 18100);
+  Sct second = log.submit(cert, 18200);
+  EXPECT_EQ(first.leaf_index, second.leaf_index);
+  EXPECT_EQ(first.timestamp, second.timestamp);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(CtLog, AuditProvesInclusion) {
+  CtLog log("argon");
+  std::vector<x509::Certificate> certs;
+  std::vector<Sct> scts;
+  for (int i = 0; i < 12; ++i) {
+    certs.push_back(make_cert("host" + std::to_string(i) + ".example.com"));
+    scts.push_back(log.submit(certs.back(), 18100 + i));
+  }
+  for (int i = 0; i < 12; ++i) {
+    auto proof = log.prove_inclusion(scts[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(log.audit(certs[static_cast<std::size_t>(i)],
+                          scts[static_cast<std::size_t>(i)], proof));
+  }
+}
+
+TEST(CtLog, AuditRejectsUnloggedCertificate) {
+  CtLog log("argon");
+  x509::Certificate logged = make_cert("in.example.com");
+  Sct sct = log.submit(logged, 18100);
+  log.submit(make_cert("other.example.com"), 18101);
+  auto proof = log.prove_inclusion(sct);
+  x509::Certificate unlogged = make_cert("not-in.example.com");
+  EXPECT_FALSE(log.audit(unlogged, sct, proof));
+}
+
+TEST(CtLog, ConsistencyAcrossGrowth) {
+  CtLog log("argon");
+  for (int i = 0; i < 5; ++i) log.submit(make_cert("g" + std::to_string(i) + ".example.com"), 18100);
+  Hash head5 = log.tree_head();
+  for (int i = 5; i < 9; ++i) log.submit(make_cert("g" + std::to_string(i) + ".example.com"), 18200);
+  auto proof = log.prove_consistency(5, 9);
+  EXPECT_TRUE(verify_consistency(5, 9, head5, log.tree_head(), proof));
+}
+
+TEST(CtIndex, QueriesAllLogs) {
+  CtLog argon("argon"), xenon("xenon");
+  CtIndex index;
+  index.add_log(&argon);
+  index.add_log(&xenon);
+
+  x509::Certificate a = make_cert("only-argon.example.com");
+  x509::Certificate b = make_cert("both.example.com");
+  x509::Certificate c = make_cert("nowhere.example.com");
+  argon.submit(a, 18100);
+  argon.submit(b, 18100);
+  xenon.submit(b, 18100);
+
+  EXPECT_TRUE(index.logged(a.fingerprint()));
+  EXPECT_TRUE(index.logged(b.fingerprint()));
+  EXPECT_FALSE(index.logged(c.fingerprint()));
+  EXPECT_EQ(index.logs_containing(b.fingerprint()),
+            (std::vector<std::string>{"argon", "xenon"}));
+}
+
+TEST(CtLog, DistinctLogsHaveDistinctIds) {
+  CtLog a("argon"), b("xenon");
+  EXPECT_NE(a.log_id(), b.log_id());
+}
+
+}  // namespace
+}  // namespace iotls::ct

@@ -1,0 +1,321 @@
+// Tests for the fleet generator and server-side scenario.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "devicesim/fleet.hpp"
+#include "devicesim/stacks.hpp"
+#include "devicesim/vendors.hpp"
+#include "net/prober.hpp"
+#include "tls/ciphersuite.hpp"
+#include "tls/record.hpp"
+#include "util/dates.hpp"
+
+namespace iotls::devicesim {
+namespace {
+
+const corpus::LibraryCorpus& corpus_ref() {
+  static const auto c = corpus::LibraryCorpus::standard();
+  return c;
+}
+
+const ServerUniverse& universe_ref() {
+  static const auto u = ServerUniverse::standard();
+  return u;
+}
+
+const FleetDataset& fleet_ref() {
+  static const FleetDataset fleet = generate_fleet({}, corpus_ref(), universe_ref());
+  return fleet;
+}
+
+// ---------------------------------------------------------------- vendors
+
+TEST(Vendors, SixtyFiveVendorsTwoThousandFourteenDevices) {
+  EXPECT_EQ(vendor_table().size(), 65u);
+  EXPECT_EQ(total_devices(), 2014);
+}
+
+TEST(Vendors, IndicesMatchTable13) {
+  EXPECT_EQ(vendor("Roku").index, 1);
+  EXPECT_EQ(vendor("Amazon").index, 6);
+  EXPECT_EQ(vendor("Synology").index, 23);
+  EXPECT_EQ(vendor("Withings").index, 65);
+  EXPECT_THROW(vendor("Acme"), std::out_of_range);
+}
+
+TEST(Vendors, IsolatedVendorsPerPaper) {
+  EXPECT_TRUE(vendor("Canary").isolated);
+  EXPECT_TRUE(vendor("Tuya").isolated);
+  EXPECT_TRUE(vendor("Obihai").isolated);
+  EXPECT_FALSE(vendor("Amazon").isolated);
+}
+
+TEST(Vendors, IndicesUniqueAndDense) {
+  std::set<int> indices;
+  for (const VendorSpec& v : vendor_table()) indices.insert(v.index);
+  EXPECT_EQ(indices.size(), 65u);
+  EXPECT_EQ(*indices.begin(), 1);
+  EXPECT_EQ(*indices.rbegin(), 65);
+}
+
+// ---------------------------------------------------------------- stacks
+
+TEST(Stacks, MutationIsDeterministic) {
+  Rng a(99), b(99);
+  auto era = corpus_ref().era("openssl-1.0.2");
+  EXPECT_EQ(mutate_era(era, a, 0.5).suites, mutate_era(era, b, 0.5).suites);
+}
+
+TEST(Stacks, MutationAlmostAlwaysDiffersFromBase) {
+  auto era = corpus_ref().era("openssl-1.0.2");
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    Rng rng(1000 + static_cast<std::uint64_t>(i));
+    if (mutate_era(era, rng, 0.5).suites == era.suites) ++same;
+  }
+  EXPECT_LE(same, 2);
+}
+
+TEST(Stacks, SloppinessControlsVulnerableSuites) {
+  auto era = corpus_ref().era("openssl-1.0.2");  // contains 3DES/RC4
+  int clean_vuln = 0, sloppy_vuln = 0;
+  for (int i = 0; i < 40; ++i) {
+    Rng r1(i), r2(i);
+    auto clean = mutate_era(era, r1, 0.0);
+    auto sloppy = mutate_era(era, r2, 1.0);
+    clean_vuln += !tls::list_vulnerable_components(clean.suites).empty();
+    sloppy_vuln += !tls::list_vulnerable_components(sloppy.suites).empty();
+  }
+  EXPECT_LT(clean_vuln, sloppy_vuln);
+  EXPECT_GT(sloppy_vuln, 25);  // sloppy builds usually keep some legacy tail
+}
+
+TEST(Stacks, QuirksForceFrontSuites) {
+  VendorQuirks belkin = quirks_for("Belkin");
+  ASSERT_FALSE(belkin.front_suites.empty());
+  auto era = corpus_ref().era("openssl-1.0.0");
+  for (int i = 0; i < 10; ++i) {
+    Rng rng(i);
+    auto config = mutate_era(era, rng, 1.0, belkin);
+    EXPECT_EQ(config.suites.front(), 0x0005);  // RC4_128 first (App. B.8)
+  }
+}
+
+TEST(Stacks, HelloFromStackCarriesSniAndConfig) {
+  TlsStack stack;
+  stack.name = "t";
+  stack.config = corpus_ref().era("openssl-1.0.1");
+  stack.config.extensions.insert(stack.config.extensions.begin(), 0);
+  tls::ClientHello hello = hello_from_stack(stack, "dev.example.com", 0);
+  EXPECT_EQ(hello.sni().value_or(""), "dev.example.com");
+  EXPECT_EQ(hello.cipher_suites, stack.config.suites);
+}
+
+TEST(Stacks, GreaseRotatesButFingerprintStable) {
+  TlsStack stack;
+  stack.name = "g";
+  stack.config = corpus_ref().era("openssl-1.1.1");
+  stack.grease_suites = true;
+  tls::ClientHello h1 = hello_from_stack(stack, "x.example.com", 1);
+  tls::ClientHello h2 = hello_from_stack(stack, "x.example.com", 2);
+  EXPECT_NE(h1.cipher_suites.front(), h2.cipher_suites.front());  // rotating
+  EXPECT_EQ(tls::fingerprint_of(h1), tls::fingerprint_of(h2));
+}
+
+TEST(Stacks, SharedStackTableEncodesTable5Rows) {
+  bool sonos = false, roku = false, netflix = false;
+  for (const SharedStackSpec& spec : shared_stack_table()) {
+    if (spec.name == "sdk:sonos") {
+      sonos = true;
+      std::set<std::string> vendors;
+      for (const auto& [vendor, adoption] : spec.vendors) vendors.insert(vendor);
+      EXPECT_EQ(vendors, (std::set<std::string>{"Amazon", "IKEA", "Sonos"}));
+    }
+    if (spec.name == "sdk:roku-os") roku = true;
+    if (spec.name == "app:netflix-nrdp") netflix = true;
+  }
+  EXPECT_TRUE(sonos);
+  EXPECT_TRUE(roku);
+  EXPECT_TRUE(netflix);
+}
+
+// ---------------------------------------------------------------- fleet
+
+TEST(Fleet, HeadlineCounts) {
+  const FleetDataset& fleet = fleet_ref();
+  EXPECT_EQ(fleet.devices.size(), 2014u);
+  EXPECT_EQ(fleet.users.size(), 721u);
+  EXPECT_GT(fleet.events.size(), 9000u);
+  EXPECT_LT(fleet.events.size(), 16000u);
+}
+
+TEST(Fleet, EveryDeviceHasEvents) {
+  std::set<std::string> with_events;
+  for (const auto& e : fleet_ref().events) with_events.insert(e.device_id);
+  EXPECT_EQ(with_events.size(), fleet_ref().devices.size());
+}
+
+TEST(Fleet, EveryUserOwnsADevice) {
+  std::set<std::string> owners;
+  for (const auto& d : fleet_ref().devices) owners.insert(d.user_id);
+  EXPECT_EQ(owners.size(), fleet_ref().users.size());
+}
+
+TEST(Fleet, EventsAreParseableWire) {
+  // Every event's bytes decode as TLS records carrying a valid ClientHello
+  // whose SNI matches the event metadata.
+  std::size_t checked = 0;
+  for (const auto& e : fleet_ref().events) {
+    if (checked++ % 37 != 0) continue;  // sample for speed
+    auto records = tls::parse_records(BytesView(e.wire.data(), e.wire.size()));
+    Bytes payload = tls::handshake_payload(records);
+    auto msgs = tls::split_handshakes(BytesView(payload.data(), payload.size()));
+    ASSERT_FALSE(msgs.empty());
+    Bytes framed = tls::encode_handshake(
+        msgs[0].type, BytesView(msgs[0].body.data(), msgs[0].body.size()));
+    auto hello = tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
+    EXPECT_EQ(hello.sni().value_or(""), e.sni);
+  }
+}
+
+TEST(Fleet, EventDaysInsideCaptureWindow) {
+  for (const auto& e : fleet_ref().events) {
+    EXPECT_GE(e.day, days(2019, 4, 29));
+    EXPECT_LE(e.day, days(2020, 8, 1));
+  }
+}
+
+TEST(Fleet, Deterministic) {
+  FleetDataset again = generate_fleet({}, corpus_ref(), universe_ref());
+  ASSERT_EQ(again.events.size(), fleet_ref().events.size());
+  EXPECT_EQ(again.events[100].wire, fleet_ref().events[100].wire);
+  EXPECT_EQ(again.events.back().sni, fleet_ref().events.back().sni);
+}
+
+TEST(Fleet, SeedChangesData) {
+  FleetConfig cfg;
+  cfg.seed = 777;
+  FleetDataset other = generate_fleet(cfg, corpus_ref(), universe_ref());
+  EXPECT_NE(other.events[100].wire, fleet_ref().events[100].wire);
+}
+
+TEST(Fleet, CoversEveryUniverseSni) {
+  std::set<std::string> visited;
+  for (const auto& e : fleet_ref().events) visited.insert(e.sni);
+  for (const ServerSpec& spec : universe_ref().specs()) {
+    EXPECT_TRUE(visited.count(spec.fqdn) > 0) << spec.fqdn;
+  }
+}
+
+TEST(Fleet, IsolatedVendorsStayHome) {
+  std::map<std::string, const Device*> devices;
+  for (const auto& d : fleet_ref().devices) devices[d.id] = &d;
+  for (const auto& e : fleet_ref().events) {
+    const std::string& vendor_name = devices.at(e.device_id)->vendor;
+    if (!vendor(vendor_name).isolated) continue;
+    const ServerSpec* spec = universe_ref().find(e.sni);
+    ASSERT_NE(spec, nullptr) << e.sni;
+    bool own = false;
+    for (const std::string& tag : spec->tags) {
+      if (tag == "vendor:" + vendor_name) own = true;
+    }
+    EXPECT_TRUE(own) << vendor_name << " visited " << e.sni;
+  }
+}
+
+// ---------------------------------------------------------------- scenario
+
+TEST(Scenario, UniverseSizeMatchesPaper) {
+  EXPECT_EQ(universe_ref().size(), 1194u);
+  std::size_t unreachable = 0;
+  for (const ServerSpec& s : universe_ref().specs()) unreachable += !s.reachable;
+  EXPECT_EQ(unreachable, 43u);  // §3: 43 servers went dark before probing
+}
+
+TEST(Scenario, KeyRowsPresent) {
+  EXPECT_NE(universe_ref().find("appboot.netflix.com"), nullptr);
+  EXPECT_NE(universe_ref().find("a2.tuyaus.com"), nullptr);
+  EXPECT_NE(universe_ref().find("log.samsunghrm.com"), nullptr);
+  EXPECT_NE(universe_ref().find("api.wink.com"), nullptr);
+  EXPECT_NE(universe_ref().find("api.skyegloup.com"), nullptr);
+  const ServerSpec* tuya = universe_ref().find("a2.tuyaus.com");
+  EXPECT_TRUE(tuya->cn_mismatch);
+  EXPECT_EQ(tuya->not_after - tuya->not_before, 36500);  // 100 years
+}
+
+TEST(Scenario, WorldServesValidatableChains) {
+  SimWorld world = build_world(universe_ref());
+  net::TlsProber prober(world.internet);
+
+  // A public server validates clean at probe time.
+  auto ny = prober.probe("api.amazon.com", net::VantagePoint::kNewYork);
+  ASSERT_TRUE(ny.reachable);
+  auto v = x509::validate_chain(ny.chain, "api.amazon.com", world.trust,
+                                world.keys, days(2022, 4, 15));
+  EXPECT_TRUE(x509::chain_trusted(v.status));
+  EXPECT_TRUE(v.hostname_ok);
+  EXPECT_FALSE(v.expired);
+}
+
+TEST(Scenario, NetflixAppbootIsPrivateLongLived) {
+  SimWorld world = build_world(universe_ref());
+  net::TlsProber prober(world.internet);
+  auto probe = prober.probe("appboot.netflix.com", net::VantagePoint::kNewYork);
+  ASSERT_TRUE(probe.reachable);
+  ASSERT_FALSE(probe.chain.empty());
+  EXPECT_EQ(probe.chain.front().issuer.organization, "Netflix");
+  EXPECT_EQ(probe.chain.front().validity_days(), 8150);
+  auto v = x509::validate_chain(probe.chain, "appboot.netflix.com", world.trust,
+                                world.keys, days(2022, 4, 15));
+  EXPECT_EQ(v.status, x509::ChainStatus::kUntrustedRoot);
+  EXPECT_FALSE(world.ct_index.logged(probe.chain.front().fingerprint()));
+}
+
+TEST(Scenario, ExpiredWinkCertServed) {
+  SimWorld world = build_world(universe_ref());
+  net::TlsProber prober(world.internet);
+  auto probe = prober.probe("api.wink.com", net::VantagePoint::kNewYork);
+  ASSERT_TRUE(probe.reachable);
+  EXPECT_TRUE(probe.chain.front().expired_at(days(2019, 4, 29)));  // during capture!
+}
+
+TEST(Scenario, TuyaCnMismatch) {
+  SimWorld world = build_world(universe_ref());
+  net::TlsProber prober(world.internet);
+  auto probe = prober.probe("a2.tuyaus.com", net::VantagePoint::kNewYork);
+  ASSERT_TRUE(probe.reachable);
+  EXPECT_FALSE(probe.chain.front().matches_hostname("a2.tuyaus.com"));
+}
+
+TEST(Scenario, SamsungHrmDoubleSelfSigned) {
+  SimWorld world = build_world(universe_ref());
+  net::TlsProber prober(world.internet);
+  auto probe = prober.probe("log.samsunghrm.com", net::VantagePoint::kNewYork);
+  ASSERT_TRUE(probe.reachable);
+  ASSERT_EQ(probe.chain.size(), 2u);
+  EXPECT_EQ(probe.chain[0], probe.chain[1]);  // identical pair (§5.3)
+  EXPECT_TRUE(probe.chain[0].self_signed());
+}
+
+TEST(Scenario, RegionalGapsPresent) {
+  SimWorld world = build_world(universe_ref());
+  net::TlsProber prober(world.internet);
+  auto result = prober.probe_all_vantages("www.pavv.co.kr");
+  EXPECT_TRUE(result.by_vantage.at(net::VantagePoint::kNewYork).reachable);
+  EXPECT_FALSE(result.by_vantage.at(net::VantagePoint::kFrankfurt).reachable);
+}
+
+TEST(Scenario, CtLogsOnlyPublicCertificates) {
+  SimWorld world = build_world(universe_ref());
+  EXPECT_EQ(world.logs.size(), 2u);
+  EXPECT_GT(world.logs[0]->size(), 100u);
+  // Private CAs never submit: spot-check a Roku-signed server.
+  net::TlsProber prober(world.internet);
+  auto probe = prober.probe("ntp.rokutime.com", net::VantagePoint::kNewYork);
+  ASSERT_TRUE(probe.reachable);
+  EXPECT_FALSE(world.ct_index.logged(probe.chain.front().fingerprint()));
+}
+
+}  // namespace
+}  // namespace iotls::devicesim

@@ -1,0 +1,126 @@
+// Tests for the longitudinal (firmware-churn) analysis.
+#include <gtest/gtest.h>
+
+#include "core/longitudinal.hpp"
+#include "devicesim/fleet.hpp"
+#include "tls/record.hpp"
+
+namespace iotls::core {
+namespace {
+
+devicesim::ClientHelloEvent event_at(const std::string& device,
+                                     const std::string& sni, std::int64_t day,
+                                     std::vector<std::uint16_t> suites) {
+  tls::ClientHello ch;
+  ch.cipher_suites = std::move(suites);
+  ch.extensions = {{10, {}}};
+  ch.set_sni(sni);
+  Bytes msg = ch.encode();
+  devicesim::ClientHelloEvent event;
+  event.device_id = device;
+  event.day = day;
+  event.sni = sni;
+  event.wire = tls::encode_records(tls::ContentType::kHandshake, 0x0303,
+                                   BytesView(msg.data(), msg.size()));
+  return event;
+}
+
+TEST(Longitudinal, DetectsGenuineReplacement) {
+  devicesim::FleetDataset fleet;
+  fleet.users = {"u1"};
+  fleet.devices = {{"updated", "V", "T", "u1"}, {"stable", "V", "T", "u1"}};
+  // "updated": stack A toward api.v.com early, stack B toward the SAME
+  // server late — a firmware update.
+  for (std::int64_t day : {110, 150, 190})
+    fleet.events.push_back(event_at("updated", "api.v.com", day, {0xc02f, 0x009c}));
+  for (std::int64_t day : {610, 700, 780})
+    fleet.events.push_back(event_at("updated", "api.v.com", day, {0xc02b, 0xc02f}));
+  // "stable": one stack throughout.
+  for (std::int64_t day : {120, 400, 750})
+    fleet.events.push_back(event_at("stable", "api.v.com", day, {0x1301, 0x1302}));
+
+  auto ds = ClientDataset::from_fleet(fleet);
+  auto report = longitudinal_analysis(ds, 100, 800);
+  EXPECT_EQ(report.devices_observed_both_halves, 2u);
+  EXPECT_EQ(report.devices_with_replacement, 1u);
+  EXPECT_EQ(report.replacements_by_vendor.at("V"), 1u);
+  for (const auto& t : report.timelines) {
+    EXPECT_EQ(t.stack_replaced(), t.device_id == "updated") << t.device_id;
+  }
+}
+
+TEST(Longitudinal, NoSuccessorNoReplacement) {
+  // A one-off app stack toward a DIFFERENT server in the early half must not
+  // count as a firmware update of the base stack.
+  devicesim::FleetDataset fleet;
+  fleet.users = {"u1"};
+  fleet.devices = {{"d", "V", "T", "u1"}};
+  for (std::int64_t day : {120, 400, 700})
+    fleet.events.push_back(event_at("d", "api.v.com", day, {0xc02f}));
+  fleet.events.push_back(event_at("d", "oneoff-early.example", 150, {0x002f, 0x0035}));
+  fleet.events.push_back(event_at("d", "oneoff-late.example", 700, {0x009c, 0x009d}));
+
+  auto ds = ClientDataset::from_fleet(fleet);
+  auto report = longitudinal_analysis(ds, 100, 800);
+  EXPECT_EQ(report.devices_with_replacement, 0u);
+}
+
+TEST(Longitudinal, DeviceSeenInOneHalfIsExcluded) {
+  devicesim::FleetDataset fleet;
+  fleet.users = {"u1"};
+  fleet.devices = {{"d", "V", "T", "u1"}};
+  fleet.events.push_back(event_at("d", "api.v.com", 120, {0xc02f}));
+  fleet.events.push_back(event_at("d", "api.v.com", 130, {0xc02b}));
+  auto ds = ClientDataset::from_fleet(fleet);
+  auto report = longitudinal_analysis(ds, 100, 800);
+  EXPECT_EQ(report.devices_observed_both_halves, 0u);
+}
+
+TEST(Longitudinal, MonthlyVersionShares) {
+  devicesim::FleetDataset fleet;
+  fleet.users = {"u1"};
+  fleet.devices = {{"d", "V", "T", "u1"}};
+  for (std::int64_t day = 100; day < 190; day += 10)
+    fleet.events.push_back(event_at("d", "api.v.com", day, {0xc02f}));
+  auto ds = ClientDataset::from_fleet(fleet);
+  auto report = longitudinal_analysis(ds, 100, 190);
+  ASSERT_EQ(report.monthly_versions.size(), 3u);
+  for (const auto& m : report.monthly_versions) {
+    EXPECT_NEAR(m.share.at(0x0303), 1.0, 1e-9);
+  }
+  EXPECT_NEAR(report.max_monthly_tls12_swing, 0.0, 1e-9);
+}
+
+TEST(Longitudinal, FullFleetRegime) {
+  // Over the generated fleet: detection fires on a meaningful minority and
+  // the monthly TLS 1.2 share stays flat (the paper's "no trend").
+  static const auto corpus = corpus::LibraryCorpus::standard();
+  static const auto universe = devicesim::ServerUniverse::standard();
+  auto fleet = devicesim::generate_fleet({}, corpus, universe);
+  auto ds = ClientDataset::from_fleet(fleet);
+  auto report = longitudinal_analysis(ds, 18015, 18475);
+  EXPECT_GT(report.devices_observed_both_halves, 1200u);
+  EXPECT_GT(report.devices_with_replacement, 30u);
+  EXPECT_LT(report.devices_with_replacement, 400u);
+  EXPECT_LT(report.max_monthly_tls12_swing, 0.10);
+}
+
+TEST(Longitudinal, ChurnRateKnobWorks) {
+  static const auto corpus = corpus::LibraryCorpus::standard();
+  static const auto universe = devicesim::ServerUniverse::standard();
+  devicesim::FleetConfig off;
+  off.firmware_update_rate = 0.0;
+  auto fleet = devicesim::generate_fleet(off, corpus, universe);
+  auto ds = ClientDataset::from_fleet(fleet);
+  auto report = longitudinal_analysis(ds, 18015, 18475);
+  devicesim::FleetConfig on;
+  on.firmware_update_rate = 0.5;
+  auto fleet_on = devicesim::generate_fleet(on, corpus, universe);
+  auto ds_on = ClientDataset::from_fleet(fleet_on);
+  auto report_on = longitudinal_analysis(ds_on, 18015, 18475);
+  EXPECT_GT(report_on.devices_with_replacement,
+            report.devices_with_replacement + 50);
+}
+
+}  // namespace
+}  // namespace iotls::core

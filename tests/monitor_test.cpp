@@ -1,0 +1,115 @@
+// Tests for the CT monitor/auditor extension (§7).
+#include <gtest/gtest.h>
+
+#include "ct/monitor.hpp"
+#include "util/dates.hpp"
+#include "x509/authority.hpp"
+
+namespace iotls::ct {
+namespace {
+
+x509::Certificate issue(const std::string& host, std::int64_t nb,
+                        std::int64_t validity, const char* org = "AuditCA",
+                        bool mismatch = false) {
+  static std::map<std::string, x509::CertificateAuthority> cas;
+  auto it = cas.find(org);
+  if (it == cas.end()) {
+    it = cas.emplace(org, x509::CertificateAuthority::make_root(
+                              std::string(org) + " Root", org,
+                              x509::CaKind::kPublicTrust, 0, 40000))
+             .first;
+  }
+  x509::IssueRequest req;
+  req.subject.common_name = mismatch ? "other.example" : host;
+  req.san_dns = {mismatch ? "other.example" : host};
+  req.not_before = nb;
+  req.not_after = nb + validity;
+  return it->second.issue(req);
+}
+
+TEST(LogWatcher, HealthyGrowth) {
+  CtLog log("watched");
+  LogWatcher watcher(&log);
+  watcher.observe();  // empty
+  log.submit(issue("a.example", 18000, 90), 18000);
+  log.submit(issue("b.example", 18000, 90), 18000);
+  Checkpoint cp1 = watcher.observe();
+  EXPECT_TRUE(cp1.consistent_with_previous);
+  for (int i = 0; i < 20; ++i) {
+    log.submit(issue("c" + std::to_string(i) + ".example", 18000, 90), 18000);
+  }
+  Checkpoint cp2 = watcher.observe();
+  EXPECT_TRUE(cp2.consistent_with_previous);
+  EXPECT_TRUE(watcher.log_healthy());
+  EXPECT_EQ(watcher.history().size(), 3u);
+}
+
+TEST(LogWatcher, RepeatedObservationOfStaticLog) {
+  CtLog log("static");
+  log.submit(issue("a.example", 18000, 90), 18000);
+  LogWatcher watcher(&log);
+  watcher.observe();
+  Checkpoint cp = watcher.observe();  // same size, same root
+  EXPECT_TRUE(cp.consistent_with_previous);
+}
+
+TEST(Audit, CleanEstateHasNoFindings) {
+  CtLog log("audit");
+  CtIndex index;
+  index.add_log(&log);
+  std::int64_t today = days(2022, 4, 15);
+  auto cert = issue("good.example", today - 30, 90);
+  log.submit(cert, today - 30);
+  auto report = audit_estate({{"good.example", cert}}, index, {}, today);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.certificates, 1u);
+}
+
+TEST(Audit, FlagsEveryViolationClass) {
+  CtLog log("audit");
+  CtIndex index;
+  index.add_log(&log);
+  std::int64_t today = days(2022, 4, 15);
+
+  auto unlogged = issue("unlogged.example", today - 10, 90);
+  auto long_lived = issue("forever.example", today - 10, 36500, "VendorCA");
+  auto expired = issue("dead.example", today - 400, 365);
+  auto expiring = issue("soon.example", today - 80, 90);
+  auto mismatched = issue("wrong.example", today - 10, 90, "AuditCA", true);
+  log.submit(expired, today - 400);
+  log.submit(expiring, today - 80);
+  log.submit(mismatched, today - 10);
+
+  auto report = audit_estate({{"unlogged.example", unlogged},
+                              {"forever.example", long_lived},
+                              {"dead.example", expired},
+                              {"soon.example", expiring},
+                              {"wrong.example", mismatched}},
+                             index, {}, today);
+  EXPECT_EQ(report.counts.at(Finding::kNotLogged), 2u);  // unlogged + vendor cert
+  EXPECT_EQ(report.counts.at(Finding::kExcessiveValidity), 1u);
+  EXPECT_EQ(report.counts.at(Finding::kExpired), 1u);
+  EXPECT_EQ(report.counts.at(Finding::kExpiringSoon), 1u);
+  EXPECT_EQ(report.counts.at(Finding::kHostnameMismatch), 1u);
+  EXPECT_EQ(report.unlogged_by_issuer.at("VendorCA"), 1u);
+}
+
+TEST(Audit, PolicyKnobsRespected) {
+  CtIndex index;  // no logs at all
+  std::int64_t today = days(2022, 4, 15);
+  auto cert = issue("host.example", today - 10, 500);
+  AuditPolicy lax;
+  lax.require_ct = false;
+  lax.max_validity_days = 1000;
+  auto report = audit_estate({{"host.example", cert}}, index, lax, today);
+  EXPECT_TRUE(report.findings.empty());
+
+  AuditPolicy strict;
+  strict.max_validity_days = 398;
+  auto strict_report = audit_estate({{"host.example", cert}}, index, strict, today);
+  EXPECT_EQ(strict_report.counts.at(Finding::kExcessiveValidity), 1u);
+  EXPECT_EQ(strict_report.counts.at(Finding::kNotLogged), 1u);
+}
+
+}  // namespace
+}  // namespace iotls::ct

@@ -1,0 +1,253 @@
+// Tests for the pcap substrate: framing, checksums, file format, flow
+// reassembly and ClientHello extraction.
+#include <gtest/gtest.h>
+
+#include "pcap/flow.hpp"
+#include "pcap/packet.hpp"
+#include "pcap/pcapfile.hpp"
+#include "tls/fingerprint.hpp"
+#include "tls/record.hpp"
+#include "util/error.hpp"
+
+namespace iotls::pcap {
+namespace {
+
+TcpSegment sample_segment(Bytes payload = {0xde, 0xad, 0xbe, 0xef}) {
+  TcpSegment seg;
+  seg.src_mac.bytes = {0x02, 0, 0, 0, 0, 1};
+  seg.dst_mac.bytes = {0x02, 0, 0, 0, 0, 2};
+  seg.src_ip = Ipv4Addr::from_string("192.168.1.10");
+  seg.dst_ip = Ipv4Addr::from_string("93.184.216.34");
+  seg.src_port = 50000;
+  seg.dst_port = 443;
+  seg.seq = 1000;
+  seg.ack = 2000;
+  seg.flags = kPsh | kAck;
+  seg.payload = std::move(payload);
+  return seg;
+}
+
+tls::ClientHello sample_hello(const std::string& sni) {
+  tls::ClientHello ch;
+  ch.cipher_suites = {0xc02f, 0xc030, 0x009c, 0x002f};
+  ch.extensions = {{10, {0, 2, 0, 23}}, {11, {1, 0}}};
+  ch.set_sni(sni);
+  return ch;
+}
+
+Bytes hello_records(const std::string& sni) {
+  Bytes msg = sample_hello(sni).encode();
+  return tls::encode_records(tls::ContentType::kHandshake, 0x0301,
+                             BytesView(msg.data(), msg.size()));
+}
+
+// ---------------------------------------------------------------- addressing
+
+TEST(Ipv4, ParseFormat) {
+  Ipv4Addr a = Ipv4Addr::from_string("10.0.0.1");
+  EXPECT_EQ(a.value, 0x0a000001u);
+  EXPECT_EQ(a.to_string(), "10.0.0.1");
+  EXPECT_EQ(Ipv4Addr::from_string("255.255.255.255").value, 0xffffffffu);
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  EXPECT_THROW(Ipv4Addr::from_string("1.2.3"), ParseError);
+  EXPECT_THROW(Ipv4Addr::from_string("1.2.3.256"), ParseError);
+  EXPECT_THROW(Ipv4Addr::from_string("a.b.c.d"), ParseError);
+}
+
+TEST(Mac, Format) {
+  MacAddr mac{{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}};
+  EXPECT_EQ(mac.to_string(), "de:ad:be:ef:00:01");
+}
+
+// ---------------------------------------------------------------- checksums
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(BytesView(data.data(), data.size())), 0x220d);
+}
+
+TEST(Checksum, OddLengthPads) {
+  Bytes data = {0x01};
+  // 0x0100 -> sum 0x0100 -> ~ = 0xfeff
+  EXPECT_EQ(internet_checksum(BytesView(data.data(), data.size())), 0xfeff);
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(Frame, EncodeParseRoundTrip) {
+  TcpSegment seg = sample_segment();
+  Bytes frame = encode_frame(seg);
+  TcpSegment parsed = parse_frame(BytesView(frame.data(), frame.size()));
+  EXPECT_EQ(parsed, seg);
+}
+
+TEST(Frame, EmptyPayloadRoundTrip) {
+  TcpSegment seg = sample_segment({});
+  seg.flags = kSyn;
+  Bytes frame = encode_frame(seg);
+  EXPECT_EQ(parse_frame(BytesView(frame.data(), frame.size())), seg);
+}
+
+TEST(Frame, CorruptedIpChecksumRejected) {
+  Bytes frame = encode_frame(sample_segment());
+  frame[14 + 12] ^= 0x01;  // flip a src-IP byte; IP checksum now wrong
+  EXPECT_THROW(parse_frame(BytesView(frame.data(), frame.size())), ParseError);
+}
+
+TEST(Frame, CorruptedPayloadRejectedByTcpChecksum) {
+  Bytes frame = encode_frame(sample_segment());
+  frame.back() ^= 0x01;
+  EXPECT_THROW(parse_frame(BytesView(frame.data(), frame.size())), ParseError);
+}
+
+TEST(Frame, NonIpv4Rejected) {
+  Bytes frame = encode_frame(sample_segment());
+  frame[12] = 0x86;  // ethertype -> IPv6
+  frame[13] = 0xdd;
+  EXPECT_THROW(parse_frame(BytesView(frame.data(), frame.size())), ParseError);
+}
+
+TEST(Frame, TruncatedRejected) {
+  Bytes frame = encode_frame(sample_segment());
+  for (std::size_t cut : {1u, 10u, 30u}) {
+    EXPECT_THROW(parse_frame(BytesView(frame.data(), frame.size() - cut)),
+                 ParseError);
+  }
+}
+
+// ---------------------------------------------------------------- pcap file
+
+TEST(PcapFile, RoundTrip) {
+  std::vector<PcapPacket> packets;
+  for (int i = 0; i < 5; ++i) {
+    PcapPacket p;
+    p.ts_sec = 1650000000 + static_cast<std::uint32_t>(i);
+    p.ts_usec = static_cast<std::uint32_t>(i * 100);
+    p.frame = encode_frame(sample_segment({static_cast<std::uint8_t>(i)}));
+    packets.push_back(std::move(p));
+  }
+  Bytes file = write_pcap(packets);
+  EXPECT_EQ(read_pcap(BytesView(file.data(), file.size())), packets);
+}
+
+TEST(PcapFile, MagicLittleEndian) {
+  Bytes file = write_pcap({});
+  ASSERT_GE(file.size(), 24u);
+  EXPECT_EQ(file[0], 0xd4);  // little-endian 0xa1b2c3d4
+  EXPECT_EQ(file[3], 0xa1);
+}
+
+TEST(PcapFile, BadMagicRejected) {
+  Bytes file = write_pcap({});
+  file[0] = 0x00;
+  EXPECT_THROW(read_pcap(BytesView(file.data(), file.size())), ParseError);
+}
+
+TEST(PcapFile, TruncatedPacketRejected) {
+  PcapPacket p;
+  p.frame = {1, 2, 3, 4};
+  Bytes file = write_pcap({p});
+  file.pop_back();
+  EXPECT_THROW(read_pcap(BytesView(file.data(), file.size())), ParseError);
+}
+
+TEST(PcapFile, DiskRoundTrip) {
+  std::vector<PcapPacket> packets = {
+      {1, 2, encode_frame(sample_segment())}};
+  std::string path = "/tmp/iotls_test_capture.pcap";
+  write_pcap_file(path, packets);
+  EXPECT_EQ(read_pcap_file(path), packets);
+}
+
+// ---------------------------------------------------------------- flows
+
+TEST(Flow, ReassemblesInOrder) {
+  Bytes records = hello_records("flow.example.com");
+  TcpSegment a = sample_segment(Bytes(records.begin(), records.begin() + 20));
+  TcpSegment b = sample_segment(Bytes(records.begin() + 20, records.end()));
+  a.seq = 1;
+  b.seq = 21;
+  std::vector<PcapPacket> capture = {{0, 0, encode_frame(a)},
+                                     {0, 1, encode_frame(b)}};
+  auto flows = reassemble_flows(capture);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].stream, records);
+}
+
+TEST(Flow, ReordersOutOfOrderSegments) {
+  Bytes records = hello_records("reorder.example.com");
+  TcpSegment a = sample_segment(Bytes(records.begin(), records.begin() + 32));
+  TcpSegment b = sample_segment(Bytes(records.begin() + 32, records.end()));
+  a.seq = 100;
+  b.seq = 132;
+  std::vector<PcapPacket> capture = {{0, 0, encode_frame(b)},
+                                     {0, 1, encode_frame(a)}};
+  auto flows = reassemble_flows(capture);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].stream, records);
+}
+
+TEST(Flow, DropsRetransmissions) {
+  Bytes records = hello_records("dup.example.com");
+  TcpSegment a = sample_segment(records);
+  a.seq = 1;
+  std::vector<PcapPacket> capture = {{0, 0, encode_frame(a)},
+                                     {0, 1, encode_frame(a)}};  // retransmit
+  auto flows = reassemble_flows(capture);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].stream, records);
+}
+
+TEST(Flow, SeparatesDirectionsAndConnections) {
+  TcpSegment up = sample_segment({1, 2, 3});
+  TcpSegment down = sample_segment({4, 5});
+  std::swap(down.src_ip, down.dst_ip);
+  std::swap(down.src_port, down.dst_port);
+  TcpSegment other = sample_segment({6});
+  other.src_port = 50001;
+  std::vector<PcapPacket> capture = {
+      {0, 0, encode_frame(up)}, {0, 1, encode_frame(down)}, {0, 2, encode_frame(other)}};
+  EXPECT_EQ(reassemble_flows(capture).size(), 3u);
+}
+
+TEST(Flow, SkipsCorruptFrames) {
+  std::vector<PcapPacket> capture = {{0, 0, {0xff, 0xff, 0x00}},
+                                     {0, 1, encode_frame(sample_segment({9}))}};
+  EXPECT_EQ(reassemble_flows(capture).size(), 1u);
+}
+
+TEST(Flow, ExtractClientHellos) {
+  std::vector<PcapPacket> capture;
+  for (int i = 0; i < 3; ++i) {
+    TcpSegment seg = sample_segment(hello_records("dev" + std::to_string(i) + ".example.com"));
+    seg.src_port = static_cast<std::uint16_t>(50000 + i);
+    capture.push_back({0, 0, encode_frame(seg)});
+  }
+  // Add a non-TLS flow that must be skipped.
+  TcpSegment noise = sample_segment({'G', 'E', 'T', ' ', '/'});
+  noise.src_port = 55555;
+  capture.push_back({0, 0, encode_frame(noise)});
+
+  auto hellos = extract_client_hellos(capture);
+  ASSERT_EQ(hellos.size(), 3u);
+  EXPECT_EQ(hellos[0].hello.sni().value_or(""), "dev0.example.com");
+}
+
+TEST(Flow, FingerprintSurvivesCaptureRoundTrip) {
+  // Property: fingerprint(extract(pcap(frame(records)))) == fingerprint(ch).
+  tls::ClientHello ch = sample_hello("prop.example.com");
+  Bytes msg = ch.encode();
+  Bytes records = tls::encode_records(tls::ContentType::kHandshake, 0x0301,
+                                      BytesView(msg.data(), msg.size()));
+  TcpSegment seg = sample_segment(records);
+  Bytes file = write_pcap({{7, 8, encode_frame(seg)}});
+  auto hellos = extract_client_hellos(read_pcap(BytesView(file.data(), file.size())));
+  ASSERT_EQ(hellos.size(), 1u);
+  EXPECT_EQ(tls::fingerprint_of(hellos[0].hello), tls::fingerprint_of(ch));
+}
+
+}  // namespace
+}  // namespace iotls::pcap

@@ -1,0 +1,153 @@
+// Tests for CRLs, OCSP responses and end-to-end stapling.
+#include <gtest/gtest.h>
+
+#include "net/prober.hpp"
+#include "util/error.hpp"
+#include "x509/revocation.hpp"
+
+namespace iotls::x509 {
+namespace {
+
+struct RevocationFixture {
+  CertificateAuthority ca = CertificateAuthority::make_root(
+      "Revocation CA", "RevOrg", CaKind::kPublicTrust, 10000, 40000);
+  Crl crl{&ca};
+  OcspResponder responder{&ca, &crl, 7};
+  KeyRegistry keys;
+
+  RevocationFixture() { ca.publish_key(keys); }
+
+  Certificate issue(const std::string& host) {
+    IssueRequest req;
+    req.subject.common_name = host;
+    req.san_dns = {host};
+    req.not_before = 18000;
+    req.not_after = 18400;
+    return ca.issue(req);
+  }
+};
+
+TEST(Ocsp, GoodCertificate) {
+  RevocationFixture f;
+  Certificate cert = f.issue("good.example.com");
+  OcspResponse resp = f.responder.respond(cert, 18100);
+  EXPECT_EQ(resp.status, RevocationStatus::kGood);
+  EXPECT_EQ(resp.serial, cert.serial);
+  EXPECT_TRUE(verify_ocsp(resp, f.keys));
+  EXPECT_FALSE(resp.stale_at(18106));
+  EXPECT_TRUE(resp.stale_at(18108));
+}
+
+TEST(Ocsp, RevokedCertificate) {
+  RevocationFixture f;
+  Certificate cert = f.issue("bad.example.com");
+  f.crl.revoke(cert.serial, 18050);
+  OcspResponse resp = f.responder.respond(cert, 18100);
+  EXPECT_EQ(resp.status, RevocationStatus::kRevoked);
+  EXPECT_TRUE(verify_ocsp(resp, f.keys));
+  EXPECT_EQ(f.crl.revoked_on(cert.serial), 18050);
+}
+
+TEST(Ocsp, ForeignCertificateIsUnknown) {
+  RevocationFixture f;
+  auto other = CertificateAuthority::make_root("Other CA", "Other",
+                                               CaKind::kPrivate, 10000, 40000);
+  IssueRequest req;
+  req.subject.common_name = "foreign.example.com";
+  req.not_before = 18000;
+  req.not_after = 18400;
+  Certificate cert = other.issue(req);
+  EXPECT_EQ(f.responder.respond(cert, 18100).status, RevocationStatus::kUnknown);
+}
+
+TEST(Ocsp, WireRoundTrip) {
+  RevocationFixture f;
+  OcspResponse resp = f.responder.respond(f.issue("rt.example.com"), 18100);
+  Bytes wire = resp.encode();
+  EXPECT_EQ(OcspResponse::parse(BytesView(wire.data(), wire.size())), resp);
+}
+
+TEST(Ocsp, TamperedResponseFailsVerification) {
+  RevocationFixture f;
+  OcspResponse resp = f.responder.respond(f.issue("t.example.com"), 18100);
+  resp.status = RevocationStatus::kGood;  // (already good; tamper the date)
+  resp.next_update += 365;                // extend freshness without re-signing
+  EXPECT_FALSE(verify_ocsp(resp, f.keys));
+}
+
+TEST(Ocsp, UnknownResponderKeyFailsVerification) {
+  RevocationFixture f;
+  OcspResponse resp = f.responder.respond(f.issue("k.example.com"), 18100);
+  KeyRegistry empty;
+  EXPECT_FALSE(verify_ocsp(resp, empty));
+}
+
+TEST(Ocsp, MalformedParseThrows) {
+  Bytes garbage = {0x00, 0x05, 1, 2, 3};
+  EXPECT_THROW(OcspResponse::parse(BytesView(garbage.data(), garbage.size())),
+               ParseError);
+}
+
+// ------------------------------------------------------------- stapling
+
+TEST(Stapling, ServerStaplesWhenAskedAndConfigured) {
+  RevocationFixture f;
+  Certificate leaf = f.issue("stapler.example.com");
+
+  net::SimInternet internet;
+  net::SimServer server;
+  server.sni = "stapler.example.com";
+  server.default_chain = {leaf, f.ca.certificate()};
+  server.stapled_response = f.responder.respond(leaf, 18100);
+  internet.add_server(std::move(server));
+
+  net::TlsProber prober(internet);  // the prober sends status_request
+  net::ProbeResult result = prober.probe("stapler.example.com",
+                                         net::VantagePoint::kNewYork);
+  ASSERT_TRUE(result.reachable);
+  ASSERT_TRUE(result.stapled.has_value());
+  EXPECT_EQ(result.stapled->serial, leaf.serial);
+  EXPECT_EQ(result.stapled->status, RevocationStatus::kGood);
+  EXPECT_TRUE(verify_ocsp(*result.stapled, f.keys));
+}
+
+TEST(Stapling, NoStapleWithoutConfiguration) {
+  RevocationFixture f;
+  Certificate leaf = f.issue("plain.example.com");
+  net::SimInternet internet;
+  net::SimServer server;
+  server.sni = "plain.example.com";
+  server.default_chain = {leaf, f.ca.certificate()};
+  internet.add_server(std::move(server));
+
+  net::TlsProber prober(internet);
+  net::ProbeResult result = prober.probe("plain.example.com",
+                                         net::VantagePoint::kNewYork);
+  ASSERT_TRUE(result.reachable);
+  EXPECT_FALSE(result.stapled.has_value());
+}
+
+TEST(Stapling, RevokedStapleDetectableByClient) {
+  // The full §5.3 story: a compromised server's certificate is revoked; a
+  // stapling-aware client sees it immediately.
+  RevocationFixture f;
+  Certificate leaf = f.issue("compromised.example.com");
+  f.crl.revoke(leaf.serial, 18090);
+
+  net::SimInternet internet;
+  net::SimServer server;
+  server.sni = "compromised.example.com";
+  server.default_chain = {leaf, f.ca.certificate()};
+  server.stapled_response = f.responder.respond(leaf, 18100);
+  internet.add_server(std::move(server));
+
+  net::TlsProber prober(internet);
+  net::ProbeResult result = prober.probe("compromised.example.com",
+                                         net::VantagePoint::kNewYork);
+  ASSERT_TRUE(result.stapled.has_value());
+  EXPECT_EQ(result.stapled->status, RevocationStatus::kRevoked);
+  EXPECT_TRUE(verify_ocsp(*result.stapled, f.keys));
+}
+
+}  // namespace
+}  // namespace iotls::x509

@@ -1,0 +1,217 @@
+// Parser robustness: every wire-format parser in the tree must survive
+// arbitrary mutation of valid inputs — either parsing successfully or
+// throwing ParseError — and must round-trip what it accepts. These are
+// deterministic fuzz-style sweeps driven by the repo's seeded PRNG.
+#include <gtest/gtest.h>
+
+#include "pcap/flow.hpp"
+#include "pcap/packet.hpp"
+#include "pcap/pcapfile.hpp"
+#include "tls/ciphersuite.hpp"
+#include "tls/clienthello.hpp"
+#include "tls/fingerprint.hpp"
+#include "tls/record.hpp"
+#include "tls/serverhello.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "x509/authority.hpp"
+#include "x509/certificate.hpp"
+
+namespace iotls {
+namespace {
+
+/// Apply `n` random byte mutations (flip/insert/erase/truncate).
+Bytes mutate(Bytes data, Rng& rng, int n) {
+  for (int i = 0; i < n && !data.empty(); ++i) {
+    switch (rng.uniform(0, 3)) {
+      case 0: {  // flip
+        std::size_t pos = static_cast<std::size_t>(rng.uniform(0, data.size() - 1));
+        data[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+        break;
+      }
+      case 1: {  // insert
+        std::size_t pos = static_cast<std::size_t>(rng.uniform(0, data.size()));
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                    static_cast<std::uint8_t>(rng.uniform(0, 255)));
+        break;
+      }
+      case 2: {  // erase
+        std::size_t pos = static_cast<std::size_t>(rng.uniform(0, data.size() - 1));
+        data.erase(data.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+      }
+      default: {  // truncate tail
+        data.resize(static_cast<std::size_t>(rng.uniform(0, data.size())));
+        break;
+      }
+    }
+  }
+  return data;
+}
+
+/// Build a random but well-formed ClientHello.
+tls::ClientHello random_hello(Rng& rng) {
+  tls::ClientHello ch;
+  ch.legacy_version = static_cast<std::uint16_t>(0x0300 + rng.uniform(1, 4));
+  for (auto& b : ch.random) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  std::size_t sid = static_cast<std::size_t>(rng.uniform(0, 32));
+  for (std::size_t i = 0; i < sid; ++i)
+    ch.session_id.push_back(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+  auto all = tls::all_registered_suites();
+  std::size_t n_suites = static_cast<std::size_t>(rng.uniform(1, 30));
+  for (std::size_t i = 0; i < n_suites; ++i) ch.cipher_suites.push_back(rng.pick(all));
+  std::size_t n_ext = static_cast<std::size_t>(rng.uniform(0, 10));
+  for (std::size_t i = 0; i < n_ext; ++i) {
+    tls::Extension e;
+    e.type = static_cast<std::uint16_t>(rng.uniform(0, 70));
+    std::size_t len = static_cast<std::size_t>(rng.uniform(0, 20));
+    for (std::size_t j = 0; j < len; ++j)
+      e.data.push_back(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+    ch.extensions.push_back(std::move(e));
+  }
+  if (rng.chance(0.7)) ch.set_sni("host" + std::to_string(rng.uniform(0, 999)) + ".example.com");
+  return ch;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, ClientHelloRoundTripAndMutation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int iter = 0; iter < 40; ++iter) {
+    tls::ClientHello ch = random_hello(rng);
+    Bytes wire = ch.encode();
+    // Round trip is the identity.
+    tls::ClientHello parsed = tls::ClientHello::parse(BytesView(wire.data(), wire.size()));
+    ASSERT_EQ(parsed, ch);
+    // Fingerprint stability through the wire.
+    ASSERT_EQ(tls::fingerprint_of(parsed), tls::fingerprint_of(ch));
+    // Mutations must never crash: either parse or throw ParseError.
+    for (int m = 0; m < 8; ++m) {
+      Bytes bad = mutate(wire, rng, 1 + static_cast<int>(rng.uniform(0, 6)));
+      try {
+        auto result = tls::ClientHello::parse(BytesView(bad.data(), bad.size()));
+        (void)tls::fingerprint_of(result).key();  // derived ops also safe
+      } catch (const ParseError&) {
+        // expected for most mutations
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, RecordStreamMutation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  for (int iter = 0; iter < 30; ++iter) {
+    Bytes payload = random_hello(rng).encode();
+    Bytes stream = tls::encode_records(tls::ContentType::kHandshake, 0x0301,
+                                       BytesView(payload.data(), payload.size()));
+    for (int m = 0; m < 8; ++m) {
+      Bytes bad = mutate(stream, rng, 1 + static_cast<int>(rng.uniform(0, 8)));
+      try {
+        auto records = tls::parse_records(BytesView(bad.data(), bad.size()));
+        Bytes hs = tls::handshake_payload(records);
+        (void)tls::split_handshakes(BytesView(hs.data(), hs.size()));
+      } catch (const ParseError&) {
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, CertificateMutation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  auto ca = x509::CertificateAuthority::make_root("Fuzz CA", "Fuzz",
+                                                  x509::CaKind::kPublicTrust, 0, 40000);
+  for (int iter = 0; iter < 20; ++iter) {
+    x509::IssueRequest req;
+    req.subject.common_name = "fuzz" + std::to_string(iter) + ".example.com";
+    req.san_dns = {req.subject.common_name, "alt.example.com"};
+    req.not_before = static_cast<std::int64_t>(rng.uniform(0, 20000));
+    req.not_after = req.not_before + static_cast<std::int64_t>(rng.uniform(1, 40000));
+    x509::Certificate cert = ca.issue(req);
+    Bytes wire = cert.encode();
+    ASSERT_EQ(x509::Certificate::parse(BytesView(wire.data(), wire.size())), cert);
+    for (int m = 0; m < 10; ++m) {
+      Bytes bad = mutate(wire, rng, 1 + static_cast<int>(rng.uniform(0, 5)));
+      try {
+        auto parsed = x509::Certificate::parse(BytesView(bad.data(), bad.size()));
+        (void)parsed.fingerprint();
+        (void)parsed.matches_hostname("fuzz.example.com");
+      } catch (const ParseError&) {
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, ServerHelloAndCertificateMsgMutation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  for (int iter = 0; iter < 30; ++iter) {
+    tls::ServerHello sh;
+    sh.version = 0x0303;
+    for (auto& b : sh.random) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    sh.cipher_suite = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+    Bytes wire = sh.encode();
+    ASSERT_EQ(tls::ServerHello::parse(BytesView(wire.data(), wire.size())), sh);
+    for (int m = 0; m < 6; ++m) {
+      Bytes bad = mutate(wire, rng, 1 + static_cast<int>(rng.uniform(0, 4)));
+      try {
+        (void)tls::ServerHello::parse(BytesView(bad.data(), bad.size()));
+      } catch (const ParseError&) {
+      }
+    }
+
+    tls::CertificateMsg msg;
+    std::size_t n = static_cast<std::size_t>(rng.uniform(0, 4));
+    for (std::size_t i = 0; i < n; ++i) {
+      Bytes entry(static_cast<std::size_t>(rng.uniform(0, 64)), 0xab);
+      msg.chain.push_back(std::move(entry));
+    }
+    Bytes cw = msg.encode();
+    ASSERT_EQ(tls::CertificateMsg::parse(BytesView(cw.data(), cw.size())), msg);
+    for (int m = 0; m < 6; ++m) {
+      Bytes bad = mutate(cw, rng, 1 + static_cast<int>(rng.uniform(0, 4)));
+      try {
+        (void)tls::CertificateMsg::parse(BytesView(bad.data(), bad.size()));
+      } catch (const ParseError&) {
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, PcapAndFrameMutation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 5);
+  for (int iter = 0; iter < 15; ++iter) {
+    pcap::TcpSegment seg;
+    seg.src_ip = pcap::Ipv4Addr{static_cast<std::uint32_t>(rng.next())};
+    seg.dst_ip = pcap::Ipv4Addr{static_cast<std::uint32_t>(rng.next())};
+    seg.src_port = static_cast<std::uint16_t>(rng.uniform(1024, 65535));
+    seg.dst_port = 443;
+    seg.seq = static_cast<std::uint32_t>(rng.next());
+    std::size_t len = static_cast<std::size_t>(rng.uniform(0, 200));
+    for (std::size_t i = 0; i < len; ++i)
+      seg.payload.push_back(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+    Bytes frame = pcap::encode_frame(seg);
+    ASSERT_EQ(pcap::parse_frame(BytesView(frame.data(), frame.size())), seg);
+
+    std::vector<pcap::PcapPacket> packets = {{1, 2, frame}};
+    Bytes file = pcap::write_pcap(packets);
+    ASSERT_EQ(pcap::read_pcap(BytesView(file.data(), file.size())), packets);
+
+    for (int m = 0; m < 8; ++m) {
+      Bytes bad_frame = mutate(frame, rng, 1 + static_cast<int>(rng.uniform(0, 6)));
+      try {
+        (void)pcap::parse_frame(BytesView(bad_frame.data(), bad_frame.size()));
+      } catch (const ParseError&) {
+      }
+      Bytes bad_file = mutate(file, rng, 1 + static_cast<int>(rng.uniform(0, 6)));
+      try {
+        auto reread = pcap::read_pcap(BytesView(bad_file.data(), bad_file.size()));
+        (void)pcap::extract_client_hellos(reread);  // must tolerate garbage frames
+      } catch (const ParseError&) {
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace iotls

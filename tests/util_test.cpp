@@ -1,0 +1,271 @@
+// Unit and property tests for the util substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/dates.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/reader.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/writer.hpp"
+
+namespace iotls {
+namespace {
+
+// ---------------------------------------------------------------- hex
+
+TEST(Hex, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(BytesView(data.data(), data.size())), "0001deadbeefff");
+  EXPECT_EQ(from_hex("0001deadbeefff"), data);
+}
+
+TEST(Hex, EmptyIsEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, UpperCaseAccepted) {
+  EXPECT_EQ(from_hex("DEADBEEF"), from_hex("deadbeef"));
+}
+
+TEST(Hex, OddLengthThrows) { EXPECT_THROW(from_hex("abc"), ParseError); }
+
+TEST(Hex, NonHexThrows) { EXPECT_THROW(from_hex("zz"), ParseError); }
+
+// ---------------------------------------------------------------- reader/writer
+
+TEST(ReaderWriter, IntegersRoundTripBigEndian) {
+  Writer w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u24(0x789abc);
+  w.u32(0xdef01234);
+  w.u64(0x0123456789abcdefull);
+  Bytes b = w.take();
+  EXPECT_EQ(b.size(), 1u + 2 + 3 + 4 + 8);
+  EXPECT_EQ(b[1], 0x34);  // u16 MSB first
+
+  Reader r(BytesView(b.data(), b.size()));
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u24(), 0x789abcu);
+  EXPECT_EQ(r.u32(), 0xdef01234u);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ReaderWriter, UnderflowThrows) {
+  Bytes b = {1, 2};
+  Reader r(BytesView(b.data(), b.size()));
+  EXPECT_THROW(r.u32(), ParseError);
+  // Reader state is unchanged after a failed read.
+  EXPECT_EQ(r.u16(), 0x0102);
+}
+
+TEST(ReaderWriter, ExpectEndThrowsOnTrailing) {
+  Bytes b = {1};
+  Reader r(BytesView(b.data(), b.size()));
+  EXPECT_THROW(r.expect_end("ctx"), ParseError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_end("ctx"));
+}
+
+TEST(ReaderWriter, LengthPrefixBackpatch) {
+  Writer w;
+  auto t = w.begin_length(2);
+  w.str("hello");
+  w.end_length(t);
+  Bytes b = w.take();
+  Reader r(BytesView(b.data(), b.size()));
+  EXPECT_EQ(r.u16(), 5);
+  EXPECT_EQ(r.str(5), "hello");
+}
+
+TEST(ReaderWriter, NestedLengthPrefixes) {
+  Writer w;
+  auto outer = w.begin_length(3);
+  auto inner = w.begin_length(1);
+  w.str("abc");
+  w.end_length(inner);
+  w.end_length(outer);
+  Bytes b = w.take();
+  Reader r(BytesView(b.data(), b.size()));
+  EXPECT_EQ(r.u24(), 4u);  // 1-byte prefix + "abc"
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_EQ(r.str(3), "abc");
+}
+
+TEST(ReaderWriter, U24OverflowThrows) {
+  Writer w;
+  EXPECT_THROW(w.u24(1u << 24), EncodeError);
+}
+
+TEST(ReaderWriter, LengthPrefixOverflowThrows) {
+  Writer w;
+  auto t = w.begin_length(1);
+  Bytes big(300, 0xaa);
+  w.raw(BytesView(big.data(), big.size()));
+  EXPECT_THROW(w.end_length(t), EncodeError);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependentAndDeterministic) {
+  Rng parent(7);
+  Rng c1 = parent.fork("devices");
+  Rng c2 = parent.fork("servers");
+  Rng c1again = Rng(7).fork("devices");
+  EXPECT_NE(c1.next(), c2.next());
+  Rng c1b = Rng(7).fork("devices");
+  EXPECT_EQ(c1again.next(), c1b.next());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform(7, 7), 7u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, WeightedRespectsZeroWeight) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    std::size_t pick = rng.weighted({0.0, 1.0, 0.0});
+    EXPECT_EQ(pick, 1u);
+  }
+}
+
+TEST(Rng, WeightedThrowsOnAllZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, ZipfHeadHeavierThanTail) {
+  Rng rng(23);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 5000; ++i) {
+    std::size_t k = rng.zipf(100, 1.0);
+    if (k == 0) ++head;
+    if (k == 99) ++tail;
+  }
+  EXPECT_GT(head, tail * 5);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(29);
+  auto idx = rng.sample_indices(50, 20);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 20u);
+  for (std::size_t i : idx) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, SplitAndJoin) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Strings, SecondLevelDomain) {
+  EXPECT_EQ(second_level_domain("a2.tuyaus.com"), "tuyaus.com");
+  EXPECT_EQ(second_level_domain("services.tegrazone.com"), "tegrazone.com");
+  EXPECT_EQ(second_level_domain("netflix.com"), "netflix.com");
+  EXPECT_EQ(second_level_domain("pavv.co.kr"), "pavv.co.kr");
+  EXPECT_EQ(second_level_domain("x.pavv.co.kr"), "pavv.co.kr");
+  EXPECT_EQ(second_level_domain("localhost"), "localhost");
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(fmt_percent(0.7747), "77.47%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+// ---------------------------------------------------------------- dates
+
+TEST(Dates, EpochIsZero) { EXPECT_EQ(days(1970, 1, 1), 0); }
+
+TEST(Dates, KnownDates) {
+  EXPECT_EQ(days(2019, 4, 29), 18015);   // IoT Inspector capture start
+  EXPECT_EQ(days(2020, 8, 1), 18475);    // capture end
+  EXPECT_EQ(format_date(days(2022, 4, 15)), "2022-04-15");
+}
+
+TEST(Dates, RoundTripAcrossRange) {
+  // Property: days -> civil -> days is the identity over a broad range,
+  // and consecutive days produce strictly increasing calendar dates.
+  for (std::int64_t d = -1000; d <= 40000; d += 17) {
+    CivilDate c = civil_from_days(d);
+    EXPECT_EQ(days_from_civil(c), d);
+  }
+}
+
+TEST(Dates, LeapYearHandling) {
+  EXPECT_EQ(days(2020, 2, 29) + 1, days(2020, 3, 1));
+  EXPECT_EQ(days(2019, 2, 28) + 1, days(2019, 3, 1));
+  EXPECT_EQ(days(2000, 2, 29) + 1, days(2000, 3, 1));  // century leap year
+}
+
+TEST(Dates, ParseFormatsRoundTrip) {
+  EXPECT_EQ(parse_date("2021-12-31"), days(2021, 12, 31));
+  EXPECT_EQ(format_date(parse_date("1999-01-02")), "1999-01-02");
+  EXPECT_THROW(parse_date("not-a-date"), ParseError);
+  EXPECT_THROW(parse_date("2021-13-01"), ParseError);
+}
+
+}  // namespace
+}  // namespace iotls

@@ -1,0 +1,354 @@
+// Tests for the X.509/PKI substrate.
+#include <gtest/gtest.h>
+
+#include "util/dates.hpp"
+#include "util/error.hpp"
+#include "x509/authority.hpp"
+#include "x509/certificate.hpp"
+#include "x509/name.hpp"
+#include "x509/truststore.hpp"
+#include "x509/validation.hpp"
+
+namespace iotls::x509 {
+namespace {
+
+constexpr std::int64_t kNow = 18200;  // inside the default leaf window below
+
+struct Pki {
+  CertificateAuthority root;
+  CertificateAuthority intermediate;
+  KeyRegistry keys;
+  TrustStoreSet trust;
+
+  Pki()
+      : root(CertificateAuthority::make_root("Test Root CA", "TestTrust",
+                                             CaKind::kPublicTrust, 15000, 25000)),
+        intermediate(root.subordinate("Test Issuing CA", 15500, 24000)) {
+    root.publish_key(keys);
+    intermediate.publish_key(keys);
+    TrustStore store("mozilla");
+    store.add_root(root.certificate());
+    trust.add(std::move(store));
+  }
+
+  Certificate leaf(const std::string& host, std::int64_t nb = 18000,
+                   std::int64_t na = 18400) const {
+    IssueRequest req;
+    req.subject.common_name = host;
+    req.subject.organization = "Example Org";
+    req.san_dns = {host, "alt." + host};
+    req.not_before = nb;
+    req.not_after = na;
+    return intermediate.issue(req);
+  }
+};
+
+// ---------------------------------------------------------------- names
+
+TEST(Name, ToString) {
+  DistinguishedName dn{"appboot.netflix.com", "Netflix", "US"};
+  EXPECT_EQ(dn.to_string(), "CN=appboot.netflix.com, O=Netflix, C=US");
+  EXPECT_EQ((DistinguishedName{"x", "", ""}).to_string(), "CN=x");
+}
+
+TEST(Name, HostnameExactMatch) {
+  EXPECT_TRUE(hostname_matches("a.example.com", "a.example.com"));
+  EXPECT_TRUE(hostname_matches("A.Example.COM", "a.example.com"));
+  EXPECT_FALSE(hostname_matches("a.example.com", "b.example.com"));
+}
+
+TEST(Name, WildcardCoversExactlyOneLabel) {
+  EXPECT_TRUE(hostname_matches("*.example.com", "a.example.com"));
+  EXPECT_FALSE(hostname_matches("*.example.com", "example.com"));
+  EXPECT_FALSE(hostname_matches("*.example.com", "a.b.example.com"));
+  EXPECT_FALSE(hostname_matches("*.example.com", ".example.com"));
+}
+
+TEST(Name, WildcardOnlyAtLeadingPosition) {
+  EXPECT_FALSE(hostname_matches("a.*.com", "a.b.com"));
+}
+
+// ---------------------------------------------------------------- certificate encoding
+
+TEST(Certificate, EncodeParseRoundTrip) {
+  Pki pki;
+  Certificate cert = pki.leaf("device.example.com");
+  Bytes wire = cert.encode();
+  Certificate parsed = Certificate::parse(BytesView(wire.data(), wire.size()));
+  EXPECT_EQ(parsed, cert);
+}
+
+TEST(Certificate, FingerprintStableAndDistinct) {
+  Pki pki;
+  Certificate a = pki.leaf("a.example.com");
+  Certificate b = pki.leaf("b.example.com");
+  EXPECT_EQ(a.fingerprint(), a.fingerprint());
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint().size(), 64u);
+}
+
+TEST(Certificate, TruncatedParseThrows) {
+  Pki pki;
+  Bytes wire = pki.leaf("x.example.com").encode();
+  for (std::size_t cut : {1u, 10u, 40u}) {
+    EXPECT_THROW(Certificate::parse(BytesView(wire.data(), wire.size() - cut)),
+                 ParseError);
+  }
+}
+
+TEST(Certificate, HostnameMatchingUsesCnAndSan) {
+  Pki pki;
+  Certificate cert = pki.leaf("device.example.com");
+  EXPECT_TRUE(cert.matches_hostname("device.example.com"));
+  EXPECT_TRUE(cert.matches_hostname("alt.device.example.com"));
+  EXPECT_FALSE(cert.matches_hostname("other.example.com"));
+}
+
+TEST(Certificate, ValidityHelpers) {
+  Pki pki;
+  Certificate cert = pki.leaf("d.example.com", 18000, 18400);
+  EXPECT_EQ(cert.validity_days(), 400);
+  EXPECT_FALSE(cert.expired_at(18400));
+  EXPECT_TRUE(cert.expired_at(18401));
+  EXPECT_TRUE(cert.not_yet_valid_at(17999));
+}
+
+// ---------------------------------------------------------------- issuance
+
+TEST(Authority, RootSelfSignedAndVerifiable) {
+  Pki pki;
+  const Certificate& root = pki.root.certificate();
+  EXPECT_TRUE(root.self_signed());
+  EXPECT_TRUE(root.is_ca);
+  EXPECT_EQ(root.subject_key_id, root.authority_key_id);
+}
+
+TEST(Authority, IssuedCertChainsToIssuer) {
+  Pki pki;
+  Certificate leaf = pki.leaf("dev.example.com");
+  EXPECT_EQ(leaf.issuer, pki.intermediate.certificate().subject);
+  EXPECT_EQ(leaf.authority_key_id, pki.intermediate.key().key_id);
+  EXPECT_FALSE(leaf.is_ca);
+}
+
+TEST(Authority, SerialsAreUniquePerIssuance) {
+  Pki pki;
+  Certificate a = pki.leaf("same.example.com");
+  Certificate b = pki.leaf("same.example.com");
+  EXPECT_NE(a.serial, b.serial);
+}
+
+TEST(Authority, DeterministicAcrossRuns) {
+  auto ca1 = CertificateAuthority::make_root("R", "Org", CaKind::kPrivate, 0, 100);
+  auto ca2 = CertificateAuthority::make_root("R", "Org", CaKind::kPrivate, 0, 100);
+  EXPECT_EQ(ca1.certificate().fingerprint(), ca2.certificate().fingerprint());
+}
+
+// ---------------------------------------------------------------- validation
+
+TEST(Validation, FullChainOk) {
+  Pki pki;
+  Certificate leaf = pki.leaf("dev.example.com");
+  std::vector<Certificate> chain = {leaf, pki.intermediate.certificate(),
+                                    pki.root.certificate()};
+  ValidationResult r = validate_chain(chain, "dev.example.com", pki.trust,
+                                      pki.keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kOk);
+  EXPECT_TRUE(r.hostname_ok);
+  EXPECT_FALSE(r.expired);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Validation, RootOmittedStillTrusted) {
+  Pki pki;
+  Certificate leaf = pki.leaf("dev.example.com");
+  std::vector<Certificate> chain = {leaf, pki.intermediate.certificate()};
+  ValidationResult r = validate_chain(chain, "dev.example.com", pki.trust,
+                                      pki.keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kOkRootOmitted);
+  EXPECT_TRUE(chain_trusted(r.status));
+}
+
+TEST(Validation, MissingIntermediateIsIncomplete) {
+  Pki pki;
+  Certificate leaf = pki.leaf("dev.example.com");
+  std::vector<Certificate> chain = {leaf};  // leaf signed by intermediate
+  ValidationResult r = validate_chain(chain, "dev.example.com", pki.trust,
+                                      pki.keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kIncompleteChain);
+}
+
+TEST(Validation, PrivateRootIsUntrusted) {
+  CertificateAuthority vendor = CertificateAuthority::make_root(
+      "Roku Root CA", "Roku", CaKind::kPrivate, 15000, 40000);
+  KeyRegistry keys;
+  vendor.publish_key(keys);
+  TrustStoreSet trust;  // empty stores
+  trust.add(TrustStore("mozilla"));
+
+  IssueRequest req;
+  req.subject.common_name = "api.roku.com";
+  req.not_before = 16000;
+  req.not_after = 30000;
+  Certificate leaf = vendor.issue(req);
+  std::vector<Certificate> chain = {leaf, vendor.certificate()};
+  ValidationResult r = validate_chain(chain, "api.roku.com", trust, keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kUntrustedRoot);
+}
+
+TEST(Validation, SelfSignedLeafDetected) {
+  CertificateAuthority vendor = CertificateAuthority::make_root(
+      "*.samsunghrm.com", "Samsung Electronics", CaKind::kPrivate, 15000, 40000);
+  KeyRegistry keys;
+  vendor.publish_key(keys);
+  TrustStoreSet trust;
+  trust.add(TrustStore("mozilla"));
+
+  // The log.samsunghrm.com pattern: a chain of two identical self-signed certs.
+  std::vector<Certificate> chain = {vendor.certificate(), vendor.certificate()};
+  ValidationResult r = validate_chain(chain, "log.samsunghrm.com", trust, keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kSelfSigned);
+  EXPECT_TRUE(r.hostname_ok);  // wildcard CN covers the host
+}
+
+TEST(Validation, ExpiredFlagOrthogonalToStatus) {
+  Pki pki;
+  Certificate leaf = pki.leaf("dev.example.com", 16000, 17000);  // long expired
+  std::vector<Certificate> chain = {leaf, pki.intermediate.certificate(),
+                                    pki.root.certificate()};
+  ValidationResult r = validate_chain(chain, "dev.example.com", pki.trust,
+                                      pki.keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kOk);
+  EXPECT_TRUE(r.expired);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Validation, HostnameMismatchFlagged) {
+  Pki pki;
+  Certificate leaf = pki.leaf("a2.tuyaus.example");  // CN/SAN don't cover host
+  std::vector<Certificate> chain = {leaf, pki.intermediate.certificate(),
+                                    pki.root.certificate()};
+  ValidationResult r = validate_chain(chain, "other.host.example", pki.trust,
+                                      pki.keys, kNow);
+  EXPECT_FALSE(r.hostname_ok);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Validation, TamperedLeafFailsSignature) {
+  Pki pki;
+  Certificate leaf = pki.leaf("dev.example.com");
+  leaf.subject.organization = "Mallory Inc";  // tamper after signing
+  std::vector<Certificate> chain = {leaf, pki.intermediate.certificate(),
+                                    pki.root.certificate()};
+  ValidationResult r = validate_chain(chain, "dev.example.com", pki.trust,
+                                      pki.keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kBadSignature);
+}
+
+TEST(Validation, BrokenAdjacencyIsIncomplete) {
+  Pki pki;
+  CertificateAuthority other = CertificateAuthority::make_root(
+      "Other CA", "Other", CaKind::kPublicTrust, 15000, 25000);
+  other.publish_key(pki.keys);
+  Certificate leaf = pki.leaf("dev.example.com");
+  std::vector<Certificate> chain = {leaf, other.certificate()};
+  ValidationResult r = validate_chain(chain, "dev.example.com", pki.trust,
+                                      pki.keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kIncompleteChain);
+}
+
+TEST(Validation, EmptyChain) {
+  Pki pki;
+  ValidationResult r = validate_chain({}, "host", pki.trust, pki.keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kEmptyChain);
+}
+
+TEST(Validation, EncodedChainRoundTrip) {
+  Pki pki;
+  Certificate leaf = pki.leaf("dev.example.com");
+  std::vector<Bytes> encoded = {leaf.encode(),
+                                pki.intermediate.certificate().encode(),
+                                pki.root.certificate().encode()};
+  ValidationResult r = validate_encoded_chain(encoded, "dev.example.com",
+                                              pki.trust, pki.keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kOk);
+}
+
+TEST(Validation, UndecodableChainMemberReported) {
+  ValidationResult r = validate_encoded_chain({{0xff, 0x00}}, "h",
+                                              TrustStoreSet{}, KeyRegistry{}, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kBadSignature);
+  EXPECT_NE(r.detail.find("undecodable"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- chain order
+
+TEST(Validation, NormalizeReordersShuffledChain) {
+  Pki pki;
+  Certificate leaf = pki.leaf("dev.example.com");
+  std::vector<Certificate> shuffled = {pki.root.certificate(),
+                                       leaf,
+                                       pki.intermediate.certificate()};
+  auto ordered = normalize_chain_order(shuffled, "dev.example.com");
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0], leaf);
+  EXPECT_EQ(ordered[1], pki.intermediate.certificate());
+  EXPECT_EQ(ordered[2], pki.root.certificate());
+
+  ValidationResult r = validate_chain(ordered, "dev.example.com", pki.trust,
+                                      pki.keys, kNow);
+  EXPECT_EQ(r.status, ChainStatus::kOk);
+}
+
+TEST(Validation, NormalizeIsIdentityOnOrderedChain) {
+  Pki pki;
+  Certificate leaf = pki.leaf("dev.example.com");
+  std::vector<Certificate> chain = {leaf, pki.intermediate.certificate(),
+                                    pki.root.certificate()};
+  EXPECT_EQ(normalize_chain_order(chain, "dev.example.com"), chain);
+}
+
+TEST(Validation, NormalizePreservesDuplicateSelfSigned) {
+  // The samsunghrm pattern: two identical self-signed certificates.
+  CertificateAuthority self = CertificateAuthority::make_root(
+      "*.samsunghrm.com", "Samsung Electronics", CaKind::kPrivate, 15000, 40000);
+  std::vector<Certificate> chain = {self.certificate(), self.certificate()};
+  EXPECT_EQ(normalize_chain_order(chain, "log.samsunghrm.com"), chain);
+}
+
+TEST(Validation, NormalizeKeepsUnlinkedMembers) {
+  Pki pki;
+  CertificateAuthority stranger = CertificateAuthority::make_root(
+      "Stranger CA", "Stranger", CaKind::kPrivate, 15000, 25000);
+  Certificate leaf = pki.leaf("dev.example.com");
+  std::vector<Certificate> mixed = {stranger.certificate(), leaf};
+  auto ordered = normalize_chain_order(mixed, "dev.example.com");
+  ASSERT_EQ(ordered.size(), 2u);
+  EXPECT_EQ(ordered[0], leaf);  // leaf fronted, stranger kept at the tail
+}
+
+// ---------------------------------------------------------------- trust stores
+
+TEST(TrustStore, LookupBySubjectAndKey) {
+  Pki pki;
+  const Certificate* by_subject =
+      pki.trust.find_by_subject(pki.root.certificate().subject);
+  ASSERT_NE(by_subject, nullptr);
+  EXPECT_EQ(by_subject->fingerprint(), pki.root.certificate().fingerprint());
+  EXPECT_TRUE(pki.trust.contains_key(pki.root.certificate().subject_key_id));
+  EXPECT_FALSE(pki.trust.contains_key("no-such-key"));
+}
+
+TEST(TrustStore, SetConsultsAllStores) {
+  CertificateAuthority apple_root = CertificateAuthority::make_root(
+      "Apple Root CA", "Apple", CaKind::kPublicTrust, 10000, 30000);
+  TrustStoreSet set;
+  set.add(TrustStore("mozilla"));
+  TrustStore apple("apple");
+  apple.add_root(apple_root.certificate());
+  set.add(std::move(apple));
+  EXPECT_TRUE(set.contains_key(apple_root.certificate().subject_key_id));
+}
+
+}  // namespace
+}  // namespace iotls::x509

@@ -1,0 +1,91 @@
+// iotls_fingerprint — fingerprint every TLS ClientHello in a pcap file.
+//
+// Usage:
+//   iotls_fingerprint [--csv] [--match] capture.pcap [more.pcap ...]
+//
+// Prints one line per recovered ClientHello: source, SNI, fingerprint key,
+// JA3 digest and ciphersuite security classification. With --match, also
+// attributes the fingerprint to a known TLS library build when it matches
+// the corpus exactly (§4.1).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "pcap/flow.hpp"
+#include "tls/ciphersuite.hpp"
+#include "tls/fingerprint.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+using namespace iotls;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: iotls_fingerprint [--csv] [--match] capture.pcap ...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false, match = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    else if (std::strcmp(argv[i], "--match") == 0) match = true;
+    else if (argv[i][0] == '-') return usage();
+    else paths.emplace_back(argv[i]);
+  }
+  if (paths.empty()) return usage();
+
+  corpus::LibraryCorpus corpus_db =
+      match ? corpus::LibraryCorpus::standard() : corpus::LibraryCorpus{};
+
+  if (csv) {
+    std::printf("file,src,sni,ja3,security,library\n");
+  }
+
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    std::vector<pcap::PcapPacket> packets;
+    try {
+      packets = pcap::read_pcap_file(path);
+    } catch (const ParseError& e) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      exit_code = 1;
+      continue;
+    }
+    auto hellos = pcap::extract_client_hellos(packets);
+    if (!csv) {
+      std::printf("%s: %zu packets, %zu ClientHellos\n", path.c_str(),
+                  packets.size(), hellos.size());
+    }
+    for (const pcap::CapturedClientHello& captured : hellos) {
+      tls::Fingerprint fp = tls::fingerprint_of(captured.hello);
+      std::string security = tls::security_level_name(
+          tls::classify_suite_list(fp.cipher_suites));
+      std::string library;
+      if (match) {
+        if (const corpus::KnownLibrary* lib = corpus_db.best_match(fp)) {
+          library = lib->version;
+        }
+      }
+      std::string sni = captured.hello.sni().value_or("-");
+      if (csv) {
+        std::printf("%s,%s,%s,%s,%s,%s\n", path.c_str(),
+                    captured.flow.src_ip.to_string().c_str(), sni.c_str(),
+                    fp.ja3().c_str(), security.c_str(), library.c_str());
+      } else {
+        std::printf("  %-15s -> %-35s ja3=%s  [%s]%s%s\n",
+                    captured.flow.src_ip.to_string().c_str(), sni.c_str(),
+                    fp.ja3().c_str(), security.c_str(),
+                    library.empty() ? "" : "  lib=", library.c_str());
+      }
+    }
+  }
+  return exit_code;
+}

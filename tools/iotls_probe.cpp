@@ -1,0 +1,76 @@
+// iotls_probe — probe IoT servers and validate their certificate chains.
+//
+// Usage:
+//   iotls_probe [--all] [sni ...]
+//
+// Runs against the repository's simulated internet (this reproduction has
+// no live sockets): performs a full TLS exchange from each of the three
+// vantage points, validates the served chain against the Mozilla+Apple+
+// Microsoft store union, and reports issuer, validity, CT presence, OCSP
+// stapling and geo consistency — the §5 pipeline for arbitrary names.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "devicesim/scenario.hpp"
+#include "net/prober.hpp"
+#include "util/dates.hpp"
+#include "x509/validation.hpp"
+
+using namespace iotls;
+
+int main(int argc, char** argv) {
+  bool all = false;
+  std::vector<std::string> snis;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--all") == 0) all = true;
+    else snis.emplace_back(argv[i]);
+  }
+  if (!all && snis.empty()) {
+    std::fprintf(stderr, "usage: iotls_probe [--all] [sni ...]\n");
+    std::fprintf(stderr, "example: iotls_probe appboot.netflix.com a2.tuyaus.com\n");
+    return 2;
+  }
+
+  auto universe = devicesim::ServerUniverse::standard();
+  devicesim::SimWorld world = devicesim::build_world(universe);
+  net::TlsProber prober(world.internet);
+  const std::int64_t today = days(2022, 4, 15);
+
+  if (all) {
+    for (const devicesim::ServerSpec& spec : universe.specs()) {
+      snis.push_back(spec.fqdn);
+    }
+  }
+
+  std::size_t ok = 0, failed = 0, unreachable = 0;
+  for (const std::string& sni : snis) {
+    net::MultiVantageResult multi = prober.probe_all_vantages(sni);
+    const net::ProbeResult& ny = multi.by_vantage.at(net::VantagePoint::kNewYork);
+    if (!ny.reachable) {
+      std::printf("%-40s UNREACHABLE (%s)\n", sni.c_str(), ny.error.c_str());
+      ++unreachable;
+      continue;
+    }
+    auto v = x509::validate_chain(ny.chain, sni, world.trust, world.keys, today);
+    const x509::Certificate& leaf = ny.chain.front();
+    bool in_ct = world.ct_index.logged(leaf.fingerprint());
+    std::printf("%-40s %s\n", sni.c_str(), x509::chain_status_name(v.status).c_str());
+    std::printf("    issuer: %-30s validity: %lld days%s%s\n",
+                leaf.issuer.organization.c_str(),
+                static_cast<long long>(leaf.validity_days()),
+                v.expired ? "  [EXPIRED]" : "",
+                v.hostname_ok ? "" : "  [CN MISMATCH]");
+    std::printf("    CT: %s   OCSP staple: %s   geo-consistent: %s   chain len: %zu\n",
+                in_ct ? "logged" : "NOT logged",
+                ny.stapled.has_value() ? "yes" : "no",
+                multi.consistent_across_vantages() ? "yes" : "NO",
+                ny.chain.size());
+    if (x509::chain_trusted(v.status) && !v.expired && v.hostname_ok) ++ok;
+    else ++failed;
+  }
+  std::printf("\n%zu clean, %zu problematic, %zu unreachable\n", ok, failed,
+              unreachable);
+  return failed > 0 ? 1 : 0;
+}
