@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fpdef"
+  "../bench/bench_ablation_fpdef.pdb"
+  "CMakeFiles/bench_ablation_fpdef.dir/bench_ablation_fpdef.cpp.o"
+  "CMakeFiles/bench_ablation_fpdef.dir/bench_ablation_fpdef.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fpdef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_similarity"
+  "../bench/bench_ablation_similarity.pdb"
+  "CMakeFiles/bench_ablation_similarity.dir/bench_ablation_similarity.cpp.o"
+  "CMakeFiles/bench_ablation_similarity.dir/bench_ablation_similarity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

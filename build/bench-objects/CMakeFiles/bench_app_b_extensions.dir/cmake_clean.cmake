@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_app_b_extensions"
+  "../bench/bench_app_b_extensions.pdb"
+  "CMakeFiles/bench_app_b_extensions.dir/bench_app_b_extensions.cpp.o"
+  "CMakeFiles/bench_app_b_extensions.dir/bench_app_b_extensions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_b_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_acme"
+  "../bench/bench_ext_acme.pdb"
+  "CMakeFiles/bench_ext_acme.dir/bench_ext_acme.cpp.o"
+  "CMakeFiles/bench_ext_acme.dir/bench_ext_acme.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_acme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_longitudinal"
+  "../bench/bench_ext_longitudinal.pdb"
+  "CMakeFiles/bench_ext_longitudinal.dir/bench_ext_longitudinal.cpp.o"
+  "CMakeFiles/bench_ext_longitudinal.dir/bench_ext_longitudinal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_longitudinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_revocation"
+  "../bench/bench_ext_revocation.pdb"
+  "CMakeFiles/bench_ext_revocation.dir/bench_ext_revocation.cpp.o"
+  "CMakeFiles/bench_ext_revocation.dir/bench_ext_revocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

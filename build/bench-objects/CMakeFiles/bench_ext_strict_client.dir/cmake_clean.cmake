@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_strict_client"
+  "../bench/bench_ext_strict_client.pdb"
+  "CMakeFiles/bench_ext_strict_client.dir/bench_ext_strict_client.cpp.o"
+  "CMakeFiles/bench_ext_strict_client.dir/bench_ext_strict_client.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_strict_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

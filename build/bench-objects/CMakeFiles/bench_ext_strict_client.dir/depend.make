@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_strict_client.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_vendor_graph"
+  "../bench/bench_fig01_vendor_graph.pdb"
+  "CMakeFiles/bench_fig01_vendor_graph.dir/bench_fig01_vendor_graph.cpp.o"
+  "CMakeFiles/bench_fig01_vendor_graph.dir/bench_fig01_vendor_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_vendor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_doc_cdf"
+  "../bench/bench_fig02_doc_cdf.pdb"
+  "CMakeFiles/bench_fig02_doc_cdf.dir/bench_fig02_doc_cdf.cpp.o"
+  "CMakeFiles/bench_fig02_doc_cdf.dir/bench_fig02_doc_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_doc_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_amazon"
+  "../bench/bench_fig03_amazon.pdb"
+  "CMakeFiles/bench_fig03_amazon.dir/bench_fig03_amazon.cpp.o"
+  "CMakeFiles/bench_fig03_amazon.dir/bench_fig03_amazon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_amazon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

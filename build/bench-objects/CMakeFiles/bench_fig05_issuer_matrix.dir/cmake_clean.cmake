@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_issuer_matrix"
+  "../bench/bench_fig05_issuer_matrix.pdb"
+  "CMakeFiles/bench_fig05_issuer_matrix.dir/bench_fig05_issuer_matrix.cpp.o"
+  "CMakeFiles/bench_fig05_issuer_matrix.dir/bench_fig05_issuer_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_issuer_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_issuer_matrix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_validity"
+  "../bench/bench_fig06_validity.pdb"
+  "CMakeFiles/bench_fig06_validity.dir/bench_fig06_validity.cpp.o"
+  "CMakeFiles/bench_fig06_validity.dir/bench_fig06_validity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_smart_tv"
+  "../bench/bench_fig07_smart_tv.pdb"
+  "CMakeFiles/bench_fig07_smart_tv.dir/bench_fig07_smart_tv.cpp.o"
+  "CMakeFiles/bench_fig07_smart_tv.dir/bench_fig07_smart_tv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_smart_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_cs_jaccard"
+  "../bench/bench_fig08_cs_jaccard.pdb"
+  "CMakeFiles/bench_fig08_cs_jaccard.dir/bench_fig08_cs_jaccard.cpp.o"
+  "CMakeFiles/bench_fig08_cs_jaccard.dir/bench_fig08_cs_jaccard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_cs_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

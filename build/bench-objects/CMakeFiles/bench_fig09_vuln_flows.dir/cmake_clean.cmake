@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_vuln_flows"
+  "../bench/bench_fig09_vuln_flows.pdb"
+  "CMakeFiles/bench_fig09_vuln_flows.dir/bench_fig09_vuln_flows.cpp.o"
+  "CMakeFiles/bench_fig09_vuln_flows.dir/bench_fig09_vuln_flows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_vuln_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_doc_devices"
+  "../bench/bench_fig10_doc_devices.pdb"
+  "CMakeFiles/bench_fig10_doc_devices.dir/bench_fig10_doc_devices.cpp.o"
+  "CMakeFiles/bench_fig10_doc_devices.dir/bench_fig10_doc_devices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_doc_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

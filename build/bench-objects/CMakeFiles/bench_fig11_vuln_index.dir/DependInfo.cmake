@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_vuln_index.cpp" "bench-objects/CMakeFiles/bench_fig11_vuln_index.dir/bench_fig11_vuln_index.cpp.o" "gcc" "bench-objects/CMakeFiles/bench_fig11_vuln_index.dir/bench_fig11_vuln_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iotls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/iotls_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/devicesim/CMakeFiles/iotls_devicesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/acme/CMakeFiles/iotls_acme.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/iotls_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/iotls_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ct/CMakeFiles/iotls_ct.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/iotls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iotls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_vuln_index"
+  "../bench/bench_fig11_vuln_index.pdb"
+  "CMakeFiles/bench_fig11_vuln_index.dir/bench_fig11_vuln_index.cpp.o"
+  "CMakeFiles/bench_fig11_vuln_index.dir/bench_fig11_vuln_index.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vuln_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

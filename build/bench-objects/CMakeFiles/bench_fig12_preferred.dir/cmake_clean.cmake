@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_preferred"
+  "../bench/bench_fig12_preferred.pdb"
+  "CMakeFiles/bench_fig12_preferred.dir/bench_fig12_preferred.cpp.o"
+  "CMakeFiles/bench_fig12_preferred.dir/bench_fig12_preferred.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_preferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

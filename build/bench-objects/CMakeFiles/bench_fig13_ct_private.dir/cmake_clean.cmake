@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_ct_private"
+  "../bench/bench_fig13_ct_private.pdb"
+  "CMakeFiles/bench_fig13_ct_private.dir/bench_fig13_ct_private.cpp.o"
+  "CMakeFiles/bench_fig13_ct_private.dir/bench_fig13_ct_private.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ct_private.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_pipeline"
+  "../bench/bench_perf_pipeline.pdb"
+  "CMakeFiles/bench_perf_pipeline.dir/bench_perf_pipeline.cpp.o"
+  "CMakeFiles/bench_perf_pipeline.dir/bench_perf_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s41_library_match"
+  "../bench/bench_s41_library_match.pdb"
+  "CMakeFiles/bench_s41_library_match.dir/bench_s41_library_match.cpp.o"
+  "CMakeFiles/bench_s41_library_match.dir/bench_s41_library_match.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s41_library_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_s41_library_match.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_s41_library_match.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s62_local_pki"
+  "../bench/bench_s62_local_pki.pdb"
+  "CMakeFiles/bench_s62_local_pki.dir/bench_s62_local_pki.cpp.o"
+  "CMakeFiles/bench_s62_local_pki.dir/bench_s62_local_pki.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s62_local_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

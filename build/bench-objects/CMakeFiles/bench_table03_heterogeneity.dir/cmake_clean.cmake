@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table03_heterogeneity"
+  "../bench/bench_table03_heterogeneity.pdb"
+  "CMakeFiles/bench_table03_heterogeneity.dir/bench_table03_heterogeneity.cpp.o"
+  "CMakeFiles/bench_table03_heterogeneity.dir/bench_table03_heterogeneity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table04_jaccard"
+  "../bench/bench_table04_jaccard.pdb"
+  "CMakeFiles/bench_table04_jaccard.dir/bench_table04_jaccard.cpp.o"
+  "CMakeFiles/bench_table04_jaccard.dir/bench_table04_jaccard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table05_server_fp"
+  "../bench/bench_table05_server_fp.pdb"
+  "CMakeFiles/bench_table05_server_fp.dir/bench_table05_server_fp.cpp.o"
+  "CMakeFiles/bench_table05_server_fp.dir/bench_table05_server_fp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_server_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table06_cert_summary"
+  "../bench/bench_table06_cert_summary.pdb"
+  "CMakeFiles/bench_table06_cert_summary.dir/bench_table06_cert_summary.cpp.o"
+  "CMakeFiles/bench_table06_cert_summary.dir/bench_table06_cert_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_cert_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

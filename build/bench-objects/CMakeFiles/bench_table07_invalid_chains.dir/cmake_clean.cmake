@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table07_invalid_chains"
+  "../bench/bench_table07_invalid_chains.pdb"
+  "CMakeFiles/bench_table07_invalid_chains.dir/bench_table07_invalid_chains.cpp.o"
+  "CMakeFiles/bench_table07_invalid_chains.dir/bench_table07_invalid_chains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_invalid_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table08_expired"
+  "../bench/bench_table08_expired.pdb"
+  "CMakeFiles/bench_table08_expired.dir/bench_table08_expired.cpp.o"
+  "CMakeFiles/bench_table08_expired.dir/bench_table08_expired.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_expired.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table09_netflix"
+  "../bench/bench_table09_netflix.pdb"
+  "CMakeFiles/bench_table09_netflix.dir/bench_table09_netflix.cpp.o"
+  "CMakeFiles/bench_table09_netflix.dir/bench_table09_netflix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_netflix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table10_releases"
+  "../bench/bench_table10_releases.pdb"
+  "CMakeFiles/bench_table10_releases.dir/bench_table10_releases.cpp.o"
+  "CMakeFiles/bench_table10_releases.dir/bench_table10_releases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_releases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_semantic"
+  "../bench/bench_table11_semantic.pdb"
+  "CMakeFiles/bench_table11_semantic.dir/bench_table11_semantic.cpp.o"
+  "CMakeFiles/bench_table11_semantic.dir/bench_table11_semantic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

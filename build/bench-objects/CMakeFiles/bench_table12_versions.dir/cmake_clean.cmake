@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table12_versions"
+  "../bench/bench_table12_versions.pdb"
+  "CMakeFiles/bench_table12_versions.dir/bench_table12_versions.cpp.o"
+  "CMakeFiles/bench_table12_versions.dir/bench_table12_versions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table14_private_chains"
+  "../bench/bench_table14_private_chains.pdb"
+  "CMakeFiles/bench_table14_private_chains.dir/bench_table14_private_chains.cpp.o"
+  "CMakeFiles/bench_table14_private_chains.dir/bench_table14_private_chains.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_private_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table15_slds"
+  "../bench/bench_table15_slds.pdb"
+  "CMakeFiles/bench_table15_slds.dir/bench_table15_slds.cpp.o"
+  "CMakeFiles/bench_table15_slds.dir/bench_table15_slds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table15_slds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

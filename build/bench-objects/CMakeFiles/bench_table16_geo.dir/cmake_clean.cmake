@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table16_geo"
+  "../bench/bench_table16_geo.pdb"
+  "CMakeFiles/bench_table16_geo.dir/bench_table16_geo.cpp.o"
+  "CMakeFiles/bench_table16_geo.dir/bench_table16_geo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table16_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

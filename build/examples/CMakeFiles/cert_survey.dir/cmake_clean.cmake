@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cert_survey.dir/cert_survey.cpp.o"
+  "CMakeFiles/cert_survey.dir/cert_survey.cpp.o.d"
+  "cert_survey"
+  "cert_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cert_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cert_survey.
+# This may be replaced when dependencies are built.

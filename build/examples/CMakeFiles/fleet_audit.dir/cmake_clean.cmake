@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_audit.dir/fleet_audit.cpp.o"
+  "CMakeFiles/fleet_audit.dir/fleet_audit.cpp.o.d"
+  "fleet_audit"
+  "fleet_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

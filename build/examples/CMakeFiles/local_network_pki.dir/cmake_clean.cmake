@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_network_pki.dir/local_network_pki.cpp.o"
+  "CMakeFiles/local_network_pki.dir/local_network_pki.cpp.o.d"
+  "local_network_pki"
+  "local_network_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_network_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_fingerprint.dir/pcap_fingerprint.cpp.o"
+  "CMakeFiles/pcap_fingerprint.dir/pcap_fingerprint.cpp.o.d"
+  "pcap_fingerprint"
+  "pcap_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_acme.dir/acme.cpp.o"
+  "CMakeFiles/iotls_acme.dir/acme.cpp.o.d"
+  "CMakeFiles/iotls_acme.dir/renewal.cpp.o"
+  "CMakeFiles/iotls_acme.dir/renewal.cpp.o.d"
+  "libiotls_acme.a"
+  "libiotls_acme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_acme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

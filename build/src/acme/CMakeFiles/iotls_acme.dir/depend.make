@@ -1,0 +1,2 @@
+# Empty dependencies file for iotls_acme.
+# This may be replaced when dependencies are built.

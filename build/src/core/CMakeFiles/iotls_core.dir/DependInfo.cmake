@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/case_studies.cpp" "src/core/CMakeFiles/iotls_core.dir/case_studies.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/case_studies.cpp.o.d"
+  "/root/repo/src/core/cert_dataset.cpp" "src/core/CMakeFiles/iotls_core.dir/cert_dataset.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/cert_dataset.cpp.o.d"
+  "/root/repo/src/core/chains.cpp" "src/core/CMakeFiles/iotls_core.dir/chains.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/chains.cpp.o.d"
+  "/root/repo/src/core/ct_validity.cpp" "src/core/CMakeFiles/iotls_core.dir/ct_validity.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/ct_validity.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/iotls_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/device_metrics.cpp" "src/core/CMakeFiles/iotls_core.dir/device_metrics.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/device_metrics.cpp.o.d"
+  "/root/repo/src/core/issuers.cpp" "src/core/CMakeFiles/iotls_core.dir/issuers.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/issuers.cpp.o.d"
+  "/root/repo/src/core/library_match.cpp" "src/core/CMakeFiles/iotls_core.dir/library_match.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/library_match.cpp.o.d"
+  "/root/repo/src/core/longitudinal.cpp" "src/core/CMakeFiles/iotls_core.dir/longitudinal.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/longitudinal.cpp.o.d"
+  "/root/repo/src/core/semantic.cpp" "src/core/CMakeFiles/iotls_core.dir/semantic.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/semantic.cpp.o.d"
+  "/root/repo/src/core/sharing.cpp" "src/core/CMakeFiles/iotls_core.dir/sharing.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/sharing.cpp.o.d"
+  "/root/repo/src/core/tls_params.cpp" "src/core/CMakeFiles/iotls_core.dir/tls_params.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/tls_params.cpp.o.d"
+  "/root/repo/src/core/vendor_metrics.cpp" "src/core/CMakeFiles/iotls_core.dir/vendor_metrics.cpp.o" "gcc" "src/core/CMakeFiles/iotls_core.dir/vendor_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iotls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/iotls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/ct/CMakeFiles/iotls_ct.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iotls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/iotls_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/devicesim/CMakeFiles/iotls_devicesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/iotls_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_core.dir/case_studies.cpp.o"
+  "CMakeFiles/iotls_core.dir/case_studies.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/cert_dataset.cpp.o"
+  "CMakeFiles/iotls_core.dir/cert_dataset.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/chains.cpp.o"
+  "CMakeFiles/iotls_core.dir/chains.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/ct_validity.cpp.o"
+  "CMakeFiles/iotls_core.dir/ct_validity.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/dataset.cpp.o"
+  "CMakeFiles/iotls_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/device_metrics.cpp.o"
+  "CMakeFiles/iotls_core.dir/device_metrics.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/issuers.cpp.o"
+  "CMakeFiles/iotls_core.dir/issuers.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/library_match.cpp.o"
+  "CMakeFiles/iotls_core.dir/library_match.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/longitudinal.cpp.o"
+  "CMakeFiles/iotls_core.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/semantic.cpp.o"
+  "CMakeFiles/iotls_core.dir/semantic.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/sharing.cpp.o"
+  "CMakeFiles/iotls_core.dir/sharing.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/tls_params.cpp.o"
+  "CMakeFiles/iotls_core.dir/tls_params.cpp.o.d"
+  "CMakeFiles/iotls_core.dir/vendor_metrics.cpp.o"
+  "CMakeFiles/iotls_core.dir/vendor_metrics.cpp.o.d"
+  "libiotls_core.a"
+  "libiotls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cpp" "src/corpus/CMakeFiles/iotls_corpus.dir/corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/iotls_corpus.dir/corpus.cpp.o.d"
+  "/root/repo/src/corpus/library.cpp" "src/corpus/CMakeFiles/iotls_corpus.dir/library.cpp.o" "gcc" "src/corpus/CMakeFiles/iotls_corpus.dir/library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iotls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/iotls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/iotls_corpus.dir/corpus.cpp.o.d"
+  "CMakeFiles/iotls_corpus.dir/library.cpp.o"
+  "CMakeFiles/iotls_corpus.dir/library.cpp.o.d"
+  "libiotls_corpus.a"
+  "libiotls_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/md5.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/md5.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/iotls_crypto.dir/signature.cpp.o"
+  "CMakeFiles/iotls_crypto.dir/signature.cpp.o.d"
+  "libiotls_crypto.a"
+  "libiotls_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

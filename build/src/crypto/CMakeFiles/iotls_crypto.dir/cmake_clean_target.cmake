@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiotls_crypto.a"
+)

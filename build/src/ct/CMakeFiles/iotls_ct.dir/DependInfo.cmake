@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ct/ctlog.cpp" "src/ct/CMakeFiles/iotls_ct.dir/ctlog.cpp.o" "gcc" "src/ct/CMakeFiles/iotls_ct.dir/ctlog.cpp.o.d"
+  "/root/repo/src/ct/merkle.cpp" "src/ct/CMakeFiles/iotls_ct.dir/merkle.cpp.o" "gcc" "src/ct/CMakeFiles/iotls_ct.dir/merkle.cpp.o.d"
+  "/root/repo/src/ct/monitor.cpp" "src/ct/CMakeFiles/iotls_ct.dir/monitor.cpp.o" "gcc" "src/ct/CMakeFiles/iotls_ct.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iotls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

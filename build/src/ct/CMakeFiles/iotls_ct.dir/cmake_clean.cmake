@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_ct.dir/ctlog.cpp.o"
+  "CMakeFiles/iotls_ct.dir/ctlog.cpp.o.d"
+  "CMakeFiles/iotls_ct.dir/merkle.cpp.o"
+  "CMakeFiles/iotls_ct.dir/merkle.cpp.o.d"
+  "CMakeFiles/iotls_ct.dir/monitor.cpp.o"
+  "CMakeFiles/iotls_ct.dir/monitor.cpp.o.d"
+  "libiotls_ct.a"
+  "libiotls_ct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_devicesim.dir/export.cpp.o"
+  "CMakeFiles/iotls_devicesim.dir/export.cpp.o.d"
+  "CMakeFiles/iotls_devicesim.dir/fleet.cpp.o"
+  "CMakeFiles/iotls_devicesim.dir/fleet.cpp.o.d"
+  "CMakeFiles/iotls_devicesim.dir/scenario.cpp.o"
+  "CMakeFiles/iotls_devicesim.dir/scenario.cpp.o.d"
+  "CMakeFiles/iotls_devicesim.dir/stacks.cpp.o"
+  "CMakeFiles/iotls_devicesim.dir/stacks.cpp.o.d"
+  "CMakeFiles/iotls_devicesim.dir/vendors.cpp.o"
+  "CMakeFiles/iotls_devicesim.dir/vendors.cpp.o.d"
+  "libiotls_devicesim.a"
+  "libiotls_devicesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_devicesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for iotls_devicesim.
+# This may be replaced when dependencies are built.

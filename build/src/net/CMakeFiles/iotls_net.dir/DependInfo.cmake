@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/internet.cpp" "src/net/CMakeFiles/iotls_net.dir/internet.cpp.o" "gcc" "src/net/CMakeFiles/iotls_net.dir/internet.cpp.o.d"
+  "/root/repo/src/net/prober.cpp" "src/net/CMakeFiles/iotls_net.dir/prober.cpp.o" "gcc" "src/net/CMakeFiles/iotls_net.dir/prober.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/net/CMakeFiles/iotls_net.dir/server.cpp.o" "gcc" "src/net/CMakeFiles/iotls_net.dir/server.cpp.o.d"
+  "/root/repo/src/net/vantage.cpp" "src/net/CMakeFiles/iotls_net.dir/vantage.cpp.o" "gcc" "src/net/CMakeFiles/iotls_net.dir/vantage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iotls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/iotls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/x509/CMakeFiles/iotls_x509.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_net.dir/internet.cpp.o"
+  "CMakeFiles/iotls_net.dir/internet.cpp.o.d"
+  "CMakeFiles/iotls_net.dir/prober.cpp.o"
+  "CMakeFiles/iotls_net.dir/prober.cpp.o.d"
+  "CMakeFiles/iotls_net.dir/server.cpp.o"
+  "CMakeFiles/iotls_net.dir/server.cpp.o.d"
+  "CMakeFiles/iotls_net.dir/vantage.cpp.o"
+  "CMakeFiles/iotls_net.dir/vantage.cpp.o.d"
+  "libiotls_net.a"
+  "libiotls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

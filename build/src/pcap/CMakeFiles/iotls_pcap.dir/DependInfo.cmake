@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcap/flow.cpp" "src/pcap/CMakeFiles/iotls_pcap.dir/flow.cpp.o" "gcc" "src/pcap/CMakeFiles/iotls_pcap.dir/flow.cpp.o.d"
+  "/root/repo/src/pcap/packet.cpp" "src/pcap/CMakeFiles/iotls_pcap.dir/packet.cpp.o" "gcc" "src/pcap/CMakeFiles/iotls_pcap.dir/packet.cpp.o.d"
+  "/root/repo/src/pcap/pcapfile.cpp" "src/pcap/CMakeFiles/iotls_pcap.dir/pcapfile.cpp.o" "gcc" "src/pcap/CMakeFiles/iotls_pcap.dir/pcapfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iotls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/iotls_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_pcap.dir/flow.cpp.o"
+  "CMakeFiles/iotls_pcap.dir/flow.cpp.o.d"
+  "CMakeFiles/iotls_pcap.dir/packet.cpp.o"
+  "CMakeFiles/iotls_pcap.dir/packet.cpp.o.d"
+  "CMakeFiles/iotls_pcap.dir/pcapfile.cpp.o"
+  "CMakeFiles/iotls_pcap.dir/pcapfile.cpp.o.d"
+  "libiotls_pcap.a"
+  "libiotls_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

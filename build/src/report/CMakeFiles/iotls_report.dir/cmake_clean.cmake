@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_report.dir/chart.cpp.o"
+  "CMakeFiles/iotls_report.dir/chart.cpp.o.d"
+  "CMakeFiles/iotls_report.dir/dot.cpp.o"
+  "CMakeFiles/iotls_report.dir/dot.cpp.o.d"
+  "CMakeFiles/iotls_report.dir/table.cpp.o"
+  "CMakeFiles/iotls_report.dir/table.cpp.o.d"
+  "libiotls_report.a"
+  "libiotls_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

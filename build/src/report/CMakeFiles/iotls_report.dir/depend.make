@@ -1,0 +1,2 @@
+# Empty dependencies file for iotls_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/alert.cpp" "src/tls/CMakeFiles/iotls_tls.dir/alert.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/alert.cpp.o.d"
+  "/root/repo/src/tls/ciphersuite.cpp" "src/tls/CMakeFiles/iotls_tls.dir/ciphersuite.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/ciphersuite.cpp.o.d"
+  "/root/repo/src/tls/clienthello.cpp" "src/tls/CMakeFiles/iotls_tls.dir/clienthello.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/clienthello.cpp.o.d"
+  "/root/repo/src/tls/extension.cpp" "src/tls/CMakeFiles/iotls_tls.dir/extension.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/extension.cpp.o.d"
+  "/root/repo/src/tls/fingerprint.cpp" "src/tls/CMakeFiles/iotls_tls.dir/fingerprint.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/tls/grease.cpp" "src/tls/CMakeFiles/iotls_tls.dir/grease.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/grease.cpp.o.d"
+  "/root/repo/src/tls/record.cpp" "src/tls/CMakeFiles/iotls_tls.dir/record.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/record.cpp.o.d"
+  "/root/repo/src/tls/serverhello.cpp" "src/tls/CMakeFiles/iotls_tls.dir/serverhello.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/serverhello.cpp.o.d"
+  "/root/repo/src/tls/version.cpp" "src/tls/CMakeFiles/iotls_tls.dir/version.cpp.o" "gcc" "src/tls/CMakeFiles/iotls_tls.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iotls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

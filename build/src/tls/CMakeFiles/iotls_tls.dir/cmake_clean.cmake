@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_tls.dir/alert.cpp.o"
+  "CMakeFiles/iotls_tls.dir/alert.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/ciphersuite.cpp.o"
+  "CMakeFiles/iotls_tls.dir/ciphersuite.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/clienthello.cpp.o"
+  "CMakeFiles/iotls_tls.dir/clienthello.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/extension.cpp.o"
+  "CMakeFiles/iotls_tls.dir/extension.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/fingerprint.cpp.o"
+  "CMakeFiles/iotls_tls.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/grease.cpp.o"
+  "CMakeFiles/iotls_tls.dir/grease.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/record.cpp.o"
+  "CMakeFiles/iotls_tls.dir/record.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/serverhello.cpp.o"
+  "CMakeFiles/iotls_tls.dir/serverhello.cpp.o.d"
+  "CMakeFiles/iotls_tls.dir/version.cpp.o"
+  "CMakeFiles/iotls_tls.dir/version.cpp.o.d"
+  "libiotls_tls.a"
+  "libiotls_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_util.dir/dates.cpp.o"
+  "CMakeFiles/iotls_util.dir/dates.cpp.o.d"
+  "CMakeFiles/iotls_util.dir/hex.cpp.o"
+  "CMakeFiles/iotls_util.dir/hex.cpp.o.d"
+  "CMakeFiles/iotls_util.dir/reader.cpp.o"
+  "CMakeFiles/iotls_util.dir/reader.cpp.o.d"
+  "CMakeFiles/iotls_util.dir/rng.cpp.o"
+  "CMakeFiles/iotls_util.dir/rng.cpp.o.d"
+  "CMakeFiles/iotls_util.dir/strings.cpp.o"
+  "CMakeFiles/iotls_util.dir/strings.cpp.o.d"
+  "CMakeFiles/iotls_util.dir/writer.cpp.o"
+  "CMakeFiles/iotls_util.dir/writer.cpp.o.d"
+  "libiotls_util.a"
+  "libiotls_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

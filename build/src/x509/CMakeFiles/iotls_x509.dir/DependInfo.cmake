@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x509/authority.cpp" "src/x509/CMakeFiles/iotls_x509.dir/authority.cpp.o" "gcc" "src/x509/CMakeFiles/iotls_x509.dir/authority.cpp.o.d"
+  "/root/repo/src/x509/certificate.cpp" "src/x509/CMakeFiles/iotls_x509.dir/certificate.cpp.o" "gcc" "src/x509/CMakeFiles/iotls_x509.dir/certificate.cpp.o.d"
+  "/root/repo/src/x509/name.cpp" "src/x509/CMakeFiles/iotls_x509.dir/name.cpp.o" "gcc" "src/x509/CMakeFiles/iotls_x509.dir/name.cpp.o.d"
+  "/root/repo/src/x509/revocation.cpp" "src/x509/CMakeFiles/iotls_x509.dir/revocation.cpp.o" "gcc" "src/x509/CMakeFiles/iotls_x509.dir/revocation.cpp.o.d"
+  "/root/repo/src/x509/truststore.cpp" "src/x509/CMakeFiles/iotls_x509.dir/truststore.cpp.o" "gcc" "src/x509/CMakeFiles/iotls_x509.dir/truststore.cpp.o.d"
+  "/root/repo/src/x509/validation.cpp" "src/x509/CMakeFiles/iotls_x509.dir/validation.cpp.o" "gcc" "src/x509/CMakeFiles/iotls_x509.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iotls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/iotls_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_x509.dir/authority.cpp.o"
+  "CMakeFiles/iotls_x509.dir/authority.cpp.o.d"
+  "CMakeFiles/iotls_x509.dir/certificate.cpp.o"
+  "CMakeFiles/iotls_x509.dir/certificate.cpp.o.d"
+  "CMakeFiles/iotls_x509.dir/name.cpp.o"
+  "CMakeFiles/iotls_x509.dir/name.cpp.o.d"
+  "CMakeFiles/iotls_x509.dir/revocation.cpp.o"
+  "CMakeFiles/iotls_x509.dir/revocation.cpp.o.d"
+  "CMakeFiles/iotls_x509.dir/truststore.cpp.o"
+  "CMakeFiles/iotls_x509.dir/truststore.cpp.o.d"
+  "CMakeFiles/iotls_x509.dir/validation.cpp.o"
+  "CMakeFiles/iotls_x509.dir/validation.cpp.o.d"
+  "libiotls_x509.a"
+  "libiotls_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

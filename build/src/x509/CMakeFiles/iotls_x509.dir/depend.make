@@ -1,0 +1,2 @@
+# Empty dependencies file for iotls_x509.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acme.dir/acme_test.cpp.o"
+  "CMakeFiles/test_acme.dir/acme_test.cpp.o.d"
+  "test_acme"
+  "test_acme.pdb"
+  "test_acme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ct.dir/ct_test.cpp.o"
+  "CMakeFiles/test_ct.dir/ct_test.cpp.o.d"
+  "test_ct"
+  "test_ct.pdb"
+  "test_ct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

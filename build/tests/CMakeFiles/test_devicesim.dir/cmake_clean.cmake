@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_devicesim.dir/devicesim_test.cpp.o"
+  "CMakeFiles/test_devicesim.dir/devicesim_test.cpp.o.d"
+  "test_devicesim"
+  "test_devicesim.pdb"
+  "test_devicesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_devicesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_longitudinal.dir/longitudinal_test.cpp.o"
+  "CMakeFiles/test_longitudinal.dir/longitudinal_test.cpp.o.d"
+  "test_longitudinal"
+  "test_longitudinal.pdb"
+  "test_longitudinal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_longitudinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

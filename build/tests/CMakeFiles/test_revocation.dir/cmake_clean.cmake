@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_revocation.dir/revocation_test.cpp.o"
+  "CMakeFiles/test_revocation.dir/revocation_test.cpp.o.d"
+  "test_revocation"
+  "test_revocation.pdb"
+  "test_revocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_analysis.dir/server_analysis_test.cpp.o"
+  "CMakeFiles/test_server_analysis.dir/server_analysis_test.cpp.o.d"
+  "test_server_analysis"
+  "test_server_analysis.pdb"
+  "test_server_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x509.dir/x509_test.cpp.o"
+  "CMakeFiles/test_x509.dir/x509_test.cpp.o.d"
+  "test_x509"
+  "test_x509.pdb"
+  "test_x509[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

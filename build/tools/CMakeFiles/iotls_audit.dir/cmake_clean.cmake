@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_audit.dir/iotls_audit.cpp.o"
+  "CMakeFiles/iotls_audit.dir/iotls_audit.cpp.o.d"
+  "iotls_audit"
+  "iotls_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_fingerprint.dir/iotls_fingerprint.cpp.o"
+  "CMakeFiles/iotls_fingerprint.dir/iotls_fingerprint.cpp.o.d"
+  "iotls_fingerprint"
+  "iotls_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iotls_probe.dir/iotls_probe.cpp.o"
+  "CMakeFiles/iotls_probe.dir/iotls_probe.cpp.o.d"
+  "iotls_probe"
+  "iotls_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iotls_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
