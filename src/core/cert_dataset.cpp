@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 #include "x509/validation.hpp"
 
@@ -10,12 +11,14 @@ namespace iotls::core {
 CertDataset CertDataset::collect(const ClientDataset& client,
                                  const devicesim::SimWorld& world,
                                  std::size_t min_users) {
+  auto span = obs::tracer().span("probe");
   CertDataset ds;
   net::TlsProber prober(world.internet);
 
   for (const auto& [sni, users] : client.sni_users()) {
     if (users.size() < min_users) continue;
     ++ds.extracted_;
+    span.add_items();
 
     SniRecord record;
     record.sni = sni;
@@ -35,6 +38,7 @@ CertDataset CertDataset::collect(const ClientDataset& client,
 
     const net::ProbeResult& ny = multi.by_vantage.at(net::VantagePoint::kNewYork);
     record.reachable = ny.reachable;
+    if (!ny.reachable) span.fail(net::probe_error_name(ny.error));
     if (ny.stapled.has_value()) {
       record.stapled = true;
       record.staple_valid = x509::verify_ocsp(*ny.stapled, world.keys);

@@ -1,5 +1,8 @@
 #include "core/dataset.hpp"
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tls/record.hpp"
 #include "util/error.hpp"
 
@@ -7,16 +10,38 @@ namespace iotls::core {
 
 ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
                                         const tls::FingerprintOptions& opts) {
+  static obs::Counter& parsed_counter =
+      obs::metrics().counter("core.dataset.events_parsed");
+  static obs::Counter& drop_unknown_device =
+      obs::metrics().counter("core.dataset.events_dropped.unknown_device");
+  static obs::Counter& drop_no_hello =
+      obs::metrics().counter("core.dataset.events_dropped.no_client_hello");
+  static obs::Counter& drop_parse_error =
+      obs::metrics().counter("core.dataset.events_dropped.parse_error");
+  auto span = obs::tracer().span("fingerprint.extract");
+
   ClientDataset ds;
 
   std::map<std::string, const devicesim::Device*> devices;
   for (const devicesim::Device& d : fleet.devices) devices[d.id] = &d;
 
+  auto drop = [&](std::size_t& reason_count, obs::Counter& counter,
+                  const char* reason, const devicesim::ClientHelloEvent& raw) {
+    ++reason_count;
+    counter.inc();
+    span.add_items();
+    span.fail(reason);
+    if (obs::logger().enabled(obs::LogLevel::kDebug)) {
+      obs::logger().debug("event dropped",
+                          {{"device", raw.device_id}, {"reason", reason}});
+    }
+  };
+
   ds.events_.reserve(fleet.events.size());
   for (const devicesim::ClientHelloEvent& raw : fleet.events) {
     auto dev_it = devices.find(raw.device_id);
     if (dev_it == devices.end()) {
-      ++ds.dropped_;
+      drop(ds.dropped_.unknown_device, drop_unknown_device, "unknown_device", raw);
       continue;
     }
     ParsedEvent ev;
@@ -34,11 +59,11 @@ ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
         break;
       }
       if (!found) {
-        ++ds.dropped_;
+        drop(ds.dropped_.no_client_hello, drop_no_hello, "no_client_hello", raw);
         continue;
       }
     } catch (const ParseError&) {
-      ++ds.dropped_;
+      drop(ds.dropped_.parse_error, drop_parse_error, "parse_error", raw);
       continue;
     }
 
@@ -66,6 +91,8 @@ ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
     ds.fp_snis_[ev.fp_key].insert(ev.sni);
 
     ds.events_.push_back(std::move(ev));
+    parsed_counter.inc();
+    span.add_items();
   }
   return ds;
 }

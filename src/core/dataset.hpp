@@ -28,15 +28,29 @@ struct ParsedEvent {
   std::string fp_key;   // cached fp.key()
 };
 
+/// Why an event was dropped during parsing (per-reason counts are exposed
+/// so data-quality loss is attributable, not just a single total).
+struct DropCounts {
+  std::size_t unknown_device = 0;   // event names a device not in the fleet
+  std::size_t no_client_hello = 0;  // wire bytes decode but carry no hello
+  std::size_t parse_error = 0;      // wire bytes are not a TLS record stream
+
+  std::size_t total() const {
+    return unknown_device + no_client_hello + parse_error;
+  }
+};
+
 /// Parsed dataset with the cross-indexes the §4 metrics need.
 class ClientDataset {
  public:
-  /// Parse a fleet's events. Undecodable events are dropped (counted).
+  /// Parse a fleet's events. Undecodable events are dropped (counted
+  /// per reason in drop_counts()).
   static ClientDataset from_fleet(const devicesim::FleetDataset& fleet,
                                   const tls::FingerprintOptions& opts = {});
 
   const std::vector<ParsedEvent>& events() const { return events_; }
-  std::size_t dropped_events() const { return dropped_; }
+  std::size_t dropped_events() const { return dropped_.total(); }
+  const DropCounts& drop_counts() const { return dropped_; }
 
   /// Distinct fingerprints (by key).
   const std::map<std::string, tls::Fingerprint>& fingerprints() const {
@@ -87,7 +101,7 @@ class ClientDataset {
 
  private:
   std::vector<ParsedEvent> events_;
-  std::size_t dropped_ = 0;
+  DropCounts dropped_;
   std::map<std::string, tls::Fingerprint> fp_by_key_;
   std::map<std::string, std::set<std::string>> fp_vendors_;
   std::map<std::string, std::set<std::string>> fp_devices_;

@@ -2,19 +2,46 @@
 
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace iotls::core {
 
 LibraryMatchReport match_against_corpus(const ClientDataset& ds,
                                         const corpus::LibraryCorpus& corpus,
                                         std::int64_t reference_day) {
+  auto span = obs::tracer().span("corpus.match");
+  // How ambiguous each hit was: number of library builds sharing the
+  // fingerprint, and the release-day span between oldest and best match
+  // (the "distance" a highest-version tie-break travels, §4.1). Recorded
+  // here — once per distinct fingerprint — to keep best_match() lean.
+  static obs::Histogram& candidates = obs::metrics().histogram(
+      "corpus.match.candidates", {1, 2, 3, 5, 10, 20, 50, 100, 500});
+  static obs::Histogram& span_days = obs::metrics().histogram(
+      "corpus.match.release_span_days",
+      {0, 30, 90, 180, 365, 730, 1095, 1825, 3650});
+  static obs::Counter& hit = obs::metrics().counter("corpus.match.hit");
+  static obs::Counter& miss = obs::metrics().counter("corpus.match.miss");
   LibraryMatchReport report;
   report.total_fingerprints = ds.fingerprints().size();
 
   std::set<std::string> libraries;
   std::set<std::string> unsupported;
   for (const auto& [key, fp] : ds.fingerprints()) {
+    span.add_items();
     const corpus::KnownLibrary* best = corpus.best_match(fp);
-    if (best == nullptr) continue;
+    if (best == nullptr) {
+      miss.inc();
+      continue;
+    }
+    hit.inc();
+    auto tied = corpus.match(fp);
+    candidates.observe(tied.size());
+    std::int64_t oldest_day = best->release_day;
+    for (const corpus::KnownLibrary* lib : tied) {
+      if (lib->release_day < oldest_day) oldest_day = lib->release_day;
+    }
+    span_days.observe(static_cast<std::uint64_t>(best->release_day - oldest_day));
     LibraryMatch m;
     m.fp_key = key;
     m.library = best->version;

@@ -464,8 +464,14 @@ std::vector<const KnownLibrary*> LibraryCorpus::match(
 }
 
 const KnownLibrary* LibraryCorpus::best_match(const tls::Fingerprint& fp) const {
+  // Deliberately uninstrumented: this is the per-flow hot path and a single
+  // counter visibly dents its throughput. The pipeline call sites
+  // (core::match_against_corpus, iotls_fingerprint) count hit/miss and
+  // ambiguity around it instead.
   auto matches = match(fp);
-  if (matches.empty()) return nullptr;
+  if (matches.empty()) {
+    return nullptr;
+  }
   // Highest release date wins ("report the highest version", §4.1).
   const KnownLibrary* best = matches.front();
   for (const KnownLibrary* lib : matches) {

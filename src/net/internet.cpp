@@ -43,8 +43,12 @@ Bytes SimInternet::connect(VantagePoint vantage, BytesView client_records) const
   auto sni = hello.sni();
   if (!sni.has_value()) throw NetError("ClientHello carries no SNI; cannot route");
   const SimServer* server = find(*sni);
-  if (server == nullptr) throw NetError("no route to host: " + *sni);
-  if (!server->reachable_from(vantage)) throw NetError("connection timed out: " + *sni);
+  if (server == nullptr) {
+    throw NetError("no route to host: " + *sni, NetError::Kind::kNoRoute);
+  }
+  if (!server->reachable_from(vantage)) {
+    throw NetError("connection timed out: " + *sni, NetError::Kind::kTimeout);
+  }
 
   std::uint16_t suite = server->negotiate(hello.cipher_suites);
   if (suite == 0) {

@@ -1,5 +1,11 @@
 #include "net/prober.hpp"
 
+#include <cctype>
+#include <mutex>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tls/alert.hpp"
 #include "tls/record.hpp"
 #include "util/error.hpp"
@@ -8,6 +14,65 @@
 namespace iotls::net {
 
 namespace {
+
+/// Metric-name slug for a vantage ("New York" -> "new_york").
+std::string vantage_slug(VantagePoint v) {
+  std::string name = vantage_name(v);
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+    else c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name;
+}
+
+/// Per-vantage reachability counters, resolved once.
+obs::Counter& reachable_counter(VantagePoint v) {
+  static obs::Counter* counters[kAllVantagePoints.size()] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (VantagePoint vp : kAllVantagePoints) {
+      counters[static_cast<std::size_t>(vp)] = &obs::metrics().counter(
+          "net.probe.reachable." + vantage_slug(vp));
+    }
+  });
+  return *counters[static_cast<std::size_t>(v)];
+}
+
+obs::Counter& unreachable_counter(VantagePoint v) {
+  static obs::Counter* counters[kAllVantagePoints.size()] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (VantagePoint vp : kAllVantagePoints) {
+      counters[static_cast<std::size_t>(vp)] = &obs::metrics().counter(
+          "net.probe.unreachable." + vantage_slug(vp));
+    }
+  });
+  return *counters[static_cast<std::size_t>(v)];
+}
+
+obs::Counter& error_counter(ProbeError e) {
+  // Indexed by enum value; kNone is never counted.
+  static obs::Counter* counters[6] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (ProbeError err : {ProbeError::kDns, ProbeError::kConnect,
+                           ProbeError::kAlert, ProbeError::kParse,
+                           ProbeError::kTimeout}) {
+      counters[static_cast<std::size_t>(err)] =
+          &obs::metrics().counter("net.probe.error." + probe_error_name(err));
+    }
+  });
+  return *counters[static_cast<std::size_t>(e)];
+}
+
+ProbeError classify_net_error(NetError::Kind kind) {
+  switch (kind) {
+    case NetError::Kind::kNoRoute: return ProbeError::kDns;
+    case NetError::Kind::kTimeout: return ProbeError::kTimeout;
+    case NetError::Kind::kConnect: return ProbeError::kConnect;
+  }
+  return ProbeError::kConnect;
+}
 
 /// Our own client hello: a modern, fixed configuration (the probing client
 /// is ours; only the *server's* response matters for the §5 dataset).
@@ -28,6 +93,18 @@ tls::ClientHello prober_hello(const std::string& sni) {
 
 }  // namespace
 
+std::string probe_error_name(ProbeError e) {
+  switch (e) {
+    case ProbeError::kNone: return "none";
+    case ProbeError::kDns: return "dns";
+    case ProbeError::kConnect: return "connect";
+    case ProbeError::kAlert: return "alert";
+    case ProbeError::kParse: return "parse";
+    case ProbeError::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
 bool MultiVantageResult::consistent_across_vantages() const {
   std::optional<std::string> first_leaf;
   for (const auto& [vantage, result] : by_vantage) {
@@ -43,6 +120,11 @@ bool MultiVantageResult::consistent_across_vantages() const {
 }
 
 ProbeResult TlsProber::probe(const std::string& sni, VantagePoint vantage) const {
+  static obs::Counter& total = obs::metrics().counter("net.probe.total");
+  static obs::Histogram& handshake_ns =
+      obs::metrics().histogram("net.probe.handshake_ns");
+  total.inc();
+
   ProbeResult result;
   result.sni = sni;
   result.vantage = vantage;
@@ -52,39 +134,69 @@ ProbeResult TlsProber::probe(const std::string& sni, VantagePoint vantage) const
                                      BytesView(hello_msg.data(), hello_msg.size()));
   Bytes response;
   try {
+    obs::ScopedTimer timer(handshake_ns);
     response = internet_->connect(vantage, BytesView(flight.data(), flight.size()));
   } catch (const NetError& e) {
-    result.error = e.what();
-    return result;
+    result.error = classify_net_error(e.kind());
+    result.error_detail = e.what();
   }
 
-  // A fatal alert instead of a ServerHello: reachable at the TCP level but
-  // the handshake was refused.
-  if (auto alert = tls::find_alert(BytesView(response.data(), response.size()))) {
-    result.error = "alert: " + tls::alert_description_name(alert->description);
-    return result;
-  }
-
-  auto records = tls::parse_records(BytesView(response.data(), response.size()));
-  Bytes handshakes = tls::handshake_payload(records);
-  auto msgs = tls::split_handshakes(BytesView(handshakes.data(), handshakes.size()));
-  for (const auto& m : msgs) {
-    Bytes framed = tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
-    if (m.type == tls::HandshakeType::kServerHello) {
-      auto sh = tls::ServerHello::parse(BytesView(framed.data(), framed.size()));
-      result.negotiated_suite = sh.cipher_suite;
-    } else if (m.type == tls::HandshakeType::kCertificate) {
-      auto cert_msg = tls::CertificateMsg::parse(BytesView(framed.data(), framed.size()));
-      for (const Bytes& enc : cert_msg.chain) {
-        result.chain.push_back(
-            x509::Certificate::parse(BytesView(enc.data(), enc.size())));
-      }
-    } else if (m.type == tls::HandshakeType::kCertificateStatus) {
-      result.stapled =
-          x509::OcspResponse::parse(BytesView(m.body.data(), m.body.size()));
+  if (result.error == ProbeError::kNone) {
+    // A fatal alert instead of a ServerHello: reachable at the TCP level
+    // but the handshake was refused.
+    if (auto alert = tls::find_alert(BytesView(response.data(), response.size()))) {
+      result.error = ProbeError::kAlert;
+      result.error_detail =
+          "alert: " + tls::alert_description_name(alert->description);
     }
   }
-  result.reachable = true;
+
+  if (result.error == ProbeError::kNone) {
+    try {
+      auto records = tls::parse_records(BytesView(response.data(), response.size()));
+      Bytes handshakes = tls::handshake_payload(records);
+      auto msgs =
+          tls::split_handshakes(BytesView(handshakes.data(), handshakes.size()));
+      for (const auto& m : msgs) {
+        Bytes framed =
+            tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
+        if (m.type == tls::HandshakeType::kServerHello) {
+          auto sh = tls::ServerHello::parse(BytesView(framed.data(), framed.size()));
+          result.negotiated_suite = sh.cipher_suite;
+        } else if (m.type == tls::HandshakeType::kCertificate) {
+          auto cert_msg =
+              tls::CertificateMsg::parse(BytesView(framed.data(), framed.size()));
+          for (const Bytes& enc : cert_msg.chain) {
+            result.chain.push_back(
+                x509::Certificate::parse(BytesView(enc.data(), enc.size())));
+          }
+        } else if (m.type == tls::HandshakeType::kCertificateStatus) {
+          result.stapled =
+              x509::OcspResponse::parse(BytesView(m.body.data(), m.body.size()));
+        }
+      }
+      result.reachable = true;
+    } catch (const ParseError& e) {
+      result.chain.clear();
+      result.stapled.reset();
+      result.error = ProbeError::kParse;
+      result.error_detail = e.what();
+    }
+  }
+
+  if (result.reachable) {
+    reachable_counter(vantage).inc();
+  } else {
+    unreachable_counter(vantage).inc();
+    error_counter(result.error).inc();
+    if (obs::logger().enabled(obs::LogLevel::kDebug)) {
+      obs::logger().debug("probe failed",
+                          {{"sni", sni},
+                           {"vantage", vantage_slug(vantage)},
+                           {"category", probe_error_name(result.error)},
+                           {"detail", result.error_detail}});
+    }
+  }
   return result;
 }
 
@@ -97,9 +209,23 @@ MultiVantageResult TlsProber::probe_all_vantages(const std::string& sni) const {
 
 std::vector<MultiVantageResult> TlsProber::survey(
     const std::vector<std::string>& snis) const {
+  auto span = obs::tracer().span("probe");
   std::vector<MultiVantageResult> out;
   out.reserve(snis.size());
-  for (const std::string& sni : snis) out.push_back(probe_all_vantages(sni));
+  for (const std::string& sni : snis) {
+    MultiVantageResult multi = probe_all_vantages(sni);
+    span.add_items();
+    bool anywhere_reachable = false;
+    for (const auto& [vantage, result] : multi.by_vantage) {
+      if (result.reachable) anywhere_reachable = true;
+    }
+    if (!anywhere_reachable) {
+      // Tag by the New York category, the paper's primary vantage.
+      span.fail(probe_error_name(
+          multi.by_vantage.at(VantagePoint::kNewYork).error));
+    }
+    out.push_back(std::move(multi));
+  }
   return out;
 }
 

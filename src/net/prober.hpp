@@ -16,6 +16,20 @@
 
 namespace iotls::net {
 
+/// Why a probe failed — the error taxonomy the §5 failure metrics count.
+/// Categories are assigned structurally (from NetError kinds, alerts and
+/// parse outcomes), never by matching message strings.
+enum class ProbeError {
+  kNone,     // probe succeeded
+  kDns,      // name did not resolve (no route to any host)
+  kConnect,  // connection-level refusal before the handshake
+  kAlert,    // server answered with a fatal TLS alert
+  kParse,    // response bytes were not a decodable handshake
+  kTimeout,  // host known but unreachable from this vantage
+};
+
+std::string probe_error_name(ProbeError e);
+
 /// Result of one probe (one SNI from one vantage point).
 struct ProbeResult {
   std::string sni;
@@ -24,7 +38,15 @@ struct ProbeResult {
   std::uint16_t negotiated_suite = 0;
   std::vector<x509::Certificate> chain;  // as served, leaf first
   std::optional<x509::OcspResponse> stapled;  // CertificateStatus, if sent
-  std::string error;                     // set when !reachable
+  ProbeError error = ProbeError::kNone;  // category, set when !reachable
+  std::string error_detail;              // human-readable message
+
+  /// Legacy display string: the detail when present, else the category name;
+  /// empty for a successful probe.
+  std::string error_string() const {
+    if (error == ProbeError::kNone) return {};
+    return error_detail.empty() ? probe_error_name(error) : error_detail;
+  }
 };
 
 /// Harvest of one SNI across all vantage points.

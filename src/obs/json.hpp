@@ -1,0 +1,73 @@
+// Minimal JSON value, serializer and parser for metric export.
+//
+// The observability layer exports its state as JSON (`--stats=json`); the
+// parser exists so that export is round-trippable and testable without an
+// external dependency. Supports the full JSON grammar except `\u` escapes
+// beyond the Basic Latin range (exported names never need them).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace iotls::obs {
+
+/// A parsed/buildable JSON document node. Object member order is preserved
+/// (exports are stable and diffable).
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(std::int64_t n) : value_(n) {}
+  Json(std::uint64_t n) : value_(static_cast<std::int64_t>(n)) {}
+  Json(int n) : value_(static_cast<std::int64_t>(n)) {}
+  Json(double d) : value_(d) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Append a member to an object node (the node must hold an Object).
+  void set(std::string key, Json value);
+
+  /// Serialize compactly (no whitespace). Guaranteed to re-parse.
+  std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_;
+};
+
+/// Parse a JSON document. Throws ParseError on malformed input or trailing
+/// garbage. Numbers without fraction/exponent that fit an int64 parse as
+/// integers; everything else parses as double.
+Json parse_json(const std::string& text);
+
+}  // namespace iotls::obs

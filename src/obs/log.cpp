@@ -1,0 +1,135 @@
+#include "obs/log.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iotls::obs {
+
+std::string log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+namespace {
+
+bool needs_quoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void append_value(const std::string& value, std::string& out) {
+  if (!needs_quoting(value)) {
+    out += value;
+    return;
+  }
+  out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string format_record(const LogRecord& record) {
+  std::string out = "level=" + log_level_name(record.level) + " msg=";
+  append_value(record.message, out);
+  for (const LogField& field : record.fields) {
+    out += ' ';
+    out += field.key;
+    out += '=';
+    append_value(field.value, out);
+  }
+  return out;
+}
+
+void StderrSink::write(const LogRecord& record) {
+  std::string line = format_record(record);
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
+}
+
+void RingBufferSink::write(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buffer_.size() >= capacity_ && capacity_ > 0) {
+    buffer_.pop_front();
+    ++dropped_;
+  }
+  if (capacity_ > 0) buffer_.push_back(record);
+}
+
+std::vector<LogRecord> RingBufferSink::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {buffer_.begin(), buffer_.end()};
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void RingBufferSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.clear();
+  dropped_ = 0;
+}
+
+Logger::Logger() : sink_(std::make_shared<StderrSink>()) {
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("IOTLS_LOG_LEVEL")) {
+    level = parse_log_level(env, level);
+  }
+  level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::set_sink(std::shared_ptr<LogSink> sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+std::shared_ptr<LogSink> Logger::sink() const {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  return sink_;
+}
+
+void Logger::log(LogLevel level, std::string message, std::vector<LogField> fields) {
+  if (!enabled(level)) return;
+  LogRecord record{level, std::move(message), std::move(fields)};
+  if (std::shared_ptr<LogSink> s = sink()) s->write(record);
+}
+
+Logger& logger() {
+  static Logger instance;
+  return instance;
+}
+
+}  // namespace iotls::obs

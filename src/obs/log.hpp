@@ -1,0 +1,134 @@
+// Structured event log: levels, key=value fields, pluggable sinks.
+//
+// The level gate is a single relaxed atomic load, so a disabled call site
+// guarded with `if (logger().enabled(...))` costs ~1 ns. The default sink
+// writes one `level=... msg="..." k=v ...` line per record to stderr; tests
+// swap in a RingBufferSink to capture records structurally.
+//
+// The initial level comes from the IOTLS_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off); the default is warn.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace iotls::obs {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string log_level_name(LogLevel level);
+/// Case-insensitive; unknown names yield `fallback`.
+LogLevel parse_log_level(const std::string& text, LogLevel fallback);
+
+/// One key=value pair attached to a record. Values are stringified at the
+/// call site (which is why call sites should be level-guarded).
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, bool v) : key(std::move(k)), value(v ? "true" : "false") {}
+  LogField(std::string k, long long v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, unsigned long long v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, long v) : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, unsigned long v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, int v) : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, unsigned v) : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, double v) : key(std::move(k)), value(std::to_string(v)) {}
+};
+
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string message;
+  std::vector<LogField> fields;
+};
+
+/// `level=warn msg="probe failed" sni=a2.tuyaus.com reason=timeout` —
+/// values containing spaces/quotes/equals are double-quoted with escaping.
+std::string format_record(const LogRecord& record);
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+/// Formats each record onto stderr (never stdout: tool output stays clean).
+class StderrSink : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+};
+
+/// Keeps the most recent `capacity` records in memory, for tests and for
+/// post-mortem dumps. Thread-safe.
+class RingBufferSink : public LogSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity) : capacity_(capacity) {}
+
+  void write(const LogRecord& record) override;
+  std::vector<LogRecord> records() const;
+  /// Records evicted because the buffer was full.
+  std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<LogRecord> buffer_;
+  std::uint64_t dropped_ = 0;
+};
+
+class Logger {
+ public:
+  /// Starts at the IOTLS_LOG_LEVEL-derived level with a StderrSink.
+  Logger();
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+  void set_sink(std::shared_ptr<LogSink> sink);
+  std::shared_ptr<LogSink> sink() const;
+
+  /// Emit a record if `level` passes the gate. Prefer guarding hot call
+  /// sites with enabled() so field stringification is skipped when off.
+  void log(LogLevel level, std::string message, std::vector<LogField> fields = {});
+
+  void debug(std::string message, std::vector<LogField> fields = {}) {
+    log(LogLevel::kDebug, std::move(message), std::move(fields));
+  }
+  void info(std::string message, std::vector<LogField> fields = {}) {
+    log(LogLevel::kInfo, std::move(message), std::move(fields));
+  }
+  void warn(std::string message, std::vector<LogField> fields = {}) {
+    log(LogLevel::kWarn, std::move(message), std::move(fields));
+  }
+  void error(std::string message, std::vector<LogField> fields = {}) {
+    log(LogLevel::kError, std::move(message), std::move(fields));
+  }
+
+ private:
+  std::atomic<int> level_;
+  mutable std::mutex sink_mu_;
+  std::shared_ptr<LogSink> sink_;
+};
+
+/// The process-wide logger every subsystem writes to.
+Logger& logger();
+
+}  // namespace iotls::obs

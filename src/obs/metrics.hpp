@@ -1,0 +1,135 @@
+// Lock-cheap metrics: named counters, gauges and fixed-bucket histograms.
+//
+// Design: instrument objects are allocated once per name and never move, so
+// hot paths hold a `Counter&` (typically via a function-local static) and
+// pay a single relaxed atomic add per event — low single-digit ns, safe to
+// leave enabled in the measurement pipeline. Registry lookups take a mutex
+// and are meant for cold paths (registration, export).
+//
+// Naming convention: dot-separated `<subsystem>.<operation>.<detail>`,
+// lower_snake_case segments, with unit suffixes on histograms (`_ns`,
+// `_days`). Examples: `net.probe.reachable.new_york`,
+// `net.probe.handshake_ns`, `x509.validate.untrusted_root`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace iotls::obs {
+
+/// Monotonic event counter. Increment is one relaxed atomic add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depths, cache sizes).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (typically
+/// nanoseconds). Bucket i counts samples <= bounds[i]; one implicit
+/// overflow bucket catches the rest. Observe is a branch-free-ish binary
+/// search plus two relaxed atomic adds.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+  void observe(std::uint64_t sample);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  /// Per-bucket counts; last entry is the overflow (+inf) bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  /// Upper bound of the bucket holding quantile `q` in [0,1]; the largest
+  /// finite bound when `q` lands in the overflow bucket; 0 when empty.
+  std::uint64_t quantile_bound(double q) const;
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Default latency buckets: 1us .. 1s in a 1-2-5 series, in nanoseconds.
+const std::vector<std::uint64_t>& latency_buckets_ns();
+
+/// Named-instrument registry. Instruments are created on first use and
+/// live (at a stable address) for the registry's lifetime; `reset()` zeroes
+/// values but never invalidates references.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used only on first creation of `name`.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<std::uint64_t>& bounds = latency_buckets_ns());
+
+  /// Zero every instrument, keeping all registrations (and references) alive.
+  void reset();
+
+  /// Sorted (name, value) snapshots for reporting.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, std::int64_t>> gauge_values() const;
+  std::vector<std::pair<std::string, const Histogram*>> histogram_entries() const;
+
+  /// Human-readable dump, one instrument per line.
+  std::string to_text() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,buckets}}}
+  Json to_json_value() const;
+  std::string to_json() const { return to_json_value().dump(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry every subsystem instruments into.
+Registry& metrics();
+
+/// RAII wall-clock timer recording elapsed nanoseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : hist_(&h), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace iotls::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+namespace iotls::obs {
+
+StageTracer::Span& StageTracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    stage_ = std::move(other.stage_);
+    start_ = other.start_;
+    items_ = other.items_;
+    failures_ = other.failures_;
+    reasons_ = std::move(other.reasons_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void StageTracer::Span::fail(const std::string& reason, std::uint64_t n) {
+  failures_ += n;
+  reasons_[reason] += n;
+}
+
+void StageTracer::Span::end() {
+  if (tracer_ == nullptr) return;
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  std::uint64_t wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  tracer_->record(stage_, wall_ns, items_, failures_, reasons_);
+  tracer_ = nullptr;
+}
+
+void StageTracer::record(const std::string& stage, std::uint64_t wall_ns,
+                         std::uint64_t items, std::uint64_t failures,
+                         const std::map<std::string, std::uint64_t>& reasons) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stages_.find(stage);
+  if (it == stages_.end()) {
+    it = stages_.emplace(stage, StageStats{}).first;
+    order_.push_back(stage);
+  }
+  StageStats& stats = it->second;
+  stats.calls += 1;
+  stats.items += items;
+  stats.failures += failures;
+  stats.wall_ns += wall_ns;
+  for (const auto& [reason, n] : reasons) stats.failure_reasons[reason] += n;
+}
+
+std::vector<std::pair<std::string, StageStats>> StageTracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, StageStats>> out;
+  out.reserve(order_.size());
+  for (const std::string& stage : order_) {
+    out.emplace_back(stage, stages_.at(stage));
+  }
+  return out;
+}
+
+void StageTracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  order_.clear();
+  stages_.clear();
+}
+
+Json StageTracer::to_json_value() const {
+  Json out{Json::Object{}};
+  for (const auto& [stage, stats] : snapshot()) {
+    Json reasons{Json::Object{}};
+    for (const auto& [reason, n] : stats.failure_reasons) reasons.set(reason, Json(n));
+    Json entry{Json::Object{}};
+    entry.set("calls", Json(stats.calls));
+    entry.set("items", Json(stats.items));
+    entry.set("failures", Json(stats.failures));
+    entry.set("wall_ns", Json(stats.wall_ns));
+    entry.set("failure_reasons", std::move(reasons));
+    out.set(stage, std::move(entry));
+  }
+  return out;
+}
+
+StageTracer& tracer() {
+  static StageTracer instance;
+  return instance;
+}
+
+}  // namespace iotls::obs

@@ -1,0 +1,95 @@
+// Span-style pipeline stage tracer.
+//
+// Each pipeline phase (pcap decode -> fingerprint extraction -> corpus
+// match -> probe -> chain validation -> report) opens a Span; on close the
+// span's wall time, item count and failure reasons merge into the stage's
+// accumulated stats. Repeated spans of the same stage accumulate, so a
+// tool's per-SNI loop and a library's per-call span both roll up into one
+// per-stage row of the final summary.
+//
+// Canonical stage names used across the pipeline:
+//   pcap.decode, fingerprint.extract, corpus.match, probe,
+//   chain.validate, report
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace iotls::obs {
+
+/// Accumulated statistics for one pipeline stage.
+struct StageStats {
+  std::uint64_t calls = 0;     // spans closed
+  std::uint64_t items = 0;     // work units processed
+  std::uint64_t failures = 0;  // work units that failed
+  std::uint64_t wall_ns = 0;   // total wall time across spans
+  std::map<std::string, std::uint64_t> failure_reasons;
+};
+
+class StageTracer {
+ public:
+  /// RAII span: records wall time from construction to end()/destruction.
+  class Span {
+   public:
+    Span(StageTracer* tracer, std::string stage)
+        : tracer_(tracer),
+          stage_(std::move(stage)),
+          start_(std::chrono::steady_clock::now()) {}
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    void add_items(std::uint64_t n = 1) { items_ += n; }
+    /// Count a failed work unit under `reason` (also counts as an item
+    /// if the caller did not add it separately — callers add items for
+    /// successes and failures alike; fail() only tags the failure).
+    void fail(const std::string& reason, std::uint64_t n = 1);
+
+    /// Close the span and merge into the tracer. Idempotent.
+    void end();
+
+   private:
+    StageTracer* tracer_ = nullptr;
+    std::string stage_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t items_ = 0;
+    std::uint64_t failures_ = 0;
+    std::map<std::string, std::uint64_t> reasons_;
+  };
+
+  Span span(std::string stage) { return Span(this, std::move(stage)); }
+
+  /// Stages in first-seen order with their accumulated stats.
+  std::vector<std::pair<std::string, StageStats>> snapshot() const;
+
+  void reset();
+
+  /// {"<stage>":{"calls":..,"items":..,"failures":..,"wall_ns":..,
+  ///             "failure_reasons":{...}}, ...} in first-seen order.
+  Json to_json_value() const;
+  std::string to_json() const { return to_json_value().dump(); }
+
+ private:
+  friend class Span;
+  void record(const std::string& stage, std::uint64_t wall_ns,
+              std::uint64_t items, std::uint64_t failures,
+              const std::map<std::string, std::uint64_t>& reasons);
+
+  mutable std::mutex mu_;
+  std::vector<std::string> order_;
+  std::map<std::string, StageStats> stages_;
+};
+
+/// The process-wide tracer the pipeline stages report into.
+StageTracer& tracer();
+
+}  // namespace iotls::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tls/record.hpp"
 #include "util/error.hpp"
 
@@ -18,12 +20,19 @@ struct PendingSegment {
 }  // namespace
 
 std::vector<Flow> reassemble_flows(const std::vector<PcapPacket>& packets) {
+  static obs::Counter& frames_total = obs::metrics().counter("pcap.frames.total");
+  static obs::Counter& frames_non_tcp =
+      obs::metrics().counter("pcap.frames.non_tcp");
+  static obs::Counter& flows_counter = obs::metrics().counter("pcap.flows");
+
   std::map<FlowKey, std::vector<PendingSegment>> by_flow;
   for (const PcapPacket& p : packets) {
+    frames_total.inc();
     TcpSegment seg;
     try {
       seg = parse_frame(BytesView(p.frame.data(), p.frame.size()));
     } catch (const ParseError&) {
+      frames_non_tcp.inc();
       continue;  // non-TCP / corrupt frames are capture noise
     }
     if (seg.payload.empty()) continue;  // pure ACK/SYN
@@ -55,25 +64,36 @@ std::vector<Flow> reassemble_flows(const std::vector<PcapPacket>& packets) {
       flow.first_ts_sec = std::min(flow.first_ts_sec, seg.ts_sec);
     }
     flows.push_back(std::move(flow));
+    flows_counter.inc();
   }
   return flows;
 }
 
 std::vector<CapturedClientHello> extract_client_hellos(
     const std::vector<PcapPacket>& packets) {
+  static obs::Counter& hellos_counter = obs::metrics().counter("pcap.hellos");
+  static obs::Counter& non_tls_flows =
+      obs::metrics().counter("pcap.flows.non_tls");
+  static obs::Counter& hello_parse_errors =
+      obs::metrics().counter("pcap.hello_parse_errors");
+  auto span = obs::tracer().span("pcap.decode");
+
   std::vector<CapturedClientHello> out;
   for (const Flow& flow : reassemble_flows(packets)) {
+    span.add_items();
     std::vector<tls::Record> records;
     try {
       records = tls::parse_records(BytesView(flow.stream.data(), flow.stream.size()));
     } catch (const ParseError&) {
-      continue;  // not a TLS stream
+      non_tls_flows.inc();
+      continue;  // not a TLS stream (expected noise, not a failure)
     }
     Bytes handshakes = tls::handshake_payload(records);
     std::vector<tls::HandshakeMessage> msgs;
     try {
       msgs = tls::split_handshakes(BytesView(handshakes.data(), handshakes.size()));
     } catch (const ParseError&) {
+      span.fail("handshake_split");
       continue;
     }
     for (const tls::HandshakeMessage& m : msgs) {
@@ -85,8 +105,11 @@ std::vector<CapturedClientHello> extract_client_hellos(
         captured.ts_sec = flow.first_ts_sec;
         captured.hello = tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
         out.push_back(std::move(captured));
+        hellos_counter.inc();
       } catch (const ParseError&) {
         // Malformed hello inside an otherwise valid stream: skip it.
+        hello_parse_errors.inc();
+        span.fail("hello_parse");
       }
     }
   }

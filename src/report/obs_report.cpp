@@ -1,0 +1,86 @@
+#include "report/obs_report.hpp"
+
+#include <cstdio>
+
+namespace iotls::report {
+
+namespace {
+
+std::string fmt_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string dominant_reason(const obs::StageStats& stats) {
+  std::string reason = "-";
+  std::uint64_t best = 0;
+  for (const auto& [name, n] : stats.failure_reasons) {
+    if (n > best) {
+      best = n;
+      reason = name + " (" + std::to_string(n) + ")";
+    }
+  }
+  return reason;
+}
+
+}  // namespace
+
+Table stage_summary_table(const obs::StageTracer& tracer) {
+  Table table({"stage", "calls", "items", "failures", "wall ms", "top failure"});
+  for (const auto& [stage, stats] : tracer.snapshot()) {
+    table.add_row({stage, std::to_string(stats.calls), std::to_string(stats.items),
+                   std::to_string(stats.failures), fmt_ms(stats.wall_ns),
+                   dominant_reason(stats)});
+  }
+  return table;
+}
+
+Table counter_table(const obs::Registry& registry) {
+  Table table({"counter", "value"});
+  for (const auto& [name, value] : registry.counter_values()) {
+    table.add_row({name, std::to_string(value)});
+  }
+  return table;
+}
+
+Table histogram_table(const obs::Registry& registry) {
+  Table table({"histogram", "count", "sum", "p50 <=", "p99 <="});
+  for (const auto& [name, hist] : registry.histogram_entries()) {
+    table.add_row({name, std::to_string(hist->count()), std::to_string(hist->sum()),
+                   std::to_string(hist->quantile_bound(0.5)),
+                   std::to_string(hist->quantile_bound(0.99))});
+  }
+  return table;
+}
+
+std::string stats_text(const obs::Registry& registry,
+                       const obs::StageTracer& tracer) {
+  std::string out;
+  Table stages = stage_summary_table(tracer);
+  if (stages.rows() > 0) {
+    out += "pipeline stages\n";
+    out += stages.render();
+    out += "\n";
+  }
+  Table counters = counter_table(registry);
+  if (counters.rows() > 0) {
+    out += counters.render();
+    out += "\n";
+  }
+  Table histograms = histogram_table(registry);
+  if (histograms.rows() > 0) {
+    out += histograms.render();
+  }
+  return out;
+}
+
+std::string stats_json(const obs::Registry& registry,
+                       const obs::StageTracer& tracer) {
+  obs::Json out{obs::Json::Object{}};
+  out.set("metrics", registry.to_json_value());
+  out.set("stages", tracer.to_json_value());
+  return out.dump();
+}
+
+}  // namespace iotls::report

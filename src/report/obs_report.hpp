@@ -1,0 +1,33 @@
+// Rendering of observability state (metrics + stage traces) for the tools'
+// `--stats[=json]` flag and the benches' final summaries.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "report/table.hpp"
+
+namespace iotls::report {
+
+/// One row per pipeline stage in first-seen order: calls, items, failures,
+/// wall time and the dominant failure reason.
+Table stage_summary_table(const obs::StageTracer& tracer);
+
+/// One row per counter, sorted by name.
+Table counter_table(const obs::Registry& registry);
+
+/// One row per histogram: count, sum and coarse quantile bounds.
+Table histogram_table(const obs::Registry& registry);
+
+/// Full human-readable stats block: stage summary followed by counters and
+/// histograms, rendered through the Table machinery.
+std::string stats_text(const obs::Registry& registry,
+                       const obs::StageTracer& tracer);
+
+/// {"metrics": <registry export>, "stages": <tracer export>} — one valid
+/// JSON document carrying everything `--stats=json` promises.
+std::string stats_json(const obs::Registry& registry,
+                       const obs::StageTracer& tracer);
+
+}  // namespace iotls::report

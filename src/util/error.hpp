@@ -22,10 +22,24 @@ class EncodeError : public std::runtime_error {
 };
 
 /// Thrown by the network simulator for connection-level failures
-/// (unreachable host, closed port, handshake rejection).
+/// (unreachable host, closed port, handshake rejection). Carries a coarse
+/// machine-readable kind so callers can classify failures without matching
+/// message strings.
 class NetError : public std::runtime_error {
  public:
-  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+  enum class Kind {
+    kConnect,  // generic connection-level refusal
+    kNoRoute,  // name does not resolve to any host (DNS analogue)
+    kTimeout,  // host known but unreachable from this vantage
+  };
+
+  explicit NetError(const std::string& what, Kind kind = Kind::kConnect)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
 };
 
 }  // namespace iotls

@@ -1,5 +1,6 @@
 #include "x509/validation.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace iotls::x509 {
@@ -17,7 +18,46 @@ std::string chain_status_name(ChainStatus s) {
   return "?";
 }
 
+std::string chain_status_slug(ChainStatus s) {
+  switch (s) {
+    case ChainStatus::kOk: return "ok";
+    case ChainStatus::kOkRootOmitted: return "ok_root_omitted";
+    case ChainStatus::kSelfSigned: return "self_signed";
+    case ChainStatus::kUntrustedRoot: return "untrusted_root";
+    case ChainStatus::kIncompleteChain: return "incomplete_chain";
+    case ChainStatus::kBadSignature: return "bad_signature";
+    case ChainStatus::kEmptyChain: return "empty_chain";
+  }
+  return "unknown";
+}
+
 namespace {
+
+/// Per-verdict counters mirroring the paper's Table 7 failure classes,
+/// plus the orthogonal expiry/hostname flags; fed by every validation.
+void count_verdict(const ValidationResult& result) {
+  static obs::Counter* by_status[] = {
+      &obs::metrics().counter("x509.validate.ok"),
+      &obs::metrics().counter("x509.validate.ok_root_omitted"),
+      &obs::metrics().counter("x509.validate.self_signed"),
+      &obs::metrics().counter("x509.validate.untrusted_root"),
+      &obs::metrics().counter("x509.validate.incomplete_chain"),
+      &obs::metrics().counter("x509.validate.bad_signature"),
+      &obs::metrics().counter("x509.validate.empty_chain"),
+  };
+  static obs::Counter& total = obs::metrics().counter("x509.validate.total");
+  static obs::Counter& expired = obs::metrics().counter("x509.validate.expired");
+  static obs::Counter& not_yet_valid =
+      obs::metrics().counter("x509.validate.not_yet_valid");
+  static obs::Counter& hostname_mismatch =
+      obs::metrics().counter("x509.validate.hostname_mismatch");
+
+  total.inc();
+  by_status[static_cast<std::size_t>(result.status)]->inc();
+  if (result.expired) expired.inc();
+  if (result.not_yet_valid) not_yet_valid.inc();
+  if (!result.hostname_ok) hostname_mismatch.inc();
+}
 
 /// Verify cert's signature using the key identified by its authority_key_id.
 /// Returns false when the key is unknown or the signature does not verify.
@@ -87,10 +127,12 @@ std::vector<Certificate> normalize_chain_order(std::vector<Certificate> chain,
   return ordered;
 }
 
-ValidationResult validate_chain(const std::vector<Certificate>& chain,
-                                const std::string& hostname,
-                                const TrustStoreSet& trust,
-                                const KeyRegistry& keys, std::int64_t now) {
+namespace {
+
+ValidationResult validate_chain_impl(const std::vector<Certificate>& chain,
+                                     const std::string& hostname,
+                                     const TrustStoreSet& trust,
+                                     const KeyRegistry& keys, std::int64_t now) {
   ValidationResult result;
   result.chain_length = chain.size();
   if (chain.empty()) {
@@ -165,6 +207,17 @@ ValidationResult validate_chain(const std::vector<Certificate>& chain,
   return result;
 }
 
+}  // namespace
+
+ValidationResult validate_chain(const std::vector<Certificate>& chain,
+                                const std::string& hostname,
+                                const TrustStoreSet& trust,
+                                const KeyRegistry& keys, std::int64_t now) {
+  ValidationResult result = validate_chain_impl(chain, hostname, trust, keys, now);
+  count_verdict(result);
+  return result;
+}
+
 ValidationResult validate_encoded_chain(const std::vector<Bytes>& encoded_chain,
                                         const std::string& hostname,
                                         const TrustStoreSet& trust,
@@ -180,6 +233,7 @@ ValidationResult validate_encoded_chain(const std::vector<Bytes>& encoded_chain,
       result.status = ChainStatus::kBadSignature;
       result.chain_length = encoded_chain.size();
       result.detail = std::string("undecodable certificate: ") + e.what();
+      count_verdict(result);
       return result;
     }
   }

@@ -35,6 +35,10 @@ enum class ChainStatus {
 
 std::string chain_status_name(ChainStatus s);
 
+/// Metric-name slug for a verdict (e.g. kUntrustedRoot -> "untrusted_root"),
+/// used for the per-failure-class counters mirroring Table 7.
+std::string chain_status_slug(ChainStatus s);
+
 /// True for the two verdicts the paper counts as "valid chain".
 inline bool chain_trusted(ChainStatus s) {
   return s == ChainStatus::kOk || s == ChainStatus::kOkRootOmitted;

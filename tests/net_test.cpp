@@ -144,7 +144,8 @@ TEST(Prober, ReportsAlertAsHandshakeRefusal) {
   ProbeResult result = prober.probe("tls13only-client.example.com",
                                     VantagePoint::kNewYork);
   EXPECT_FALSE(result.reachable);
-  EXPECT_NE(result.error.find("handshake_failure"), std::string::npos);
+  EXPECT_EQ(result.error, ProbeError::kAlert);
+  EXPECT_NE(result.error_string().find("handshake_failure"), std::string::npos);
 }
 
 TEST(SimInternet, MissingSniRefused) {
@@ -186,7 +187,8 @@ TEST(Prober, ReportsUnreachable) {
   TlsProber prober(internet);
   ProbeResult result = prober.probe("gone.example.com", VantagePoint::kNewYork);
   EXPECT_FALSE(result.reachable);
-  EXPECT_FALSE(result.error.empty());
+  EXPECT_EQ(result.error, ProbeError::kDns);
+  EXPECT_FALSE(result.error_string().empty());
 }
 
 TEST(Prober, MultiVantageConsistency) {

@@ -1,21 +1,31 @@
 // iotls_audit — run the §4 client-side analysis over an exported dataset.
 //
 // Usage:
-//   iotls_audit events.csv devices.csv
+//   iotls_audit [--stats[=json]] events.csv devices.csv
 //
 // Consumes the anonymized CSVs produced by devicesim/export (the format of
 // the paper's artifact release) and prints the headline client-side
 // measurements: fingerprint universe, degree distribution, customization,
 // vulnerability profile and library match rate. Works without the fleet
 // generator — any dataset in the released format can be analysed.
+//
+// Observability: IOTLS_LOG_LEVEL controls structured logs on stderr (e.g.
+// debug logs each dropped event with its reason); `--stats` appends stage
+// timings and the metric registry, `--stats=json` emits them as one JSON
+// document on stderr.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "core/dataset.hpp"
 #include "core/library_match.hpp"
 #include "core/vendor_metrics.hpp"
 #include "devicesim/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "report/obs_report.hpp"
 #include "util/dates.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -23,6 +33,8 @@
 using namespace iotls;
 
 namespace {
+
+enum class StatsMode { kOff, kText, kJson };
 
 std::string slurp(const char* path) {
   std::ifstream f(path);
@@ -35,14 +47,22 @@ std::string slurp(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: iotls_audit events.csv devices.csv\n");
+  StatsMode stats = StatsMode::kOff;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
+    else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
+    else paths.push_back(argv[i]);
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: iotls_audit [--stats[=json]] events.csv devices.csv\n");
     return 2;
   }
 
   devicesim::FleetDataset fleet;
   try {
-    fleet = devicesim::import_events_csv(slurp(argv[1]), slurp(argv[2]));
+    fleet = devicesim::import_events_csv(slurp(paths[0]), slurp(paths[1]));
   } catch (const ParseError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -52,6 +72,11 @@ int main(int argc, char** argv) {
   std::printf("dataset: %zu devices, %zu users, %zu events (%zu undecodable)\n",
               fleet.devices.size(), fleet.users.size(), ds.events().size(),
               ds.dropped_events());
+  const core::DropCounts& drops = ds.drop_counts();
+  if (drops.total() > 0) {
+    std::printf("dropped: %zu unknown device, %zu no ClientHello, %zu parse error\n",
+                drops.unknown_device, drops.no_client_hello, drops.parse_error);
+  }
   std::printf("distinct fingerprints: %zu across %zu vendors and %zu SNIs\n\n",
               ds.fingerprints().size(), ds.vendors().size(), ds.snis().size());
 
@@ -81,5 +106,13 @@ int main(int argc, char** argv) {
               "%zu libraries (%zu unsupported)\n",
               match.matches.size(), fmt_percent(match.match_ratio()).c_str(),
               match.matched_libraries, match.unsupported_libraries);
+
+  if (stats == StatsMode::kText) {
+    std::fprintf(stderr, "\n%s",
+                 report::stats_text(obs::metrics(), obs::tracer()).c_str());
+  } else if (stats == StatsMode::kJson) {
+    std::fprintf(stderr, "%s\n",
+                 report::stats_json(obs::metrics(), obs::tracer()).c_str());
+  }
   return 0;
 }

@@ -1,19 +1,27 @@
 // iotls_fingerprint — fingerprint every TLS ClientHello in a pcap file.
 //
 // Usage:
-//   iotls_fingerprint [--csv] [--match] capture.pcap [more.pcap ...]
+//   iotls_fingerprint [--csv] [--match] [--stats[=json]] capture.pcap ...
 //
 // Prints one line per recovered ClientHello: source, SNI, fingerprint key,
 // JA3 digest and ciphersuite security classification. With --match, also
 // attributes the fingerprint to a known TLS library build when it matches
 // the corpus exactly (§4.1).
+//
+// Observability: IOTLS_LOG_LEVEL controls structured logs on stderr;
+// `--stats` appends stage timings and counters (frames, flows, hellos,
+// corpus hits/misses) to stderr, `--stats=json` emits them as one JSON
+// document on stderr (stdout stays parseable --csv output).
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "corpus/corpus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pcap/flow.hpp"
+#include "report/obs_report.hpp"
 #include "tls/ciphersuite.hpp"
 #include "tls/fingerprint.hpp"
 #include "util/error.hpp"
@@ -23,9 +31,12 @@ using namespace iotls;
 
 namespace {
 
+enum class StatsMode { kOff, kText, kJson };
+
 int usage() {
   std::fprintf(stderr,
-               "usage: iotls_fingerprint [--csv] [--match] capture.pcap ...\n");
+               "usage: iotls_fingerprint [--csv] [--match] [--stats[=json]] "
+               "capture.pcap ...\n");
   return 2;
 }
 
@@ -33,10 +44,13 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool csv = false, match = false;
+  StatsMode stats = StatsMode::kOff;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
     else if (std::strcmp(argv[i], "--match") == 0) match = true;
+    else if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
+    else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
     else if (argv[i][0] == '-') return usage();
     else paths.emplace_back(argv[i]);
   }
@@ -64,14 +78,21 @@ int main(int argc, char** argv) {
       std::printf("%s: %zu packets, %zu ClientHellos\n", path.c_str(),
                   packets.size(), hellos.size());
     }
+    auto fp_span = obs::tracer().span("fingerprint.extract");
+    auto match_span = obs::tracer().span("corpus.match");
     for (const pcap::CapturedClientHello& captured : hellos) {
+      fp_span.add_items();
       tls::Fingerprint fp = tls::fingerprint_of(captured.hello);
       std::string security = tls::security_level_name(
           tls::classify_suite_list(fp.cipher_suites));
       std::string library;
       if (match) {
+        match_span.add_items();
         if (const corpus::KnownLibrary* lib = corpus_db.best_match(fp)) {
+          obs::metrics().counter("corpus.match.hit").inc();
           library = lib->version;
+        } else {
+          obs::metrics().counter("corpus.match.miss").inc();
         }
       }
       std::string sni = captured.hello.sni().value_or("-");
@@ -86,6 +107,14 @@ int main(int argc, char** argv) {
                     library.empty() ? "" : "  lib=", library.c_str());
       }
     }
+  }
+
+  if (stats == StatsMode::kText) {
+    std::fprintf(stderr, "\n%s",
+                 report::stats_text(obs::metrics(), obs::tracer()).c_str());
+  } else if (stats == StatsMode::kJson) {
+    std::fprintf(stderr, "%s\n",
+                 report::stats_json(obs::metrics(), obs::tracer()).c_str());
   }
   return exit_code;
 }

@@ -1,13 +1,18 @@
 // iotls_probe — probe IoT servers and validate their certificate chains.
 //
 // Usage:
-//   iotls_probe [--all] [sni ...]
+//   iotls_probe [--all] [--stats[=json]] [sni ...]
 //
 // Runs against the repository's simulated internet (this reproduction has
 // no live sockets): performs a full TLS exchange from each of the three
 // vantage points, validates the served chain against the Mozilla+Apple+
 // Microsoft store union, and reports issuer, validity, CT presence, OCSP
 // stapling and geo consistency — the §5 pipeline for arbitrary names.
+//
+// Observability: set IOTLS_LOG_LEVEL=debug for structured per-probe logs on
+// stderr. `--stats` appends per-stage timings and the metric registry to
+// the report; `--stats=json` replaces the report with one JSON document
+// (counters, histograms, stage spans) on stdout.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -15,20 +20,37 @@
 
 #include "devicesim/scenario.hpp"
 #include "net/prober.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "report/obs_report.hpp"
 #include "util/dates.hpp"
 #include "x509/validation.hpp"
 
 using namespace iotls;
 
+namespace {
+
+enum class StatsMode { kOff, kText, kJson };
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool all = false;
+  StatsMode stats = StatsMode::kOff;
   std::vector<std::string> snis;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--all") == 0) all = true;
+    else if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
+    else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
+    else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::fprintf(stderr, "usage: iotls_probe [--all] [--stats[=json]] [sni ...]\n");
+      return 2;
+    }
     else snis.emplace_back(argv[i]);
   }
   if (!all && snis.empty()) {
-    std::fprintf(stderr, "usage: iotls_probe [--all] [sni ...]\n");
+    std::fprintf(stderr, "usage: iotls_probe [--all] [--stats[=json]] [sni ...]\n");
     std::fprintf(stderr, "example: iotls_probe appboot.netflix.com a2.tuyaus.com\n");
     return 2;
   }
@@ -37,6 +59,7 @@ int main(int argc, char** argv) {
   devicesim::SimWorld world = devicesim::build_world(universe);
   net::TlsProber prober(world.internet);
   const std::int64_t today = days(2022, 4, 15);
+  const bool quiet = stats == StatsMode::kJson;  // stdout carries JSON only
 
   if (all) {
     for (const devicesim::ServerSpec& spec : universe.specs()) {
@@ -46,31 +69,70 @@ int main(int argc, char** argv) {
 
   std::size_t ok = 0, failed = 0, unreachable = 0;
   for (const std::string& sni : snis) {
-    net::MultiVantageResult multi = prober.probe_all_vantages(sni);
+    net::MultiVantageResult multi = [&] {
+      auto span = obs::tracer().span("probe");
+      span.add_items();
+      auto result = prober.probe_all_vantages(sni);
+      bool anywhere = false;
+      for (const auto& [vantage, probe] : result.by_vantage) {
+        if (probe.reachable) anywhere = true;
+      }
+      if (!anywhere) {
+        span.fail(net::probe_error_name(
+            result.by_vantage.at(net::VantagePoint::kNewYork).error));
+      }
+      return result;
+    }();
     const net::ProbeResult& ny = multi.by_vantage.at(net::VantagePoint::kNewYork);
     if (!ny.reachable) {
-      std::printf("%-40s UNREACHABLE (%s)\n", sni.c_str(), ny.error.c_str());
+      if (!quiet) {
+        std::printf("%-40s UNREACHABLE (%s)\n", sni.c_str(),
+                    ny.error_string().c_str());
+      }
       ++unreachable;
       continue;
     }
-    auto v = x509::validate_chain(ny.chain, sni, world.trust, world.keys, today);
+    x509::ValidationResult v = [&] {
+      auto span = obs::tracer().span("chain.validate");
+      span.add_items();
+      auto result = x509::validate_chain(ny.chain, sni, world.trust, world.keys, today);
+      if (!x509::chain_trusted(result.status)) {
+        span.fail(x509::chain_status_slug(result.status));
+      }
+      return result;
+    }();
     const x509::Certificate& leaf = ny.chain.front();
     bool in_ct = world.ct_index.logged(leaf.fingerprint());
-    std::printf("%-40s %s\n", sni.c_str(), x509::chain_status_name(v.status).c_str());
-    std::printf("    issuer: %-30s validity: %lld days%s%s\n",
-                leaf.issuer.organization.c_str(),
-                static_cast<long long>(leaf.validity_days()),
-                v.expired ? "  [EXPIRED]" : "",
-                v.hostname_ok ? "" : "  [CN MISMATCH]");
-    std::printf("    CT: %s   OCSP staple: %s   geo-consistent: %s   chain len: %zu\n",
-                in_ct ? "logged" : "NOT logged",
-                ny.stapled.has_value() ? "yes" : "no",
-                multi.consistent_across_vantages() ? "yes" : "NO",
-                ny.chain.size());
+    {
+      auto span = obs::tracer().span("report");
+      span.add_items();
+      if (!quiet) {
+        std::printf("%-40s %s\n", sni.c_str(),
+                    x509::chain_status_name(v.status).c_str());
+        std::printf("    issuer: %-30s validity: %lld days%s%s\n",
+                    leaf.issuer.organization.c_str(),
+                    static_cast<long long>(leaf.validity_days()),
+                    v.expired ? "  [EXPIRED]" : "",
+                    v.hostname_ok ? "" : "  [CN MISMATCH]");
+        std::printf("    CT: %s   OCSP staple: %s   geo-consistent: %s   chain len: %zu\n",
+                    in_ct ? "logged" : "NOT logged",
+                    ny.stapled.has_value() ? "yes" : "no",
+                    multi.consistent_across_vantages() ? "yes" : "NO",
+                    ny.chain.size());
+      }
+    }
     if (x509::chain_trusted(v.status) && !v.expired && v.hostname_ok) ++ok;
     else ++failed;
   }
-  std::printf("\n%zu clean, %zu problematic, %zu unreachable\n", ok, failed,
-              unreachable);
+  if (!quiet) {
+    std::printf("\n%zu clean, %zu problematic, %zu unreachable\n", ok, failed,
+                unreachable);
+  }
+
+  if (stats == StatsMode::kText) {
+    std::printf("\n%s", report::stats_text(obs::metrics(), obs::tracer()).c_str());
+  } else if (stats == StatsMode::kJson) {
+    std::printf("%s\n", report::stats_json(obs::metrics(), obs::tracer()).c_str());
+  }
   return failed > 0 ? 1 : 0;
 }
