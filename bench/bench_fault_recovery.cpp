@@ -1,0 +1,169 @@
+// Fault-recovery performance suite (google-benchmark): survey wall time and
+// harvest recovery under deterministic injected faults.
+//
+// Pins two properties of the resilience layer:
+//  1. Zero-fault overhead — a retry-enabled prober surveying a healthy
+//     fleet must run within noise of the single-attempt seed policy
+//     (compare BM_SurveyZeroFault/seed_policy vs /retry_policy; the
+//     fault-injector decorator's cost shows in /retry_policy_decorated).
+//  2. Recovery — at 5% / 20% injected transient timeouts, retries win the
+//     harvest back; each benchmark reports recovered_pct (certificates
+//     harvested vs the zero-fault baseline) and retries_per_probe.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/prober.hpp"
+#include "net/retry.hpp"
+#include "x509/authority.hpp"
+
+using namespace iotls;
+
+namespace {
+
+struct Fleet {
+  net::SimInternet internet;
+  std::vector<std::string> snis;
+};
+
+const Fleet& fleet() {
+  static Fleet* f = [] {
+    auto* out = new Fleet;
+    auto ca = x509::CertificateAuthority::make_root(
+        "Recovery CA", "Recovery", x509::CaKind::kPublicTrust, 15000, 30000);
+    for (int i = 0; i < 60; ++i) {
+      net::SimServer server;
+      server.sni = "host" + std::to_string(i) + ".bench.example.com";
+      server.ips = {"203.0.113.7"};
+      x509::IssueRequest req;
+      req.subject.common_name = server.sni;
+      req.san_dns = {server.sni};
+      req.not_before = 18000;
+      req.not_after = 19500;
+      server.default_chain = {ca.issue(req), ca.certificate()};
+      out->snis.push_back(server.sni);
+      out->internet.add_server(std::move(server));
+    }
+    return out;
+  }();
+  return *f;
+}
+
+std::size_t certificates_harvested(const std::vector<net::MultiVantageResult>& results) {
+  std::size_t certs = 0;
+  for (const net::MultiVantageResult& multi : results) {
+    for (const auto& [vantage, probe] : multi.by_vantage) {
+      if (probe.reachable && !probe.chain.empty()) ++certs;
+    }
+  }
+  return certs;
+}
+
+net::RetryPolicy retry_policy() {
+  net::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.base_backoff_ms = 50;  // virtual milliseconds: no real sleeping
+  return retry;
+}
+
+/// Zero-fault hot path, seed policy: single attempt, no decorator.
+void BM_SurveyZeroFault_seed_policy(benchmark::State& state) {
+  const Fleet& f = fleet();
+  net::TlsProber prober(f.internet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prober.survey(f.snis));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.snis.size() * 3));
+}
+BENCHMARK(BM_SurveyZeroFault_seed_policy)->Unit(benchmark::kMillisecond);
+
+/// Zero-fault hot path with retries armed: must be within noise of the
+/// seed policy — a healthy fleet never pays for resilience.
+void BM_SurveyZeroFault_retry_policy(benchmark::State& state) {
+  const Fleet& f = fleet();
+  net::TlsProber prober(f.internet);
+  prober.set_retry_policy(retry_policy());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prober.survey(f.snis));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.snis.size() * 3));
+}
+BENCHMARK(BM_SurveyZeroFault_retry_policy)->Unit(benchmark::kMillisecond);
+
+/// Same, plus a no-op FaultInjector in the path: the decorator's parsing
+/// cost, isolated.
+void BM_SurveyZeroFault_retry_policy_decorated(benchmark::State& state) {
+  const Fleet& f = fleet();
+  net::FaultInjector injector(f.internet, net::FaultSpec{});
+  net::TlsProber prober(injector);
+  prober.set_retry_policy(retry_policy());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prober.survey(f.snis));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.snis.size() * 3));
+}
+BENCHMARK(BM_SurveyZeroFault_retry_policy_decorated)->Unit(benchmark::kMillisecond);
+
+/// Survey under `rate`% injected transient timeouts with retries enabled.
+/// recovered_pct reports the harvest vs the zero-fault baseline.
+void BM_SurveyFaultRate(benchmark::State& state) {
+  const Fleet& f = fleet();
+  net::FaultSpec spec;
+  spec.seed = 42;
+  spec.timeout_rate = static_cast<double>(state.range(0)) / 100.0;
+  const std::size_t baseline = f.snis.size() * 3;
+
+  std::size_t certs = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    // Fresh injector per iteration: every pass replays the same schedule.
+    net::FaultInjector injector(f.internet, spec);
+    net::TlsProber prober(injector);
+    prober.set_retry_policy(retry_policy());
+    net::SurveyReport report = prober.survey_report(f.snis);
+    certs = certificates_harvested(report.results);
+    retries += report.summary.retries;
+    probes += report.summary.attempts - report.summary.retries;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["recovered_pct"] = benchmark::Counter(
+      100.0 * static_cast<double>(certs) / static_cast<double>(baseline));
+  state.counters["retries_per_probe"] = benchmark::Counter(
+      probes == 0 ? 0.0
+                  : static_cast<double>(retries) / static_cast<double>(probes));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(baseline));
+}
+BENCHMARK(BM_SurveyFaultRate)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+/// Same fault rates with the seed's single-attempt policy: what the §5.1
+/// funnel would lose without retry discipline.
+void BM_SurveyFaultRate_no_retries(benchmark::State& state) {
+  const Fleet& f = fleet();
+  net::FaultSpec spec;
+  spec.seed = 42;
+  spec.timeout_rate = static_cast<double>(state.range(0)) / 100.0;
+  const std::size_t baseline = f.snis.size() * 3;
+
+  std::size_t certs = 0;
+  for (auto _ : state) {
+    net::FaultInjector injector(f.internet, spec);
+    net::TlsProber prober(injector);
+    net::SurveyReport report = prober.survey_report(f.snis);
+    certs = certificates_harvested(report.results);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["recovered_pct"] = benchmark::Counter(
+      100.0 * static_cast<double>(certs) / static_cast<double>(baseline));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(baseline));
+}
+BENCHMARK(BM_SurveyFaultRate_no_retries)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the robustness-labelled test suites (net, parser-fuzz, resilience)
+# under AddressSanitizer + UBSan, so the retry/breaker state machines and
+# the fault-injection paths are sanitizer-clean on every change.
+#
+# Usage: scripts/check_robustness.sh [ctest-args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+ctest --preset robustness-asan -j"$(nproc)" "$@"

@@ -23,25 +23,27 @@ std::vector<const SimServer*> SimInternet::servers() const {
   return out;
 }
 
-Bytes SimInternet::connect(VantagePoint vantage, BytesView client_records) const {
-  // Parse the client flight down to its ClientHello.
+tls::ClientHello client_hello_of(BytesView client_records) {
   auto records = tls::parse_records(client_records);
   Bytes handshakes = tls::handshake_payload(records);
   auto msgs = tls::split_handshakes(BytesView(handshakes.data(), handshakes.size()));
-  const tls::ClientHello* hello_ptr = nullptr;
-  tls::ClientHello hello;
   for (const auto& m : msgs) {
     if (m.type == tls::HandshakeType::kClientHello) {
       Bytes framed = tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
-      hello = tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
-      hello_ptr = &hello;
-      break;
+      return tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
     }
   }
-  if (hello_ptr == nullptr) throw ParseError("client flight carries no ClientHello");
+  throw ParseError("client flight carries no ClientHello");
+}
+
+Bytes SimInternet::connect(VantagePoint vantage, BytesView client_records) const {
+  tls::ClientHello hello = client_hello_of(client_records);
 
   auto sni = hello.sni();
-  if (!sni.has_value()) throw NetError("ClientHello carries no SNI; cannot route");
+  if (!sni.has_value()) {
+    throw NetError("ClientHello carries no SNI; cannot route",
+                   NetError::Kind::kProtocol);
+  }
   const SimServer* server = find(*sni);
   if (server == nullptr) {
     throw NetError("no route to host: " + *sni, NetError::Kind::kNoRoute);

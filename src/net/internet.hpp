@@ -13,11 +13,31 @@
 
 #include "net/server.hpp"
 #include "net/vantage.hpp"
+#include "tls/clienthello.hpp"
 #include "util/bytes.hpp"
 
 namespace iotls::net {
 
-class SimInternet {
+/// Anything a prober can open TLS connections through: the simulated
+/// internet itself, or a decorator layered over it (fault injection,
+/// capture, rate limiting). One method — a full request/response exchange
+/// of encoded TLS record streams, addressed by the ClientHello's SNI.
+class Internet {
+ public:
+  virtual ~Internet() = default;
+
+  /// Send a client record stream from `vantage`; returns the server's
+  /// record stream. Throws NetError for connection-level failures and
+  /// ParseError for malformed client bytes.
+  virtual Bytes connect(VantagePoint vantage, BytesView client_records) const = 0;
+};
+
+/// Parse a client flight down to its ClientHello (the routing key every
+/// Internet implementation needs). Throws ParseError when the stream is
+/// malformed or carries no ClientHello.
+tls::ClientHello client_hello_of(BytesView client_records);
+
+class SimInternet final : public Internet {
  public:
   /// Register a server; replaces any existing server with the same SNI.
   void add_server(SimServer server);
@@ -33,7 +53,7 @@ class SimInternet {
   ///  4. answer with records carrying ServerHello ‖ Certificate ‖ Done.
   /// Throws NetError for unreachable hosts / unknown SNI / no shared suite,
   /// and ParseError for malformed client bytes.
-  Bytes connect(VantagePoint vantage, BytesView client_records) const;
+  Bytes connect(VantagePoint vantage, BytesView client_records) const override;
 
  private:
   std::map<std::string, SimServer> servers_;

@@ -1,0 +1,29 @@
+// Probe failure taxonomy — the error categories the §5 failure metrics
+// count. Split out of prober.hpp so the resilience policy layer (retry.hpp)
+// can classify failures without depending on the prober itself.
+#pragma once
+
+#include <string>
+
+namespace iotls::net {
+
+/// Why a probe failed. Categories are assigned structurally (from NetError
+/// kinds, alerts and parse outcomes), never by matching message strings.
+///
+/// Transient categories (kTimeout, kConnect) describe network weather and
+/// are eligible for retry; definitive categories (kDns, kAlert, kParse)
+/// describe the server's actual behaviour and are never retried — retrying
+/// them would only distort the failure statistics.
+enum class ProbeError {
+  kNone,     // probe succeeded
+  kDns,      // name did not resolve (no route to any host)
+  kConnect,  // connection-level refusal before the handshake
+  kAlert,    // server answered with a fatal TLS alert
+  kParse,    // response bytes were not a decodable handshake
+  kTimeout,  // host known but unreachable from this vantage
+  kSkipped,  // probe never attempted (circuit breaker open)
+};
+
+std::string probe_error_name(ProbeError e);
+
+}  // namespace iotls::net

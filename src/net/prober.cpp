@@ -1,6 +1,7 @@
 #include "net/prober.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <mutex>
 
 #include "obs/log.hpp"
@@ -52,12 +53,12 @@ obs::Counter& unreachable_counter(VantagePoint v) {
 
 obs::Counter& error_counter(ProbeError e) {
   // Indexed by enum value; kNone is never counted.
-  static obs::Counter* counters[6] = {};
+  static obs::Counter* counters[7] = {};
   static std::once_flag once;
   std::call_once(once, [] {
     for (ProbeError err : {ProbeError::kDns, ProbeError::kConnect,
                            ProbeError::kAlert, ProbeError::kParse,
-                           ProbeError::kTimeout}) {
+                           ProbeError::kTimeout, ProbeError::kSkipped}) {
       counters[static_cast<std::size_t>(err)] =
           &obs::metrics().counter("net.probe.error." + probe_error_name(err));
     }
@@ -65,13 +66,29 @@ obs::Counter& error_counter(ProbeError e) {
   return *counters[static_cast<std::size_t>(e)];
 }
 
+/// Retries broken down by the transient category that triggered them.
+obs::Counter& retry_counter(ProbeError e) {
+  static obs::Counter* timeout = &obs::metrics().counter("net.probe.retry.timeout");
+  static obs::Counter* connect = &obs::metrics().counter("net.probe.retry.connect");
+  return e == ProbeError::kTimeout ? *timeout : *connect;
+}
+
 ProbeError classify_net_error(NetError::Kind kind) {
   switch (kind) {
     case NetError::Kind::kNoRoute: return ProbeError::kDns;
     case NetError::Kind::kTimeout: return ProbeError::kTimeout;
     case NetError::Kind::kConnect: return ProbeError::kConnect;
+    case NetError::Kind::kProtocol: return ProbeError::kConnect;
   }
   return ProbeError::kConnect;
+}
+
+/// Did the probe reach *a server* (even one that refused us)? Only
+/// connectivity failures feed the circuit breaker; a fatal alert or a
+/// garbled flight proves something answered.
+bool connectivity_failure(ProbeError e) {
+  return e == ProbeError::kDns || e == ProbeError::kTimeout ||
+         e == ProbeError::kConnect;
 }
 
 /// Our own client hello: a modern, fixed configuration (the probing client
@@ -101,6 +118,7 @@ std::string probe_error_name(ProbeError e) {
     case ProbeError::kAlert: return "alert";
     case ProbeError::kParse: return "parse";
     case ProbeError::kTimeout: return "timeout";
+    case ProbeError::kSkipped: return "skipped";
   }
   return "?";
 }
@@ -119,11 +137,58 @@ bool MultiVantageResult::consistent_across_vantages() const {
   return true;
 }
 
-ProbeResult TlsProber::probe(const std::string& sni, VantagePoint vantage) const {
-  static obs::Counter& total = obs::metrics().counter("net.probe.total");
+ProbeError MultiVantageResult::majority_error() const {
+  // Count votes per category over failed vantages.
+  std::map<ProbeError, int> votes;
+  for (const auto& [vantage, result] : by_vantage) {
+    if (!result.reachable && result.error != ProbeError::kNone) {
+      ++votes[result.error];
+    }
+  }
+  if (votes.empty()) return ProbeError::kNone;
+  auto ny = by_vantage.find(VantagePoint::kNewYork);
+  ProbeError ny_error = (ny != by_vantage.end() && !ny->second.reachable)
+                            ? ny->second.error
+                            : ProbeError::kNone;
+  ProbeError best = ProbeError::kNone;
+  int best_votes = 0;
+  for (const auto& [error, n] : votes) {
+    if (n > best_votes) {
+      best = error;
+      best_votes = n;
+    } else if (n == best_votes && error == ny_error) {
+      best = error;  // tie: the paper's primary vantage wins
+    }
+  }
+  return best;
+}
+
+std::string DegradationSummary::to_string() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "%zu SNIs: %zu fully reachable, %zu degraded, %zu unreachable, "
+      "%zu quarantined | %llu attempts (%llu retries, %llu recovered), "
+      "%llu transient / %llu persistent failures, %llu skipped, "
+      "%llu budget-denied, %llu ms backoff",
+      snis, fully_reachable, degraded, unreachable, quarantined_snis,
+      static_cast<unsigned long long>(attempts),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(recovered_probes),
+      static_cast<unsigned long long>(transient_failures),
+      static_cast<unsigned long long>(persistent_failures),
+      static_cast<unsigned long long>(skipped_probes),
+      static_cast<unsigned long long>(budget_denied),
+      static_cast<unsigned long long>(backoff_ms_total));
+  return buf;
+}
+
+ProbeResult TlsProber::probe_once(const std::string& sni,
+                                  VantagePoint vantage) const {
+  static obs::Counter& attempts_total = obs::metrics().counter("net.probe.attempts");
   static obs::Histogram& handshake_ns =
       obs::metrics().histogram("net.probe.handshake_ns");
-  total.inc();
+  attempts_total.inc();
 
   ProbeResult result;
   result.sni = sni;
@@ -183,21 +248,85 @@ ProbeResult TlsProber::probe(const std::string& sni, VantagePoint vantage) const
       result.error_detail = e.what();
     }
   }
+  return result;
+}
+
+ProbeResult TlsProber::probe_with_retries(const std::string& sni,
+                                          VantagePoint vantage,
+                                          std::uint64_t* budget,
+                                          DegradationSummary* summary) const {
+  static obs::Counter& total = obs::metrics().counter("net.probe.total");
+  static obs::Counter& retries_total = obs::metrics().counter("net.probe.retry");
+  static obs::Counter& recovered = obs::metrics().counter("net.probe.recovered");
+  static obs::Counter& transient_fail =
+      obs::metrics().counter("net.probe.transient_fail");
+  static obs::Counter& persistent_fail =
+      obs::metrics().counter("net.probe.persistent_fail");
+  static obs::Counter& backoff_total =
+      obs::metrics().counter("net.probe.backoff_ms_total");
+  static obs::Histogram& attempts_hist = obs::metrics().histogram(
+      "net.probe.attempts_per_probe", {1, 2, 3, 4, 5, 6, 8, 10});
+  total.inc();
+
+  const int max_attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
+  ProbeResult result;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result = probe_once(sni, vantage);
+    result.attempts = attempt;
+    if (result.error == ProbeError::kNone) break;
+    result.transient = RetryPolicy::retryable(result.error);
+    // Definitive categories (alert/parse/dns) are the server's answer, not
+    // weather — retrying them would bias the §5 failure statistics.
+    if (!result.transient || attempt == max_attempts) break;
+    if (budget != nullptr && *budget == 0) {
+      if (summary != nullptr) ++summary->budget_denied;
+      break;
+    }
+    if (budget != nullptr) --*budget;
+    retries_total.inc();
+    retry_counter(result.error).inc();
+    if (summary != nullptr) ++summary->retries;
+    std::uint64_t backoff = retry_.backoff_ms(attempt, sni, vantage);
+    backoff_total.inc(backoff);
+    if (summary != nullptr) summary->backoff_ms_total += backoff;
+    clock().sleep_ms(backoff);
+  }
+  attempts_hist.observe(static_cast<std::uint64_t>(result.attempts));
+  if (summary != nullptr) {
+    summary->attempts += static_cast<std::uint64_t>(result.attempts);
+  }
 
   if (result.reachable) {
     reachable_counter(vantage).inc();
+    if (result.attempts > 1) {
+      recovered.inc();
+      if (summary != nullptr) ++summary->recovered_probes;
+    }
   } else {
     unreachable_counter(vantage).inc();
     error_counter(result.error).inc();
+    if (result.transient) {
+      transient_fail.inc();
+      if (summary != nullptr) ++summary->transient_failures;
+    } else {
+      persistent_fail.inc();
+      if (summary != nullptr) ++summary->persistent_failures;
+    }
     if (obs::logger().enabled(obs::LogLevel::kDebug)) {
       obs::logger().debug("probe failed",
                           {{"sni", sni},
                            {"vantage", vantage_slug(vantage)},
                            {"category", probe_error_name(result.error)},
+                           {"attempts", std::to_string(result.attempts)},
+                           {"weather", result.transient ? "transient" : "persistent"},
                            {"detail", result.error_detail}});
     }
   }
   return result;
+}
+
+ProbeResult TlsProber::probe(const std::string& sni, VantagePoint vantage) const {
+  return probe_with_retries(sni, vantage, nullptr, nullptr);
 }
 
 MultiVantageResult TlsProber::probe_all_vantages(const std::string& sni) const {
@@ -209,24 +338,81 @@ MultiVantageResult TlsProber::probe_all_vantages(const std::string& sni) const {
 
 std::vector<MultiVantageResult> TlsProber::survey(
     const std::vector<std::string>& snis) const {
+  return survey_report(snis).results;
+}
+
+SurveyReport TlsProber::survey_report(const std::vector<std::string>& snis) const {
+  static obs::Counter& skipped_counter =
+      obs::metrics().counter("net.probe.skipped.breaker");
   auto span = obs::tracer().span("probe");
-  std::vector<MultiVantageResult> out;
-  out.reserve(snis.size());
+
+  SurveyReport report;
+  report.results.reserve(snis.size());
+  report.summary.snis = snis.size();
+
+  CircuitBreaker breaker(breaker_config_);
+  std::uint64_t budget = retry_.retry_budget;
+
   for (const std::string& sni : snis) {
-    MultiVantageResult multi = probe_all_vantages(sni);
+    MultiVantageResult multi;
+    multi.sni = sni;
+    bool any_quarantined = false;
+    for (VantagePoint v : kAllVantagePoints) {
+      if (!breaker.allow(sni)) {
+        // Quarantined: report the gap honestly instead of blocking on a
+        // host the survey already knows is dead.
+        ProbeResult skipped;
+        skipped.sni = sni;
+        skipped.vantage = v;
+        skipped.error = ProbeError::kSkipped;
+        skipped.error_detail = "quarantined by circuit breaker";
+        skipped.attempts = 0;
+        skipped.quarantined = true;
+        error_counter(ProbeError::kSkipped).inc();
+        skipped_counter.inc();
+        ++report.summary.skipped_probes;
+        any_quarantined = true;
+        multi.by_vantage[v] = std::move(skipped);
+        continue;
+      }
+      ProbeResult r = probe_with_retries(sni, v, &budget, &report.summary);
+      if (r.reachable || !connectivity_failure(r.error)) {
+        breaker.record_success(sni);
+      } else {
+        breaker.record_failure(sni);
+      }
+      multi.by_vantage[v] = std::move(r);
+    }
+
     span.add_items();
-    bool anywhere_reachable = false;
+    std::size_t reachable_vantages = 0;
     for (const auto& [vantage, result] : multi.by_vantage) {
-      if (result.reachable) anywhere_reachable = true;
+      if (result.reachable) ++reachable_vantages;
     }
-    if (!anywhere_reachable) {
-      // Tag by the New York category, the paper's primary vantage.
-      span.fail(probe_error_name(
-          multi.by_vantage.at(VantagePoint::kNewYork).error));
+    if (reachable_vantages == multi.by_vantage.size()) {
+      ++report.summary.fully_reachable;
+    } else if (reachable_vantages > 0) {
+      ++report.summary.degraded;
+    } else {
+      ++report.summary.unreachable;
+      // Tag by the majority category across vantages (ties favour New
+      // York, the paper's primary vantage) — a per-vantage mix must not
+      // be misattributed wholesale to one location's error.
+      span.fail(probe_error_name(multi.majority_error()));
     }
-    out.push_back(std::move(multi));
+    if (any_quarantined) ++report.summary.quarantined_snis;
+    report.results.push_back(std::move(multi));
   }
-  return out;
+
+  // Export breaker occupancy so a fleet dashboard sees quarantine pressure.
+  CircuitBreaker::Counts counts = breaker.counts();
+  obs::metrics().gauge("net.probe.breaker.closed").set(
+      static_cast<std::int64_t>(counts.closed));
+  obs::metrics().gauge("net.probe.breaker.open").set(
+      static_cast<std::int64_t>(counts.open));
+  obs::metrics().gauge("net.probe.breaker.half_open").set(
+      static_cast<std::int64_t>(counts.half_open));
+  return report;
 }
 
 }  // namespace iotls::net

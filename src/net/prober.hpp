@@ -1,6 +1,13 @@
 // Active TLS prober — our analogue of the paper's certificate harvester
 // (§5.1): connect to each SNI from each vantage point, record the served
 // chain, cross-check consistency across locations.
+//
+// Resilience: probes retry transient failures (timeout/connect) under a
+// configurable RetryPolicy with deterministic backoff, surveys enforce a
+// global retry budget and a per-SNI circuit breaker, and every result is
+// tagged transient vs persistent with its attempt count — so a survey under
+// network chaos degrades gracefully into partial results plus an explicit
+// degradation summary instead of silently undercounting reachability.
 #pragma once
 
 #include <map>
@@ -9,26 +16,14 @@
 #include <vector>
 
 #include "net/internet.hpp"
+#include "net/probe_error.hpp"
+#include "net/retry.hpp"
 #include "net/vantage.hpp"
 #include "tls/serverhello.hpp"
 #include "x509/certificate.hpp"
 #include "x509/revocation.hpp"
 
 namespace iotls::net {
-
-/// Why a probe failed — the error taxonomy the §5 failure metrics count.
-/// Categories are assigned structurally (from NetError kinds, alerts and
-/// parse outcomes), never by matching message strings.
-enum class ProbeError {
-  kNone,     // probe succeeded
-  kDns,      // name did not resolve (no route to any host)
-  kConnect,  // connection-level refusal before the handshake
-  kAlert,    // server answered with a fatal TLS alert
-  kParse,    // response bytes were not a decodable handshake
-  kTimeout,  // host known but unreachable from this vantage
-};
-
-std::string probe_error_name(ProbeError e);
 
 /// Result of one probe (one SNI from one vantage point).
 struct ProbeResult {
@@ -40,6 +35,16 @@ struct ProbeResult {
   std::optional<x509::OcspResponse> stapled;  // CertificateStatus, if sent
   ProbeError error = ProbeError::kNone;  // category, set when !reachable
   std::string error_detail;              // human-readable message
+
+  /// Connection attempts made (>= 1 unless the breaker skipped the probe).
+  int attempts = 1;
+  /// Failure weather: true when the final category is retryable network
+  /// weather (timeout/connect) — the host may well exist; false means the
+  /// outcome is definitive (success, alert, parse, dns, skipped).
+  bool transient = false;
+  /// True when the circuit breaker quarantined the SNI and this probe was
+  /// never attempted (error == kSkipped, attempts == 0).
+  bool quarantined = false;
 
   /// Legacy display string: the detail when present, else the category name;
   /// empty for a successful probe.
@@ -55,15 +60,70 @@ struct MultiVantageResult {
   std::map<VantagePoint, ProbeResult> by_vantage;
 
   /// Leaf fingerprints identical at every reachable vantage?
+  ///
+  /// Vacuous agreement is deliberate: with zero or one reachable vantage,
+  /// or when reachable vantages served empty chains, there is no pair of
+  /// leaves to disagree — the SNI counts as consistent (the paper's
+  /// Table 16 likewise only counts *observed* cross-location differences).
   bool consistent_across_vantages() const;
+
+  /// Majority failure category across failed vantages (ties broken in
+  /// favour of New York, the paper's primary vantage; then by enum order).
+  /// kNone when every vantage succeeded.
+  ProbeError majority_error() const;
 };
 
-/// The prober drives full wire handshakes against the simulated internet.
+/// How a survey degraded under failure: the §5.1 funnel bookkeeping.
+struct DegradationSummary {
+  std::size_t snis = 0;             // surveyed
+  std::size_t fully_reachable = 0;  // every vantage answered
+  std::size_t degraded = 0;         // some, not all, vantages answered
+  std::size_t unreachable = 0;      // no vantage answered
+  std::size_t quarantined_snis = 0; // >=1 probe skipped by the breaker
+
+  std::uint64_t attempts = 0;          // connection attempts, incl. retries
+  std::uint64_t retries = 0;           // attempts beyond each probe's first
+  std::uint64_t recovered_probes = 0;  // failed at least once, then succeeded
+  std::uint64_t transient_failures = 0;   // probes lost to network weather
+  std::uint64_t persistent_failures = 0;  // probes with definitive failures
+  std::uint64_t skipped_probes = 0;       // probes denied by the breaker
+  std::uint64_t budget_denied = 0;        // retries forgone: budget exhausted
+  std::uint64_t backoff_ms_total = 0;     // virtual time slept between tries
+
+  std::string to_string() const;
+};
+
+/// Survey output: per-SNI results plus the degradation accounting.
+struct SurveyReport {
+  std::vector<MultiVantageResult> results;
+  DegradationSummary summary;
+};
+
+/// The prober drives full wire handshakes against an Internet (the
+/// simulation itself, or a FaultInjector wrapped around it).
 class TlsProber {
  public:
-  explicit TlsProber(const SimInternet& internet) : internet_(&internet) {}
+  explicit TlsProber(const Internet& internet) : internet_(&internet) {}
 
-  /// Probe one SNI from one vantage point.
+  /// Retry discipline for every probe. Default: single attempt (the
+  /// historical fail-fast behaviour).
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Per-SNI circuit breaker used by survey(). Default: open after 3
+  /// consecutive connectivity failures — which a distinct-SNI survey never
+  /// notices (each SNI sees exactly 3 probes), but repeated passes over a
+  /// dead host skip it. failure_threshold 0 disables quarantining.
+  void set_breaker(const BreakerConfig& config) { breaker_config_ = config; }
+  const BreakerConfig& breaker_config() const { return breaker_config_; }
+
+  /// Clock that backoff sleeps advance; defaults to an internal
+  /// VirtualClock (instant, deterministic). Non-owning.
+  void set_clock(Clock* clock) { clock_ = clock; }
+  Clock& clock() const { return clock_ != nullptr ? *clock_ : own_clock_; }
+
+  /// Probe one SNI from one vantage point (retries per the policy; no
+  /// budget, no breaker — those are survey-scoped).
   ProbeResult probe(const std::string& sni, VantagePoint vantage) const;
 
   /// Probe one SNI from all three vantage points.
@@ -72,8 +132,23 @@ class TlsProber {
   /// Probe a list of SNIs from all vantage points.
   std::vector<MultiVantageResult> survey(const std::vector<std::string>& snis) const;
 
+  /// survey() plus the degradation summary and breaker bookkeeping.
+  SurveyReport survey_report(const std::vector<std::string>& snis) const;
+
  private:
-  const SimInternet* internet_;
+  /// One connection attempt, no retries — the seed prober's body.
+  ProbeResult probe_once(const std::string& sni, VantagePoint vantage) const;
+  /// Full retry loop. `budget` (nullable) is the survey's shared retry
+  /// allowance; `summary` (nullable) accumulates degradation stats.
+  ProbeResult probe_with_retries(const std::string& sni, VantagePoint vantage,
+                                 std::uint64_t* budget,
+                                 DegradationSummary* summary) const;
+
+  const Internet* internet_;
+  RetryPolicy retry_;
+  BreakerConfig breaker_config_;
+  Clock* clock_ = nullptr;
+  mutable VirtualClock own_clock_;
 };
 
 }  // namespace iotls::net

@@ -28,9 +28,10 @@ class EncodeError : public std::runtime_error {
 class NetError : public std::runtime_error {
  public:
   enum class Kind {
-    kConnect,  // generic connection-level refusal
-    kNoRoute,  // name does not resolve to any host (DNS analogue)
-    kTimeout,  // host known but unreachable from this vantage
+    kConnect,   // generic connection-level refusal
+    kNoRoute,   // name does not resolve to any host (DNS analogue)
+    kTimeout,   // host known but unreachable from this vantage
+    kProtocol,  // semantically invalid request (e.g. ClientHello without SNI)
   };
 
   explicit NetError(const std::string& what, Kind kind = Kind::kConnect)

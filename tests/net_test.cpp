@@ -160,6 +160,25 @@ TEST(SimInternet, MissingSniRefused) {
                NetError);
 }
 
+TEST(SimInternet, MissingSniCarriesAnExplicitProtocolKind) {
+  // The no-SNI rejection must classify structurally (kProtocol), never via
+  // the NetError default — a Kind-less throw would let classify_net_error
+  // misfile it.
+  SimInternet internet;
+  tls::ClientHello ch;
+  ch.cipher_suites = {0xc02f};
+  Bytes msg = ch.encode();
+  Bytes flight = tls::encode_records(tls::ContentType::kHandshake, 0x0301,
+                                     BytesView(msg.data(), msg.size()));
+  try {
+    internet.connect(VantagePoint::kNewYork,
+                     BytesView(flight.data(), flight.size()));
+    FAIL() << "connect accepted a ClientHello without SNI";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetError::Kind::kProtocol);
+  }
+}
+
 TEST(SimInternet, MalformedFlightRejected) {
   SimInternet internet;
   Bytes garbage = {0x16, 0x03, 0x01, 0x00};
@@ -209,6 +228,50 @@ TEST(Prober, MultiVantageConsistency) {
   TlsProber prober(internet);
   EXPECT_TRUE(prober.probe_all_vantages("same.example.com").consistent_across_vantages());
   EXPECT_FALSE(prober.probe_all_vantages("vary.example.com").consistent_across_vantages());
+}
+
+// consistent_across_vantages returns *vacuous* agreement when fewer than
+// two vantages contributed a leaf: no observable pair disagrees, so the SNI
+// counts as consistent (mirrors Table 16, which tallies only observed
+// cross-location differences). These tests pin that contract.
+TEST(MultiVantage, ConsistencyIsVacuouslyTrueWithZeroReachableVantages) {
+  SimInternet internet;  // nothing registered: every vantage fails with kDns
+  TlsProber prober(internet);
+  MultiVantageResult multi = prober.probe_all_vantages("void.example.com");
+  for (const auto& [vantage, result] : multi.by_vantage) {
+    ASSERT_FALSE(result.reachable);
+  }
+  EXPECT_TRUE(multi.consistent_across_vantages());
+}
+
+TEST(MultiVantage, ConsistencyIsVacuouslyTrueWithOneReachableVantage) {
+  auto ca = test_ca();
+  SimInternet internet;
+  SimServer lonely = make_server("lonely.example.com", ca);
+  lonely.unreachable_from = {VantagePoint::kFrankfurt, VantagePoint::kSingapore};
+  internet.add_server(std::move(lonely));
+  TlsProber prober(internet);
+  MultiVantageResult multi = prober.probe_all_vantages("lonely.example.com");
+  EXPECT_TRUE(multi.by_vantage.at(VantagePoint::kNewYork).reachable);
+  EXPECT_FALSE(multi.by_vantage.at(VantagePoint::kFrankfurt).reachable);
+  // One leaf has no partner to disagree with.
+  EXPECT_TRUE(multi.consistent_across_vantages());
+}
+
+TEST(MultiVantage, ConsistencyIgnoresReachableButEmptyChains) {
+  // Reachable vantages that served an empty Certificate message contribute
+  // no leaf; agreement over the remaining (zero) leaves is vacuous.
+  SimServer hollow;
+  hollow.sni = "hollow.example.com";  // no chain at all
+  SimInternet internet;
+  internet.add_server(std::move(hollow));
+  TlsProber prober(internet);
+  MultiVantageResult multi = prober.probe_all_vantages("hollow.example.com");
+  for (const auto& [vantage, result] : multi.by_vantage) {
+    ASSERT_TRUE(result.reachable);
+    ASSERT_TRUE(result.chain.empty());
+  }
+  EXPECT_TRUE(multi.consistent_across_vantages());
 }
 
 TEST(Prober, SurveyCoversAllSnis) {

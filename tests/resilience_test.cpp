@@ -1,0 +1,657 @@
+// Resilience layer tests: fault-spec parsing, deterministic fault
+// injection, retry/backoff policy, circuit-breaker state machine, and the
+// survey-level acceptance property — under 20% injected transient timeouts
+// a retrying survey recovers ≥99% of the zero-fault certificate harvest,
+// deterministically (same seed, same counters), while definitive failures
+// are never retried.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/fault.hpp"
+#include "net/internet.hpp"
+#include "net/prober.hpp"
+#include "net/retry.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "x509/authority.hpp"
+
+namespace iotls::net {
+namespace {
+
+x509::CertificateAuthority resilience_ca() {
+  return x509::CertificateAuthority::make_root("Resilience CA", "Resilience",
+                                               x509::CaKind::kPublicTrust, 15000,
+                                               30000);
+}
+
+SimServer make_server(const std::string& sni, const x509::CertificateAuthority& ca) {
+  SimServer server;
+  server.sni = sni;
+  server.ips = {"203.0.113.5"};
+  x509::IssueRequest req;
+  req.subject.common_name = sni;
+  req.san_dns = {sni};
+  req.not_before = 18000;
+  req.not_after = 19500;
+  server.default_chain = {ca.issue(req), ca.certificate()};
+  return server;
+}
+
+/// A fleet of `n` healthy servers plus its SNI list.
+struct Fleet {
+  SimInternet internet;
+  std::vector<std::string> snis;
+};
+
+Fleet make_fleet(std::size_t n, const x509::CertificateAuthority& ca) {
+  Fleet fleet;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string sni = "host" + std::to_string(i) + ".fleet.example.com";
+    fleet.internet.add_server(make_server(sni, ca));
+    fleet.snis.push_back(std::move(sni));
+  }
+  return fleet;
+}
+
+std::size_t certificates_harvested(const std::vector<MultiVantageResult>& results) {
+  std::size_t certs = 0;
+  for (const MultiVantageResult& multi : results) {
+    for (const auto& [vantage, probe] : multi.by_vantage) {
+      if (probe.reachable && !probe.chain.empty()) ++certs;
+    }
+  }
+  return certs;
+}
+
+// ---------------------------------------------------------------- FaultSpec
+
+TEST(FaultSpec, ParsesFullSyntax) {
+  FaultSpec spec = FaultSpec::parse(
+      "seed=7,timeout=0.2,reset=0.05,truncate=0.01,garble=0.02,"
+      "latency-ms=20,latency-jitter-ms=5,outage=frankfurt:10:25,outage=ny:0:3");
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_DOUBLE_EQ(spec.timeout_rate, 0.2);
+  EXPECT_DOUBLE_EQ(spec.reset_rate, 0.05);
+  EXPECT_DOUBLE_EQ(spec.truncate_rate, 0.01);
+  EXPECT_DOUBLE_EQ(spec.garble_rate, 0.02);
+  EXPECT_EQ(spec.latency_ms, 20u);
+  EXPECT_EQ(spec.latency_jitter_ms, 5u);
+  ASSERT_EQ(spec.outages.size(), 2u);
+  EXPECT_EQ(spec.outages[0].vantage, VantagePoint::kFrankfurt);
+  EXPECT_EQ(spec.outages[0].start, 10u);
+  EXPECT_EQ(spec.outages[0].end, 25u);
+  EXPECT_EQ(spec.outages[1].vantage, VantagePoint::kNewYork);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpec, EmptyAndDefaultSpecsInjectNothing) {
+  EXPECT_FALSE(FaultSpec{}.any());
+  EXPECT_FALSE(FaultSpec::parse("").any());
+  EXPECT_FALSE(FaultSpec::parse("seed=99").any());
+}
+
+TEST(FaultSpec, RoundTripsThroughToString) {
+  FaultSpec spec = FaultSpec::parse(
+      "seed=3,timeout=0.25,garble=0.5,latency-ms=7,outage=sgp:1:4");
+  FaultSpec again = FaultSpec::parse(spec.to_string());
+  EXPECT_EQ(again.seed, spec.seed);
+  EXPECT_DOUBLE_EQ(again.timeout_rate, spec.timeout_rate);
+  EXPECT_DOUBLE_EQ(again.garble_rate, spec.garble_rate);
+  EXPECT_EQ(again.latency_ms, spec.latency_ms);
+  ASSERT_EQ(again.outages.size(), 1u);
+  EXPECT_EQ(again.outages[0].vantage, VantagePoint::kSingapore);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultSpec::parse("timeout"), ParseError);         // no '='
+  EXPECT_THROW(FaultSpec::parse("timeout=1.5"), ParseError);     // rate > 1
+  EXPECT_THROW(FaultSpec::parse("timeout=-0.1"), ParseError);    // rate < 0
+  EXPECT_THROW(FaultSpec::parse("timeout=abc"), ParseError);     // not a number
+  EXPECT_THROW(FaultSpec::parse("bogus=1"), ParseError);         // unknown key
+  EXPECT_THROW(FaultSpec::parse("outage=mars:0:5"), ParseError); // bad vantage
+  EXPECT_THROW(FaultSpec::parse("outage=ny:5"), ParseError);     // missing end
+  EXPECT_THROW(FaultSpec::parse("outage=ny:5:5"), ParseError);   // empty window
+  EXPECT_THROW(FaultSpec::parse("seed=12x"), ParseError);        // trailing junk
+}
+
+// ------------------------------------------------------------ FaultInjector
+
+TEST(FaultInjector, NoFaultSpecPassesThroughByteIdentically) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  internet.add_server(make_server("pass.example.com", ca));
+  FaultInjector injector(internet, FaultSpec{});
+
+  TlsProber direct(internet);
+  TlsProber wrapped(injector);
+  ProbeResult a = direct.probe("pass.example.com", VantagePoint::kNewYork);
+  ProbeResult b = wrapped.probe("pass.example.com", VantagePoint::kNewYork);
+  ASSERT_TRUE(a.reachable);
+  ASSERT_TRUE(b.reachable);
+  ASSERT_EQ(a.chain.size(), b.chain.size());
+  EXPECT_EQ(a.chain.front().fingerprint(), b.chain.front().fingerprint());
+  EXPECT_EQ(injector.stats().connects, 1u);
+  EXPECT_EQ(injector.stats().timeouts, 0u);
+}
+
+TEST(FaultInjector, CertainTimeoutIsATransientNetError) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  internet.add_server(make_server("t.example.com", ca));
+  FaultSpec spec;
+  spec.timeout_rate = 1.0;
+  FaultInjector injector(internet, spec);
+  TlsProber prober(injector);
+  ProbeResult r = prober.probe("t.example.com", VantagePoint::kNewYork);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_EQ(r.error, ProbeError::kTimeout);
+  EXPECT_TRUE(r.transient);
+  EXPECT_EQ(injector.stats().timeouts, 1u);
+}
+
+TEST(FaultInjector, CertainResetIsAConnectError) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  internet.add_server(make_server("r.example.com", ca));
+  FaultSpec spec;
+  spec.reset_rate = 1.0;
+  FaultInjector injector(internet, spec);
+  TlsProber prober(injector);
+  ProbeResult r = prober.probe("r.example.com", VantagePoint::kNewYork);
+  EXPECT_EQ(r.error, ProbeError::kConnect);
+  EXPECT_TRUE(r.transient);
+}
+
+TEST(FaultInjector, TruncationSurfacesAsDefinitiveParseFailure) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  internet.add_server(make_server("cut.example.com", ca));
+  FaultSpec spec;
+  spec.truncate_rate = 1.0;
+  FaultInjector injector(internet, spec);
+  TlsProber prober(injector);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.base_backoff_ms = 0;
+  prober.set_retry_policy(retry);
+  ProbeResult r = prober.probe("cut.example.com", VantagePoint::kNewYork);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_EQ(r.error, ProbeError::kParse);
+  EXPECT_FALSE(r.transient);
+  // Definitive: no retry happened despite the policy allowing 4 attempts.
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(injector.stats().connects, 1u);
+}
+
+TEST(FaultInjector, OutageWindowBlanketsOneVantage) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  internet.add_server(make_server("w.example.com", ca));
+  FaultSpec spec;
+  OutageWindow w;
+  w.vantage = VantagePoint::kFrankfurt;
+  w.start = 0;
+  w.end = 1000;
+  spec.outages.push_back(w);
+  FaultInjector injector(internet, spec);
+  TlsProber prober(injector);
+  EXPECT_TRUE(prober.probe("w.example.com", VantagePoint::kNewYork).reachable);
+  ProbeResult fra = prober.probe("w.example.com", VantagePoint::kFrankfurt);
+  EXPECT_FALSE(fra.reachable);
+  EXPECT_EQ(fra.error, ProbeError::kTimeout);
+  EXPECT_TRUE(prober.probe("w.example.com", VantagePoint::kSingapore).reachable);
+  EXPECT_EQ(injector.stats().outage_hits, 1u);
+}
+
+TEST(FaultInjector, OutageWindowEndsAndServiceRecovers) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  internet.add_server(make_server("o.example.com", ca));
+  FaultSpec spec;
+  OutageWindow w;
+  w.vantage = VantagePoint::kNewYork;
+  w.start = 0;
+  w.end = 2;  // first two NY connections blacked out
+  spec.outages.push_back(w);
+  FaultInjector injector(internet, spec);
+  TlsProber prober(injector);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.base_backoff_ms = 10;
+  prober.set_retry_policy(retry);
+  ProbeResult r = prober.probe("o.example.com", VantagePoint::kNewYork);
+  EXPECT_TRUE(r.reachable);
+  EXPECT_EQ(r.attempts, 3);  // two outage hits, third connection lands
+  EXPECT_EQ(injector.stats().outage_hits, 2u);
+}
+
+TEST(FaultInjector, LatencyAdvancesTheVirtualClock) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  internet.add_server(make_server("slow.example.com", ca));
+  FaultSpec spec;
+  spec.latency_ms = 30;
+  VirtualClock clock;
+  FaultInjector injector(internet, spec, &clock);
+  TlsProber prober(injector);
+  ASSERT_TRUE(prober.probe("slow.example.com", VantagePoint::kNewYork).reachable);
+  EXPECT_EQ(clock.now_ms(), 30u);
+  EXPECT_EQ(injector.stats().latency_ms_total, 30u);
+}
+
+TEST(FaultInjector, SameSeedReplaysTheIdenticalFaultSchedule) {
+  auto ca = resilience_ca();
+  Fleet fleet = make_fleet(24, ca);
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.timeout_rate = 0.35;
+  spec.garble_rate = 0.1;
+
+  auto run = [&] {
+    FaultInjector injector(fleet.internet, spec);
+    TlsProber prober(injector);
+    std::vector<std::pair<bool, ProbeError>> outcomes;
+    for (const std::string& sni : fleet.snis) {
+      for (VantagePoint v : kAllVantagePoints) {
+        ProbeResult r = prober.probe(sni, v);
+        outcomes.emplace_back(r.reachable, r.error);
+      }
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(), run());
+
+  // A different seed produces a different schedule.
+  FaultSpec other = spec;
+  other.seed = 4321;
+  FaultInjector injector(fleet.internet, other);
+  TlsProber prober(injector);
+  std::vector<std::pair<bool, ProbeError>> outcomes;
+  for (const std::string& sni : fleet.snis) {
+    for (VantagePoint v : kAllVantagePoints) {
+      ProbeResult r = prober.probe(sni, v);
+      outcomes.emplace_back(r.reachable, r.error);
+    }
+  }
+  EXPECT_NE(outcomes, run());
+}
+
+TEST(FaultInjector, ResetReplaysFromTheBeginning) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  internet.add_server(make_server("replay.example.com", ca));
+  FaultSpec spec;
+  spec.seed = 9;
+  spec.timeout_rate = 0.5;
+  FaultInjector injector(internet, spec);
+  TlsProber prober(injector);
+  auto first = [&] {
+    std::vector<ProbeError> seq;
+    for (int i = 0; i < 6; ++i) {
+      seq.push_back(prober.probe("replay.example.com", VantagePoint::kNewYork).error);
+    }
+    return seq;
+  };
+  auto a = first();
+  injector.reset();
+  EXPECT_EQ(injector.stats().connects, 0u);
+  EXPECT_EQ(a, first());
+}
+
+// -------------------------------------------------------------- RetryPolicy
+
+TEST(RetryPolicy, OnlyTransientCategoriesAreRetryable) {
+  EXPECT_TRUE(RetryPolicy::retryable(ProbeError::kTimeout));
+  EXPECT_TRUE(RetryPolicy::retryable(ProbeError::kConnect));
+  EXPECT_FALSE(RetryPolicy::retryable(ProbeError::kNone));
+  EXPECT_FALSE(RetryPolicy::retryable(ProbeError::kDns));
+  EXPECT_FALSE(RetryPolicy::retryable(ProbeError::kAlert));
+  EXPECT_FALSE(RetryPolicy::retryable(ProbeError::kParse));
+  EXPECT_FALSE(RetryPolicy::retryable(ProbeError::kSkipped));
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndSaturates) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 450;
+  const std::string sni = "backoff.example.com";
+  auto v = VantagePoint::kNewYork;
+  std::uint64_t b1 = policy.backoff_ms(1, sni, v);
+  std::uint64_t b2 = policy.backoff_ms(2, sni, v);
+  std::uint64_t b3 = policy.backoff_ms(3, sni, v);
+  std::uint64_t b9 = policy.backoff_ms(9, sni, v);
+  // Raw exponential 100/200/400 capped at 450, each plus jitter < 100.
+  EXPECT_GE(b1, 100u); EXPECT_LT(b1, 200u);
+  EXPECT_GE(b2, 200u); EXPECT_LT(b2, 300u);
+  EXPECT_GE(b3, 400u); EXPECT_LT(b3, 500u);
+  EXPECT_GE(b9, 450u); EXPECT_LT(b9, 550u);  // saturated (no overflow)
+}
+
+TEST(RetryPolicy, JitterIsDeterministicButDecorrelatedAcrossSnis) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1000;
+  auto v = VantagePoint::kFrankfurt;
+  EXPECT_EQ(policy.backoff_ms(1, "a.example.com", v),
+            policy.backoff_ms(1, "a.example.com", v));
+  std::set<std::uint64_t> delays;
+  for (int i = 0; i < 16; ++i) {
+    delays.insert(policy.backoff_ms(1, "host" + std::to_string(i) + ".com", v));
+  }
+  EXPECT_GT(delays.size(), 8u);  // jitter actually spreads the herd
+}
+
+TEST(RetryPolicy, ZeroBaseBackoffMeansZeroDelay) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 0;
+  EXPECT_EQ(policy.backoff_ms(1, "x.example.com", VantagePoint::kNewYork), 0u);
+  EXPECT_EQ(policy.backoff_ms(5, "x.example.com", VantagePoint::kNewYork), 0u);
+}
+
+TEST(Prober, BackoffSleepsAdvanceTheProbersClock) {
+  SimInternet internet;  // empty: nothing resolves
+  auto ca = resilience_ca();
+  SimServer dark = make_server("dark.example.com", ca);
+  dark.reachable = false;  // kTimeout — transient, retried
+  internet.add_server(std::move(dark));
+
+  TlsProber prober(internet);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.base_backoff_ms = 100;
+  prober.set_retry_policy(retry);
+  VirtualClock clock;
+  prober.set_clock(&clock);
+
+  ProbeResult r = prober.probe("dark.example.com", VantagePoint::kNewYork);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_EQ(r.attempts, 3);
+  std::uint64_t expected = retry.backoff_ms(1, "dark.example.com", VantagePoint::kNewYork) +
+                           retry.backoff_ms(2, "dark.example.com", VantagePoint::kNewYork);
+  EXPECT_EQ(clock.now_ms(), expected);
+
+  // Definitive failures back off not at all.
+  ProbeResult dns = prober.probe("nosuch.example.com", VantagePoint::kNewYork);
+  EXPECT_EQ(dns.error, ProbeError::kDns);
+  EXPECT_EQ(dns.attempts, 1);
+  EXPECT_EQ(clock.now_ms(), expected);
+}
+
+// ------------------------------------------------------------ CircuitBreaker
+
+TEST(CircuitBreaker, OpensAfterThresholdAndCoolsDownToHalfOpen) {
+  CircuitBreaker breaker(BreakerConfig{2, 3});
+  const std::string sni = "flaky.example.com";
+  EXPECT_TRUE(breaker.allow(sni));
+  breaker.record_failure(sni);
+  EXPECT_EQ(breaker.state(sni), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(sni));
+  breaker.record_failure(sni);
+  EXPECT_EQ(breaker.state(sni), CircuitBreaker::State::kOpen);
+
+  // Open: denies during the cooldown, then admits one half-open trial.
+  EXPECT_FALSE(breaker.allow(sni));
+  EXPECT_FALSE(breaker.allow(sni));
+  EXPECT_TRUE(breaker.allow(sni));  // third call = cooldown spent, trial admitted
+  EXPECT_EQ(breaker.state(sni), CircuitBreaker::State::kHalfOpen);
+
+  // Failed trial: straight back to open.
+  breaker.record_failure(sni);
+  EXPECT_EQ(breaker.state(sni), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(sni));
+  EXPECT_FALSE(breaker.allow(sni));
+  EXPECT_TRUE(breaker.allow(sni));
+
+  // Successful trial closes the circuit and clears the failure count.
+  breaker.record_success(sni);
+  EXPECT_EQ(breaker.state(sni), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(sni));
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveFailureCount) {
+  CircuitBreaker breaker(BreakerConfig{3, 2});
+  const std::string sni = "sometimes.example.com";
+  breaker.record_failure(sni);
+  breaker.record_failure(sni);
+  breaker.record_success(sni);
+  breaker.record_failure(sni);
+  breaker.record_failure(sni);
+  EXPECT_EQ(breaker.state(sni), CircuitBreaker::State::kClosed);
+  breaker.record_failure(sni);
+  EXPECT_EQ(breaker.state(sni), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreaker, DisabledBreakerNeverDenies) {
+  CircuitBreaker breaker(BreakerConfig{0, 2});
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 10; ++i) {
+    breaker.record_failure("dead.example.com");
+    EXPECT_TRUE(breaker.allow("dead.example.com"));
+  }
+  EXPECT_TRUE(breaker.quarantined().empty());
+}
+
+TEST(CircuitBreaker, TracksPerSniStateIndependently) {
+  CircuitBreaker breaker(BreakerConfig{1, 2});
+  breaker.record_failure("a.example.com");
+  EXPECT_EQ(breaker.state("a.example.com"), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.state("b.example.com"), CircuitBreaker::State::kClosed);
+  breaker.record_success("b.example.com");
+  auto q = breaker.quarantined();
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q[0], "a.example.com");
+  auto counts = breaker.counts();
+  EXPECT_EQ(counts.open, 1u);
+  EXPECT_EQ(counts.closed, 1u);
+}
+
+// ------------------------------------------------------------------- survey
+
+TEST(Survey, QuarantinesRepeatedlyDeadSnisAndReportsSkips) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  internet.add_server(make_server("alive.example.com", ca));
+  SimServer dead = make_server("dead.example.com", ca);
+  dead.reachable = false;
+  internet.add_server(std::move(dead));
+
+  TlsProber prober(internet);
+  prober.set_breaker(BreakerConfig{2, 1000});  // open fast, never cool down
+
+  // The dead SNI appears twice: pass one burns through the breaker
+  // threshold, pass two is quarantined without a single connection.
+  SurveyReport report = prober.survey_report(
+      {"dead.example.com", "alive.example.com", "dead.example.com"});
+  ASSERT_EQ(report.results.size(), 3u);
+
+  const MultiVantageResult& first = report.results[0];
+  EXPECT_FALSE(first.by_vantage.at(VantagePoint::kNewYork).reachable);
+  EXPECT_FALSE(first.by_vantage.at(VantagePoint::kNewYork).quarantined);
+  // Threshold 2: NY and Frankfurt fail and open the circuit; Singapore is
+  // already quarantined within the first pass.
+  EXPECT_TRUE(first.by_vantage.at(VantagePoint::kSingapore).quarantined);
+  EXPECT_EQ(first.by_vantage.at(VantagePoint::kSingapore).error,
+            ProbeError::kSkipped);
+  EXPECT_EQ(first.by_vantage.at(VantagePoint::kSingapore).attempts, 0);
+
+  const MultiVantageResult& second_pass = report.results[2];
+  for (VantagePoint v : kAllVantagePoints) {
+    EXPECT_TRUE(second_pass.by_vantage.at(v).quarantined);
+  }
+
+  EXPECT_EQ(report.summary.snis, 3u);
+  EXPECT_EQ(report.summary.fully_reachable, 1u);
+  EXPECT_EQ(report.summary.unreachable, 2u);
+  EXPECT_EQ(report.summary.quarantined_snis, 2u);
+  EXPECT_EQ(report.summary.skipped_probes, 4u);
+  EXPECT_FALSE(report.summary.to_string().empty());
+}
+
+TEST(Survey, AlertingServersAreReachableForTheBreaker) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  SimServer refusing = make_server("tls13.example.com", ca);
+  refusing.supported_suites = {0x1301};  // nothing the prober offers -> alert
+  internet.add_server(std::move(refusing));
+
+  TlsProber prober(internet);
+  prober.set_breaker(BreakerConfig{1, 1000});  // hair-trigger
+  SurveyReport report =
+      prober.survey_report({"tls13.example.com", "tls13.example.com"});
+  // A fatal alert is the server talking — never quarantined.
+  EXPECT_EQ(report.summary.skipped_probes, 0u);
+  for (const auto& multi : report.results) {
+    for (const auto& [v, r] : multi.by_vantage) {
+      EXPECT_EQ(r.error, ProbeError::kAlert);
+      EXPECT_FALSE(r.quarantined);
+    }
+  }
+}
+
+TEST(Survey, RetryBudgetCapsTotalRetries) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  for (int i = 0; i < 4; ++i) {
+    SimServer dark = make_server("dark" + std::to_string(i) + ".example.com", ca);
+    dark.reachable = false;  // transient-looking timeouts everywhere
+    internet.add_server(std::move(dark));
+  }
+  TlsProber prober(internet);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.base_backoff_ms = 0;
+  retry.retry_budget = 5;
+  prober.set_retry_policy(retry);
+  prober.set_breaker(BreakerConfig{0, 2});  // isolate the budget effect
+
+  SurveyReport report = prober.survey_report(
+      {"dark0.example.com", "dark1.example.com", "dark2.example.com",
+       "dark3.example.com"});
+  EXPECT_EQ(report.summary.retries, 5u);
+  EXPECT_GT(report.summary.budget_denied, 0u);
+  // 12 probes, 5 retries: exactly 17 attempts.
+  EXPECT_EQ(report.summary.attempts, 17u);
+}
+
+TEST(Survey, MajorityFailureCategoryWinsTheSpanTag) {
+  // NY is blacked out by an outage (timeout); Frankfurt and Singapore see
+  // kDns for the unknown name. Majority category must be dns, not the old
+  // "whatever New York said".
+  SimInternet internet;
+  FaultSpec spec;
+  OutageWindow w;
+  w.vantage = VantagePoint::kNewYork;
+  w.start = 0;
+  w.end = 1000;
+  spec.outages.push_back(w);
+  FaultInjector injector(internet, spec);
+  TlsProber prober(injector);
+
+  auto results = prober.survey({"ghost.example.com"});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].by_vantage.at(VantagePoint::kNewYork).error,
+            ProbeError::kTimeout);
+  EXPECT_EQ(results[0].by_vantage.at(VantagePoint::kFrankfurt).error,
+            ProbeError::kDns);
+  EXPECT_EQ(results[0].majority_error(), ProbeError::kDns);
+}
+
+TEST(MultiVantage, MajorityErrorTieBreaksTowardNewYork) {
+  MultiVantageResult multi;
+  ProbeResult ny;
+  ny.vantage = VantagePoint::kNewYork;
+  ny.error = ProbeError::kTimeout;
+  ProbeResult fra;
+  fra.vantage = VantagePoint::kFrankfurt;
+  fra.error = ProbeError::kDns;
+  multi.by_vantage[VantagePoint::kNewYork] = ny;
+  multi.by_vantage[VantagePoint::kFrankfurt] = fra;
+  EXPECT_EQ(multi.majority_error(), ProbeError::kTimeout);
+
+  MultiVantageResult all_ok;
+  ProbeResult up;
+  up.reachable = true;
+  all_ok.by_vantage[VantagePoint::kNewYork] = up;
+  EXPECT_EQ(all_ok.majority_error(), ProbeError::kNone);
+}
+
+// ------------------------------------------------- acceptance: fault recovery
+
+TEST(Survey, RecoversTheHarvestUnderTwentyPercentTimeouts) {
+  auto ca = resilience_ca();
+  Fleet fleet = make_fleet(60, ca);
+
+  // Zero-fault baseline: every probe of the healthy fleet lands a chain.
+  TlsProber baseline(fleet.internet);
+  std::size_t baseline_certs =
+      certificates_harvested(baseline.survey(fleet.snis));
+  ASSERT_EQ(baseline_certs, fleet.snis.size() * kAllVantagePoints.size());
+
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.timeout_rate = 0.20;
+
+  RetryPolicy retry;
+  retry.max_attempts = 4;  // up to 3 retries: residual loss 0.2^4 = 0.16%
+  retry.base_backoff_ms = 50;
+
+  auto run = [&] {
+    obs::metrics().reset();
+    FaultInjector injector(fleet.internet, spec);
+    TlsProber prober(injector);
+    prober.set_retry_policy(retry);
+    return prober.survey_report(fleet.snis);
+  };
+
+  SurveyReport report = run();
+  std::size_t recovered_certs = certificates_harvested(report.results);
+  // ≥99% of the zero-fault harvest survives 20% injected timeouts.
+  EXPECT_GE(recovered_certs * 100, baseline_certs * 99);
+  EXPECT_GT(report.summary.retries, 0u);
+  EXPECT_EQ(report.summary.persistent_failures, 0u);
+
+  // Same seed, same counters — byte-identical retry accounting across runs.
+  std::uint64_t retries_a = obs::metrics().counter("net.probe.retry").value();
+  std::uint64_t recovered_a = obs::metrics().counter("net.probe.recovered").value();
+  std::uint64_t retry_timeout_a =
+      obs::metrics().counter("net.probe.retry.timeout").value();
+  SurveyReport again = run();
+  EXPECT_EQ(obs::metrics().counter("net.probe.retry").value(), retries_a);
+  EXPECT_EQ(obs::metrics().counter("net.probe.recovered").value(), recovered_a);
+  EXPECT_EQ(obs::metrics().counter("net.probe.retry.timeout").value(),
+            retry_timeout_a);
+  EXPECT_EQ(certificates_harvested(again.results), recovered_certs);
+  EXPECT_EQ(again.summary.retries, report.summary.retries);
+  EXPECT_EQ(again.summary.backoff_ms_total, report.summary.backoff_ms_total);
+
+  // Retries only ever chased transient categories.
+  EXPECT_EQ(obs::metrics().counter("net.probe.retry.connect").value(), 0u);
+  EXPECT_EQ(obs::metrics().counter("net.probe.retry").value(),
+            obs::metrics().counter("net.probe.retry.timeout").value());
+}
+
+TEST(Survey, SingleAttemptPolicyReproducesSeedBehaviour) {
+  auto ca = resilience_ca();
+  Fleet fleet = make_fleet(12, ca);
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.timeout_rate = 0.30;
+  FaultInjector injector(fleet.internet, spec);
+  TlsProber prober(injector);  // defaults: max_attempts = 1
+
+  SurveyReport report = prober.survey_report(fleet.snis);
+  EXPECT_EQ(report.summary.retries, 0u);
+  EXPECT_EQ(report.summary.recovered_probes, 0u);
+  // Every probe made exactly one attempt.
+  EXPECT_EQ(report.summary.attempts,
+            fleet.snis.size() * kAllVantagePoints.size());
+  for (const auto& multi : report.results) {
+    for (const auto& [v, r] : multi.by_vantage) {
+      EXPECT_EQ(r.attempts, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iotls::net

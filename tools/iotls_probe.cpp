@@ -1,7 +1,8 @@
 // iotls_probe — probe IoT servers and validate their certificate chains.
 //
 // Usage:
-//   iotls_probe [--all] [--stats[=json]] [sni ...]
+//   iotls_probe [--all] [--stats[=json]] [--retries=N] [--backoff-ms=N]
+//               [--retry-budget=N] [--breaker=N] [--fault-spec=SPEC] [sni ...]
 //
 // Runs against the repository's simulated internet (this reproduction has
 // no live sockets): performs a full TLS exchange from each of the three
@@ -9,21 +10,34 @@
 // Microsoft store union, and reports issuer, validity, CT presence, OCSP
 // stapling and geo consistency — the §5 pipeline for arbitrary names.
 //
+// Resilience: `--retries=N` allows N total attempts per probe with
+// exponential backoff (`--backoff-ms` base, deterministic jitter) on
+// transient failures only; `--retry-budget` caps a survey's extra attempts;
+// `--breaker=N` quarantines an SNI after N consecutive connectivity
+// failures (0 disables). `--fault-spec` layers deterministic network chaos
+// over the simulation, e.g.
+//   --fault-spec=seed=7,timeout=0.2,reset=0.05,outage=frankfurt:10:25
+// so the retry/breaker machinery can be exercised and measured end to end.
+//
 // Observability: set IOTLS_LOG_LEVEL=debug for structured per-probe logs on
 // stderr. `--stats` appends per-stage timings and the metric registry to
 // the report; `--stats=json` replaces the report with one JSON document
 // (counters, histograms, stage spans) on stdout.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "devicesim/scenario.hpp"
+#include "net/fault.hpp"
 #include "net/prober.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/obs_report.hpp"
 #include "util/dates.hpp"
+#include "util/error.hpp"
 #include "x509/validation.hpp"
 
 using namespace iotls;
@@ -32,32 +46,90 @@ namespace {
 
 enum class StatsMode { kOff, kText, kJson };
 
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: iotls_probe [--all] [--stats[=json]] [--retries=N]\n"
+               "                   [--backoff-ms=N] [--retry-budget=N] [--breaker=N]\n"
+               "                   [--fault-spec=SPEC] [sni ...]\n");
+}
+
+/// Parse the numeric value of a `--flag=N` argument; exits on garbage.
+std::uint64_t flag_u64(const char* arg, const char* flag) {
+  const char* value = arg + std::strlen(flag);
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "%s wants a non-negative integer, got '%s'\n", flag, value);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+bool has_prefix(const char* arg, const char* prefix) {
+  return std::strncmp(arg, prefix, std::strlen(prefix)) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool all = false;
   StatsMode stats = StatsMode::kOff;
+  net::RetryPolicy retry;
+  net::BreakerConfig breaker;
+  net::FaultSpec fault_spec;
+  bool faults = false;
   std::vector<std::string> snis;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--all") == 0) all = true;
     else if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
     else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
-    else if (argv[i][0] == '-') {
+    else if (has_prefix(argv[i], "--retries=")) {
+      retry.max_attempts = 1 + static_cast<int>(flag_u64(argv[i], "--retries="));
+    } else if (has_prefix(argv[i], "--backoff-ms=")) {
+      retry.base_backoff_ms = flag_u64(argv[i], "--backoff-ms=");
+    } else if (has_prefix(argv[i], "--retry-budget=")) {
+      retry.retry_budget = flag_u64(argv[i], "--retry-budget=");
+    } else if (has_prefix(argv[i], "--breaker=")) {
+      breaker.failure_threshold =
+          static_cast<int>(flag_u64(argv[i], "--breaker="));
+    } else if (has_prefix(argv[i], "--fault-spec=")) {
+      try {
+        fault_spec = net::FaultSpec::parse(argv[i] + std::strlen("--fault-spec="));
+        faults = true;
+      } catch (const ParseError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      std::fprintf(stderr, "usage: iotls_probe [--all] [--stats[=json]] [sni ...]\n");
+      usage(stderr);
       return 2;
     }
     else snis.emplace_back(argv[i]);
   }
   if (!all && snis.empty()) {
-    std::fprintf(stderr, "usage: iotls_probe [--all] [--stats[=json]] [sni ...]\n");
+    usage(stderr);
     std::fprintf(stderr, "example: iotls_probe appboot.netflix.com a2.tuyaus.com\n");
     return 2;
   }
 
   auto universe = devicesim::ServerUniverse::standard();
   devicesim::SimWorld world = devicesim::build_world(universe);
-  net::TlsProber prober(world.internet);
+
+  // Optionally decorate the simulated internet with seeded chaos.
+  net::VirtualClock clock;
+  std::unique_ptr<net::FaultInjector> injector;
+  const net::Internet* internet = &world.internet;
+  if (faults) {
+    injector = std::make_unique<net::FaultInjector>(world.internet, fault_spec,
+                                                    &clock);
+    internet = injector.get();
+  }
+  net::TlsProber prober(*internet);
+  prober.set_retry_policy(retry);
+  prober.set_breaker(breaker);
+  prober.set_clock(&clock);
+
   const std::int64_t today = days(2022, 4, 15);
   const bool quiet = stats == StatsMode::kJson;  // stdout carries JSON only
 
@@ -67,29 +139,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  net::SurveyReport survey = prober.survey_report(snis);
+
   std::size_t ok = 0, failed = 0, unreachable = 0;
-  for (const std::string& sni : snis) {
-    net::MultiVantageResult multi = [&] {
-      auto span = obs::tracer().span("probe");
-      span.add_items();
-      auto result = prober.probe_all_vantages(sni);
-      bool anywhere = false;
-      for (const auto& [vantage, probe] : result.by_vantage) {
-        if (probe.reachable) anywhere = true;
-      }
-      if (!anywhere) {
-        span.fail(net::probe_error_name(
-            result.by_vantage.at(net::VantagePoint::kNewYork).error));
-      }
-      return result;
-    }();
+  for (const net::MultiVantageResult& multi : survey.results) {
+    const std::string& sni = multi.sni;
     const net::ProbeResult& ny = multi.by_vantage.at(net::VantagePoint::kNewYork);
     if (!ny.reachable) {
       if (!quiet) {
-        std::printf("%-40s UNREACHABLE (%s)\n", sni.c_str(),
-                    ny.error_string().c_str());
+        if (ny.quarantined) {
+          std::printf("%-40s QUARANTINED (circuit breaker open)\n", sni.c_str());
+        } else {
+          std::printf("%-40s UNREACHABLE (%s; %s, %d attempt%s)\n", sni.c_str(),
+                      ny.error_string().c_str(),
+                      ny.transient ? "transient" : "persistent", ny.attempts,
+                      ny.attempts == 1 ? "" : "s");
+        }
       }
       ++unreachable;
+      continue;
+    }
+    if (ny.chain.empty()) {
+      // Reachable but served nothing we could decode into a chain (possible
+      // under garbled-response fault injection).
+      if (!quiet) std::printf("%-40s EMPTY CHAIN\n", sni.c_str());
+      ++failed;
       continue;
     }
     x509::ValidationResult v = [&] {
@@ -127,6 +201,20 @@ int main(int argc, char** argv) {
   if (!quiet) {
     std::printf("\n%zu clean, %zu problematic, %zu unreachable\n", ok, failed,
                 unreachable);
+    std::printf("degradation: %s\n", survey.summary.to_string().c_str());
+    if (faults) {
+      net::FaultInjector::Stats fs = injector->stats();
+      std::printf("faults injected: %llu timeouts, %llu resets, %llu truncated, "
+                  "%llu garbled, %llu outage hits over %llu connects "
+                  "(+%llu virtual ms latency)\n",
+                  static_cast<unsigned long long>(fs.timeouts),
+                  static_cast<unsigned long long>(fs.resets),
+                  static_cast<unsigned long long>(fs.truncated),
+                  static_cast<unsigned long long>(fs.garbled),
+                  static_cast<unsigned long long>(fs.outage_hits),
+                  static_cast<unsigned long long>(fs.connects),
+                  static_cast<unsigned long long>(fs.latency_ms_total));
+    }
   }
 
   if (stats == StatsMode::kText) {
