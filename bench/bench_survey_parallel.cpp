@@ -1,0 +1,132 @@
+// Parallel-survey performance suite (google-benchmark): wall time of the
+// §5.1 harvest survey as --jobs scales 1 → 2 → 4 → 8.
+//
+// Reports per run:
+//   snis_per_s  — survey throughput
+//   speedup_x   — wall-time ratio vs the jobs=1 run of the same variant
+//                 (computed from the per-variant baseline captured first)
+//
+// Two variants: a clean fleet (pure fan-out; near-linear scaling is the
+// target on hardware with >= `jobs` cores — on fewer cores the curve
+// flattens at the core count) and a 20%-timeout fleet with retries, where
+// work stealing has to rebalance shards of wildly different retry cost.
+// Determinism is not re-proven here (the concurrency test suite pins
+// byte-equality); this suite only measures the schedule.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/prober.hpp"
+#include "net/retry.hpp"
+#include "x509/authority.hpp"
+
+using namespace iotls;
+
+namespace {
+
+struct Fleet {
+  net::SimInternet internet;
+  std::vector<std::string> snis;
+};
+
+const Fleet& fleet() {
+  static Fleet* f = [] {
+    auto* out = new Fleet;
+    auto ca = x509::CertificateAuthority::make_root(
+        "Parallel CA", "Parallel", x509::CaKind::kPublicTrust, 15000, 30000);
+    for (int i = 0; i < 240; ++i) {
+      net::SimServer server;
+      server.sni = "host" + std::to_string(i) + ".par.example.com";
+      server.ips = {"203.0.113.8"};
+      x509::IssueRequest req;
+      req.subject.common_name = server.sni;
+      req.san_dns = {server.sni};
+      req.not_before = 18000;
+      req.not_after = 19500;
+      server.default_chain = {ca.issue(req), ca.certificate()};
+      out->snis.push_back(server.sni);
+      out->internet.add_server(std::move(server));
+    }
+    return out;
+  }();
+  return *f;
+}
+
+// Per-variant jobs=1 wall time (seconds per survey), captured when the
+// jobs=1 run of that variant executes; later runs report speedup vs it.
+std::map<std::string, double>& baselines() {
+  static std::map<std::string, double> b;
+  return b;
+}
+
+using Seconds = std::chrono::duration<double>;
+
+void report(benchmark::State& state, const char* variant, double surveys,
+            double total_secs) {
+  const double secs_per_survey = surveys > 0 ? total_secs / surveys : 0;
+  if (total_secs > 0) {
+    state.counters["snis_per_s"] =
+        static_cast<double>(fleet().snis.size()) * surveys / total_secs;
+  }
+  if (state.range(0) == 1) baselines()[variant] = secs_per_survey;
+  auto it = baselines().find(variant);
+  if (it != baselines().end() && secs_per_survey > 0) {
+    state.counters["speedup_x"] = it->second / secs_per_survey;
+  }
+}
+
+void BM_SurveyParallelClean(benchmark::State& state) {
+  const Fleet& f = fleet();
+  net::TlsProber prober(f.internet);
+  prober.set_jobs(static_cast<int>(state.range(0)));
+  double surveys = 0, total_secs = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    net::SurveyReport r = prober.survey_report(f.snis);
+    double secs = Seconds(std::chrono::steady_clock::now() - t0).count();
+    benchmark::DoNotOptimize(r.summary.fully_reachable);
+    state.SetIterationTime(secs);
+    total_secs += secs;
+    surveys += 1;
+  }
+  report(state, "clean", surveys, total_secs);
+}
+BENCHMARK(BM_SurveyParallelClean)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+void BM_SurveyParallelFaulted(benchmark::State& state) {
+  const Fleet& f = fleet();
+  net::FaultSpec spec;
+  spec.seed = 42;
+  spec.timeout_rate = 0.20;
+  net::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.base_backoff_ms = 50;
+  double surveys = 0, total_secs = 0;
+  for (auto _ : state) {
+    // Fresh injector per survey (outside the timed window) so every run
+    // replays the same fault tape.
+    net::FaultInjector injector(f.internet, spec);
+    net::TlsProber prober(injector);
+    prober.set_retry_policy(retry);
+    prober.set_jobs(static_cast<int>(state.range(0)));
+    auto t0 = std::chrono::steady_clock::now();
+    net::SurveyReport r = prober.survey_report(f.snis);
+    double secs = Seconds(std::chrono::steady_clock::now() - t0).count();
+    benchmark::DoNotOptimize(r.summary.retries);
+    state.SetIterationTime(secs);
+    total_secs += secs;
+    surveys += 1;
+  }
+  report(state, "faulted", surveys, total_secs);
+}
+BENCHMARK(BM_SurveyParallelFaulted)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseManualTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

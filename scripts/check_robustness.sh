@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Run the robustness-labelled test suites (net, parser-fuzz, resilience)
-# under AddressSanitizer + UBSan, so the retry/breaker state machines and
-# the fault-injection paths are sanitizer-clean on every change.
+# under AddressSanitizer + UBSan, then the concurrency-labelled suites
+# (parallel survey determinism, pool races) under ThreadSanitizer — so the
+# retry/breaker state machines, the fault-injection paths and the parallel
+# executor are sanitizer-clean on every change.
 #
 # Usage: scripts/check_robustness.sh [ctest-args...]
 set -euo pipefail
@@ -10,3 +12,7 @@ cd "$(dirname "$0")/.."
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset robustness-asan -j"$(nproc)" "$@"
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+ctest --preset concurrency-tsan -j"$(nproc)" "$@"

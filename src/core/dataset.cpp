@@ -1,5 +1,6 @@
 #include "core/dataset.hpp"
 
+#include "exec/pool.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -8,8 +9,68 @@
 
 namespace iotls::core {
 
+namespace {
+
+// Per-event outcome of the (parallelizable) parse phase. Index maps,
+// counters and logs are folded sequentially afterwards, in input order,
+// so jobs=N builds the exact dataset jobs=1 does.
+struct ParseOutcome {
+  enum class Kind { kOk, kUnknownDevice, kNoClientHello, kParseError };
+  Kind kind = Kind::kParseError;
+  ParsedEvent ev;  // filled only when kind == kOk
+};
+
+ParseOutcome parse_one(const devicesim::ClientHelloEvent& raw,
+                       const std::map<std::string, const devicesim::Device*>& devices,
+                       const tls::FingerprintOptions& opts) {
+  ParseOutcome out;
+  auto dev_it = devices.find(raw.device_id);
+  if (dev_it == devices.end()) {
+    out.kind = ParseOutcome::Kind::kUnknownDevice;
+    return out;
+  }
+  ParsedEvent ev;
+  try {
+    auto records = tls::parse_records(BytesView(raw.wire.data(), raw.wire.size()));
+    Bytes payload = tls::handshake_payload(records);
+    auto msgs = tls::split_handshakes(BytesView(payload.data(), payload.size()));
+    bool found = false;
+    for (const tls::HandshakeMessage& m : msgs) {
+      if (m.type != tls::HandshakeType::kClientHello) continue;
+      Bytes framed =
+          tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
+      ev.hello = tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
+      found = true;
+      break;
+    }
+    if (!found) {
+      out.kind = ParseOutcome::Kind::kNoClientHello;
+      return out;
+    }
+  } catch (const ParseError&) {
+    out.kind = ParseOutcome::Kind::kParseError;
+    return out;
+  }
+
+  const devicesim::Device& device = *dev_it->second;
+  ev.device_id = device.id;
+  ev.vendor = device.vendor;
+  ev.type = device.type;
+  ev.user = device.user_id;
+  ev.day = raw.day;
+  ev.sni = ev.hello.sni().value_or(raw.sni);
+  ev.fp = tls::fingerprint_of(ev.hello, opts);
+  ev.fp_key = ev.fp.key();
+  out.kind = ParseOutcome::Kind::kOk;
+  out.ev = std::move(ev);
+  return out;
+}
+
+}  // namespace
+
 ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
-                                        const tls::FingerprintOptions& opts) {
+                                        const tls::FingerprintOptions& opts,
+                                        int jobs) {
   static obs::Counter& parsed_counter =
       obs::metrics().counter("core.dataset.events_parsed");
   static obs::Counter& drop_unknown_device =
@@ -25,6 +86,14 @@ ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
   std::map<std::string, const devicesim::Device*> devices;
   for (const devicesim::Device& d : fleet.devices) devices[d.id] = &d;
 
+  // Phase 1 (parallel): pure per-event parse into index-addressed slots.
+  std::vector<ParseOutcome> outcomes(fleet.events.size());
+  exec::parallel_for(jobs, fleet.events.size(), [&](std::size_t i) {
+    outcomes[i] = parse_one(fleet.events[i], devices, opts);
+  });
+
+  // Phase 2 (sequential, input order): counters, logs, span tallies and
+  // the cross-index maps.
   auto drop = [&](std::size_t& reason_count, obs::Counter& counter,
                   const char* reason, const devicesim::ClientHelloEvent& raw) {
     ++reason_count;
@@ -38,44 +107,23 @@ ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
   };
 
   ds.events_.reserve(fleet.events.size());
-  for (const devicesim::ClientHelloEvent& raw : fleet.events) {
-    auto dev_it = devices.find(raw.device_id);
-    if (dev_it == devices.end()) {
-      drop(ds.dropped_.unknown_device, drop_unknown_device, "unknown_device", raw);
-      continue;
-    }
-    ParsedEvent ev;
-    try {
-      auto records = tls::parse_records(BytesView(raw.wire.data(), raw.wire.size()));
-      Bytes payload = tls::handshake_payload(records);
-      auto msgs = tls::split_handshakes(BytesView(payload.data(), payload.size()));
-      bool found = false;
-      for (const tls::HandshakeMessage& m : msgs) {
-        if (m.type != tls::HandshakeType::kClientHello) continue;
-        Bytes framed =
-            tls::encode_handshake(m.type, BytesView(m.body.data(), m.body.size()));
-        ev.hello = tls::ClientHello::parse(BytesView(framed.data(), framed.size()));
-        found = true;
-        break;
-      }
-      if (!found) {
+  for (std::size_t i = 0; i < fleet.events.size(); ++i) {
+    const devicesim::ClientHelloEvent& raw = fleet.events[i];
+    ParseOutcome& outcome = outcomes[i];
+    switch (outcome.kind) {
+      case ParseOutcome::Kind::kUnknownDevice:
+        drop(ds.dropped_.unknown_device, drop_unknown_device, "unknown_device", raw);
+        continue;
+      case ParseOutcome::Kind::kNoClientHello:
         drop(ds.dropped_.no_client_hello, drop_no_hello, "no_client_hello", raw);
         continue;
-      }
-    } catch (const ParseError&) {
-      drop(ds.dropped_.parse_error, drop_parse_error, "parse_error", raw);
-      continue;
+      case ParseOutcome::Kind::kParseError:
+        drop(ds.dropped_.parse_error, drop_parse_error, "parse_error", raw);
+        continue;
+      case ParseOutcome::Kind::kOk:
+        break;
     }
-
-    const devicesim::Device& device = *dev_it->second;
-    ev.device_id = device.id;
-    ev.vendor = device.vendor;
-    ev.type = device.type;
-    ev.user = device.user_id;
-    ev.day = raw.day;
-    ev.sni = ev.hello.sni().value_or(raw.sni);
-    ev.fp = tls::fingerprint_of(ev.hello, opts);
-    ev.fp_key = ev.fp.key();
+    ParsedEvent& ev = outcome.ev;
 
     ds.fp_by_key_.emplace(ev.fp_key, ev.fp);
     ds.fp_vendors_[ev.fp_key].insert(ev.vendor);

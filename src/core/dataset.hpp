@@ -44,9 +44,13 @@ struct DropCounts {
 class ClientDataset {
  public:
   /// Parse a fleet's events. Undecodable events are dropped (counted
-  /// per reason in drop_counts()).
+  /// per reason in drop_counts()). `jobs` > 1 parses wire bytes on a
+  /// worker pool (0 = hardware concurrency); the index fold stays
+  /// sequential in input order, so the resulting dataset is identical to
+  /// the jobs=1 build bit for bit.
   static ClientDataset from_fleet(const devicesim::FleetDataset& fleet,
-                                  const tls::FingerprintOptions& opts = {});
+                                  const tls::FingerprintOptions& opts = {},
+                                  int jobs = 1);
 
   const std::vector<ParsedEvent>& events() const { return events_; }
   std::size_t dropped_events() const { return dropped_.total(); }

@@ -2,14 +2,28 @@
 
 #include <set>
 
+#include "exec/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace iotls::core {
 
+namespace {
+
+// Parallel-phase result for one fingerprint: the corpus lookup, which is
+// the expensive part (best_match + full tie set), with no side effects.
+struct MatchOutcome {
+  const corpus::KnownLibrary* best = nullptr;
+  std::size_t tied = 0;
+  std::int64_t oldest_day = 0;
+};
+
+}  // namespace
+
 LibraryMatchReport match_against_corpus(const ClientDataset& ds,
                                         const corpus::LibraryCorpus& corpus,
-                                        std::int64_t reference_day) {
+                                        std::int64_t reference_day,
+                                        int jobs) {
   auto span = obs::tracer().span("corpus.match");
   // How ambiguous each hit was: number of library builds sharing the
   // fingerprint, and the release-day span between oldest and best match
@@ -25,29 +39,49 @@ LibraryMatchReport match_against_corpus(const ClientDataset& ds,
   LibraryMatchReport report;
   report.total_fingerprints = ds.fingerprints().size();
 
+  // Phase 1 (parallel): corpus lookups, pure reads of const state, into
+  // index-addressed slots in fingerprint-key (map) order.
+  std::vector<const tls::Fingerprint*> fps;
+  std::vector<const std::string*> keys;
+  fps.reserve(ds.fingerprints().size());
+  keys.reserve(ds.fingerprints().size());
+  for (const auto& [key, fp] : ds.fingerprints()) {
+    keys.push_back(&key);
+    fps.push_back(&fp);
+  }
+  std::vector<MatchOutcome> outcomes(fps.size());
+  exec::parallel_for(jobs, fps.size(), [&](std::size_t i) {
+    MatchOutcome& out = outcomes[i];
+    out.best = corpus.best_match(*fps[i]);
+    if (out.best == nullptr) return;
+    auto tied = corpus.match(*fps[i]);
+    out.tied = tied.size();
+    out.oldest_day = out.best->release_day;
+    for (const corpus::KnownLibrary* lib : tied) {
+      if (lib->release_day < out.oldest_day) out.oldest_day = lib->release_day;
+    }
+  });
+
+  // Phase 2 (sequential, key order): metrics and report rows.
   std::set<std::string> libraries;
   std::set<std::string> unsupported;
-  for (const auto& [key, fp] : ds.fingerprints()) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
     span.add_items();
-    const corpus::KnownLibrary* best = corpus.best_match(fp);
+    const MatchOutcome& out = outcomes[i];
+    const corpus::KnownLibrary* best = out.best;
     if (best == nullptr) {
       miss.inc();
       continue;
     }
     hit.inc();
-    auto tied = corpus.match(fp);
-    candidates.observe(tied.size());
-    std::int64_t oldest_day = best->release_day;
-    for (const corpus::KnownLibrary* lib : tied) {
-      if (lib->release_day < oldest_day) oldest_day = lib->release_day;
-    }
-    span_days.observe(static_cast<std::uint64_t>(best->release_day - oldest_day));
+    candidates.observe(out.tied);
+    span_days.observe(static_cast<std::uint64_t>(best->release_day - out.oldest_day));
     LibraryMatch m;
-    m.fp_key = key;
+    m.fp_key = *keys[i];
     m.library = best->version;
     m.family = best->family;
     m.supported = best->supported_at(reference_day);
-    auto dev_it = ds.fp_devices().find(key);
+    auto dev_it = ds.fp_devices().find(m.fp_key);
     m.device_count = dev_it == ds.fp_devices().end() ? 0 : dev_it->second.size();
     libraries.insert(best->version);
     if (!m.supported) unsupported.insert(best->version);

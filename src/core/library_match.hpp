@@ -36,8 +36,12 @@ struct LibraryMatchReport {
 };
 
 /// Run the matching at a reference day (the paper uses "as of 2020").
+/// `jobs` > 1 evaluates corpus lookups on a worker pool (0 = hardware
+/// concurrency); metrics and report rows are folded sequentially in
+/// fingerprint-key order, so the report is identical to the jobs=1 run.
 LibraryMatchReport match_against_corpus(const ClientDataset& ds,
                                         const corpus::LibraryCorpus& corpus,
-                                        std::int64_t reference_day);
+                                        std::int64_t reference_day,
+                                        int jobs = 1);
 
 }  // namespace iotls::core

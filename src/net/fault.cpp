@@ -1,6 +1,7 @@
 #include "net/fault.hpp"
 
 #include <cstdio>
+#include <set>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -74,13 +75,34 @@ bool FaultSpec::any() const {
 
 FaultSpec FaultSpec::parse(const std::string& text) {
   FaultSpec spec;
+  // Scalar keys may appear once: a spec like "timeout=0.2,timeout=0" is
+  // almost certainly an editing accident, and silently honouring the last
+  // write would run a very different experiment than the one on the
+  // command line. (outage is the exception — windows are repeatable.)
+  std::set<std::string> seen;
+  auto once = [&seen](const std::string& key) {
+    if (!seen.insert(key).second) {
+      throw ParseError("fault-spec: duplicate key '" + key +
+                       "' (each scalar key may appear once)");
+    }
+  };
+  if (!text.empty() && text.back() == ',') {
+    std::size_t prev = text.size() >= 2
+                           ? text.find_last_of(',', text.size() - 2)
+                           : std::string::npos;
+    std::size_t start = prev == std::string::npos ? 0 : prev + 1;
+    throw ParseError("fault-spec: trailing ',' after '" +
+                     text.substr(start, text.size() - 1 - start) + "'");
+  }
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t comma = text.find(',', pos);
     if (comma == std::string::npos) comma = text.size();
     std::string field = text.substr(pos, comma - pos);
     pos = comma + 1;
-    if (field.empty()) continue;
+    if (field.empty()) {
+      throw ParseError("fault-spec: empty field (stray ',') in '" + text + "'");
+    }
     std::size_t eq = field.find('=');
     if (eq == std::string::npos) {
       throw ParseError("fault-spec: field '" + field + "' is not key=value");
@@ -88,18 +110,25 @@ FaultSpec FaultSpec::parse(const std::string& text) {
     std::string key = field.substr(0, eq);
     std::string value = field.substr(eq + 1);
     if (key == "seed") {
+      once(key);
       spec.seed = parse_u64(key, value);
     } else if (key == "timeout") {
+      once(key);
       spec.timeout_rate = parse_rate(key, value);
     } else if (key == "reset") {
+      once(key);
       spec.reset_rate = parse_rate(key, value);
     } else if (key == "truncate") {
+      once(key);
       spec.truncate_rate = parse_rate(key, value);
     } else if (key == "garble") {
+      once(key);
       spec.garble_rate = parse_rate(key, value);
     } else if (key == "latency-ms") {
+      once(key);
       spec.latency_ms = parse_u64(key, value);
     } else if (key == "latency-jitter-ms") {
+      once(key);
       spec.latency_jitter_ms = parse_u64(key, value);
     } else if (key == "outage") {
       // <vantage>:<start>:<end>

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "exec/pool.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -123,6 +124,18 @@ std::string probe_error_name(ProbeError e) {
   return "?";
 }
 
+ProbeResult ProbeResult::skipped_by_breaker(std::string sni, VantagePoint vantage) {
+  ProbeResult skipped;
+  skipped.sni = std::move(sni);
+  skipped.vantage = vantage;
+  skipped.error = ProbeError::kSkipped;
+  skipped.error_detail = "quarantined by circuit breaker";
+  skipped.attempts = 0;  // never attempted — overrides the >=1 default
+  skipped.transient = false;
+  skipped.quarantined = true;
+  return skipped;
+}
+
 bool MultiVantageResult::consistent_across_vantages() const {
   std::optional<std::string> first_leaf;
   for (const auto& [vantage, result] : by_vantage) {
@@ -161,6 +174,22 @@ ProbeError MultiVantageResult::majority_error() const {
     }
   }
   return best;
+}
+
+void DegradationSummary::merge(const DegradationSummary& other) {
+  snis += other.snis;
+  fully_reachable += other.fully_reachable;
+  degraded += other.degraded;
+  unreachable += other.unreachable;
+  quarantined_snis += other.quarantined_snis;
+  attempts += other.attempts;
+  retries += other.retries;
+  recovered_probes += other.recovered_probes;
+  transient_failures += other.transient_failures;
+  persistent_failures += other.persistent_failures;
+  skipped_probes += other.skipped_probes;
+  budget_denied += other.budget_denied;
+  backoff_ms_total += other.backoff_ms_total;
 }
 
 std::string DegradationSummary::to_string() const {
@@ -253,7 +282,7 @@ ProbeResult TlsProber::probe_once(const std::string& sni,
 
 ProbeResult TlsProber::probe_with_retries(const std::string& sni,
                                           VantagePoint vantage,
-                                          std::uint64_t* budget,
+                                          RetryBudget* budget,
                                           DegradationSummary* summary) const {
   static obs::Counter& total = obs::metrics().counter("net.probe.total");
   static obs::Counter& retries_total = obs::metrics().counter("net.probe.retry");
@@ -278,11 +307,13 @@ ProbeResult TlsProber::probe_with_retries(const std::string& sni,
     // Definitive categories (alert/parse/dns) are the server's answer, not
     // weather — retrying them would bias the §5 failure statistics.
     if (!result.transient || attempt == max_attempts) break;
-    if (budget != nullptr && *budget == 0) {
+    // One token buys one extra attempt; the acquire is a single CAS, so a
+    // budget of K yields exactly K survey-wide retries even with N workers
+    // racing for the last token (a failed acquire spends nothing).
+    if (budget != nullptr && !budget->try_acquire()) {
       if (summary != nullptr) ++summary->budget_denied;
       break;
     }
-    if (budget != nullptr) --*budget;
     retries_total.inc();
     retry_counter(result.error).inc();
     if (summary != nullptr) ++summary->retries;
@@ -341,53 +372,98 @@ std::vector<MultiVantageResult> TlsProber::survey(
   return survey_report(snis).results;
 }
 
-SurveyReport TlsProber::survey_report(const std::vector<std::string>& snis) const {
+MultiVantageResult TlsProber::survey_one(const std::string& sni,
+                                         CircuitBreaker& breaker,
+                                         RetryBudget& budget,
+                                         DegradationSummary& summary) const {
   static obs::Counter& skipped_counter =
       obs::metrics().counter("net.probe.skipped.breaker");
+
+  MultiVantageResult multi;
+  multi.sni = sni;
+  for (VantagePoint v : kAllVantagePoints) {
+    if (!breaker.allow(sni)) {
+      // Quarantined: report the gap honestly instead of blocking on a
+      // host the survey already knows is dead.
+      error_counter(ProbeError::kSkipped).inc();
+      skipped_counter.inc();
+      ++summary.skipped_probes;
+      multi.by_vantage[v] = ProbeResult::skipped_by_breaker(sni, v);
+      continue;
+    }
+    ProbeResult r = probe_with_retries(sni, v, &budget, &summary);
+    if (r.reachable || !connectivity_failure(r.error)) {
+      breaker.record_success(sni);
+    } else {
+      breaker.record_failure(sni);
+    }
+    multi.by_vantage[v] = std::move(r);
+  }
+  return multi;
+}
+
+SurveyReport TlsProber::survey_report(const std::vector<std::string>& snis) const {
   auto span = obs::tracer().span("probe");
 
   SurveyReport report;
-  report.results.reserve(snis.size());
+  report.results.resize(snis.size());
   report.summary.snis = snis.size();
 
-  CircuitBreaker breaker(breaker_config_);
-  std::uint64_t budget = retry_.retry_budget;
+  RetryBudget budget(retry_.retry_budget);
 
-  for (const std::string& sni : snis) {
-    MultiVantageResult multi;
-    multi.sni = sni;
-    bool any_quarantined = false;
-    for (VantagePoint v : kAllVantagePoints) {
-      if (!breaker.allow(sni)) {
-        // Quarantined: report the gap honestly instead of blocking on a
-        // host the survey already knows is dead.
-        ProbeResult skipped;
-        skipped.sni = sni;
-        skipped.vantage = v;
-        skipped.error = ProbeError::kSkipped;
-        skipped.error_detail = "quarantined by circuit breaker";
-        skipped.attempts = 0;
-        skipped.quarantined = true;
-        error_counter(ProbeError::kSkipped).inc();
-        skipped_counter.inc();
-        ++report.summary.skipped_probes;
-        any_quarantined = true;
-        multi.by_vantage[v] = std::move(skipped);
-        continue;
-      }
-      ProbeResult r = probe_with_retries(sni, v, &budget, &report.summary);
-      if (r.reachable || !connectivity_failure(r.error)) {
-        breaker.record_success(sni);
-      } else {
-        breaker.record_failure(sni);
-      }
-      multi.by_vantage[v] = std::move(r);
+  // Shard by distinct SNI, first-occurrence order. All occurrences of one
+  // SNI stay in one shard and run in input order, so its circuit-breaker
+  // history (per-SNI state, nothing cross-SNI) and its fault-injector
+  // attempt counters evolve exactly as in the sequential walk; distinct
+  // SNIs are independent and may run on any worker.
+  std::vector<std::vector<std::size_t>> groups;
+  {
+    std::map<std::string, std::size_t> group_of;
+    for (std::size_t i = 0; i < snis.size(); ++i) {
+      auto [it, fresh] = group_of.emplace(snis[i], groups.size());
+      if (fresh) groups.emplace_back();
+      groups[it->second].push_back(i);
     }
+  }
 
+  // Per-shard state, merged after the join: degradation partials fold
+  // additively; breaker occupancy sums (each shard's breaker holds exactly
+  // the shard's one SNI). Result slots are pre-sized and index-disjoint,
+  // so workers write without coordination and the merged vector is in
+  // input order — bit-identical to the sequential walk.
+  std::vector<DegradationSummary> partials(groups.size());
+  std::vector<CircuitBreaker::Counts> occupancy(groups.size());
+
+  auto run_group = [&](std::size_t g) {
+    CircuitBreaker breaker(breaker_config_);
+    for (std::size_t index : groups[g]) {
+      report.results[index] =
+          survey_one(snis[index], breaker, budget, partials[g]);
+    }
+    occupancy[g] = breaker.counts();
+  };
+
+  const int jobs = exec::resolve_jobs(jobs_);
+  if (jobs <= 1 || groups.size() <= 1) {
+    for (std::size_t g = 0; g < groups.size(); ++g) run_group(g);
+  } else {
+    exec::ThreadPool pool(jobs);
+    pool.parallel_for(groups.size(), run_group);
+  }
+
+  for (const DegradationSummary& partial : partials) {
+    report.summary.merge(partial);
+  }
+
+  // Per-SNI classification, in input order on the calling thread (the
+  // probe span and its failure tags therefore never race).
+  for (const MultiVantageResult& multi : report.results) {
     span.add_items();
     std::size_t reachable_vantages = 0;
+    bool any_quarantined = false;
     for (const auto& [vantage, result] : multi.by_vantage) {
       if (result.reachable) ++reachable_vantages;
+      if (result.quarantined) any_quarantined = true;
     }
     if (reachable_vantages == multi.by_vantage.size()) {
       ++report.summary.fully_reachable;
@@ -401,11 +477,15 @@ SurveyReport TlsProber::survey_report(const std::vector<std::string>& snis) cons
       span.fail(probe_error_name(multi.majority_error()));
     }
     if (any_quarantined) ++report.summary.quarantined_snis;
-    report.results.push_back(std::move(multi));
   }
 
   // Export breaker occupancy so a fleet dashboard sees quarantine pressure.
-  CircuitBreaker::Counts counts = breaker.counts();
+  CircuitBreaker::Counts counts;
+  for (const CircuitBreaker::Counts& c : occupancy) {
+    counts.closed += c.closed;
+    counts.open += c.open;
+    counts.half_open += c.half_open;
+  }
   obs::metrics().gauge("net.probe.breaker.closed").set(
       static_cast<std::int64_t>(counts.closed));
   obs::metrics().gauge("net.probe.breaker.open").set(

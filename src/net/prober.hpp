@@ -8,6 +8,15 @@
 // tagged transient vs persistent with its attempt count — so a survey under
 // network chaos degrades gracefully into partial results plus an explicit
 // degradation summary instead of silently undercounting reachability.
+//
+// Parallelism: survey()/survey_report() shard the walk over iotls::exec
+// when set_jobs(N > 1) — one shard per distinct SNI (all of an SNI's
+// occurrences stay in one shard, so its breaker history replays exactly),
+// results merged back in input order, per-shard degradation summaries
+// folded additively, and the retry budget shared through an atomic token
+// bucket. Per-(SNI, vantage, attempt) fault and jitter streams are already
+// order-independent, so the parallel report is bit-identical to the
+// sequential one.
 #pragma once
 
 #include <map>
@@ -45,6 +54,14 @@ struct ProbeResult {
   /// True when the circuit breaker quarantined the SNI and this probe was
   /// never attempted (error == kSkipped, attempts == 0).
   bool quarantined = false;
+
+  /// The one way to build a breaker-skipped result. Pins the quarantine
+  /// invariant — `quarantined` implies `error == kSkipped` AND
+  /// `attempts == 0` (no connection was ever opened) — in a single place,
+  /// instead of every survey path re-assembling the fields (and one of
+  /// them inheriting the `attempts = 1` default, which contradicts the
+  /// invariant documented above).
+  static ProbeResult skipped_by_breaker(std::string sni, VantagePoint vantage);
 
   /// Legacy display string: the detail when present, else the category name;
   /// empty for a successful probe.
@@ -90,6 +107,12 @@ struct DegradationSummary {
   std::uint64_t budget_denied = 0;        // retries forgone: budget exhausted
   std::uint64_t backoff_ms_total = 0;     // virtual time slept between tries
 
+  /// Fold another summary in (additive fields only). Used by the parallel
+  /// survey executor to merge per-shard accounting; addition commutes, so
+  /// the merged totals equal the sequential walk's regardless of shard
+  /// completion order.
+  void merge(const DegradationSummary& other);
+
   std::string to_string() const;
 };
 
@@ -122,6 +145,16 @@ class TlsProber {
   void set_clock(Clock* clock) { clock_ = clock; }
   Clock& clock() const { return clock_ != nullptr ? *clock_ : own_clock_; }
 
+  /// Worker threads for survey()/survey_report(). 1 (the default) walks
+  /// the survey sequentially on the calling thread; N > 1 shards SNI
+  /// groups across a work-stealing pool; 0 asks the hardware. Whatever the
+  /// value, the report is bit-identical to the sequential walk as long as
+  /// the retry budget does not exhaust mid-survey and the fault spec uses
+  /// no outage windows (see README "Parallelism" for why those two are
+  /// walk-order-dependent).
+  void set_jobs(int jobs) { jobs_ = jobs; }
+  int jobs() const { return jobs_; }
+
   /// Probe one SNI from one vantage point (retries per the policy; no
   /// budget, no breaker — those are survey-scoped).
   ProbeResult probe(const std::string& sni, VantagePoint vantage) const;
@@ -139,15 +172,22 @@ class TlsProber {
   /// One connection attempt, no retries — the seed prober's body.
   ProbeResult probe_once(const std::string& sni, VantagePoint vantage) const;
   /// Full retry loop. `budget` (nullable) is the survey's shared retry
-  /// allowance; `summary` (nullable) accumulates degradation stats.
+  /// token bucket; `summary` (nullable) accumulates degradation stats.
   ProbeResult probe_with_retries(const std::string& sni, VantagePoint vantage,
-                                 std::uint64_t* budget,
+                                 RetryBudget* budget,
                                  DegradationSummary* summary) const;
+  /// One survey occurrence of `sni`: all vantage points in order, gated by
+  /// that SNI's breaker. `summary` gains only per-probe (additive) fields;
+  /// per-SNI classification happens at merge time.
+  MultiVantageResult survey_one(const std::string& sni, CircuitBreaker& breaker,
+                                RetryBudget& budget,
+                                DegradationSummary& summary) const;
 
   const Internet* internet_;
   RetryPolicy retry_;
   BreakerConfig breaker_config_;
   Clock* clock_ = nullptr;
+  int jobs_ = 1;
   mutable VirtualClock own_clock_;
 };
 

@@ -13,6 +13,7 @@
 // virtual Clock, which keeps tests instant and schedules reproducible.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -34,14 +35,21 @@ class Clock {
   virtual void sleep_ms(std::uint64_t ms) = 0;
 };
 
-/// Simulated clock: sleeping advances `now` instantly. Deterministic.
+/// Simulated clock: sleeping advances `now` instantly. Deterministic, and
+/// thread-safe: concurrent survey workers each add their span's backoff to
+/// the shared virtual timeline, so the final reading is the same sum the
+/// sequential walk produces regardless of interleaving.
 class VirtualClock final : public Clock {
  public:
-  std::uint64_t now_ms() const override { return now_ms_; }
-  void sleep_ms(std::uint64_t ms) override { now_ms_ += ms; }
+  std::uint64_t now_ms() const override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+  void sleep_ms(std::uint64_t ms) override {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t now_ms_ = 0;
+  std::atomic<std::uint64_t> now_ms_{0};
 };
 
 /// Retry discipline for one probe: how many attempts, how long between
@@ -73,6 +81,35 @@ struct RetryPolicy {
 
   /// Deterministic backoff before retry `k` (1-based) of `sni`@`vantage`.
   std::uint64_t backoff_ms(int k, const std::string& sni, VantagePoint vantage) const;
+};
+
+/// Survey-wide retry allowance as an atomic token bucket: a budget of K
+/// tokens permits exactly K extra attempts across all (SNI, vantage) spans
+/// — never K−1 (a token checked is a token spent only on success) and
+/// never K+1 (acquisition is a single CAS, so two workers can't both spend
+/// the last token, and an empty bucket can't underflow back to "huge").
+class RetryBudget {
+ public:
+  explicit RetryBudget(std::uint64_t tokens) : tokens_(tokens) {}
+
+  /// Take one token; false when the bucket is empty.
+  bool try_acquire() {
+    std::uint64_t have = tokens_.load(std::memory_order_relaxed);
+    while (have > 0) {
+      if (tokens_.compare_exchange_weak(have, have - 1,
+                                        std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::uint64_t remaining() const {
+    return tokens_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> tokens_;
 };
 
 /// Per-SNI circuit breaker configuration. `failure_threshold == 0`

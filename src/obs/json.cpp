@@ -36,18 +36,25 @@ void Json::set(std::string key, Json value) {
 namespace {
 
 void dump_string(const std::string& s, std::string& out) {
+  // Strings here can carry raw wire bytes (a garbled fault flips arbitrary
+  // bytes into error_detail, which flows into --stats=json). Emit pure
+  // ASCII: bytes outside 0x20..0x7e become \u00xx, so the dump is valid
+  // JSON regardless of payload and parse_string round-trips it byte-exact.
   out += '"';
   for (char c : s) {
+    const unsigned char b = static_cast<unsigned char>(c);
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        if (b < 0x20 || b >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(b));
           out += buf;
         } else {
           out += c;

@@ -3,7 +3,11 @@
 // The observability layer exports its state as JSON (`--stats=json`); the
 // parser exists so that export is round-trippable and testable without an
 // external dependency. Supports the full JSON grammar except `\u` escapes
-// beyond the Basic Latin range (exported names never need them).
+// beyond the Basic Latin range (exported names never need them). Strings
+// are treated as byte sequences: the serializer escapes every byte outside
+// printable ASCII as `\u00xx` (fault injection can garble arbitrary bytes
+// into error strings), so dump() is always pure-ASCII valid JSON and
+// parse_json(dump()) returns the exact input bytes.
 #pragma once
 
 #include <cstdint>

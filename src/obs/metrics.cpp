@@ -6,6 +6,17 @@
 
 namespace iotls::obs {
 
+std::size_t Counter::stripe_index() {
+  // Hand each thread a stable ordinal on first use; threads then map
+  // round-robin onto stripes. Survey pools are small (<= ~16 workers), so
+  // collisions are rare and harmless — a shared stripe is still correct,
+  // just marginally more contended.
+  static std::atomic<std::size_t> next_ordinal{0};
+  thread_local const std::size_t ordinal =
+      next_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal % kStripes;
+}
+
 Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
     : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
   if (bounds_.empty()) throw std::invalid_argument("histogram needs >= 1 bound");

@@ -10,6 +10,14 @@
 // Canonical stage names used across the pipeline:
 //   pcap.decode, fingerprint.extract, corpus.match, probe,
 //   chain.validate, report
+//
+// Thread-safety: a Span buffers its item/failure/reason tallies locally
+// and merges them into the tracer under one mutex at end(), so worker
+// threads may each hold their own Span concurrently (even for the same
+// stage name) without contending per item. Sharing a single Span object
+// across threads is NOT supported — give each worker its own, or tally in
+// the parallel region and add_items() on the caller's span after the join
+// (what TlsProber::survey_report does to keep stage rows deterministic).
 #pragma once
 
 #include <chrono>

@@ -325,5 +325,48 @@ TEST(ProberMetrics, SurveySpanRecordsItemsAndFailureReasons) {
   EXPECT_EQ(probe_stats->failure_reasons.at("dns"), 1u);
 }
 
+// -------------------------------------------------------- string escaping
+//
+// Garbled-stream faults can push arbitrary bytes into error_detail, which
+// flows into --stats=json. The dump must stay valid pure-ASCII JSON for
+// any byte payload, and parsing the dump must hand back the exact bytes.
+
+TEST(JsonEscape, ControlCharactersUseShortOrUnicodeEscapes) {
+  Json j(std::string("a\b\f\n\r\tb\x01\x1f"));
+  std::string dump = j.dump();
+  EXPECT_EQ(dump, "\"a\\b\\f\\n\\r\\tb\\u0001\\u001f\"");
+  EXPECT_EQ(parse_json(dump).as_string(), j.as_string());
+}
+
+TEST(JsonEscape, HighAndDeleteBytesBecomeUnicodeEscapes) {
+  // 0x7f (DEL) and every byte >= 0x80 previously passed through raw,
+  // making the document non-ASCII and, for stray continuation bytes,
+  // invalid UTF-8.
+  std::string raw;
+  raw += '\x7f';
+  raw += static_cast<char>(0x80);
+  raw += static_cast<char>(0xc3);
+  raw += static_cast<char>(0xff);
+  std::string dump = Json(raw).dump();
+  EXPECT_EQ(dump, "\"\\u007f\\u0080\\u00c3\\u00ff\"");
+  EXPECT_EQ(parse_json(dump).as_string(), raw);
+}
+
+TEST(JsonEscape, EveryByteValueRoundTripsAndDumpsPureAscii) {
+  std::string all;
+  for (int b = 0; b < 256; ++b) all += static_cast<char>(b);
+  Json obj{Json::Object{}};
+  obj.set(all, Json(all));  // keys escape through the same path
+  std::string dump = obj.dump();
+  for (char c : dump) {
+    unsigned char u = static_cast<unsigned char>(c);
+    ASSERT_GE(u, 0x20u);
+    ASSERT_LT(u, 0x7fu);
+  }
+  Json back = parse_json(dump);
+  EXPECT_EQ(back.as_object().at(0).first, all);
+  EXPECT_EQ(back.as_object().at(0).second.as_string(), all);
+}
+
 }  // namespace
 }  // namespace iotls::obs

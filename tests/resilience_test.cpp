@@ -653,5 +653,156 @@ TEST(Survey, SingleAttemptPolicyReproducesSeedBehaviour) {
   }
 }
 
+// ------------------------------------------- regression pins (bugfix PR)
+
+TEST(FaultSpec, RejectsDuplicateScalarKeys) {
+  // "timeout=0.2,timeout=0" silently kept the last write before; now it's
+  // a parse error naming the offending key. Repeated outage windows stay
+  // legal (they compose).
+  try {
+    FaultSpec::parse("timeout=0.2,timeout=0");
+    FAIL() << "duplicate key accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("timeout"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+  EXPECT_THROW(FaultSpec::parse("seed=1,seed=2"), ParseError);
+  EXPECT_THROW(FaultSpec::parse("garble=0.1,timeout=0.3,garble=0.1"), ParseError);
+  EXPECT_NO_THROW(FaultSpec::parse("outage=ny:0:3,outage=ny:10:20"));
+}
+
+TEST(FaultSpec, RejectsTrailingGarbage) {
+  // A trailing comma used to be silently dropped — an easy way to lose a
+  // truncated key from a shell history edit.
+  try {
+    FaultSpec::parse("timeout=0.2,");
+    FAIL() << "trailing comma accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("timeout=0.2"), std::string::npos);
+  }
+  EXPECT_THROW(FaultSpec::parse(","), ParseError);
+  EXPECT_THROW(FaultSpec::parse("timeout=0.2,,garble=0.1"), ParseError);
+  EXPECT_THROW(FaultSpec::parse(",timeout=0.2"), ParseError);
+  // The empty spec is still the no-fault spec.
+  EXPECT_NO_THROW(FaultSpec::parse(""));
+}
+
+TEST(ProbeResult, SkippedByBreakerCarriesZeroAttempts) {
+  // The struct default is attempts = 1 ("you get one attempt by probing");
+  // a breaker-skipped probe never connected, and the factory must not
+  // inherit that default.
+  ProbeResult r = ProbeResult::skipped_by_breaker("quar.example.com",
+                                                  VantagePoint::kFrankfurt);
+  EXPECT_EQ(r.sni, "quar.example.com");
+  EXPECT_EQ(r.vantage, VantagePoint::kFrankfurt);
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_EQ(r.error, ProbeError::kSkipped);
+  EXPECT_EQ(r.attempts, 0);
+  EXPECT_FALSE(r.reachable);
+  EXPECT_FALSE(r.transient);
+}
+
+TEST(Survey, EveryQuarantinedProbeInAReportHasZeroAttempts) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  SimServer dead = make_server("dead.example.com", ca);
+  dead.reachable = false;
+  internet.add_server(std::move(dead));
+  TlsProber prober(internet);
+  prober.set_breaker(BreakerConfig{2, 1000});
+
+  SurveyReport report = prober.survey_report(
+      {"dead.example.com", "dead.example.com", "dead.example.com"});
+  std::size_t quarantined = 0;
+  for (const auto& multi : report.results) {
+    for (const auto& [v, r] : multi.by_vantage) {
+      if (!r.quarantined) continue;
+      ++quarantined;
+      EXPECT_EQ(r.attempts, 0);
+      EXPECT_EQ(r.error, ProbeError::kSkipped);
+    }
+  }
+  EXPECT_GT(quarantined, 0u);
+}
+
+TEST(Survey, ZeroRetryBudgetPermitsZeroRetries) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  SimServer dark = make_server("dark.example.com", ca);
+  dark.reachable = false;
+  internet.add_server(std::move(dark));
+  TlsProber prober(internet);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.base_backoff_ms = 0;
+  retry.retry_budget = 0;
+  prober.set_retry_policy(retry);
+  prober.set_breaker(BreakerConfig{0, 2});
+
+  SurveyReport report = prober.survey_report({"dark.example.com"});
+  EXPECT_EQ(report.summary.retries, 0u);
+  EXPECT_EQ(report.summary.attempts, 3u);  // first attempts only
+  EXPECT_GT(report.summary.budget_denied, 0u);
+}
+
+TEST(Survey, BudgetOfOnePermitsExactlyOneRetrySurveyWide) {
+  auto ca = resilience_ca();
+  SimInternet internet;
+  for (int i = 0; i < 3; ++i) {
+    SimServer dark = make_server("dark" + std::to_string(i) + ".example.com", ca);
+    dark.reachable = false;
+    internet.add_server(std::move(dark));
+  }
+  TlsProber prober(internet);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.base_backoff_ms = 0;
+  retry.retry_budget = 1;
+  prober.set_retry_policy(retry);
+  prober.set_breaker(BreakerConfig{0, 2});
+
+  SurveyReport report = prober.survey_report(
+      {"dark0.example.com", "dark1.example.com", "dark2.example.com"});
+  EXPECT_EQ(report.summary.retries, 1u);
+  EXPECT_EQ(report.summary.attempts, 9u + 1u);
+}
+
+TEST(Survey, ExactlyExhaustedBudgetDeniesNothing) {
+  // Demand == budget: every wanted retry is granted and budget_denied
+  // stays 0 — the boundary where an off-by-one would either deny the last
+  // retry (K-1) or count a phantom denial.
+  auto ca = resilience_ca();
+  SimInternet internet;
+  SimServer dark = make_server("dark.example.com", ca);
+  dark.reachable = false;
+  internet.add_server(std::move(dark));
+  TlsProber prober(internet);
+  RetryPolicy retry;
+  retry.max_attempts = 2;  // 1 retry wanted per probe; 3 probes -> demand 3
+  retry.base_backoff_ms = 0;
+  retry.retry_budget = 3;
+  prober.set_retry_policy(retry);
+  prober.set_breaker(BreakerConfig{0, 2});
+
+  SurveyReport report = prober.survey_report({"dark.example.com"});
+  EXPECT_EQ(report.summary.retries, 3u);
+  EXPECT_EQ(report.summary.budget_denied, 0u);
+  EXPECT_EQ(report.summary.attempts, 6u);
+}
+
+TEST(RetryBudgetUnit, AcquiresExactlyTheTokenCount) {
+  RetryBudget budget(3);
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_TRUE(budget.try_acquire());
+  EXPECT_FALSE(budget.try_acquire());  // empty: no underflow wrap
+  EXPECT_FALSE(budget.try_acquire());
+  EXPECT_EQ(budget.remaining(), 0u);
+  RetryBudget empty(0);
+  EXPECT_FALSE(empty.try_acquire());
+  EXPECT_EQ(empty.remaining(), 0u);
+}
+
 }  // namespace
 }  // namespace iotls::net

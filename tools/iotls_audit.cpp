@@ -1,7 +1,10 @@
 // iotls_audit — run the §4 client-side analysis over an exported dataset.
 //
 // Usage:
-//   iotls_audit [--stats[=json]] events.csv devices.csv
+//   iotls_audit [--jobs=N] [--stats[=json]] events.csv devices.csv
+//
+// `--jobs=N` parses ClientHellos and runs corpus matching on N worker
+// threads (0 = hardware concurrency); results are identical to --jobs=1.
 //
 // Consumes the anonymized CSVs produced by devicesim/export (the format of
 // the paper's artifact release) and prints the headline client-side
@@ -14,6 +17,7 @@
 // timings and the metric registry, `--stats=json` emits them as one JSON
 // document on stderr.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -48,15 +52,25 @@ std::string slurp(const char* path) {
 
 int main(int argc, char** argv) {
   StatsMode stats = StatsMode::kOff;
+  int jobs = 1;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
     else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
-    else paths.push_back(argv[i]);
+    else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(argv[i] + 7, &end, 10);
+      if (end == argv[i] + 7 || *end != '\0') {
+        std::fprintf(stderr, "--jobs= wants a non-negative integer, got '%s'\n",
+                     argv[i] + 7);
+        return 2;
+      }
+      jobs = static_cast<int>(n);
+    } else paths.push_back(argv[i]);
   }
   if (paths.size() != 2) {
     std::fprintf(stderr,
-                 "usage: iotls_audit [--stats[=json]] events.csv devices.csv\n");
+                 "usage: iotls_audit [--jobs=N] [--stats[=json]] events.csv devices.csv\n");
     return 2;
   }
 
@@ -68,7 +82,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto ds = core::ClientDataset::from_fleet(fleet);
+  auto ds = core::ClientDataset::from_fleet(fleet, {}, jobs);
   std::printf("dataset: %zu devices, %zu users, %zu events (%zu undecodable)\n",
               fleet.devices.size(), fleet.users.size(), ds.events().size(),
               ds.dropped_events());
@@ -101,7 +115,7 @@ int main(int argc, char** argv) {
               vuln.severe_fps, vuln.severe_devices, vuln.severe_vendors);
 
   auto corpus = corpus::LibraryCorpus::standard();
-  auto match = core::match_against_corpus(ds, corpus, days(2020, 8, 1));
+  auto match = core::match_against_corpus(ds, corpus, days(2020, 8, 1), jobs);
   std::printf("known-library matches: %zu fingerprints (%s), "
               "%zu libraries (%zu unsupported)\n",
               match.matches.size(), fmt_percent(match.match_ratio()).c_str(),
