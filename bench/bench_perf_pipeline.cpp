@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
+#include "core/semantic.hpp"
+#include "core/sharing.hpp"
 #include "core/vendor_metrics.hpp"
 #include "ct/merkle.hpp"
 #include "devicesim/stacks.hpp"
@@ -140,6 +142,83 @@ void BM_PcapExtractHellos(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PcapExtractHellos);
+
+// --- Synthetic perf-acceptance scale: 64 vendors x 1,000 fingerprints ----
+// The acceptance workload for the interned DatasetIndex. Built once.
+
+struct SyntheticContext {
+  devicesim::FleetDataset fleet;
+  core::ClientDataset client;
+
+  SyntheticContext()
+      : fleet(bench::synthetic_fleet()),
+        client(core::ClientDataset::from_fleet(fleet)) {}
+
+  static const SyntheticContext& get() {
+    static SyntheticContext ctx;
+    return ctx;
+  }
+};
+
+void BM_DatasetBuild64x1k(benchmark::State& state) {
+  const auto& fleet = SyntheticContext::get().fleet;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ClientDataset::from_fleet(fleet));
+  }
+}
+BENCHMARK(BM_DatasetBuild64x1k)->Unit(benchmark::kMillisecond);
+
+void BM_VendorJaccard64x1k(benchmark::State& state) {
+  const auto& ds = SyntheticContext::get().client;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::vendor_similarities(ds, 0.2));
+  }
+}
+BENCHMARK(BM_VendorJaccard64x1k)->Unit(benchmark::kMillisecond);
+
+// Reference implementation of the pre-index algorithm: pairwise
+// std::set<std::string> intersection over the compatibility views. Kept in
+// the binary so the speedup of BM_VendorJaccard64x1k is always measurable
+// against the same build and inputs.
+void BM_VendorJaccardStringSets(benchmark::State& state) {
+  const auto& ds = SyntheticContext::get().client;
+  const auto& vendor_fps = ds.vendor_fps();
+  for (auto _ : state) {
+    std::vector<core::VendorSimilarity> out;
+    for (auto a = vendor_fps.begin(); a != vendor_fps.end(); ++a) {
+      for (auto b = std::next(a); b != vendor_fps.end(); ++b) {
+        std::size_t inter = 0;
+        for (const auto& key : a->second)
+          if (b->second.count(key)) ++inter;
+        std::size_t uni = a->second.size() + b->second.size() - inter;
+        double jaccard = uni ? static_cast<double>(inter) / uni : 0;
+        if (jaccard >= 0.2)
+          out.push_back({a->first, b->first, jaccard, 0});
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_VendorJaccardStringSets)->Unit(benchmark::kMillisecond);
+
+void BM_ServerTied64x1k(benchmark::State& state) {
+  const auto& ds = SyntheticContext::get().client;
+  const auto& corpus = bench::Context::get().corpus;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::server_tied_fingerprints(ds, corpus));
+  }
+}
+BENCHMARK(BM_ServerTied64x1k)->Unit(benchmark::kMillisecond);
+
+void BM_SemanticMatch64x1k(benchmark::State& state) {
+  const auto& ds = SyntheticContext::get().client;
+  const auto& corpus = bench::Context::get().corpus;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::semantic_match(ds, corpus, bench::kCaptureEnd));
+  }
+}
+BENCHMARK(BM_SemanticMatch64x1k)->Unit(benchmark::kMillisecond);
 
 void BM_FullClientAnalysis(benchmark::State& state) {
   const auto& ctx = bench::Context::get();

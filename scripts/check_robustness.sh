@@ -3,7 +3,10 @@
 # under AddressSanitizer + UBSan, then the concurrency-labelled suites
 # (parallel survey determinism, pool races) under ThreadSanitizer — so the
 # retry/breaker state machines, the fault-injection paths and the parallel
-# executor are sanitizer-clean on every change.
+# executor are sanitizer-clean on every change. Finally, a perf phase runs
+# the pipeline benchmark suite (optimized build, 5 repetitions) and writes
+# the aggregates to BENCH_pipeline.json, so perf regressions in the interned
+# analysis core are visible per change.
 #
 # Usage: scripts/check_robustness.sh [ctest-args...]
 set -euo pipefail
@@ -16,3 +19,14 @@ ctest --preset robustness-asan -j"$(nproc)" "$@"
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)"
 ctest --preset concurrency-tsan -j"$(nproc)" "$@"
+
+cmake --preset default
+cmake --build --preset default -j"$(nproc)" --target test_perf bench_perf_pipeline
+ctest --preset default -L perf --output-on-failure
+# Median-of-5 aggregates; compare BENCH_pipeline.json against the previous
+# run's copy to spot regressions (the file is gitignored).
+./build/bench/bench_perf_pipeline \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out=BENCH_pipeline.json \
+  --benchmark_out_format=json

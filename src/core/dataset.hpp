@@ -2,20 +2,27 @@
 //
 // This is the paper's analysis input (§4): every event's ClientHello is
 // parsed from capture bytes, fingerprinted, and joined with the device's
-// user label. All §4 analyses run off the indexes built here.
+// user label. All §4 analyses run off the interned DatasetIndex built here;
+// the string-keyed map accessors survive as lazily-materialized
+// compatibility views whose contents are byte-identical to the seed's
+// eagerly-built maps.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "core/index.hpp"
 #include "devicesim/types.hpp"
 #include "tls/fingerprint.hpp"
 
 namespace iotls::core {
 
-/// One parsed ClientHello observation.
+/// One parsed ClientHello observation. The *_ix fields are the event's
+/// interned ids in the dataset's DatasetIndex (dense, deterministic).
 struct ParsedEvent {
   std::string device_id;
   std::string vendor;
@@ -26,6 +33,13 @@ struct ParsedEvent {
   tls::ClientHello hello;
   tls::Fingerprint fp;
   std::string fp_key;   // cached fp.key()
+
+  std::uint32_t device_ix = 0;
+  std::uint32_t vendor_ix = 0;
+  std::uint32_t type_ix = 0;
+  std::uint32_t user_ix = 0;
+  std::uint32_t sni_ix = 0;
+  std::uint32_t fp_ix = 0;
 };
 
 /// Why an event was dropped during parsing (per-reason counts are exposed
@@ -40,9 +54,14 @@ struct DropCounts {
   }
 };
 
-/// Parsed dataset with the cross-indexes the §4 metrics need.
+/// Parsed dataset carrying the interned cross-index the §4 metrics run on.
 class ClientDataset {
  public:
+  ClientDataset();
+  ~ClientDataset();
+  ClientDataset(ClientDataset&&) noexcept;
+  ClientDataset& operator=(ClientDataset&&) noexcept;
+
   /// Parse a fleet's events. Undecodable events are dropped (counted
   /// per reason in drop_counts()). `jobs` > 1 parses wire bytes on a
   /// worker pool (0 = hardware concurrency); the index fold stays
@@ -56,68 +75,43 @@ class ClientDataset {
   std::size_t dropped_events() const { return dropped_.total(); }
   const DropCounts& drop_counts() const { return dropped_; }
 
-  /// Distinct fingerprints (by key).
-  const std::map<std::string, tls::Fingerprint>& fingerprints() const {
-    return fp_by_key_;
-  }
+  /// The interned-id cross-index — the fast path every hot analysis uses.
+  const DatasetIndex& index() const { return index_; }
 
-  const std::map<std::string, std::set<std::string>>& fp_vendors() const {
-    return fp_vendors_;
-  }
-  const std::map<std::string, std::set<std::string>>& fp_devices() const {
-    return fp_devices_;
-  }
-  const std::map<std::string, std::set<std::string>>& vendor_fps() const {
-    return vendor_fps_;
-  }
-  const std::map<std::string, std::set<std::string>>& device_fps() const {
-    return device_fps_;
-  }
+  // ------------------------------------------------------------ views
+  // String-keyed compatibility views, materialized lazily (thread-safe)
+  // from the index. Contents match the seed's eager maps byte for byte.
+
+  /// Distinct fingerprints (by key).
+  const std::map<std::string, tls::Fingerprint>& fingerprints() const;
+
+  const std::map<std::string, std::set<std::string>>& fp_vendors() const;
+  const std::map<std::string, std::set<std::string>>& fp_devices() const;
+  const std::map<std::string, std::set<std::string>>& vendor_fps() const;
+  const std::map<std::string, std::set<std::string>>& device_fps() const;
   /// device id -> vendor name (devices with >= 1 parsed event).
-  const std::map<std::string, std::string>& device_vendor() const {
-    return device_vendor_;
-  }
+  const std::map<std::string, std::string>& device_vendor() const;
   /// device id -> type label.
-  const std::map<std::string, std::string>& device_type() const {
-    return device_type_;
-  }
+  const std::map<std::string, std::string>& device_type() const;
   /// SNI -> set of device ids / vendors / fingerprint keys seen toward it.
-  const std::map<std::string, std::set<std::string>>& sni_devices() const {
-    return sni_devices_;
-  }
-  const std::map<std::string, std::set<std::string>>& sni_vendors() const {
-    return sni_vendors_;
-  }
-  const std::map<std::string, std::set<std::string>>& sni_fps() const {
-    return sni_fps_;
-  }
-  const std::map<std::string, std::set<std::string>>& sni_users() const {
-    return sni_users_;
-  }
+  const std::map<std::string, std::set<std::string>>& sni_devices() const;
+  const std::map<std::string, std::set<std::string>>& sni_vendors() const;
+  const std::map<std::string, std::set<std::string>>& sni_fps() const;
+  const std::map<std::string, std::set<std::string>>& sni_users() const;
   /// fingerprint key -> SNIs it was observed toward.
-  const std::map<std::string, std::set<std::string>>& fp_snis() const {
-    return fp_snis_;
-  }
+  const std::map<std::string, std::set<std::string>>& fp_snis() const;
 
   std::set<std::string> vendors() const;
   std::set<std::string> users() const;
   std::vector<std::string> snis() const;
 
  private:
+  struct Views;
+
   std::vector<ParsedEvent> events_;
   DropCounts dropped_;
-  std::map<std::string, tls::Fingerprint> fp_by_key_;
-  std::map<std::string, std::set<std::string>> fp_vendors_;
-  std::map<std::string, std::set<std::string>> fp_devices_;
-  std::map<std::string, std::set<std::string>> vendor_fps_;
-  std::map<std::string, std::set<std::string>> device_fps_;
-  std::map<std::string, std::string> device_vendor_;
-  std::map<std::string, std::string> device_type_;
-  std::map<std::string, std::set<std::string>> sni_devices_;
-  std::map<std::string, std::set<std::string>> sni_vendors_;
-  std::map<std::string, std::set<std::string>> sni_fps_;
-  std::map<std::string, std::set<std::string>> sni_users_;
-  std::map<std::string, std::set<std::string>> fp_snis_;
+  DatasetIndex index_;
+  std::unique_ptr<Views> views_;
 };
 
 }  // namespace iotls::core

@@ -4,58 +4,83 @@
 
 namespace iotls::core {
 
-std::map<std::string, double> doc_per_device(const ClientDataset& ds) {
-  // Pre-index: per vendor, fp key -> #devices of that vendor using it.
-  std::map<std::string, std::map<std::string, std::size_t>> vendor_fp_devcount;
-  for (const auto& [device, fps] : ds.device_fps()) {
-    const std::string& vendor = ds.device_vendor().at(device);
-    for (const std::string& key : fps) ++vendor_fp_devcount[vendor][key];
-  }
+namespace {
 
-  std::map<std::string, double> out;
-  for (const auto& [device, fps] : ds.device_fps()) {
+/// Per-vendor device counts for each fingerprint: counts[v][f] = number of
+/// vendor v's devices proposing fingerprint f. Rows allocate lazily (only
+/// vendors that appear pay for a fingerprint-domain row).
+std::vector<std::vector<std::uint32_t>> vendor_fp_devcount(const DatasetIndex& ix) {
+  std::vector<std::vector<std::uint32_t>> counts(ix.vendors().size());
+  for (std::uint32_t d = 0; d < ix.device_fps().size(); ++d) {
+    std::vector<std::uint32_t>& row = counts[ix.device_vendor(d)];
+    if (row.empty()) row.resize(ix.fps().size());
+    for (std::uint32_t f : ix.device_fps()[d]) ++row[f];
+  }
+  return counts;
+}
+
+/// DoC per device, indexed by dense device id.
+std::vector<double> doc_by_device(const DatasetIndex& ix) {
+  auto counts = vendor_fp_devcount(ix);
+  std::vector<double> out(ix.devices().size(), 0.0);
+  for (std::uint32_t d = 0; d < ix.device_fps().size(); ++d) {
+    const PostingList& fps = ix.device_fps()[d];
     if (fps.empty()) continue;
-    const std::string& vendor = ds.device_vendor().at(device);
+    const std::vector<std::uint32_t>& row = counts[ix.device_vendor(d)];
     std::size_t solo = 0;
-    for (const std::string& key : fps) {
-      if (vendor_fp_devcount[vendor][key] == 1) ++solo;
+    for (std::uint32_t f : fps) {
+      if (row[f] == 1) ++solo;
     }
-    out[device] = static_cast<double>(solo) / static_cast<double>(fps.size());
+    out[d] = static_cast<double>(solo) / static_cast<double>(fps.size());
   }
   return out;
 }
 
+}  // namespace
+
+std::map<std::string, double> doc_per_device(const ClientDataset& ds) {
+  const DatasetIndex& ix = ds.index();
+  std::vector<double> doc = doc_by_device(ix);
+  std::map<std::string, double> out;
+  for (std::uint32_t d = 0; d < doc.size(); ++d) out[ix.devices().str(d)] = doc[d];
+  return out;
+}
+
 std::map<std::string, double> doc_device_per_vendor(const ClientDataset& ds) {
-  std::map<std::string, double> sums;
-  std::map<std::string, std::size_t> counts;
-  for (const auto& [device, doc] : doc_per_device(ds)) {
-    const std::string& vendor = ds.device_vendor().at(device);
-    sums[vendor] += doc;
-    ++counts[vendor];
+  const DatasetIndex& ix = ds.index();
+  std::vector<double> doc = doc_by_device(ix);
+  std::vector<double> sums(ix.vendors().size(), 0.0);
+  std::vector<std::size_t> counts(ix.vendors().size(), 0);
+  // Accumulate in lexicographic device order — the seed summed doubles in
+  // std::map iteration order, and float addition is order-sensitive.
+  for (std::uint32_t d : ix.devices_by_name()) {
+    sums[ix.device_vendor(d)] += doc[d];
+    ++counts[ix.device_vendor(d)];
   }
   std::map<std::string, double> out;
-  for (const auto& [vendor, sum] : sums) {
-    out[vendor] = sum / static_cast<double>(counts[vendor]);
+  for (std::uint32_t v = 0; v < sums.size(); ++v) {
+    if (counts[v] == 0) continue;
+    out[ix.vendors().str(v)] = sums[v] / static_cast<double>(counts[v]);
   }
   return out;
 }
 
 std::vector<VendorHeterogeneity> vendor_heterogeneity_top(const ClientDataset& ds,
                                                           std::size_t n) {
-  // Per vendor: fp -> device count within the vendor.
-  std::map<std::string, std::map<std::string, std::size_t>> vendor_fp_devcount;
-  for (const auto& [device, fps] : ds.device_fps()) {
-    const std::string& vendor = ds.device_vendor().at(device);
-    for (const std::string& key : fps) ++vendor_fp_devcount[vendor][key];
-  }
+  const DatasetIndex& ix = ds.index();
+  auto counts = vendor_fp_devcount(ix);
 
   std::vector<VendorHeterogeneity> rows;
-  for (const auto& [vendor, fp_counts] : vendor_fp_devcount) {
+  rows.reserve(ix.vendors().size());
+  // Lexicographic vendor order matches the seed's map walk; the unstable
+  // sort below then sees the same input sequence.
+  for (std::uint32_t v : ix.vendors_by_name()) {
     VendorHeterogeneity row;
-    row.vendor = vendor;
-    row.fingerprints = fp_counts.size();
+    row.vendor = ix.vendors().str(v);
+    row.fingerprints = ix.vendor_fps()[v].size();
     std::size_t ten_plus = 0, single = 0;
-    for (const auto& [key, devices] : fp_counts) {
+    for (std::uint32_t f : ix.vendor_fps()[v]) {
+      std::uint32_t devices = counts[v][f];
       if (devices >= 10) ++ten_plus;
       if (devices == 1) ++single;
     }
@@ -74,11 +99,14 @@ std::vector<VendorHeterogeneity> vendor_heterogeneity_top(const ClientDataset& d
 }
 
 TypeClusterStats type_clusters(const ClientDataset& ds, const std::string& vendor) {
+  const DatasetIndex& ix = ds.index();
   TypeClusterStats stats;
   stats.vendor = vendor;
+  std::uint32_t v = ix.vendors().find(vendor);
+  if (v == Interner::kNone) return stats;
   std::map<std::string, std::set<std::string>> fp_types;  // fp -> types
   for (const ParsedEvent& e : ds.events()) {
-    if (e.vendor != vendor) continue;
+    if (e.vendor_ix != v) continue;
     stats.type_fps[e.type].insert(e.fp_key);
     fp_types[e.fp_key].insert(e.type);
   }
@@ -92,16 +120,19 @@ TypeClusterStats type_clusters(const ClientDataset& ds, const std::string& vendo
 DeviceClusterStats device_clusters(const ClientDataset& ds,
                                    const std::string& vendor,
                                    const std::string& type_substring) {
+  const DatasetIndex& ix = ds.index();
   DeviceClusterStats stats;
   stats.vendor = vendor;
   stats.type = type_substring;
-  std::set<std::string> devices;
-  std::map<std::string, std::set<std::string>> fp_devs;
+  std::uint32_t v = ix.vendors().find(vendor);
+  if (v == Interner::kNone) return stats;
+  std::set<std::uint32_t> devices;
+  std::map<std::string, std::set<std::uint32_t>> fp_devs;
   for (const ParsedEvent& e : ds.events()) {
-    if (e.vendor != vendor) continue;
+    if (e.vendor_ix != v) continue;
     if (e.type.find(type_substring) == std::string::npos) continue;
-    devices.insert(e.device_id);
-    fp_devs[e.fp_key].insert(e.device_id);
+    devices.insert(e.device_ix);
+    fp_devs[e.fp_key].insert(e.device_ix);
   }
   stats.devices = devices.size();
   stats.fingerprints = fp_devs.size();

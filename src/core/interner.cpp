@@ -1,0 +1,73 @@
+#include "core/interner.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace iotls::core {
+
+std::uint32_t Interner::intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  std::uint32_t id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+std::uint32_t Interner::find(std::string_view s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kNone : it->second;
+}
+
+std::vector<std::uint32_t> Interner::ids_by_string() const {
+  std::vector<std::uint32_t> out(strings_.size());
+  for (std::uint32_t i = 0; i < out.size(); ++i) out[i] = i;
+  std::sort(out.begin(), out.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return strings_[a] < strings_[b];
+  });
+  return out;
+}
+
+std::size_t Bitset::count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t Bitset::and_count(const Bitset& a, const Bitset& b) {
+  std::size_t words = std::min(a.words_.size(), b.words_.size());
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    n += static_cast<std::size_t>(std::popcount(a.words_[i] & b.words_[i]));
+  }
+  return n;
+}
+
+std::size_t intersect_count(const PostingList& a, const PostingList& b) {
+  const PostingList& small = a.size() <= b.size() ? a : b;
+  const PostingList& large = a.size() <= b.size() ? b : a;
+  // Galloping: when one list is much shorter, binary-search each of its
+  // members instead of merging linearly.
+  if (small.size() * 16 < large.size()) {
+    std::size_t n = 0;
+    auto lo = large.begin();
+    for (std::uint32_t id : small) {
+      lo = std::lower_bound(lo, large.end(), id);
+      if (lo == large.end()) break;
+      if (*lo == id) {
+        ++n;
+        ++lo;
+      }
+    }
+    return n;
+  }
+  std::size_t n = 0, i = 0, j = 0;
+  while (i < small.size() && j < large.size()) {
+    if (small[i] < large[j]) ++i;
+    else if (large[j] < small[i]) ++j;
+    else { ++n; ++i; ++j; }
+  }
+  return n;
+}
+
+}  // namespace iotls::core

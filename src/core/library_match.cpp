@@ -36,18 +36,20 @@ LibraryMatchReport match_against_corpus(const ClientDataset& ds,
       {0, 30, 90, 180, 365, 730, 1095, 1825, 3650});
   static obs::Counter& hit = obs::metrics().counter("corpus.match.hit");
   static obs::Counter& miss = obs::metrics().counter("corpus.match.miss");
+  const DatasetIndex& ix = ds.index();
   LibraryMatchReport report;
-  report.total_fingerprints = ds.fingerprints().size();
+  report.total_fingerprints = ix.fps().size();
 
   // Phase 1 (parallel): corpus lookups, pure reads of const state, into
-  // index-addressed slots in fingerprint-key (map) order.
+  // index-addressed slots in fingerprint-key (lexicographic) order.
   std::vector<const tls::Fingerprint*> fps;
   std::vector<const std::string*> keys;
-  fps.reserve(ds.fingerprints().size());
-  keys.reserve(ds.fingerprints().size());
-  for (const auto& [key, fp] : ds.fingerprints()) {
-    keys.push_back(&key);
-    fps.push_back(&fp);
+  fps.reserve(ix.fps().size());
+  keys.reserve(ix.fps().size());
+  std::vector<std::uint32_t> fp_ids = ix.fps_by_key();
+  for (std::uint32_t f : fp_ids) {
+    keys.push_back(&ix.fps().str(f));
+    fps.push_back(&ix.fp_value(f));
   }
   std::vector<MatchOutcome> outcomes(fps.size());
   exec::parallel_for(jobs, fps.size(), [&](std::size_t i) {
@@ -65,6 +67,7 @@ LibraryMatchReport match_against_corpus(const ClientDataset& ds,
   // Phase 2 (sequential, key order): metrics and report rows.
   std::set<std::string> libraries;
   std::set<std::string> unsupported;
+  report.matches.reserve(outcomes.size());
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     span.add_items();
     const MatchOutcome& out = outcomes[i];
@@ -81,8 +84,7 @@ LibraryMatchReport match_against_corpus(const ClientDataset& ds,
     m.library = best->version;
     m.family = best->family;
     m.supported = best->supported_at(reference_day);
-    auto dev_it = ds.fp_devices().find(m.fp_key);
-    m.device_count = dev_it == ds.fp_devices().end() ? 0 : dev_it->second.size();
+    m.device_count = ix.fp_devices()[fp_ids[i]].size();
     libraries.insert(best->version);
     if (!m.supported) unsupported.insert(best->version);
     report.by_family[best->family]++;

@@ -135,51 +135,60 @@ SemanticReport semantic_match(const ClientDataset& ds,
   std::map<SemanticCategory, std::set<std::string>> category_vendors;
   std::map<SemanticCategory, std::size_t> outdated_counts;
 
+  // The profile scan depends only on the ciphersuite list, not the device,
+  // so run it once per distinct list — devices overwhelmingly share lists.
+  struct ListMatch {
+    const LibraryProfile* best = nullptr;
+    SemanticCategory cat = SemanticCategory::kCustomization;
+    double suite_jaccard = -1;
+  };
+  std::map<std::vector<std::uint16_t>, ListMatch> by_list;
+
   for (const auto& [key, event] : tuples) {
     SemanticMatch m;
     m.device_id = event->device_id;
     m.vendor = event->vendor;
 
-    std::vector<std::uint16_t> suites = effective_suites(event->fp.cipher_suites);
-    std::set<std::uint16_t> suite_set(suites.begin(), suites.end());
-    ComponentSets components = decompose(event->fp.cipher_suites);
+    auto [cache_it, fresh] = by_list.try_emplace(event->fp.cipher_suites);
+    ListMatch& cached = cache_it->second;
+    if (fresh) {
+      std::vector<std::uint16_t> suites = effective_suites(event->fp.cipher_suites);
+      std::set<std::uint16_t> suite_set(suites.begin(), suites.end());
+      ComponentSets components = decompose(event->fp.cipher_suites);
 
-    const LibraryProfile* best = nullptr;
-    SemanticCategory best_cat = SemanticCategory::kCustomization;
-    double best_jaccard = -1;
-
-    for (const LibraryProfile& p : profiles) {
-      SemanticCategory cat;
-      if (suites == p.suites) {
-        cat = SemanticCategory::kExact;
-      } else if (suite_set == p.suite_set) {
-        cat = SemanticCategory::kSameSetDifferentOrder;
-      } else if (components.kex == p.components.kex &&
-                 components.cipher == p.components.cipher &&
-                 components.mac == p.components.mac) {
-        cat = SemanticCategory::kSameComponent;
-      } else if (components.kex == p.components.kex &&
-                 similar_cipher_sets(components.cipher, p.components.cipher) &&
-                 similar_mac_sets(components.mac, p.components.mac)) {
-        cat = SemanticCategory::kSimilarComponent;
-      } else {
-        continue;
-      }
-      double j = jaccard(suites, p.suites);
-      // Prefer the stronger category; break ties by suite-list Jaccard.
-      if (best == nullptr || cat < best_cat ||
-          (cat == best_cat && j > best_jaccard)) {
-        best = &p;
-        best_cat = cat;
-        best_jaccard = j;
+      for (const LibraryProfile& p : profiles) {
+        SemanticCategory cat;
+        if (suites == p.suites) {
+          cat = SemanticCategory::kExact;
+        } else if (suite_set == p.suite_set) {
+          cat = SemanticCategory::kSameSetDifferentOrder;
+        } else if (components.kex == p.components.kex &&
+                   components.cipher == p.components.cipher &&
+                   components.mac == p.components.mac) {
+          cat = SemanticCategory::kSameComponent;
+        } else if (components.kex == p.components.kex &&
+                   similar_cipher_sets(components.cipher, p.components.cipher) &&
+                   similar_mac_sets(components.mac, p.components.mac)) {
+          cat = SemanticCategory::kSimilarComponent;
+        } else {
+          continue;
+        }
+        double j = jaccard(suites, p.suites);
+        // Prefer the stronger category; break ties by suite-list Jaccard.
+        if (cached.best == nullptr || cat < cached.cat ||
+            (cat == cached.cat && j > cached.suite_jaccard)) {
+          cached.best = &p;
+          cached.cat = cat;
+          cached.suite_jaccard = j;
+        }
       }
     }
 
-    if (best != nullptr) {
-      m.category = best_cat;
-      m.library = best->lib->version;
-      m.library_outdated = !best->lib->supported_at(reference_day);
-      m.suite_jaccard = best_jaccard;
+    if (cached.best != nullptr) {
+      m.category = cached.cat;
+      m.library = cached.best->lib->version;
+      m.library_outdated = !cached.best->lib->supported_at(reference_day);
+      m.suite_jaccard = cached.suite_jaccard;
     }
 
     ++report.counts[m.category];

@@ -9,24 +9,26 @@ namespace iotls::core {
 
 std::vector<VendorSimilarity> vendor_similarities(const ClientDataset& ds,
                                                   double threshold) {
-  std::vector<std::pair<std::string, const std::set<std::string>*>> vendors;
-  for (const auto& [vendor, fps] : ds.vendor_fps()) vendors.emplace_back(vendor, &fps);
+  const DatasetIndex& ix = ds.index();
+  // Vendor order and the pair enumeration mirror the seed's std::map walk
+  // (lexicographic), so output rows land in the same sequence.
+  const std::vector<std::uint32_t>& order = ix.vendors_by_name();
 
   std::vector<VendorSimilarity> out;
-  for (std::size_t i = 0; i < vendors.size(); ++i) {
-    for (std::size_t j = i + 1; j < vendors.size(); ++j) {
-      const auto& a = *vendors[i].second;
-      const auto& b = *vendors[j].second;
-      std::size_t inter = 0;
-      for (const std::string& key : a) inter += b.count(key);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Bitset& bits_a = ix.vendor_fp_bits(order[i]);
+    std::size_t size_a = ix.vendor_fps()[order[i]].size();
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      std::size_t inter = Bitset::and_count(bits_a, ix.vendor_fp_bits(order[j]));
       if (inter == 0) continue;
-      std::size_t uni = a.size() + b.size() - inter;
+      std::size_t size_b = ix.vendor_fps()[order[j]].size();
+      std::size_t uni = size_a + size_b - inter;
       VendorSimilarity sim;
-      sim.vendor_a = vendors[i].first;
-      sim.vendor_b = vendors[j].first;
+      sim.vendor_a = ix.vendors().str(order[i]);
+      sim.vendor_b = ix.vendors().str(order[j]);
       sim.jaccard = static_cast<double>(inter) / static_cast<double>(uni);
-      sim.overlap_coefficient =
-          static_cast<double>(inter) / static_cast<double>(std::min(a.size(), b.size()));
+      sim.overlap_coefficient = static_cast<double>(inter) /
+                                static_cast<double>(std::min(size_a, size_b));
       if (sim.jaccard >= threshold) out.push_back(std::move(sim));
     }
   }
@@ -54,34 +56,40 @@ std::vector<SimilarityBucket> bucket_similarities(
 
 ServerTieReport server_tied_fingerprints(const ClientDataset& ds,
                                          const corpus::LibraryCorpus& corpus) {
+  const DatasetIndex& ix = ds.index();
   ServerTieReport report;
-  report.total_snis = ds.sni_fps().size();
+  report.total_snis = ix.snis().size();
 
   // For a fingerprint to be "tied" to a server, it must be server-specific:
   // the ONLY fingerprint those devices present to this server, observed
   // from multiple devices, and not matching any standard library.
   std::map<std::string, ServerTiedFingerprint> rows;  // key: sld|fp
-  for (const auto& [sni, fps] : ds.sni_fps()) {
+  for (std::uint32_t sni : ix.snis_by_name()) {
+    const PostingList& fps = ix.sni_fps()[sni];
     if (fps.size() != 1) continue;  // not server-specific
-    const std::string& fp_key = *fps.begin();
-    const tls::Fingerprint& fp = ds.fingerprints().at(fp_key);
+    std::uint32_t f = fps.front();
+    const tls::Fingerprint& fp = ix.fp_value(f);
     if (corpus.best_match(fp) != nullptr) continue;  // standard library
     // The fingerprint must appear at few servers overall (tied to the
     // application behind this server, not a vendor-wide base stack).
-    const auto& fp_snis = ds.fp_snis().at(fp_key);
-    if (fp_snis.size() > 8) continue;
-    const auto& devices = ds.sni_devices().at(sni);
+    if (ix.fp_snis()[f].size() > 8) continue;
+    const PostingList& devices = ix.sni_devices()[sni];
     if (devices.size() < 2) continue;  // exclude single-device outliers
     ++report.tied_snis;
 
-    std::string sld = second_level_domain(sni);
-    ServerTiedFingerprint& row = rows[sld + "|" + fp_key];
-    row.sld = sld;
-    row.fp_key = fp_key;
-    row.fqdns.insert(sni);
-    row.vulnerable_tags = tls::list_vulnerable_components(fp.cipher_suites);
-    for (const std::string& d : devices) row.devices.insert(d);
-    for (const std::string& v : ds.sni_vendors().at(sni)) row.vendors.insert(v);
+    const std::string& sni_name = ix.snis().str(sni);
+    const std::string& fp_key = ix.fps().str(f);
+    std::string sld = second_level_domain(sni_name);
+    auto [it, inserted] = rows.try_emplace(sld + "|" + fp_key);
+    ServerTiedFingerprint& row = it->second;
+    if (inserted) {
+      row.sld = std::move(sld);
+      row.fp_key = fp_key;
+      row.vulnerable_tags = tls::list_vulnerable_components(fp.cipher_suites);
+    }
+    row.fqdns.insert(sni_name);
+    for (std::uint32_t d : devices) row.devices.insert(ix.devices().str(d));
+    for (std::uint32_t v : ix.sni_vendors()[sni]) row.vendors.insert(ix.vendors().str(v));
   }
 
   for (auto& [key, row] : rows) {

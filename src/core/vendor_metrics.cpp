@@ -1,5 +1,6 @@
 #include "core/vendor_metrics.hpp"
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -8,10 +9,11 @@
 namespace iotls::core {
 
 DegreeDistribution fingerprint_degree_distribution(const ClientDataset& ds) {
+  const DatasetIndex& ix = ds.index();
   DegreeDistribution dist;
-  for (const auto& [key, vendors] : ds.fp_vendors()) {
+  for (std::uint32_t f = 0; f < ix.fp_vendors().size(); ++f) {
     ++dist.total;
-    std::size_t degree = vendors.size();
+    std::size_t degree = ix.fp_vendors()[f].size();
     if (degree == 1) ++dist.degree1;
     else if (degree == 2) ++dist.degree2;
     else if (degree <= 5) ++dist.degree3to5;
@@ -21,14 +23,17 @@ DegreeDistribution fingerprint_degree_distribution(const ClientDataset& ds) {
 }
 
 std::map<std::string, double> doc_vendor(const ClientDataset& ds) {
+  const DatasetIndex& ix = ds.index();
   std::map<std::string, double> out;
-  for (const auto& [vendor, fps] : ds.vendor_fps()) {
+  for (std::uint32_t v = 0; v < ix.vendor_fps().size(); ++v) {
+    const PostingList& fps = ix.vendor_fps()[v];
     if (fps.empty()) continue;
     std::size_t solo = 0;
-    for (const std::string& key : fps) {
-      if (ds.fp_vendors().at(key).size() == 1) ++solo;
+    for (std::uint32_t f : fps) {
+      if (ix.fp_vendors()[f].size() == 1) ++solo;
     }
-    out[vendor] = static_cast<double>(solo) / static_cast<double>(fps.size());
+    out[ix.vendors().str(v)] =
+        static_cast<double>(solo) / static_cast<double>(fps.size());
   }
   return out;
 }
@@ -45,24 +50,28 @@ double fraction_with_unique(const std::map<std::string, double>& doc) {
 }
 
 std::vector<FingerprintSecurity> classify_fingerprints(const ClientDataset& ds) {
+  const DatasetIndex& ix = ds.index();
   std::vector<FingerprintSecurity> out;
-  out.reserve(ds.fingerprints().size());
-  for (const auto& [key, fp] : ds.fingerprints()) {
+  out.reserve(ix.fps().size());
+  // Lexicographic key order — the seed walked the fingerprint map.
+  for (std::uint32_t f : ix.fps_by_key()) {
+    const tls::Fingerprint& fp = ix.fp_value(f);
     FingerprintSecurity fs;
-    fs.fp_key = key;
+    fs.fp_key = ix.fps().str(f);
     fs.level = tls::classify_suite_list(fp.cipher_suites);
     fs.vulnerable_tags = tls::list_vulnerable_components(fp.cipher_suites);
-    fs.device_count = ds.fp_devices().at(key).size();
-    fs.vendor_count = ds.fp_vendors().at(key).size();
+    fs.device_count = ix.fp_devices()[f].size();
+    fs.vendor_count = ix.fp_vendors()[f].size();
     out.push_back(std::move(fs));
   }
   return out;
 }
 
 VulnerabilityStats vulnerability_stats(const ClientDataset& ds) {
+  const DatasetIndex& ix = ds.index();
   VulnerabilityStats stats;
-  std::set<std::string> severe_devices;
-  std::set<std::string> severe_vendors;
+  std::set<std::uint32_t> severe_devices;
+  std::set<std::uint32_t> severe_vendors;
   for (const FingerprintSecurity& fs : classify_fingerprints(ds)) {
     ++stats.total_fps;
     if (fs.vulnerable_tags.empty()) continue;
@@ -75,10 +84,9 @@ VulnerabilityStats vulnerability_stats(const ClientDataset& ds) {
     }
     if (severe) {
       ++stats.severe_fps;
-      for (const std::string& dev : ds.fp_devices().at(fs.fp_key))
-        severe_devices.insert(dev);
-      for (const std::string& vendor : ds.fp_vendors().at(fs.fp_key))
-        severe_vendors.insert(vendor);
+      std::uint32_t f = ix.fps().find(fs.fp_key);
+      severe_devices.insert(ix.fp_devices()[f].begin(), ix.fp_devices()[f].end());
+      severe_vendors.insert(ix.fp_vendors()[f].begin(), ix.fp_vendors()[f].end());
     }
   }
   stats.severe_devices = severe_devices.size();
@@ -87,18 +95,30 @@ VulnerabilityStats vulnerability_stats(const ClientDataset& ds) {
 }
 
 VendorFpGraph vendor_fp_graph(const ClientDataset& ds) {
+  const DatasetIndex& ix = ds.index();
   VendorFpGraph graph;
-  for (const auto& [vendor, fps] : ds.vendor_fps()) {
+  // Rank of each fingerprint id in lexicographic key order, so per-vendor
+  // edges come out in the seed's set-of-keys order.
+  std::vector<std::uint32_t> rank(ix.fps().size());
+  for (std::uint32_t pos = 0; pos < ix.fps_by_key().size(); ++pos) {
+    rank[ix.fps_by_key()[pos]] = pos;
+  }
+  for (std::uint32_t v : ix.vendors_by_name()) {
+    const std::string& vendor = ix.vendors().str(v);
     // Use the Table 13 index where the vendor is known to the fleet model.
     try {
       graph.vendor_index[vendor] = devicesim::vendor(vendor).index;
     } catch (const std::out_of_range&) {
       graph.vendor_index[vendor] = 0;
     }
-    for (const std::string& key : fps) graph.edges.emplace_back(vendor, key);
+    PostingList fps = ix.vendor_fps()[v];
+    std::sort(fps.begin(), fps.end(),
+              [&](std::uint32_t a, std::uint32_t b) { return rank[a] < rank[b]; });
+    for (std::uint32_t f : fps) graph.edges.emplace_back(vendor, ix.fps().str(f));
   }
-  for (const auto& [key, fp] : ds.fingerprints()) {
-    graph.fp_level[key] = tls::classify_suite_list(fp.cipher_suites);
+  for (std::uint32_t f = 0; f < ix.fps().size(); ++f) {
+    graph.fp_level[ix.fps().str(f)] =
+        tls::classify_suite_list(ix.fp_value(f).cipher_suites);
   }
   return graph;
 }

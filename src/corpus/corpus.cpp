@@ -215,7 +215,16 @@ std::int64_t d(int y, int m, int day) { return days(y, m, day); }
 }  // namespace
 
 void LibraryCorpus::add(KnownLibrary lib) {
-  by_key_[lib.fp.key()].push_back(entries_.size());
+  std::size_t idx = entries_.size();
+  by_key_[lib.fp.key()].push_back(idx);
+  FpMatches& matches = by_fp_[lib.fp];
+  // "Report the highest version" (§4.1): highest release date wins, the
+  // earliest-added entry breaks ties — same as the seed's linear scan.
+  if (matches.indices.empty() ||
+      lib.release_day > entries_[matches.best].release_day) {
+    matches.best = idx;
+  }
+  matches.indices.push_back(idx);
   entries_.push_back(std::move(lib));
 }
 
@@ -456,10 +465,10 @@ std::size_t LibraryCorpus::count_family(Family f) const {
 std::vector<const KnownLibrary*> LibraryCorpus::match(
     const tls::Fingerprint& fp) const {
   std::vector<const KnownLibrary*> out;
-  auto it = by_key_.find(fp.key());
-  if (it == by_key_.end()) return out;
-  out.reserve(it->second.size());
-  for (std::size_t idx : it->second) out.push_back(&entries_[idx]);
+  auto it = by_fp_.find(fp);
+  if (it == by_fp_.end()) return out;
+  out.reserve(it->second.indices.size());
+  for (std::size_t idx : it->second.indices) out.push_back(&entries_[idx]);
   return out;
 }
 
@@ -467,17 +476,11 @@ const KnownLibrary* LibraryCorpus::best_match(const tls::Fingerprint& fp) const 
   // Deliberately uninstrumented: this is the per-flow hot path and a single
   // counter visibly dents its throughput. The pipeline call sites
   // (core::match_against_corpus, iotls_fingerprint) count hit/miss and
-  // ambiguity around it instead.
-  auto matches = match(fp);
-  if (matches.empty()) {
-    return nullptr;
-  }
-  // Highest release date wins ("report the highest version", §4.1).
-  const KnownLibrary* best = matches.front();
-  for (const KnownLibrary* lib : matches) {
-    if (lib->release_day > best->release_day) best = lib;
-  }
-  return best;
+  // ambiguity around it instead. The winner is precomputed at add() time,
+  // so this is one hash probe — no key-string build, no linear tie scan.
+  auto it = by_fp_.find(fp);
+  if (it == by_fp_.end()) return nullptr;
+  return &entries_[it->second.best];
 }
 
 const EraConfig& LibraryCorpus::era(const std::string& profile) const {

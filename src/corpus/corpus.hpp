@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "corpus/library.hpp"
@@ -38,7 +39,16 @@ class LibraryCorpus {
  private:
   void add(KnownLibrary lib);
 
+  /// Exact-match posting for one distinct fingerprint: every library build
+  /// sharing it, plus the precomputed "highest version" winner — so
+  /// best_match() is a single hash probe with no string key construction.
+  struct FpMatches {
+    std::vector<std::size_t> indices;
+    std::size_t best = 0;
+  };
+
   std::vector<KnownLibrary> entries_;
+  std::unordered_map<tls::Fingerprint, FpMatches> by_fp_;
   std::map<std::string, std::vector<std::size_t>> by_key_;  // fp key -> indices
   std::map<std::string, EraConfig> eras_;
 };

@@ -2,7 +2,6 @@
 
 #include "crypto/md5.hpp"
 #include "tls/grease.hpp"
-#include "util/rng.hpp"
 
 namespace iotls::tls {
 
@@ -60,5 +59,19 @@ bool has_grease_extension(const ClientHello& ch) {
 
 std::size_t std::hash<iotls::tls::Fingerprint>::operator()(
     const iotls::tls::Fingerprint& fp) const noexcept {
-  return static_cast<std::size_t>(iotls::fnv1a64(fp.key()));
+  // FNV-1a over the raw fields — building key() here would allocate on
+  // every corpus lookup, which is the per-flow hot path.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint16_t v) {
+    h ^= static_cast<std::uint8_t>(v);
+    h *= 1099511628211ull;
+    h ^= static_cast<std::uint8_t>(v >> 8);
+    h *= 1099511628211ull;
+  };
+  mix(fp.version);
+  for (std::uint16_t suite : fp.cipher_suites) mix(suite);
+  h ^= 0x2c;  // field separator, so list-boundary shifts don't collide
+  h *= 1099511628211ull;
+  for (std::uint16_t ext : fp.extensions) mix(ext);
+  return static_cast<std::size_t>(h);
 }
