@@ -3,10 +3,12 @@
 # under AddressSanitizer + UBSan, then the concurrency-labelled suites
 # (parallel survey determinism, pool races) under ThreadSanitizer — so the
 # retry/breaker state machines, the fault-injection paths and the parallel
-# executor are sanitizer-clean on every change. Finally, a perf phase runs
-# the pipeline benchmark suite (optimized build, 5 repetitions) and writes
-# the aggregates to BENCH_pipeline.json, so perf regressions in the interned
-# analysis core are visible per change.
+# executor are sanitizer-clean on every change. A perf phase then runs the
+# pipeline benchmark suites (optimized build, 5 repetitions) and writes the
+# aggregates to BENCH_pipeline.json / BENCH_certs.json, so perf regressions
+# in the interned analysis core and the §5 certificate pipeline are visible
+# per change. Finally, a docs phase fails on broken relative links in
+# README.md and docs/*.md.
 #
 # Usage: scripts/check_robustness.sh [ctest-args...]
 set -euo pipefail
@@ -21,12 +23,42 @@ cmake --build --preset tsan -j"$(nproc)"
 ctest --preset concurrency-tsan -j"$(nproc)" "$@"
 
 cmake --preset default
-cmake --build --preset default -j"$(nproc)" --target test_perf bench_perf_pipeline
+cmake --build --preset default -j"$(nproc)" \
+  --target test_perf test_cert_pipeline bench_perf_pipeline bench_cert_pipeline
 ctest --preset default -L perf --output-on-failure
-# Median-of-5 aggregates; compare BENCH_pipeline.json against the previous
-# run's copy to spot regressions (the file is gitignored).
+# Median-of-5 aggregates; compare BENCH_pipeline.json / BENCH_certs.json
+# against the previous run's copies to spot regressions (both gitignored).
 ./build/bench/bench_perf_pipeline \
   --benchmark_repetitions=5 \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_pipeline.json \
   --benchmark_out_format=json
+./build/bench/bench_cert_pipeline \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out=BENCH_certs.json \
+  --benchmark_out_format=json
+
+# Docs phase: every relative link in README.md and docs/*.md must resolve.
+# External links (http/https/mailto) and pure #anchors are skipped; a
+# #fragment on a relative link is stripped before the existence check.
+docs_failed=0
+for doc in README.md docs/*.md; do
+  [ -e "$doc" ] || continue
+  dir="$(dirname "$doc")"
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path="${target%%#*}"
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $doc -> $target" >&2
+      docs_failed=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//')
+done
+if [ "$docs_failed" -ne 0 ]; then
+  echo "docs phase failed: broken relative links" >&2
+  exit 1
+fi
+echo "docs phase OK: all relative links resolve"

@@ -2,25 +2,54 @@
 
 #include <algorithm>
 
+#include "exec/pool.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
 #include "x509/validation.hpp"
 
 namespace iotls::core {
 
+namespace {
+
+/// One fully probed SNI out of the parallel stage: the record itself plus
+/// the two values the sequential fold needs (the leaf fingerprint, hashed
+/// once here and reused for dedup and the index memo, and the failure
+/// reason for span bookkeeping).
+struct ProbedSni {
+  SniRecord record;
+  std::string leaf_fp;
+  std::string fail_reason;
+};
+
+}  // namespace
+
 CertDataset CertDataset::collect(const ClientDataset& client,
                                  const devicesim::SimWorld& world,
-                                 std::size_t min_users) {
+                                 std::size_t min_users, int jobs,
+                                 x509::ValidationCache* cache) {
   auto span = obs::tracer().span("probe");
   CertDataset ds;
   net::TlsProber prober(world.internet);
 
-  for (const auto& [sni, users] : client.sni_users()) {
-    if (users.size() < min_users) continue;
-    ++ds.extracted_;
-    span.add_items();
+  // Eligible SNIs in the map's (lexicographic) order — the walk order the
+  // sequential fold below preserves at every jobs level.
+  using SniUsers = std::pair<const std::string, std::set<std::string>>;
+  std::vector<const SniUsers*> eligible;
+  eligible.reserve(client.sni_users().size());
+  for (const auto& entry : client.sni_users()) {
+    if (entry.second.size() >= min_users) eligible.push_back(&entry);
+  }
 
-    SniRecord record;
+  // Parallel stage: pure per-SNI probing and record construction into
+  // pre-sized slots (probe_all_vantages is per-SNI deterministic and has no
+  // survey-wide state). Counters, span bookkeeping, leaf dedup and the
+  // index fold stay sequential so the dataset is byte-identical at any
+  // jobs level.
+  std::vector<ProbedSni> probed(eligible.size());
+  exec::parallel_for(jobs, eligible.size(), [&](std::size_t i) {
+    const auto& [sni, users] = *eligible[i];
+    ProbedSni& out = probed[i];
+    SniRecord& record = out.record;
     record.sni = sni;
     record.users = users;
     record.devices = client.sni_devices().at(sni);
@@ -38,28 +67,46 @@ CertDataset CertDataset::collect(const ClientDataset& client,
 
     const net::ProbeResult& ny = multi.by_vantage.at(net::VantagePoint::kNewYork);
     record.reachable = ny.reachable;
-    if (!ny.reachable) span.fail(net::probe_error_name(ny.error));
+    if (!ny.reachable) out.fail_reason = net::probe_error_name(ny.error);
     if (ny.stapled.has_value()) {
       record.stapled = true;
-      record.staple_valid = x509::verify_ocsp(*ny.stapled, world.keys);
+      record.staple_valid = cache != nullptr
+                                ? cache->ocsp_ok(*ny.stapled, world.keys)
+                                : x509::verify_ocsp(*ny.stapled, world.keys);
     }
     if (ny.reachable) {
-      ++ds.reachable_;
       record.chain = x509::normalize_chain_order(ny.chain, sni);
       record.served_misordered = !(record.chain == ny.chain);
       if (const net::SimServer* server = world.internet.find(sni)) {
         record.server_ips = server->ips;
       }
       if (!record.chain.empty()) {
-        const std::string fp = record.chain.front().fingerprint();
-        LeafRecord& leaf = ds.leaves_[fp];
-        if (leaf.servers.empty()) leaf.cert = record.chain.front();
-        leaf.servers.insert(sni);
-        for (const std::string& ip : record.server_ips) leaf.ips.insert(ip);
+        out.leaf_fp = record.chain.front().fingerprint();
       }
     }
-    ds.records_.push_back(std::move(record));
+  });
+
+  // Sequential fold, input order: aggregation and the interned index.
+  ds.index_.reserve(eligible.size());
+  ds.records_.reserve(eligible.size());
+  for (ProbedSni& p : probed) {
+    ++ds.extracted_;
+    span.add_items();
+    if (!p.record.reachable) {
+      span.fail(p.fail_reason);
+    } else {
+      ++ds.reachable_;
+      if (!p.record.chain.empty()) {
+        LeafRecord& leaf = ds.leaves_[p.leaf_fp];
+        if (leaf.servers.empty()) leaf.cert = p.record.chain.front();
+        leaf.servers.insert(p.record.sni);
+        for (const std::string& ip : p.record.server_ips) leaf.ips.insert(ip);
+      }
+    }
+    ds.index_.record(p.record, p.leaf_fp);
+    ds.records_.push_back(std::move(p.record));
   }
+  ds.index_.finalize();
   return ds;
 }
 

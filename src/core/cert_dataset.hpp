@@ -8,9 +8,14 @@
 #include <string>
 #include <vector>
 
+#include "core/cert_index.hpp"
 #include "core/dataset.hpp"
 #include "devicesim/scenario.hpp"
 #include "net/prober.hpp"
+
+namespace iotls::x509 {
+class ValidationCache;
+}
 
 namespace iotls::core {
 
@@ -57,12 +62,24 @@ struct GeoComparison {
 class CertDataset {
  public:
   /// Probe every SNI observed from at least `min_users` users.
+  ///
+  /// `jobs` shards the probing across worker threads (1 = sequential on the
+  /// caller, 0 = hardware concurrency); SNIs are probed one per shard and
+  /// merged in input (lexicographic SNI) order, so the dataset — records,
+  /// leaves, counters and the interned index — is byte-identical at every
+  /// jobs level. `cache` (optional) memoizes OCSP staple verification
+  /// across servers sharing a certificate.
   static CertDataset collect(const ClientDataset& client,
                              const devicesim::SimWorld& world,
-                             std::size_t min_users = 1);
+                             std::size_t min_users = 1, int jobs = 1,
+                             x509::ValidationCache* cache = nullptr);
 
   const std::vector<SniRecord>& records() const { return records_; }
   const std::map<std::string, LeafRecord>& leaves() const { return leaves_; }
+
+  /// The interned-id cross-index built during collect (dense ids, posting
+  /// lists, per-leaf fingerprint memo) — what the §5.2–§5.4 analyses run on.
+  const CertIndex& index() const { return index_; }
 
   std::size_t extracted_snis() const { return extracted_; }
   std::size_t reachable_snis() const { return reachable_; }
@@ -92,6 +109,7 @@ class CertDataset {
  private:
   std::vector<SniRecord> records_;
   std::map<std::string, LeafRecord> leaves_;  // leaf fingerprint -> record
+  CertIndex index_;
   std::size_t extracted_ = 0;
   std::size_t reachable_ = 0;
 };

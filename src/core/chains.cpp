@@ -2,31 +2,37 @@
 
 #include <algorithm>
 
+#include "exec/pool.hpp"
 #include "util/strings.hpp"
 
 namespace iotls::core {
 
 ChainReport validate_dataset(const CertDataset& certs,
-                             const devicesim::SimWorld& world, std::int64_t now) {
+                             const devicesim::SimWorld& world, std::int64_t now,
+                             int jobs, x509::ValidationCache* cache) {
   ChainReport report;
 
-  std::map<std::string, DomainChainRow> failures;      // sld|issuer|status
-  std::map<std::string, DomainChainRow> private_roots;
-  std::map<std::string, DomainChainRow> self_signed;
-
-  std::size_t private_leaves = 0;
-  std::size_t private_leaf_failures = 0;
-
+  // Parallel stage: validate each reachable record into a pre-sized slot.
+  // Per-record validation is pure (the cache memoizes deterministic verify
+  // outcomes, and obs verdict counters are additive), so only the schedule
+  // depends on jobs — never the results.
+  std::vector<const SniRecord*> reachable;
+  reachable.reserve(certs.records().size());
   for (const SniRecord& record : certs.records()) {
-    if (!record.reachable) continue;
-    SniValidation v;
+    if (record.reachable) reachable.push_back(&record);
+  }
+  std::vector<SniValidation> validations(reachable.size());
+  exec::parallel_for(jobs, reachable.size(), [&](std::size_t i) {
+    const SniRecord& record = *reachable[i];
+    SniValidation& v = validations[i];
     v.sni = record.sni;
-    // Tolerate misordered chains the way Zeek does: normalize before
-    // validating. Structurally broken chains stay broken.
-    std::vector<x509::Certificate> chain =
-        x509::normalize_chain_order(record.chain, record.sni);
-    v.result = x509::validate_chain(chain, record.sni, world.trust,
-                                    world.keys, now);
+    // Chains in a CertDataset are already normalized to leaf-first order by
+    // collect() (the Zeek-style misorder repair), and normalization is
+    // idempotent — so validate as served instead of copying every
+    // certificate through a second normalize pass. test_cert_pipeline pins
+    // byte-identity against the seed path, which re-normalized here.
+    v.result = x509::validate_chain(record.chain, record.sni, world.trust,
+                                    world.keys, now, cache);
     v.chain_length = record.chain.size();
     v.devices = record.devices;
     v.vendors = record.vendors;
@@ -35,6 +41,19 @@ ChainReport validate_dataset(const CertDataset& certs,
       auto it = world.issuer_is_public.find(v.leaf_issuer);
       v.leaf_issuer_public = it == world.issuer_is_public.end() ? true : it->second;
     }
+  });
+
+  // Sequential fold, record order: the seed aggregation, unchanged.
+  std::map<std::string, DomainChainRow> failures;      // sld|issuer|status
+  std::map<std::string, DomainChainRow> private_roots;
+  std::map<std::string, DomainChainRow> self_signed;
+
+  std::size_t private_leaves = 0;
+  std::size_t private_leaf_failures = 0;
+
+  for (std::size_t i = 0; i < reachable.size(); ++i) {
+    const SniRecord& record = *reachable[i];
+    SniValidation& v = validations[i];
     ++report.validated;
     if (x509::chain_trusted(v.result.status)) ++report.trusted;
 

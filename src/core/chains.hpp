@@ -65,7 +65,15 @@ struct ChainReport {
 };
 
 /// Validate every reachable SNI's served chain at `now` (probe day).
+///
+/// `jobs` shards the per-SNI validation across worker threads (1 =
+/// sequential, 0 = hardware concurrency); per-record results are computed
+/// into pre-sized slots and aggregated in record order, so the report is
+/// byte-identical at every jobs level. `cache` (optional) memoizes
+/// signature verification per distinct certificate, so chains sharing
+/// intermediates verify each edge once per survey instead of once per SNI.
 ChainReport validate_dataset(const CertDataset& certs,
-                             const devicesim::SimWorld& world, std::int64_t now);
+                             const devicesim::SimWorld& world, std::int64_t now,
+                             int jobs = 1, x509::ValidationCache* cache = nullptr);
 
 }  // namespace iotls::core

@@ -50,7 +50,13 @@ struct CtReport {
   std::int64_t max_private_validity = 0;
 };
 
-CtReport ct_report(const CertDataset& certs, const devicesim::SimWorld& world);
+/// `jobs` shards the per-record classification/CT-lookup stage across
+/// worker threads (1 = sequential, 0 = hardware concurrency); aggregation
+/// runs in record order, so the report is byte-identical at every jobs
+/// level. Leaf fingerprints come from the dataset's index memo — no
+/// certificate is re-hashed here.
+CtReport ct_report(const CertDataset& certs, const devicesim::SimWorld& world,
+                   int jobs = 1);
 
 /// Table 9: validity variance of one private issuer (Netflix in the paper).
 struct IssuerValidityRow {

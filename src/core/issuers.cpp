@@ -30,20 +30,26 @@ namespace {
 
 /// Per vendor, the multiset of leaf certificates on servers its devices
 /// visit: vendor -> issuer org -> #distinct leaves.
+///
+/// Index-backed: walks the vendor→leaf posting lists instead of rescanning
+/// every record and re-hashing every leaf. Distinctness is still counted
+/// over fingerprints (the seed's set<fingerprint> semantics), via the
+/// memoized per-leaf fingerprint ids.
 std::map<std::string, std::map<std::string, std::size_t>> vendor_issuer_counts(
     const CertDataset& certs) {
-  // leaf fingerprint -> issuer org
-  std::map<std::string, std::map<std::string, std::set<std::string>>> vendor_issuer_leaves;
-  for (const SniRecord& record : certs.records()) {
-    if (!record.reachable || record.chain.empty()) continue;
-    const x509::Certificate& leaf = record.chain.front();
-    for (const std::string& vendor : record.vendors) {
-      vendor_issuer_leaves[vendor][leaf.issuer.organization].insert(leaf.fingerprint());
-    }
-  }
+  const CertIndex& ix = certs.index();
   std::map<std::string, std::map<std::string, std::size_t>> out;
-  for (const auto& [vendor, issuers] : vendor_issuer_leaves) {
-    for (const auto& [issuer, leaves] : issuers) out[vendor][issuer] = leaves.size();
+  for (std::uint32_t v = 0; v < ix.vendors().size(); ++v) {
+    const PostingList& leaves = ix.vendor_leaves()[v];
+    if (leaves.empty()) continue;  // vendor met no served certificate
+    std::map<std::uint32_t, std::set<std::uint32_t>> issuer_fps;
+    for (std::uint32_t leaf : leaves) {
+      issuer_fps[ix.leaf_issuer(leaf)].insert(ix.leaf_fp(leaf));
+    }
+    std::map<std::string, std::size_t>& row = out[ix.vendors().str(v)];
+    for (const auto& [issuer, fps] : issuer_fps) {
+      row[ix.issuers().str(issuer)] = fps.size();
+    }
   }
   return out;
 }
@@ -62,9 +68,13 @@ IssuerMatrix issuer_matrix(const CertDataset& certs,
   IssuerMatrix matrix;
   auto counts = vendor_issuer_counts(certs);
 
+  // Distinct leaves per issuer from the fingerprint domain of the index
+  // (the same first-record-wins issuer attribution as the seed's
+  // fingerprint-keyed leaf map).
+  const CertIndex& ix = certs.index();
   std::map<std::string, std::size_t> issuer_totals;
-  for (const auto& [fp, leaf] : certs.leaves()) {
-    ++issuer_totals[leaf.cert.issuer.organization];
+  for (std::uint32_t f = 0; f < ix.fps().size(); ++f) {
+    ++issuer_totals[ix.issuers().str(ix.fp_issuer(f))];
   }
 
   std::map<std::string, double> vendor_public_share;
@@ -104,11 +114,12 @@ IssuerMatrix issuer_matrix(const CertDataset& certs,
 IssuerReport issuer_report(const CertDataset& certs,
                            const std::map<std::string, bool>& issuer_is_public) {
   IssuerReport report;
-  report.leaves = certs.leaves().size();
+  const CertIndex& ix = certs.index();
+  report.leaves = ix.fps().size();
 
   std::map<std::string, std::size_t> per_issuer;
-  for (const auto& [fp, leaf] : certs.leaves()) {
-    const std::string& org = leaf.cert.issuer.organization;
+  for (std::uint32_t f = 0; f < ix.fps().size(); ++f) {
+    const std::string& org = ix.issuers().str(ix.fp_issuer(f));
     ++per_issuer[org];
     if (!is_public(issuer_is_public, org)) ++report.private_leaves;
   }

@@ -61,7 +61,7 @@ void count_verdict(const ValidationResult& result) {
 
 /// Verify cert's signature using the key identified by its authority_key_id.
 /// Returns false when the key is unknown or the signature does not verify.
-bool signature_ok(const Certificate& cert, const KeyRegistry& keys) {
+bool verify_signature(const Certificate& cert, const KeyRegistry& keys) {
   const crypto::KeyPair* key = keys.find(cert.authority_key_id);
   if (key == nullptr) return false;
   Bytes tbs = cert.tbs_bytes();
@@ -69,7 +69,91 @@ bool signature_ok(const Certificate& cert, const KeyRegistry& keys) {
                         BytesView(cert.signature.data(), cert.signature.size()));
 }
 
+/// Identity tuple the cache keys on (see the ValidationCache doc comment
+/// for why this replaces a TBS digest).
+std::string cert_cache_key(const Certificate& cert) {
+  std::string key;
+  key.reserve(cert.authority_key_id.size() + cert.subject_key_id.size() + 32);
+  key += cert.authority_key_id;
+  key += '\x1f';
+  key += cert.subject_key_id;
+  key += '\x1f';
+  key += std::to_string(cert.serial);
+  key += '\x1f';
+  key += std::to_string(cert.not_before);
+  key += '\x1f';
+  key += std::to_string(cert.not_after);
+  return key;
+}
+
+std::string ocsp_cache_key(const OcspResponse& response) {
+  std::string key;
+  key += 'o';  // disjoint from certificate keys (those start with a key id)
+  key += '\x1f';
+  key += response.responder_key_id;
+  key += '\x1f';
+  key += std::to_string(response.serial);
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(response.status));
+  key += '\x1f';
+  key += std::to_string(response.this_update);
+  key += '\x1f';
+  key += std::to_string(response.next_update);
+  return key;
+}
+
 }  // namespace
+
+ValidationCache::Shard& ValidationCache::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShardCount];
+}
+
+bool ValidationCache::signature_ok(const Certificate& cert,
+                                   const KeyRegistry& keys) {
+  static obs::Counter& hits = obs::metrics().counter("x509.cache.hit");
+  static obs::Counter& misses = obs::metrics().counter("x509.cache.miss");
+  const std::string key = cert_cache_key(cert);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.verdicts.find(key);
+  if (it != shard.verdicts.end()) {
+    hits.inc();
+    return it->second;
+  }
+  misses.inc();
+  // Verify under the shard lock: racing workers wait instead of duplicating
+  // the work, keeping the miss count == distinct certificates at any jobs.
+  bool ok = verify_signature(cert, keys);
+  shard.verdicts.emplace(key, ok);
+  return ok;
+}
+
+bool ValidationCache::ocsp_ok(const OcspResponse& response,
+                              const KeyRegistry& keys) {
+  static obs::Counter& hits = obs::metrics().counter("x509.cache.hit");
+  static obs::Counter& misses = obs::metrics().counter("x509.cache.miss");
+  const std::string key = ocsp_cache_key(response);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.verdicts.find(key);
+  if (it != shard.verdicts.end()) {
+    hits.inc();
+    return it->second;
+  }
+  misses.inc();
+  bool ok = verify_ocsp(response, keys);
+  shard.verdicts.emplace(key, ok);
+  return ok;
+}
+
+std::size_t ValidationCache::entries() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.verdicts.size();
+  }
+  return total;
+}
 
 std::vector<Certificate> normalize_chain_order(std::vector<Certificate> chain,
                                                const std::string& hostname) {
@@ -132,7 +216,8 @@ namespace {
 ValidationResult validate_chain_impl(const std::vector<Certificate>& chain,
                                      const std::string& hostname,
                                      const TrustStoreSet& trust,
-                                     const KeyRegistry& keys, std::int64_t now) {
+                                     const KeyRegistry& keys, std::int64_t now,
+                                     ValidationCache* cache) {
   ValidationResult result;
   result.chain_length = chain.size();
   if (chain.empty()) {
@@ -161,7 +246,9 @@ ValidationResult validate_chain_impl(const std::vector<Certificate>& chain,
   for (const Certificate& cert : chain) {
     // A self-signed member verifies under its own key (in the registry if
     // the signer published it); failure anywhere is a hard error.
-    if (!signature_ok(cert, keys)) {
+    bool ok = cache != nullptr ? cache->signature_ok(cert, keys)
+                               : verify_signature(cert, keys);
+    if (!ok) {
       result.status = ChainStatus::kBadSignature;
       result.detail = "signature of '" + cert.subject.common_name +
                       "' does not verify (authority key " +
@@ -212,8 +299,10 @@ ValidationResult validate_chain_impl(const std::vector<Certificate>& chain,
 ValidationResult validate_chain(const std::vector<Certificate>& chain,
                                 const std::string& hostname,
                                 const TrustStoreSet& trust,
-                                const KeyRegistry& keys, std::int64_t now) {
-  ValidationResult result = validate_chain_impl(chain, hostname, trust, keys, now);
+                                const KeyRegistry& keys, std::int64_t now,
+                                ValidationCache* cache) {
+  ValidationResult result =
+      validate_chain_impl(chain, hostname, trust, keys, now, cache);
   count_verdict(result);
   return result;
 }
@@ -222,7 +311,8 @@ ValidationResult validate_encoded_chain(const std::vector<Bytes>& encoded_chain,
                                         const std::string& hostname,
                                         const TrustStoreSet& trust,
                                         const KeyRegistry& keys,
-                                        std::int64_t now) {
+                                        std::int64_t now,
+                                        ValidationCache* cache) {
   std::vector<Certificate> chain;
   chain.reserve(encoded_chain.size());
   for (const Bytes& enc : encoded_chain) {
@@ -237,7 +327,7 @@ ValidationResult validate_encoded_chain(const std::vector<Bytes>& encoded_chain,
       return result;
     }
   }
-  return validate_chain(chain, hostname, trust, keys, now);
+  return validate_chain(chain, hostname, trust, keys, now, cache);
 }
 
 }  // namespace iotls::x509

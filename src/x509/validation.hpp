@@ -1,11 +1,16 @@
 // Certificate chain validation with the paper's verdict taxonomy (§5.3).
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "x509/authority.hpp"
 #include "x509/certificate.hpp"
+#include "x509/revocation.hpp"
 #include "x509/truststore.hpp"
 
 namespace iotls::x509 {
@@ -61,6 +66,52 @@ struct ValidationResult {
   }
 };
 
+/// Memoizing verification cache for bulk chain validation (§5.3).
+///
+/// A survey validates one chain per SNI, but distinct certificates are far
+/// fewer than served chains: ~1,150 SNIs share ~840 leaves and a few dozen
+/// intermediates and roots, so the same issuer→subject signature edge is
+/// re-verified hundreds of times by a sequential walk. The cache memoizes
+/// the boolean outcome of signature verification per distinct certificate
+/// (and of OCSP staple verification per distinct staple) so each edge costs
+/// one verification pass per survey instead of one per SNI.
+///
+/// Keying note: this codebase's signature scheme is a single keyed-hash
+/// pass over the TBS bytes (crypto/signature.hpp), so keying the cache on a
+/// TBS digest would cost as much as the verification it saves. Entries are
+/// instead keyed on the certificate's cheap identity tuple — authority key
+/// id, subject key id (SPKI), serial and validity window — the same
+/// SPKI+serial identity CertIndex uses for leaf deduplication.
+///
+/// Thread safety: the table is mutex-striped into shards and the shard lock
+/// is held across the verification itself, so each distinct certificate is
+/// verified exactly once no matter how many workers race for it — the
+/// `x509.cache.hit` / `x509.cache.miss` counter totals are identical at
+/// every --jobs level.
+class ValidationCache {
+ public:
+  /// Memoized signature check: does `cert` verify under its authority key?
+  bool signature_ok(const Certificate& cert, const KeyRegistry& keys);
+
+  /// Memoized OCSP staple verification (servers sharing a certificate tend
+  /// to staple the same responder answer).
+  bool ocsp_ok(const OcspResponse& response, const KeyRegistry& keys);
+
+  /// Distinct certificates/staples memoized so far.
+  std::size_t entries() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, bool> verdicts;
+  };
+  static constexpr std::size_t kShardCount = 16;
+
+  Shard& shard_for(const std::string& key);
+
+  std::array<Shard, kShardCount> shards_;
+};
+
 /// Reorder an arbitrarily-ordered served chain into leaf-first issuer order
 /// (misordered chains are a common server misconfiguration that validators
 /// like Zeek and browsers tolerate). The leaf is the certificate covering
@@ -72,11 +123,14 @@ std::vector<Certificate> normalize_chain_order(std::vector<Certificate> chain,
 
 /// Validate a served chain (leaf first) for `hostname` at day `now`.
 /// `keys` is the registry of issuer verification keys; `trust` is the union
-/// of root stores (Mozilla+Apple+Microsoft analogue).
+/// of root stores (Mozilla+Apple+Microsoft analogue). When `cache` is
+/// non-null, per-certificate signature checks are memoized through it; the
+/// result is identical to the uncached path.
 ValidationResult validate_chain(const std::vector<Certificate>& chain,
                                 const std::string& hostname,
                                 const TrustStoreSet& trust,
-                                const KeyRegistry& keys, std::int64_t now);
+                                const KeyRegistry& keys, std::int64_t now,
+                                ValidationCache* cache = nullptr);
 
 /// Decode and validate a chain of encoded certificates (e.g. straight from a
 /// TLS Certificate message). Malformed members yield kBadSignature with a
@@ -85,6 +139,7 @@ ValidationResult validate_encoded_chain(const std::vector<Bytes>& encoded_chain,
                                         const std::string& hostname,
                                         const TrustStoreSet& trust,
                                         const KeyRegistry& keys,
-                                        std::int64_t now);
+                                        std::int64_t now,
+                                        ValidationCache* cache = nullptr);
 
 }  // namespace iotls::x509

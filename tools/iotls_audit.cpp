@@ -1,10 +1,16 @@
 // iotls_audit — run the §4 client-side analysis over an exported dataset.
 //
 // Usage:
-//   iotls_audit [--jobs=N] [--stats[=json]] events.csv devices.csv
+//   iotls_audit [--jobs=N] [--stats[=json]] [--certs] events.csv devices.csv
 //
-// `--jobs=N` parses ClientHellos and runs corpus matching on N worker
+// `--jobs=N` parses ClientHellos, runs corpus matching — and, with
+// `--certs`, probes/validates the server-side dataset — on N worker
 // threads (0 = hardware concurrency); results are identical to --jobs=1.
+//
+// `--certs` appends the §5 server-side pipeline: every SNI the dataset's
+// devices contacted is probed against the standard simulated internet, the
+// served chains are validated (signature verification memoized per
+// distinct certificate), and the issuer/CT headline numbers are printed.
 //
 // Consumes the anonymized CSVs produced by devicesim/export (the format of
 // the paper's artifact release) and prints the headline client-side
@@ -23,16 +29,22 @@
 #include <sstream>
 #include <vector>
 
+#include "core/cert_dataset.hpp"
+#include "core/chains.hpp"
+#include "core/ct_validity.hpp"
 #include "core/dataset.hpp"
+#include "core/issuers.hpp"
 #include "core/library_match.hpp"
 #include "core/vendor_metrics.hpp"
 #include "devicesim/export.hpp"
+#include "devicesim/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/obs_report.hpp"
 #include "util/dates.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "x509/validation.hpp"
 
 using namespace iotls;
 
@@ -53,10 +65,12 @@ std::string slurp(const char* path) {
 int main(int argc, char** argv) {
   StatsMode stats = StatsMode::kOff;
   int jobs = 1;
+  bool certs_mode = false;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
     else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
+    else if (std::strcmp(argv[i], "--certs") == 0) certs_mode = true;
     else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       char* end = nullptr;
       unsigned long long n = std::strtoull(argv[i] + 7, &end, 10);
@@ -70,7 +84,8 @@ int main(int argc, char** argv) {
   }
   if (paths.size() != 2) {
     std::fprintf(stderr,
-                 "usage: iotls_audit [--jobs=N] [--stats[=json]] events.csv devices.csv\n");
+                 "usage: iotls_audit [--jobs=N] [--stats[=json]] [--certs] "
+                 "events.csv devices.csv\n");
     return 2;
   }
 
@@ -120,6 +135,41 @@ int main(int argc, char** argv) {
               "%zu libraries (%zu unsupported)\n",
               match.matches.size(), fmt_percent(match.match_ratio()).c_str(),
               match.matched_libraries, match.unsupported_libraries);
+
+  if (certs_mode) {
+    auto universe = devicesim::ServerUniverse::standard();
+    devicesim::SimWorld world = devicesim::build_world(universe);
+    x509::ValidationCache vcache;
+    auto certs = core::CertDataset::collect(ds, world, 1, jobs, &vcache);
+    std::printf("\ncertificates: %zu SNIs extracted, %zu reachable, "
+                "%zu distinct leaves, %zu issuer organizations\n",
+                certs.extracted_snis(), certs.reachable_snis(),
+                certs.leaves().size(), certs.issuer_organizations().size());
+
+    auto chains = core::validate_dataset(certs, world, days(2022, 4, 15), jobs,
+                                         &vcache);
+    std::printf("chain validation: %zu validated, %zu trusted, "
+                "%zu failure rows (%zu private-root, %zu self-signed), "
+                "%zu expired, %zu CN mismatches\n",
+                chains.validated, chains.trusted, chains.failure_rows.size(),
+                chains.private_root_rows.size(), chains.self_signed_rows.size(),
+                chains.expired.size(), chains.cn_mismatches.size());
+
+    auto issuers = core::issuer_report(certs, world.issuer_is_public);
+    std::printf("issuers: %zu organizations, %zu private leaves (%s); "
+                "%zu public-only vendors, %zu self-signing vendors\n",
+                issuers.issuer_organizations, issuers.private_leaves,
+                fmt_percent(issuers.private_ratio).c_str(),
+                issuers.public_only_vendors.size(),
+                issuers.self_signing_vendors.size());
+
+    auto ct = core::ct_report(certs, world, jobs);
+    std::printf("ct: %zu/%zu public leaves logged (%zu anomalies), "
+                "%zu private leaves (%zu logged)\n",
+                ct.public_leaves_in_ct, ct.public_leaves,
+                ct.public_not_logged.size(), ct.private_leaves,
+                ct.private_leaves_in_ct);
+  }
 
   if (stats == StatsMode::kText) {
     std::fprintf(stderr, "\n%s",
