@@ -7,6 +7,8 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/resource.hpp"
 #include "obs/trace.hpp"
 
 using namespace iotls;
@@ -109,6 +111,84 @@ void BM_SpanAddItems(benchmark::State& state) {
   span.end();
 }
 BENCHMARK(BM_SpanAddItems);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  // The "zero measurable overhead when disabled" acceptance bar: a TraceSpan
+  // on a hot probe path must cost one relaxed atomic load when --trace-out
+  // is off. This is the guard for leaving net.probe instrumented by default.
+  obs::recorder().disable();
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.disabled");
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  // Full flight-recorder cost per span: id assignment, thread-stack push/
+  // pop, timestamped event append under the recorder mutex. The recorder's
+  // capacity bound keeps memory flat however long the bench runs.
+  obs::recorder().enable();
+  obs::recorder().reset();
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.enabled");
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.counters["dropped"] =
+      static_cast<double>(obs::recorder().dropped());
+  obs::recorder().reset();
+  obs::recorder().disable();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_StageSpanRecorderOff(benchmark::State& state) {
+  // A StageTracer span with the recorder off: the pre-existing aggregation
+  // cost plus the single relaxed load maybe_open_trace adds. Compare against
+  // BM_SpanOpenClose to see the delta the flight-recorder hook costs.
+  obs::recorder().disable();
+  obs::StageTracer tracer;
+  for (auto _ : state) {
+    auto span = tracer.span("probe");
+    span.add_items();
+  }
+}
+BENCHMARK(BM_StageSpanRecorderOff);
+
+void BM_ArenaAllocate(benchmark::State& state) {
+  // Per-growth-event cost of arena accounting (interner/validation-cache
+  // insert paths): two relaxed atomics plus a CAS only on new high water.
+  obs::Registry reg;
+  obs::ArenaAccount arena("bench_arena", reg);
+  for (auto _ : state) {
+    arena.allocate(64);
+  }
+  benchmark::DoNotOptimize(arena.peak_bytes());
+}
+BENCHMARK(BM_ArenaAllocate);
+
+void BM_PrometheusRender(benchmark::State& state) {
+  // Full /metrics render for a registry about the size the survey pipeline
+  // produces — this is what one scrape costs the serving thread.
+  obs::Registry reg;
+  for (int i = 0; i < 60; ++i) {
+    reg.counter("bench.counter." + std::to_string(i)).inc(i);
+  }
+  for (int i = 0; i < 20; ++i) {
+    reg.gauge("bench.gauge." + std::to_string(i)).set(i);
+  }
+  for (int i = 0; i < 4; ++i) {
+    obs::Histogram& h = reg.histogram("bench.hist." + std::to_string(i));
+    for (int s = 0; s < 100; ++s) h.observe(static_cast<std::uint64_t>(s) << i);
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = obs::prometheus_text(reg);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.counters["exposition_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_PrometheusRender);
 
 }  // namespace
 

@@ -7,8 +7,11 @@
 # pipeline benchmark suites (optimized build, 5 repetitions) and writes the
 # aggregates to BENCH_pipeline.json / BENCH_certs.json, so perf regressions
 # in the interned analysis core and the §5 certificate pipeline are visible
-# per change. Finally, a docs phase fails on broken relative links in
-# README.md and docs/*.md.
+# per change. An observability phase then starts `iotls_probe --serve` on an
+# ephemeral port, scrapes /healthz and /metrics mid-survey, validates the
+# exposition grammar and the scrape-vs-stats counter parity, and writes
+# scrape latency to BENCH_obs.json. Finally, a docs phase fails on broken
+# relative links in README.md and docs/*.md.
 #
 # Usage: scripts/check_robustness.sh [ctest-args...]
 set -euo pipefail
@@ -24,7 +27,8 @@ ctest --preset concurrency-tsan -j"$(nproc)" "$@"
 
 cmake --preset default
 cmake --build --preset default -j"$(nproc)" \
-  --target test_perf test_cert_pipeline bench_perf_pipeline bench_cert_pipeline
+  --target test_perf test_cert_pipeline bench_perf_pipeline bench_cert_pipeline \
+  iotls_probe bench_obs_overhead
 ctest --preset default -L perf --output-on-failure
 # Median-of-5 aggregates; compare BENCH_pipeline.json / BENCH_certs.json
 # against the previous run's copies to spot regressions (both gitignored).
@@ -38,6 +42,118 @@ ctest --preset default -L perf --output-on-failure
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_certs.json \
   --benchmark_out_format=json
+./build/bench/bench_obs_overhead \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out=BENCH_obs_overhead.json \
+  --benchmark_out_format=json
+
+# Observability phase: start a fault-injected --jobs 8 survey with the
+# export plane on an ephemeral port and --serve-linger=0 (keep serving until
+# /quitquitquit), scrape /healthz and /metrics while it runs, check the
+# exposition grammar and the scrape-vs-stats parity of net.probe.total, and
+# record scrape latency to BENCH_obs.json (gitignored, like the other
+# BENCH_* files).
+obs_dir="$(mktemp -d)"
+obs_probe_pid=""
+obs_cleanup() {
+  [ -n "$obs_probe_pid" ] && kill "$obs_probe_pid" 2>/dev/null || true
+  rm -rf "$obs_dir"
+}
+trap obs_cleanup EXIT
+
+./build/tools/iotls_probe --all --jobs=8 \
+  --fault-spec=seed=7,timeout=0.1,reset=0.05 \
+  --stats=json --serve=0 --serve-linger=0 \
+  >"$obs_dir/stats.json" 2>"$obs_dir/probe.log" &
+obs_probe_pid=$!
+
+# The tool prints "obs: serving on 127.0.0.1:PORT" to stderr once bound.
+obs_port=""
+for _ in $(seq 1 100); do
+  obs_port="$(sed -n 's/^obs: serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$obs_dir/probe.log" | head -n1)"
+  [ -n "$obs_port" ] && break
+  kill -0 "$obs_probe_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$obs_port" ]; then
+  echo "obs phase failed: iotls_probe never announced its port" >&2
+  cat "$obs_dir/probe.log" >&2
+  exit 1
+fi
+
+# curl when present, bash /dev/tcp otherwise (headers stripped either way).
+obs_fetch() { # path outfile
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS --max-time 5 "http://127.0.0.1:$obs_port$1" -o "$2"
+  else
+    exec 3<>"/dev/tcp/127.0.0.1/$obs_port"
+    printf 'GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n' "$1" >&3
+    sed '1,/^\r\{0,1\}$/d' <&3 >"$2"
+    exec 3>&-
+  fi
+}
+
+obs_fetch /healthz "$obs_dir/healthz.json"
+grep -q '"ok":true' "$obs_dir/healthz.json" || {
+  echo "obs phase failed: /healthz not ok:" >&2
+  cat "$obs_dir/healthz.json" >&2
+  exit 1
+}
+
+# Timed /metrics scrapes (the last one lands after the survey finishes, so
+# its counters are the end-of-run totals).
+scrape_total=0 scrape_min=0 scrape_max=0 scrape_n=20
+for i in $(seq 1 "$scrape_n"); do
+  t0=$(date +%s%N)
+  obs_fetch /metrics "$obs_dir/metrics.txt"
+  dt=$(( $(date +%s%N) - t0 ))
+  scrape_total=$((scrape_total + dt))
+  if [ "$scrape_min" -eq 0 ] || [ "$dt" -lt "$scrape_min" ]; then scrape_min=$dt; fi
+  if [ "$dt" -gt "$scrape_max" ]; then scrape_max=$dt; fi
+done
+
+# Exposition grammar: every line is a HELP/TYPE comment or `name[{labels}] value`.
+awk '
+  /^$/ { next }
+  /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { next }
+  /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+$/ { next }
+  { print "bad exposition line: " $0; bad = 1 }
+  END { exit bad }
+' "$obs_dir/metrics.txt" || {
+  echo "obs phase failed: /metrics violates the exposition grammar" >&2
+  exit 1
+}
+
+# Release the lingering tool and collect its stats document.
+obs_fetch /quitquitquit /dev/null
+obs_rc=0
+wait "$obs_probe_pid" || obs_rc=$?
+obs_probe_pid=""
+# Exit 1 just means the fault-injected survey saw problematic chains.
+if [ "$obs_rc" -gt 1 ]; then
+  echo "obs phase failed: iotls_probe exited $obs_rc" >&2
+  cat "$obs_dir/probe.log" >&2
+  exit 1
+fi
+
+# Scrape-vs-stats parity: the final /metrics value of net_probe_total must
+# equal the "net.probe.total" counter in the --stats=json document.
+scraped="$(sed -n 's/^net_probe_total \([0-9]*\)$/\1/p' "$obs_dir/metrics.txt")"
+reported="$(grep -o '"net\.probe\.total":[0-9]*' "$obs_dir/stats.json" |
+  head -n1 | cut -d: -f2)"
+if [ -z "$scraped" ] || [ "$scraped" != "$reported" ]; then
+  echo "obs phase failed: scrape/stats divergence (scraped='$scraped'" \
+       "stats='$reported')" >&2
+  exit 1
+fi
+
+printf '{"scrapes":%d,"total_ns":%d,"mean_ns":%d,"min_ns":%d,"max_ns":%d,"net_probe_total":%s}\n' \
+  "$scrape_n" "$scrape_total" "$((scrape_total / scrape_n))" \
+  "$scrape_min" "$scrape_max" "$scraped" > BENCH_obs.json
+echo "obs phase OK: $scrape_n scrapes, mean $((scrape_total / scrape_n / 1000)) us," \
+     "net_probe_total=$scraped matches --stats=json"
 
 # Docs phase: every relative link in README.md and docs/*.md must resolve.
 # External links (http/https/mailto) and pure #anchors are skipped; a

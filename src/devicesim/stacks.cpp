@@ -311,7 +311,9 @@ const std::vector<SharedStackSpec>& shared_stack_table() {
        {"api.awscloudiot.net"}},
   };
 
-  static const std::vector<SharedStackSpec>& full = [] {
+  // Deliberately leaked singleton; held through a pointer (not a reference)
+  // so LeakSanitizer sees it as reachable.
+  static const std::vector<SharedStackSpec>* full = [] {
     auto* v = new std::vector<SharedStackSpec>(table);
     // The NAS ecosystem: Synology and Western Digital ship many firmware
     // builds from the same upstream NAS platform — the mechanism behind
@@ -325,9 +327,9 @@ const std::vector<SharedStackSpec>& shared_stack_table() {
       spec.snis = {"relay.nasbackup.net"};
       v->push_back(std::move(spec));
     }
-    return *v;
+    return v;
   }();
-  return full;
+  return *full;
 }
 
 TlsStack materialize_shared_stack(const SharedStackSpec& spec,

@@ -1,8 +1,30 @@
 #include "exec/pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
 
 namespace iotls::exec {
+
+namespace {
+
+/// Pool-wide instruments, resolved once (pools are created per survey;
+/// counters accumulate across all of them, which is what a scrape wants).
+obs::Counter& steal_counter() {
+  static obs::Counter& c = obs::metrics().counter("exec.pool.steals");
+  return c;
+}
+obs::Counter& shard_counter() {
+  static obs::Counter& c = obs::metrics().counter("exec.pool.shards");
+  return c;
+}
+obs::Gauge& depth_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("exec.pool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 int resolve_jobs(int jobs) {
   if (jobs > 0) return jobs;
@@ -20,6 +42,20 @@ ThreadPool::ThreadPool(int threads) {
   for (int w = 1; w < total; ++w) {
     workers_.emplace_back([this, w] { worker_loop(static_cast<std::size_t>(w)); });
   }
+  static std::atomic<std::uint64_t> next_pool_id{0};
+  std::uint64_t pool_id = next_pool_id.fetch_add(1, std::memory_order_relaxed);
+  health_ = std::make_unique<obs::ScopedHealthCheck>(
+      "exec.pool." + std::to_string(pool_id), obs::HealthKind::kLiveness,
+      [total, this] {
+        char detail[64];
+        std::snprintf(detail, sizeof detail, "workers=%d steals=%llu", total,
+                      static_cast<unsigned long long>(steals()));
+        return obs::HealthStatus::healthy(detail);
+      });
+}
+
+std::uint64_t ThreadPool::steals() const {
+  return steals_.load(std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
@@ -39,6 +75,7 @@ bool ThreadPool::next_shard(std::size_t self, std::size_t& shard) {
     if (!q.shards.empty()) {
       shard = q.shards.front();
       q.shards.pop_front();
+      depth_gauge().add(-1);
       return true;
     }
   }
@@ -49,6 +86,9 @@ bool ThreadPool::next_shard(std::size_t self, std::size_t& shard) {
     if (!q.shards.empty()) {
       shard = q.shards.back();
       q.shards.pop_back();
+      depth_gauge().add(-1);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      steal_counter().inc();
       return true;
     }
   }
@@ -56,6 +96,7 @@ bool ThreadPool::next_shard(std::size_t self, std::size_t& shard) {
 }
 
 void ThreadPool::run_shard(std::size_t shard) {
+  shard_counter().inc();
   try {
     (*fn_)(shard);
   } catch (...) {
@@ -103,6 +144,9 @@ void ThreadPool::parallel_for(std::size_t n,
     ++epoch_;
   }
   // Deal shards round-robin so static load is balanced before stealing.
+  // The gauge moves up-front so it can only over-report, never go negative
+  // when a straggler worker races the deal loop.
+  depth_gauge().add(static_cast<std::int64_t>(n));
   for (std::size_t i = 0; i < n; ++i) {
     WorkerQueue& q = *queues_[i % queues_.size()];
     std::lock_guard<std::mutex> lock(q.mu);

@@ -20,14 +20,19 @@
 // (matching what the sequential loop would have thrown first).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/health.hpp"
 
 namespace iotls::exec {
 
@@ -48,6 +53,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Shards taken from a victim's deque instead of the owner's, since this
+  /// pool was constructed (also exported as the `exec.pool.steals` counter).
+  std::uint64_t steals() const;
 
   /// Run fn(i) for every i in [0, n), distributed over the pool; the
   /// calling thread works too. Blocks until all shards finish. If any
@@ -81,6 +90,11 @@ class ThreadPool {
   std::mutex error_mu_;
   std::exception_ptr first_error_;
   std::size_t first_error_shard_ = 0;
+
+  std::atomic<std::uint64_t> steals_{0};
+  // Liveness probe for the export plane: exists exactly while the pool
+  // does, so /healthz shows `exec.pool.<n>` during a running survey.
+  std::unique_ptr<obs::ScopedHealthCheck> health_;
 };
 
 /// One-shot helper: shard [0, n) over `jobs` workers. `jobs <= 1` (after

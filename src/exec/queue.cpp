@@ -1,0 +1,93 @@
+#include "exec/queue.hpp"
+
+#include <algorithm>
+
+namespace iotls::exec {
+
+WorkQueue::WorkQueue(const std::string& name, int threads, std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      depth_gauge_(&obs::metrics().gauge("exec.workqueue." + name + ".depth")),
+      accepted_counter_(
+          &obs::metrics().counter("exec.workqueue." + name + ".accepted")),
+      rejected_counter_(
+          &obs::metrics().counter("exec.workqueue." + name + ".rejected")),
+      error_counter_(
+          &obs::metrics().counter("exec.workqueue." + name + ".task_errors")),
+      health_("exec.workqueue." + name, obs::HealthKind::kLiveness, [this] {
+        char detail[64];
+        std::snprintf(detail, sizeof detail, "threads=%d depth=%zu", this->threads(),
+                      this->depth());
+        return obs::HealthStatus::healthy(detail);
+      }) {
+  int n = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkQueue::~WorkQueue() { stop(); }
+
+bool WorkQueue::try_submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || tasks_.size() >= capacity_) {
+      ++rejected_;
+      rejected_counter_->inc();
+      return false;
+    }
+    tasks_.push_back(std::move(task));
+    ++accepted_;
+    accepted_counter_->inc();
+    depth_gauge_->set(static_cast<std::int64_t>(tasks_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t WorkQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+std::uint64_t WorkQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepted_;
+}
+
+std::uint64_t WorkQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+void WorkQueue::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void WorkQueue::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      depth_gauge_->set(static_cast<std::int64_t>(tasks_.size()));
+    }
+    try {
+      task();
+    } catch (...) {
+      error_counter_->inc();
+    }
+  }
+}
+
+}  // namespace iotls::exec

@@ -1,0 +1,77 @@
+// Bounded task queue with a fixed worker pool — the serving-side sibling of
+// ThreadPool. parallel_for-style pools shard a known batch; a WorkQueue
+// accepts independent tasks as they arrive (HTTP connections, future
+// iotlsd ingest events) and applies backpressure by *rejecting* when the
+// queue is full, so a scrape storm degrades to fast 503s instead of
+// unbounded memory growth behind a slow handler.
+//
+// Observability: each queue exports
+//   exec.workqueue.<name>.depth      pending tasks (gauge)
+//   exec.workqueue.<name>.accepted   tasks admitted (counter)
+//   exec.workqueue.<name>.rejected   tasks refused, queue full (counter)
+// and registers a liveness health check `exec.workqueue.<name>` for the
+// export plane's /healthz.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+
+namespace iotls::exec {
+
+class WorkQueue {
+ public:
+  /// `threads` workers (min 1), at most `capacity` queued (not yet running)
+  /// tasks. `name` scopes the metrics and the health check.
+  WorkQueue(const std::string& name, int threads, std::size_t capacity);
+  ~WorkQueue();
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Enqueue `task`; false (and counted as rejected) when the queue is at
+  /// capacity or the queue is stopping. Tasks must not throw — a throwing
+  /// task is swallowed and counted under `.task_errors`.
+  bool try_submit(std::function<void()> task);
+
+  /// Pending (queued, not yet started) tasks.
+  std::size_t depth() const;
+  std::uint64_t accepted() const;
+  std::uint64_t rejected() const;
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Stop accepting, drain already-queued tasks, join the workers.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  void worker_loop();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::vector<std::thread> workers_;
+
+  obs::Gauge* depth_gauge_;
+  obs::Counter* accepted_counter_;
+  obs::Counter* rejected_counter_;
+  obs::Counter* error_counter_;
+  // Declared last: destroyed first, so the health callback can never run
+  // against a half-destroyed queue.
+  obs::ScopedHealthCheck health_;
+};
+
+}  // namespace iotls::exec

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "exec/pool.hpp"
+#include "obs/health.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -297,6 +298,14 @@ ProbeResult TlsProber::probe_with_retries(const std::string& sni,
       "net.probe.attempts_per_probe", {1, 2, 3, 4, 5, 6, 8, 10});
   total.inc();
 
+  // Flight-recorder span per probe (one relaxed load when --trace-out is
+  // off): renders each SNI x vantage attempt loop as a leaf of its worker's
+  // flamegraph track.
+  obs::TraceSpan trace_span("net.probe");
+  if (trace_span.active()) {
+    trace_span.detail("sni=" + sni + " vantage=" + vantage_slug(vantage));
+  }
+
   const int max_attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
   ProbeResult result;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -379,6 +388,9 @@ MultiVantageResult TlsProber::survey_one(const std::string& sni,
   static obs::Counter& skipped_counter =
       obs::metrics().counter("net.probe.skipped.breaker");
 
+  obs::TraceSpan trace_span("net.survey_one");
+  if (trace_span.active()) trace_span.detail("sni=" + sni);
+
   MultiVantageResult multi;
   multi.sni = sni;
   for (VantagePoint v : kAllVantagePoints) {
@@ -403,6 +415,25 @@ MultiVantageResult TlsProber::survey_one(const std::string& sni,
 }
 
 SurveyReport TlsProber::survey_report(const std::vector<std::string>& snis) const {
+  // Readiness for the export plane: the prober is "ready" unless every
+  // circuit breaker it has seen is open (total quarantine — retrying the
+  // survey right now would only burn budget). Registered once, on the
+  // first survey of the process; reads only the occupancy gauges below.
+  static const obs::ScopedHealthCheck readiness(
+      "net.prober", obs::HealthKind::kReadiness, [] {
+        std::int64_t closed = obs::metrics().gauge("net.probe.breaker.closed").value();
+        std::int64_t open = obs::metrics().gauge("net.probe.breaker.open").value();
+        std::int64_t half = obs::metrics().gauge("net.probe.breaker.half_open").value();
+        char detail[96];
+        std::snprintf(detail, sizeof detail,
+                      "breakers closed=%lld open=%lld half_open=%lld",
+                      static_cast<long long>(closed), static_cast<long long>(open),
+                      static_cast<long long>(half));
+        bool all_quarantined = open > 0 && closed == 0 && half == 0;
+        return all_quarantined ? obs::HealthStatus::unhealthy(detail)
+                               : obs::HealthStatus::healthy(detail);
+      });
+
   auto span = obs::tracer().span("probe");
 
   SurveyReport report;
@@ -435,10 +466,16 @@ SurveyReport TlsProber::survey_report(const std::vector<std::string>& snis) cons
   std::vector<CircuitBreaker::Counts> occupancy(groups.size());
 
   auto run_group = [&](std::size_t g) {
+    // Stage span per shard: rolls up into one deterministic `probe.shard`
+    // stats row (calls == shard count at every jobs level) and, when the
+    // flight recorder is on, draws the shard as a bar on its worker's
+    // trace track with the per-SNI spans nested inside.
+    auto shard_span = obs::tracer().span("probe.shard");
     CircuitBreaker breaker(breaker_config_);
     for (std::size_t index : groups[g]) {
       report.results[index] =
           survey_one(snis[index], breaker, budget, partials[g]);
+      shard_span.add_items();
     }
     occupancy[g] = breaker.counts();
   };

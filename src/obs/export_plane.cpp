@@ -1,0 +1,82 @@
+#include "obs/export_plane.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/resource.hpp"
+#include "obs/trace.hpp"
+
+namespace iotls::obs {
+
+ExportPlane::ExportPlane() = default;
+
+ExportPlane::~ExportPlane() { stop(); }
+
+bool ExportPlane::start(std::uint16_t port, std::string* error) {
+  server_.handle("/metrics", [](const HttpRequest&) {
+    // A scrape IS the sampling timer for the process-level gauges.
+    sample_process_gauges();
+    HttpResponse resp = HttpResponse::text(200, prometheus_text(metrics()));
+    resp.content_type = prometheus_content_type();
+    return resp;
+  });
+  server_.handle("/stats", [](const HttpRequest&) {
+    // Byte-compatible with what `--stats=json` prints (report::stats_json).
+    Json out{Json::Object{}};
+    out.set("metrics", metrics().to_json_value());
+    out.set("stages", tracer().to_json_value());
+    return HttpResponse::json(200, out.dump());
+  });
+  auto health_route = [](HealthKind kind) {
+    return [kind](const HttpRequest&) {
+      HealthRegistry::Report report = health().run(kind);
+      return HttpResponse::json(report.ok ? 200 : 503,
+                                health().to_json_value(kind).dump());
+    };
+  };
+  server_.handle("/healthz", health_route(HealthKind::kLiveness));
+  server_.handle("/readyz", health_route(HealthKind::kReadiness));
+  server_.handle("/trace", [](const HttpRequest&) {
+    return HttpResponse::json(200, recorder().chrome_trace_json().dump());
+  });
+  server_.handle("/quitquitquit", [this](const HttpRequest&) {
+    request_stop();
+    return HttpResponse::text(200, "bye\n");
+  });
+
+  if (!server_.start(port, error)) return false;
+  liveness_ = std::make_unique<ScopedHealthCheck>(
+      "obs.http", HealthKind::kLiveness, [this] {
+        return server_.running()
+                   ? HealthStatus::healthy(
+                         "port=" + std::to_string(server_.port()) + " served=" +
+                         std::to_string(server_.requests_served()))
+                   : HealthStatus::unhealthy("server not running");
+      });
+  return true;
+}
+
+bool ExportPlane::wait_for_shutdown(std::uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_ms == 0) {
+    cv_.wait(lock, [&] { return stop_requested_; });
+    return true;
+  }
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return stop_requested_; });
+}
+
+void ExportPlane::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ExportPlane::stop() {
+  request_stop();
+  liveness_.reset();
+  server_.stop();
+}
+
+}  // namespace iotls::obs

@@ -1,0 +1,67 @@
+// The live export plane: standard observability routes mounted on an
+// embedded HttpServer. This is the serving skeleton the `iotlsd` daemon
+// (ROADMAP item 1) will mount its /report endpoints on; today the batch
+// tools start it with `--serve=PORT` so a running survey can be watched
+// from outside.
+//
+// Routes:
+//   GET /metrics        Prometheus text exposition of the global registry
+//                       (process RSS/thread gauges are sampled per scrape)
+//   GET /stats          the same JSON document `--stats=json` prints:
+//                       {"metrics":...,"stages":...}
+//   GET /healthz        liveness checks from the global HealthRegistry;
+//                       200 when all pass, 503 otherwise (JSON body either way)
+//   GET /readyz         readiness checks, same contract
+//   GET /trace          Chrome trace-event JSON of the recorder so far
+//                       (empty traceEvents when `--trace-out` is off)
+//   GET /quitquitquit   releases wait_for_shutdown() — how a supervisor
+//                       (or check_robustness.sh) tells a lingering tool to exit
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/health.hpp"
+#include "obs/http_server.hpp"
+
+namespace iotls::obs {
+
+class ExportPlane {
+ public:
+  ExportPlane();
+  ~ExportPlane();
+
+  ExportPlane(const ExportPlane&) = delete;
+  ExportPlane& operator=(const ExportPlane&) = delete;
+
+  /// Mount the standard routes and start serving on 127.0.0.1:`port`
+  /// (0 = ephemeral). False + `error` when the socket cannot be bound.
+  bool start(std::uint16_t port, std::string* error = nullptr);
+
+  std::uint16_t port() const { return server_.port(); }
+  HttpServer& server() { return server_; }
+
+  /// Block until /quitquitquit is hit or request_stop() is called; with
+  /// `timeout_ms > 0`, return after at most that long. Returns true when
+  /// released by an explicit stop request, false on timeout.
+  bool wait_for_shutdown(std::uint64_t timeout_ms = 0);
+
+  /// Release wait_for_shutdown() (also wired to /quitquitquit).
+  void request_stop();
+
+  /// Shut the server down (stop accepting, drain handlers).
+  void stop();
+
+ private:
+  HttpServer server_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::unique_ptr<ScopedHealthCheck> liveness_;
+};
+
+}  // namespace iotls::obs

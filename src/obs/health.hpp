@@ -1,0 +1,113 @@
+// Component health checks backing the export plane's `/healthz` (liveness)
+// and `/readyz` (readiness) endpoints.
+//
+// Semantics follow the Kubernetes convention the k3s-style node agents use:
+//  * liveness — "is this component structurally alive?" A failing liveness
+//    probe means the process is wedged and should be restarted.
+//  * readiness — "should this process receive work right now?" A failing
+//    readiness probe is a normal transient state (circuit breakers mostly
+//    open, warm-up, draining) and clears on its own.
+//
+// Components register a named callback (prober, thread pool, validation
+// cache, HTTP server itself); the registry runs every callback of a kind
+// under its mutex and reports per-check verdicts in name order, so the
+// endpoint bodies are deterministic for a given component state. Callbacks
+// must therefore be fast and non-blocking — read a couple of atomics,
+// format a detail string.
+//
+// Registration is RAII-friendly: re-registering a name replaces the
+// previous callback, unregister removes it, and ScopedHealthCheck ties a
+// registration to a component's lifetime (the thread pool and validation
+// cache use it so `/healthz` reflects exactly the components that exist
+// right now).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace iotls::obs {
+
+enum class HealthKind { kLiveness, kReadiness };
+
+struct HealthStatus {
+  bool ok = true;
+  std::string detail;  // free-form, e.g. "workers=8 queue_depth=0"
+
+  static HealthStatus healthy(std::string detail = "ok") {
+    return HealthStatus{true, std::move(detail)};
+  }
+  static HealthStatus unhealthy(std::string detail) {
+    return HealthStatus{false, std::move(detail)};
+  }
+};
+
+using HealthCheck = std::function<HealthStatus()>;
+
+class HealthRegistry {
+ public:
+  struct CheckResult {
+    std::string name;
+    HealthStatus status;
+  };
+  struct Report {
+    bool ok = true;                   // conjunction of every check
+    std::vector<CheckResult> checks;  // name-sorted
+  };
+
+  /// Register (or replace) `name` for `kind`. Names follow the metric
+  /// convention (`exec.pool`, `x509.validation_cache`) and are mangled
+  /// through sanitize_metric_name the same way.
+  void register_check(const std::string& name, HealthKind kind, HealthCheck fn);
+  void unregister(const std::string& name, HealthKind kind);
+
+  /// Run every check of `kind`. An empty registry is healthy (a process
+  /// with nothing registered is trivially alive).
+  Report run(HealthKind kind) const;
+
+  /// {"ok":bool,"checks":{"<name>":{"ok":bool,"detail":"..."}}}
+  Json to_json_value(HealthKind kind) const;
+
+  std::size_t size(HealthKind kind) const;
+
+ private:
+  mutable std::mutex mu_;
+  // Sorted by name (std::map-like via sorted vector kept simple: std::map).
+  std::vector<std::pair<std::string, HealthCheck>> liveness_;
+  std::vector<std::pair<std::string, HealthCheck>> readiness_;
+
+  std::vector<std::pair<std::string, HealthCheck>>& slot(HealthKind kind) {
+    return kind == HealthKind::kLiveness ? liveness_ : readiness_;
+  }
+  const std::vector<std::pair<std::string, HealthCheck>>& slot(HealthKind kind) const {
+    return kind == HealthKind::kLiveness ? liveness_ : readiness_;
+  }
+};
+
+/// The process-wide health registry the export plane serves from.
+HealthRegistry& health();
+
+/// RAII registration: registers in the constructor, unregisters in the
+/// destructor. Components hold one as a member so their check lives
+/// exactly as long as they do.
+class ScopedHealthCheck {
+ public:
+  ScopedHealthCheck(std::string name, HealthKind kind, HealthCheck fn);
+  ~ScopedHealthCheck();
+
+  ScopedHealthCheck(const ScopedHealthCheck&) = delete;
+  ScopedHealthCheck& operator=(const ScopedHealthCheck&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  HealthKind kind_;
+};
+
+}  // namespace iotls::obs

@@ -1,0 +1,258 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "exec/queue.hpp"
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+
+namespace iotls::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+constexpr int kRecvTimeoutSec = 2;
+constexpr int kHandlerThreads = 2;
+constexpr std::size_t kPendingConnections = 32;
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; response delivery is best-effort
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const HttpResponse& resp) {
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                resp.status, status_reason(resp.status),
+                resp.content_type.c_str(), resp.body.size());
+  std::string wire;
+  wire.reserve(std::strlen(head) + resp.body.size());
+  wire += head;
+  wire += resp.body;
+  http_arena().allocate(wire.size());
+  send_all(fd, wire);
+  http_arena().release(wire.size());
+}
+
+}  // namespace
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.content_type = "application/json";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpServer::HttpServer() = default;
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+bool HttpServer::start(std::uint16_t port, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, static_cast<int>(kPendingConnections)) != 0) {
+    return fail("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  pool_ = std::make_unique<exec::WorkQueue>("http", kHandlerThreads,
+                                            kPendingConnections);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (pool_) pool_->stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::acceptor_loop() {
+  static Counter& accepted = metrics().counter("obs.http.connections");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, 100 /* ms: bounded stop() latency */);
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    accepted.inc();
+    timeval tv{};
+    tv.tv_sec = kRecvTimeoutSec;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    if (!pool_->try_submit([this, fd] { serve_connection(fd); })) {
+      // Handler pool saturated: shed load with a direct 503 on the
+      // acceptor thread (cheaper than the request it replaces).
+      send_response(fd, HttpResponse::text(503, "handler pool saturated\n"));
+      ::close(fd);
+      metrics().counter("obs.http.shed").inc();
+    }
+  }
+}
+
+std::string HttpServer::read_request(int fd) {
+  std::string data;
+  char buf[2048];
+  while (data.size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;  // EOF, timeout or error
+    data.append(buf, static_cast<std::size_t>(n));
+    if (data.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return data;
+}
+
+void HttpServer::serve_connection(int fd) {
+  static Histogram& handle_ns = metrics().histogram("obs.http.handle_ns");
+  ScopedTimer timer(handle_ns);
+
+  std::string raw = read_request(fd);
+  HttpResponse resp;
+  std::size_t line_end = raw.find("\r\n");
+  std::string request_line =
+      line_end == std::string::npos ? raw : raw.substr(0, line_end);
+  // "GET /path?query HTTP/1.1"
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = HttpResponse::text(400, "malformed request line\n");
+  } else {
+    HttpRequest req;
+    req.method = request_line.substr(0, sp1);
+    req.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::size_t q = req.target.find('?');
+    if (q != std::string::npos) {
+      req.query = req.target.substr(q + 1);
+      req.target.resize(q);
+    }
+    if (req.method != "GET") {
+      resp = HttpResponse::text(405, "only GET supported\n");
+    } else {
+      auto it = routes_.find(req.target);
+      if (it == routes_.end()) {
+        resp = HttpResponse::text(404, "no route for " + req.target + "\n");
+      } else {
+        resp = it->second(req);
+      }
+    }
+  }
+  // Account before writing: once the client has read the response, the
+  // counters already reflect its request.
+  served_.fetch_add(1, std::memory_order_relaxed);
+  metrics().counter("obs.http.requests").inc();
+  if (resp.status >= 400) metrics().counter("obs.http.errors").inc();
+  send_response(fd, resp);
+  ::close(fd);
+}
+
+int http_get(std::uint16_t port, const std::string& target, std::string* body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  std::string request = "GET " + target +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  send_all(fd, request);
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\nbody"
+  if (raw.rfind("HTTP/1.", 0) != 0) return -1;
+  std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return -1;
+  int status = std::atoi(raw.c_str() + sp + 1);
+  if (body != nullptr) {
+    std::size_t sep = raw.find("\r\n\r\n");
+    *body = sep == std::string::npos ? std::string() : raw.substr(sep + 4);
+  }
+  return status;
+}
+
+}  // namespace iotls::obs

@@ -1,0 +1,100 @@
+// Dependency-free blocking HTTP/1.1 server for the live export plane.
+//
+// Scope: exactly what a metrics scraper and a health prober need — GET only,
+// over loopback, one request per
+// connection (`Connection: close` on every response), bounded everything:
+//   * one acceptor thread polling the listen socket;
+//   * a bounded handler pool (exec::WorkQueue) running the route handlers,
+//     so a scrape storm backs up into fast 503s instead of threads;
+//   * an 8 KiB request cap and a receive timeout per connection.
+//
+// It deliberately is NOT a general web server: no keep-alive, no chunked
+// bodies, no TLS (the pipeline *simulates* TLS servers; the export plane
+// serving real TLS would be a layering joke). Binds 127.0.0.1 only.
+//
+// Routes are exact-path matches registered before start(). Handlers run on
+// pool threads and must be thread-safe (the standard routes only read
+// atomics under the registry mutexes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace iotls::exec {
+class WorkQueue;
+}
+
+namespace iotls::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string target;  // path only; the query string (if any) is stripped
+  std::string query;   // raw query string without the '?'
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse text(int status, std::string body);
+  static HttpResponse json(int status, std::string body);
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer();
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register `handler` for exact path `path` ("/metrics"). Must be called
+  /// before start().
+  void handle(const std::string& path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-assigned ephemeral port), start the
+  /// acceptor thread and the handler pool. False + `error` on bind/listen
+  /// failure. Call at most once.
+  bool start(std::uint16_t port, std::string* error = nullptr);
+
+  /// The bound port (valid after start() succeeds).
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stop accepting, drain in-flight handlers, join all threads. Idempotent.
+  void stop();
+
+  /// Requests fully served since start (any status).
+  std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void acceptor_loop();
+  void serve_connection(int fd);
+  static std::string read_request(int fd);
+
+  std::map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread acceptor_;
+  std::unique_ptr<exec::WorkQueue> pool_;
+};
+
+/// Minimal blocking HTTP GET against 127.0.0.1:`port` for tests and tools:
+/// returns the status code and fills `body` (headers stripped). Returns -1
+/// on connect/transport failure.
+int http_get(std::uint16_t port, const std::string& target, std::string* body);
+
+}  // namespace iotls::obs

@@ -74,16 +74,35 @@ const std::vector<std::uint64_t>& latency_buckets_ns() {
   return kBuckets;
 }
 
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if ((u >= 'a' && u <= 'z') || (u >= '0' && u <= '9') || u == '_' || u == '.') {
+      out.push_back(c);
+    } else if (u >= 'A' && u <= 'Z') {
+      out.push_back(static_cast<char>(u - 'A' + 'a'));
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
+  auto& slot = counters_[sanitize_metric_name(name)];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[sanitize_metric_name(name)];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
@@ -91,7 +110,7 @@ Gauge& Registry::gauge(const std::string& name) {
 Histogram& Registry::histogram(const std::string& name,
                                const std::vector<std::uint64_t>& bounds) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[sanitize_metric_name(name)];
   if (!slot) slot = std::make_unique<Histogram>(bounds);
   return *slot;
 }

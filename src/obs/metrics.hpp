@@ -98,9 +98,20 @@ class Histogram {
 /// Default latency buckets: 1us .. 1s in a 1-2-5 series, in nanoseconds.
 const std::vector<std::uint64_t>& latency_buckets_ns();
 
+/// Canonical metric-name mangling, applied by the Registry at registration
+/// so every export surface (JSON, Prometheus, text tables) agrees on one
+/// spelling. The rule: bytes outside `[a-zA-Z0-9_.]` become `_` (so a
+/// vantage called "new-york city" yields `net.probe.reachable.new_york_city`),
+/// uppercase folds to lowercase, an empty name or a leading digit gains a
+/// `_` prefix. Names already following the `<subsystem>.<operation>.<detail>`
+/// convention pass through byte-identical.
+std::string sanitize_metric_name(const std::string& name);
+
 /// Named-instrument registry. Instruments are created on first use and
 /// live (at a stable address) for the registry's lifetime; `reset()` zeroes
-/// values but never invalidates references.
+/// values but never invalidates references. Names are canonicalized through
+/// sanitize_metric_name(), so two spellings that mangle to the same
+/// canonical name share one instrument.
 class Registry {
  public:
   Counter& counter(const std::string& name);

@@ -1,0 +1,218 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace iotls::obs {
+
+namespace {
+
+/// `# HELP` text must escape backslash and newline per the exposition spec.
+std::string escape_help(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+void append_meta(std::string& out, const std::string& prom_name,
+                 const char* type, const std::string& dotted_name) {
+  out += "# HELP " + prom_name + " iotls " + type + " " +
+         escape_help(dotted_name) + "\n";
+  out += "# TYPE " + prom_name + " ";
+  out += type;
+  out += "\n";
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (i == 0 && !(alpha || c == '_' || c == ':')) return false;
+    if (!(alpha || digit || c == '_' || c == ':')) return false;
+  }
+  return true;
+}
+
+/// Integer or decimal value token, optionally signed / exponent-bearing;
+/// the spec also allows +Inf/-Inf/NaN.
+bool valid_value(const std::string& s) {
+  if (s == "+Inf" || s == "-Inf" || s == "NaN") return true;
+  std::size_t i = 0;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+  std::size_t digits = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i, ++digits;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i, ++digits;
+  }
+  if (digits == 0) return false;
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    std::size_t exp_digits = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i, ++exp_digits;
+    if (exp_digits == 0) return false;
+  }
+  return i == s.size();
+}
+
+/// `{key="value",...}` with spec escaping inside the quotes.
+bool valid_labels(const std::string& s) {
+  // s includes the braces.
+  if (s.size() < 2 || s.front() != '{' || s.back() != '}') return false;
+  std::size_t i = 1;
+  const std::size_t end = s.size() - 1;
+  if (i == end) return true;  // {} — empty label set
+  while (true) {
+    std::size_t key_start = i;
+    while (i < end && (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_')) ++i;
+    if (i == key_start) return false;
+    if (i >= end || s[i] != '=') return false;
+    ++i;
+    if (i >= end || s[i] != '"') return false;
+    ++i;
+    while (i < end && s[i] != '"') {
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= end) return false;
+      }
+      ++i;
+    }
+    if (i >= end) return false;  // unterminated value
+    ++i;                         // closing quote
+    if (i == end) return true;
+    if (s[i] != ',') return false;
+    ++i;
+  }
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string canonical = sanitize_metric_name(name);
+  for (char& c : canonical) {
+    if (c == '.') c = '_';
+  }
+  return canonical;
+}
+
+std::string prometheus_text(const Registry& registry) {
+  std::string out;
+  out.reserve(4096);
+  // Counters keep their registry spelling (no `_total` suffixing): names
+  // like `net.probe.total` already carry their semantic suffix, and the
+  // scrape-vs-`--stats=json` parity check depends on a mechanical mapping.
+  for (const auto& [name, value] : registry.counter_values()) {
+    std::string prom = prometheus_name(name);
+    append_meta(out, prom, "counter", name);
+    out += prom;
+    out += ' ';
+    append_u64(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : registry.gauge_values()) {
+    std::string prom = prometheus_name(name);
+    append_meta(out, prom, "gauge", name);
+    out += prom;
+    out += ' ';
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    out += buf;
+    out += '\n';
+  }
+  for (const auto& [name, hist] : registry.histogram_entries()) {
+    std::string prom = prometheus_name(name);
+    append_meta(out, prom, "histogram", name);
+    const auto& bounds = hist->bounds();
+    auto counts = hist->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += prom;
+      out += "_bucket{le=\"";
+      append_u64(out, bounds[i]);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    cumulative += counts.back();
+    out += prom + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, cumulative);
+    out += '\n';
+    out += prom + "_sum ";
+    append_u64(out, hist->sum());
+    out += '\n';
+    out += prom + "_count ";
+    append_u64(out, hist->count());
+    out += '\n';
+  }
+  return out;
+}
+
+bool validate_exposition(const std::string& text, std::string* error) {
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& line) {
+    if (error != nullptr) *error = line;
+    return false;
+  };
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) return fail("missing trailing newline");
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // `# HELP name text` or `# TYPE name counter|gauge|histogram`.
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0) {
+        return fail(line);
+      }
+      std::string rest = line.substr(7);
+      std::size_t sp = rest.find(' ');
+      std::string name = sp == std::string::npos ? rest : rest.substr(0, sp);
+      if (!valid_metric_name(name)) return fail(line);
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string type = sp == std::string::npos ? "" : rest.substr(sp + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(line);
+        }
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return fail(line);
+    if (!valid_metric_name(line.substr(0, name_end))) return fail(line);
+    std::size_t value_start;
+    if (line[name_end] == '{') {
+      std::size_t close = line.find('}', name_end);
+      if (close == std::string::npos || close + 1 >= line.size() ||
+          line[close + 1] != ' ') {
+        return fail(line);
+      }
+      if (!valid_labels(line.substr(name_end, close - name_end + 1))) {
+        return fail(line);
+      }
+      value_start = close + 2;
+    } else {
+      value_start = name_end + 1;
+    }
+    if (!valid_value(line.substr(value_start))) return fail(line);
+  }
+  return true;
+}
+
+}  // namespace iotls::obs

@@ -1,0 +1,44 @@
+// Prometheus text exposition (format version 0.0.4) for the metric
+// registry — what the embedded HTTP server serves on `/metrics`.
+//
+// Mapping from the registry's dotted names to the Prometheus data model:
+//  * names are canonical already (Registry applies sanitize_metric_name at
+//    registration); exposition additionally folds `.` to `_`, since dots
+//    are invalid in Prometheus metric names;
+//  * every metric gets `# HELP` (carrying the original dotted name, so a
+//    dashboard can be mapped back to the `--stats=json` key) and `# TYPE`;
+//  * histograms expand to `_bucket{le="..."}` lines with *cumulative*
+//    counts, a `le="+Inf"` bucket equal to `_count`, plus `_sum`/`_count`.
+//
+// Output is byte-deterministic for a given registry state: counters, then
+// gauges, then histograms, each name-sorted (the registry snapshots are
+// already sorted maps).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace iotls::obs {
+
+/// Exposition spelling of a canonical registry name (`net.probe.total` ->
+/// `net_probe_total`). Assumes the input already passed
+/// sanitize_metric_name; applies it first otherwise.
+std::string prometheus_name(const std::string& name);
+
+/// Render the full registry in Prometheus text exposition format.
+std::string prometheus_text(const Registry& registry);
+
+/// Structural validator for the exposition grammar: every line must be a
+/// `# HELP`/`# TYPE` comment or a `name[{labels}] value` sample with a
+/// valid metric name and a decimal value. Used by tests and the
+/// check_robustness.sh scrape phase; returns false and sets `error` (when
+/// non-null) to the first offending line.
+bool validate_exposition(const std::string& text, std::string* error = nullptr);
+
+/// The content type a conforming scraper expects.
+inline const char* prometheus_content_type() {
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+}  // namespace iotls::obs

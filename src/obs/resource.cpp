@@ -1,0 +1,97 @@
+#include "obs/resource.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace iotls::obs {
+
+namespace {
+
+/// "VmRSS:\t  123456 kB" -> bytes. Returns 0 on any shape mismatch.
+std::uint64_t parse_kb_line(const std::string& line) {
+  std::size_t colon = line.find(':');
+  if (colon == std::string::npos) return 0;
+  std::istringstream rest(line.substr(colon + 1));
+  std::uint64_t value = 0;
+  std::string unit;
+  rest >> value >> unit;
+  if (unit == "kB") return value * 1024;
+  return value;  // "Threads:" has no unit
+}
+
+}  // namespace
+
+ProcMemory parse_proc_status(const std::string& text) {
+  ProcMemory out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) out.rss_bytes = parse_kb_line(line);
+    else if (line.rfind("VmHWM:", 0) == 0) out.rss_peak_bytes = parse_kb_line(line);
+    else if (line.rfind("Threads:", 0) == 0) out.threads = parse_kb_line(line);
+  }
+  return out;
+}
+
+ProcMemory read_proc_memory() {
+  std::ifstream f("/proc/self/status");
+  if (!f) return ProcMemory{};
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_proc_status(buf.str());
+}
+
+void sample_process_gauges(Registry& registry) {
+  ProcMemory mem = read_proc_memory();
+  registry.gauge("process.rss_bytes").set(static_cast<std::int64_t>(mem.rss_bytes));
+  registry.gauge("process.rss_peak_bytes")
+      .set(static_cast<std::int64_t>(mem.rss_peak_bytes));
+  registry.gauge("process.threads").set(static_cast<std::int64_t>(mem.threads));
+}
+
+ArenaAccount::ArenaAccount(const std::string& name, Registry& registry)
+    : bytes_gauge_(&registry.gauge("mem.arena." + name + ".bytes")),
+      peak_gauge_(&registry.gauge("mem.arena." + name + ".peak_bytes")),
+      allocations_gauge_(&registry.gauge("mem.arena." + name + ".allocations")) {}
+
+void ArenaAccount::allocate(std::uint64_t bytes) {
+  std::uint64_t now = bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  bytes_gauge_->set(static_cast<std::int64_t>(now));
+  peak_gauge_->set(static_cast<std::int64_t>(peak_.load(std::memory_order_relaxed)));
+  allocations_gauge_->set(
+      static_cast<std::int64_t>(allocations_.load(std::memory_order_relaxed)));
+}
+
+void ArenaAccount::release(std::uint64_t bytes) {
+  std::uint64_t before = bytes_.load(std::memory_order_relaxed);
+  // Clamp at zero: a release racing a sloppy caller must not wrap the gauge
+  // to 2^64 (accounting is advisory, never load-bearing).
+  std::uint64_t after;
+  do {
+    after = before >= bytes ? before - bytes : 0;
+  } while (!bytes_.compare_exchange_weak(before, after, std::memory_order_relaxed));
+  bytes_gauge_->set(static_cast<std::int64_t>(after));
+}
+
+ArenaAccount& interner_arena() {
+  static ArenaAccount* account = new ArenaAccount("interner");
+  return *account;
+}
+
+ArenaAccount& validation_cache_arena() {
+  static ArenaAccount* account = new ArenaAccount("validation_cache");
+  return *account;
+}
+
+ArenaAccount& http_arena() {
+  static ArenaAccount* account = new ArenaAccount("http");
+  return *account;
+}
+
+}  // namespace iotls::obs

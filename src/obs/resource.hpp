@@ -1,0 +1,83 @@
+// Process resource accounting: RSS sampled from /proc/self/status and
+// explicit per-arena byte counters with high-water tracking.
+//
+// The accounting idea follows the static-pool bookkeeping embedded node
+// agents use (allocation counters + high-water marks per pool): the survey
+// pipeline cannot afford a malloc interposer, but every subsystem that
+// owns a growable buffer (interner string storage, validation cache,
+// HTTP response buffers) can afford two relaxed atomic adds per growth
+// event. The gauges feed `/metrics`:
+//
+//   process.rss_bytes            current resident set (0 where /proc is absent)
+//   process.rss_peak_bytes       kernel-tracked VmHWM high water
+//   process.threads              kernel-tracked thread count
+//   mem.arena.<name>.bytes           current bytes accounted to the arena
+//   mem.arena.<name>.peak_bytes      high-water mark since process start
+//   mem.arena.<name>.allocations     total growth events
+//
+// Process gauges are sampled on demand (each `/metrics` scrape and each
+// `--stats` render), not on a timer — a scrape IS the timer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace iotls::obs {
+
+/// Point-in-time memory numbers from /proc/self/status. Zero-initialized
+/// when the file is missing or unparseable (non-Linux), so callers can use
+/// the values unconditionally.
+struct ProcMemory {
+  std::uint64_t rss_bytes = 0;       // VmRSS
+  std::uint64_t rss_peak_bytes = 0;  // VmHWM
+  std::uint64_t threads = 0;         // Threads
+};
+
+ProcMemory read_proc_memory();
+
+/// Parse the body of a /proc/self/status-format document (split out for
+/// testing without a live /proc).
+ProcMemory parse_proc_status(const std::string& text);
+
+/// Sample the process-level gauges into `registry` (defaults to the global
+/// one). Safe to call from any thread, any number of times.
+void sample_process_gauges(Registry& registry = metrics());
+
+/// Byte accounting for one named allocation arena. Cheap enough for
+/// per-growth-event calls: allocate()/release() are two relaxed atomic
+/// operations plus a CAS loop only when a new high-water mark is set.
+/// Gauges mirror into the given registry so the arena shows up on
+/// `/metrics` without a sampling pass.
+class ArenaAccount {
+ public:
+  explicit ArenaAccount(const std::string& name, Registry& registry = metrics());
+
+  void allocate(std::uint64_t bytes);
+  void release(std::uint64_t bytes);
+
+  std::uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  std::uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  std::uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> allocations_{0};
+  Gauge* bytes_gauge_;
+  Gauge* peak_gauge_;
+  Gauge* allocations_gauge_;
+};
+
+/// The shared accounts for the pipeline's long-lived arenas. Allocated once
+/// and never destroyed (same lifetime discipline as the registry's
+/// instruments).
+ArenaAccount& interner_arena();
+ArenaAccount& validation_cache_arena();
+ArenaAccount& http_arena();
+
+}  // namespace iotls::obs

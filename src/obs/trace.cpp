@@ -1,6 +1,175 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+#include <fstream>
+
 namespace iotls::obs {
+
+namespace {
+
+/// Per-thread stack of open span ids. Global across recorders: only one
+/// recorder is meaningfully enabled at a time (the process-wide one), and a
+/// stray id from another recorder merely yields a missing parent link, not
+/// a crash.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+}  // namespace
+
+std::uint32_t TraceRecorder::thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void TraceRecorder::enable() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  next_id_.store(1, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::uint64_t TraceRecorder::now_ns() const {
+  if (epoch_ == std::chrono::steady_clock::time_point{}) return 0;
+  auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+TraceRecorder::OpenSpan TraceRecorder::open_span() {
+  OpenSpan span;
+  span.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.parent = t_span_stack.empty() ? 0 : t_span_stack.back();
+  t_span_stack.push_back(span.id);
+  return span;
+}
+
+void TraceRecorder::close_span(const OpenSpan& span, TraceEvent ev) {
+  // Usually the top of the stack; search from the back to tolerate
+  // out-of-order ends (two sibling spans closed in construction order).
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (*it == span.id) {
+      t_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  ev.id = span.id;
+  ev.parent = span.parent;
+  ev.tid = thread_ordinal();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.id < b.id;
+  });
+  return out;
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+}
+
+Json TraceRecorder::chrome_trace_json() const {
+  Json::Array trace_events;
+  {
+    // Process metadata gives Perfetto a human name for the track group.
+    Json meta{Json::Object{}};
+    meta.set("name", Json("process_name"));
+    meta.set("ph", Json("M"));
+    meta.set("pid", Json(1));
+    meta.set("tid", Json(0));
+    Json args{Json::Object{}};
+    args.set("name", Json("iotls"));
+    meta.set("args", std::move(args));
+    trace_events.push_back(std::move(meta));
+  }
+  for (const TraceEvent& ev : events()) {
+    Json entry{Json::Object{}};
+    entry.set("name", Json(ev.name));
+    entry.set("cat", Json("iotls"));
+    entry.set("ph", Json("X"));
+    entry.set("pid", Json(1));
+    entry.set("tid", Json(static_cast<std::int64_t>(ev.tid)));
+    entry.set("ts", Json(static_cast<std::int64_t>(ev.start_ns / 1000)));
+    entry.set("dur", Json(static_cast<std::int64_t>(ev.dur_ns / 1000)));
+    Json args{Json::Object{}};
+    args.set("span_id", Json(ev.id));
+    args.set("parent", Json(ev.parent));
+    if (ev.items != 0) args.set("items", Json(ev.items));
+    if (ev.failures != 0) args.set("failures", Json(ev.failures));
+    if (!ev.detail.empty()) args.set("detail", Json(ev.detail));
+    entry.set("args", std::move(args));
+    trace_events.push_back(std::move(entry));
+  }
+  Json out{Json::Object{}};
+  out.set("displayTimeUnit", Json("ms"));
+  out.set("traceEvents", Json(std::move(trace_events)));
+  return out;
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path,
+                                       std::string* error) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  f << chrome_trace_json().dump() << '\n';
+  f.flush();
+  if (!f) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceRecorder& recorder() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+void TraceSpan::end() {
+  if (!active_) return;
+  active_ = false;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.detail = std::move(detail_);
+  ev.start_ns = start_;
+  std::uint64_t now = obs::recorder().now_ns();
+  ev.dur_ns = now >= start_ ? now - start_ : 0;
+  obs::recorder().close_span(open_, std::move(ev));
+}
+
+void StageTracer::Span::maybe_open_trace() {
+  if (!obs::recorder().enabled()) return;
+  trace_active_ = true;
+  trace_start_ns_ = obs::recorder().now_ns();
+  trace_open_ = obs::recorder().open_span();
+}
 
 StageTracer::Span& StageTracer::Span::operator=(Span&& other) noexcept {
   if (this != &other) {
@@ -11,7 +180,11 @@ StageTracer::Span& StageTracer::Span::operator=(Span&& other) noexcept {
     items_ = other.items_;
     failures_ = other.failures_;
     reasons_ = std::move(other.reasons_);
+    trace_active_ = other.trace_active_;
+    trace_start_ns_ = other.trace_start_ns_;
+    trace_open_ = other.trace_open_;
     other.tracer_ = nullptr;
+    other.trace_active_ = false;
   }
   return *this;
 }
@@ -22,6 +195,17 @@ void StageTracer::Span::fail(const std::string& reason, std::uint64_t n) {
 }
 
 void StageTracer::Span::end() {
+  if (trace_active_) {
+    trace_active_ = false;
+    TraceEvent ev;
+    ev.name = stage_;
+    ev.start_ns = trace_start_ns_;
+    std::uint64_t now = obs::recorder().now_ns();
+    ev.dur_ns = now >= trace_start_ns_ ? now - trace_start_ns_ : 0;
+    ev.items = items_;
+    ev.failures = failures_;
+    obs::recorder().close_span(trace_open_, std::move(ev));
+  }
   if (tracer_ == nullptr) return;
   auto elapsed = std::chrono::steady_clock::now() - start_;
   std::uint64_t wall_ns = static_cast<std::uint64_t>(

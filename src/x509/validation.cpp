@@ -1,6 +1,10 @@
 #include "x509/validation.hpp"
 
+#include <atomic>
+#include <cstdio>
+
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
 #include "util/error.hpp"
 
 namespace iotls::x509 {
@@ -104,8 +108,34 @@ std::string ocsp_cache_key(const OcspResponse& response) {
 
 }  // namespace
 
+ValidationCache::ValidationCache() {
+  static std::atomic<std::uint64_t> next_id{0};
+  std::uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  health_ = std::make_unique<obs::ScopedHealthCheck>(
+      "x509.validation_cache." + std::to_string(id), obs::HealthKind::kLiveness,
+      [this] {
+        char detail[48];
+        std::snprintf(detail, sizeof detail, "entries=%zu", this->entries());
+        return obs::HealthStatus::healthy(detail);
+      });
+}
+
+ValidationCache::~ValidationCache() {
+  health_.reset();  // before members the callback reads are torn down
+  obs::validation_cache_arena().release(accounted_bytes_);
+}
+
 ValidationCache::Shard& ValidationCache::shard_for(const std::string& key) {
   return shards_[std::hash<std::string>{}(key) % kShardCount];
+}
+
+void ValidationCache::account_insert(const std::string& key) {
+  // Approximate resident cost of one memoized verdict: the key bytes plus
+  // the unordered_map node overhead.
+  std::uint64_t bytes = key.size() + sizeof(void*) * 4;
+  obs::validation_cache_arena().allocate(bytes);
+  std::lock_guard<std::mutex> lock(account_mu_);
+  accounted_bytes_ += bytes;
 }
 
 bool ValidationCache::signature_ok(const Certificate& cert,
@@ -125,6 +155,7 @@ bool ValidationCache::signature_ok(const Certificate& cert,
   // the work, keeping the miss count == distinct certificates at any jobs.
   bool ok = verify_signature(cert, keys);
   shard.verdicts.emplace(key, ok);
+  account_insert(key);
   return ok;
 }
 
@@ -143,6 +174,7 @@ bool ValidationCache::ocsp_ok(const OcspResponse& response,
   misses.inc();
   bool ok = verify_ocsp(response, keys);
   shard.verdicts.emplace(key, ok);
+  account_insert(key);
   return ok;
 }
 

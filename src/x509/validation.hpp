@@ -3,11 +3,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "x509/authority.hpp"
 #include "x509/certificate.hpp"
 #include "x509/revocation.hpp"
@@ -90,6 +92,12 @@ struct ValidationResult {
 /// every --jobs level.
 class ValidationCache {
  public:
+  /// Registers a liveness check `x509.validation_cache.<n>` for the export
+  /// plane (memoized-entry count as the detail), removed again on
+  /// destruction; byte growth is accounted to the `validation_cache` arena.
+  ValidationCache();
+  ~ValidationCache();
+
   /// Memoized signature check: does `cert` verify under its authority key?
   bool signature_ok(const Certificate& cert, const KeyRegistry& keys);
 
@@ -108,8 +116,12 @@ class ValidationCache {
   static constexpr std::size_t kShardCount = 16;
 
   Shard& shard_for(const std::string& key);
+  void account_insert(const std::string& key);
 
   std::array<Shard, kShardCount> shards_;
+  std::uint64_t accounted_bytes_ = 0;  // released from the arena on destruction
+  std::mutex account_mu_;
+  std::unique_ptr<obs::ScopedHealthCheck> health_;
 };
 
 /// Reorder an arbitrarily-ordered served chain into leaf-first issuer order

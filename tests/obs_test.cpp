@@ -7,6 +7,7 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "report/obs_report.hpp"
 #include "util/error.hpp"
@@ -63,6 +64,99 @@ TEST(Metrics, HistogramRejectsBadBounds) {
   EXPECT_THROW(Histogram({}), std::invalid_argument);
   EXPECT_THROW(Histogram({5, 5}), std::invalid_argument);
   EXPECT_THROW(Histogram({10, 5}), std::invalid_argument);
+}
+
+// ------------------------------------------------------ metric-name mangling
+//
+// Vantage names, fault-spec tokens and future label-ish name parts can carry
+// bytes the Prometheus data model forbids (dashes, spaces, uppercase). The
+// registry canonicalizes at registration so the JSON export and the
+// exposition agree on one spelling.
+
+TEST(Metrics, SanitizeMetricNameCanonicalizes) {
+  EXPECT_EQ(sanitize_metric_name("net.probe.total"), "net.probe.total");
+  EXPECT_EQ(sanitize_metric_name("net.probe.reachable.new-york"),
+            "net.probe.reachable.new_york");
+  EXPECT_EQ(sanitize_metric_name("vantage.New York"), "vantage.new_york");
+  EXPECT_EQ(sanitize_metric_name("UPPER.Case"), "upper.case");
+  EXPECT_EQ(sanitize_metric_name("weird/:{}name"), "weird____name");
+  // Leading digit and empty input get a '_' prefix (Prometheus names may
+  // not start with a digit).
+  EXPECT_EQ(sanitize_metric_name("3des.hits"), "_3des.hits");
+  EXPECT_EQ(sanitize_metric_name(""), "_");
+}
+
+TEST(Metrics, RegistryCanonicalizesNamesAtRegistration) {
+  Registry reg;
+  Counter& dashed = reg.counter("probe.frankfurt-de");
+  Counter& canonical = reg.counter("probe.frankfurt_de");
+  EXPECT_EQ(&dashed, &canonical);  // one instrument, one spelling
+  dashed.inc(3);
+  Json parsed = parse_json(reg.to_json());
+  EXPECT_EQ(parsed.find("counters")->find("probe.frankfurt_de")->as_int(), 3);
+  EXPECT_EQ(parsed.find("counters")->find("probe.frankfurt-de"), nullptr);
+}
+
+// -------------------------------------------------------------- prometheus
+
+TEST(Prometheus, NameFoldsDotsToUnderscores) {
+  EXPECT_EQ(prometheus_name("net.probe.total"), "net_probe_total");
+  EXPECT_EQ(prometheus_name("x509.cache.hit"), "x509_cache_hit");
+  // Un-canonical input is sanitized first.
+  EXPECT_EQ(prometheus_name("probe.new-york"), "probe_new_york");
+}
+
+TEST(Prometheus, ExpositionRendersAllInstrumentKindsDeterministically) {
+  Registry reg;
+  reg.counter("b.counter").inc(2);
+  reg.counter("a.counter").inc(1);
+  reg.gauge("queue.depth").set(-5);
+  Histogram& h = reg.histogram("latency_ns", {10, 100});
+  h.observe(7);
+  h.observe(70);
+  h.observe(700);
+
+  std::string text = prometheus_text(reg);
+  std::string error;
+  EXPECT_TRUE(validate_exposition(text, &error)) << error;
+
+  // Counters come name-sorted, each with HELP and TYPE.
+  std::size_t a = text.find("a_counter 1\n");
+  std::size_t b = text.find("b_counter 2\n");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_NE(text.find("# TYPE a_counter counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# HELP a_counter iotls counter a.counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("queue_depth -5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge\n"), std::string::npos);
+
+  // Histogram buckets are cumulative, +Inf equals _count.
+  EXPECT_NE(text.find("latency_ns_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_sum 777\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_count 3\n"), std::string::npos);
+
+  // Deterministic: identical registry state renders identical bytes.
+  EXPECT_EQ(text, prometheus_text(reg));
+}
+
+TEST(Prometheus, ValidatorRejectsMalformedLines) {
+  std::string error;
+  EXPECT_TRUE(validate_exposition("", &error));
+  EXPECT_TRUE(validate_exposition("a_b 1\n", &error));
+  EXPECT_TRUE(validate_exposition("a_b{le=\"+Inf\"} 2\n", &error));
+  EXPECT_FALSE(validate_exposition("3bad_name 1\n", &error));
+  EXPECT_FALSE(validate_exposition("name-with-dash 1\n", &error));
+  EXPECT_FALSE(validate_exposition("no_value\n", &error));
+  EXPECT_FALSE(validate_exposition("bad_value abc\n", &error));
+  EXPECT_FALSE(validate_exposition("# BOGUS comment kind\n", &error));
+  EXPECT_FALSE(validate_exposition("unterminated{le=\"1\" 2\n", &error));
+  // The error message names the offending line.
+  EXPECT_FALSE(validate_exposition("ok_line 1\nbad-line 2\n", &error));
+  EXPECT_NE(error.find("bad-line"), std::string::npos);
 }
 
 // -------------------------------------------------------------------- json

@@ -21,7 +21,10 @@
 // Observability: IOTLS_LOG_LEVEL controls structured logs on stderr (e.g.
 // debug logs each dropped event with its reason); `--stats` appends stage
 // timings and the metric registry, `--stats=json` emits them as one JSON
-// document on stderr.
+// document on stderr. `--serve=PORT` exposes the live export plane
+// (/metrics, /stats, /healthz, /readyz, /trace) during the run (with
+// `--serve-linger[=MS]` it stays up afterwards); `--trace-out=FILE` writes
+// the run's nested spans as Chrome trace-event JSON for Perfetto.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +43,7 @@
 #include "devicesim/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs_cli.hpp"
 #include "report/obs_report.hpp"
 #include "util/dates.hpp"
 #include "util/error.hpp"
@@ -66,9 +70,14 @@ int main(int argc, char** argv) {
   StatsMode stats = StatsMode::kOff;
   int jobs = 1;
   bool certs_mode = false;
+  tools::ObsCli obs_cli;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
+    bool bad = false;
+    if (obs_cli.parse(argv[i], &bad)) {
+      if (bad) return 2;
+    }
+    else if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
     else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
     else if (std::strcmp(argv[i], "--certs") == 0) certs_mode = true;
     else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
@@ -80,14 +89,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       jobs = static_cast<int>(n);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::fprintf(stderr,
+                   "usage: iotls_audit [--jobs=N] [--stats[=json]] [--certs]\n"
+                   "                   [--serve=PORT] [--serve-linger[=MS]]\n"
+                   "                   [--trace-out=FILE] events.csv devices.csv\n");
+      return 2;
     } else paths.push_back(argv[i]);
   }
   if (paths.size() != 2) {
     std::fprintf(stderr,
-                 "usage: iotls_audit [--jobs=N] [--stats[=json]] [--certs] "
-                 "events.csv devices.csv\n");
+                 "usage: iotls_audit [--jobs=N] [--stats[=json]] [--certs]\n"
+                 "                   [--serve=PORT] [--serve-linger[=MS]]\n"
+                 "                   [--trace-out=FILE] events.csv devices.csv\n");
     return 2;
   }
+  if (!obs_cli.start()) return 2;
 
   devicesim::FleetDataset fleet;
   try {
@@ -178,5 +196,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n",
                  report::stats_json(obs::metrics(), obs::tracer()).c_str());
   }
+  std::fflush(stdout);
+  obs_cli.finish();
   return 0;
 }

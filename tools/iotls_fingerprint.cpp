@@ -11,7 +11,11 @@
 // Observability: IOTLS_LOG_LEVEL controls structured logs on stderr;
 // `--stats` appends stage timings and counters (frames, flows, hellos,
 // corpus hits/misses) to stderr, `--stats=json` emits them as one JSON
-// document on stderr (stdout stays parseable --csv output).
+// document on stderr (stdout stays parseable --csv output). `--serve=PORT`
+// exposes the live export plane (/metrics, /stats, /healthz, /readyz,
+// /trace) while captures are processed (with `--serve-linger[=MS]` it stays
+// up afterwards); `--trace-out=FILE` writes the run's nested spans as
+// Chrome trace-event JSON for Perfetto.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -20,6 +24,7 @@
 #include "corpus/corpus.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs_cli.hpp"
 #include "pcap/flow.hpp"
 #include "report/obs_report.hpp"
 #include "tls/ciphersuite.hpp"
@@ -33,11 +38,11 @@ namespace {
 
 enum class StatsMode { kOff, kText, kJson };
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: iotls_fingerprint [--csv] [--match] [--stats[=json]] "
-               "capture.pcap ...\n");
-  return 2;
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: iotls_fingerprint [--csv] [--match] [--stats[=json]]\n"
+               "                         [--serve=PORT] [--serve-linger[=MS]]\n"
+               "                         [--trace-out=FILE] capture.pcap ...\n");
 }
 
 }  // namespace
@@ -45,16 +50,30 @@ int usage() {
 int main(int argc, char** argv) {
   bool csv = false, match = false;
   StatsMode stats = StatsMode::kOff;
+  tools::ObsCli obs_cli;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    bool bad = false;
+    if (obs_cli.parse(argv[i], &bad)) {
+      if (bad) return 2;
+    }
+    else if (std::strcmp(argv[i], "--csv") == 0) csv = true;
     else if (std::strcmp(argv[i], "--match") == 0) match = true;
     else if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
     else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
-    else if (argv[i][0] == '-') return usage();
+    else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage(stderr);
+      return 2;
+    }
     else paths.emplace_back(argv[i]);
   }
-  if (paths.empty()) return usage();
+  if (paths.empty()) {
+    usage(stderr);
+    std::fprintf(stderr, "example: iotls_fingerprint --match capture.pcap\n");
+    return 2;
+  }
+  if (!obs_cli.start()) return 2;
 
   corpus::LibraryCorpus corpus_db =
       match ? corpus::LibraryCorpus::standard() : corpus::LibraryCorpus{};
@@ -116,5 +135,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n",
                  report::stats_json(obs::metrics(), obs::tracer()).c_str());
   }
+  std::fflush(stdout);
+  obs_cli.finish();
   return exit_code;
 }

@@ -28,7 +28,11 @@
 // Observability: set IOTLS_LOG_LEVEL=debug for structured per-probe logs on
 // stderr. `--stats` appends per-stage timings and the metric registry to
 // the report; `--stats=json` replaces the report with one JSON document
-// (counters, histograms, stage spans) on stdout.
+// (counters, histograms, stage spans) on stdout. `--serve=PORT` exposes the
+// live export plane (/metrics, /stats, /healthz, /readyz, /trace) during the
+// survey — with `--serve-linger[=MS]` it stays up after the run so a scraper
+// can collect final totals; `--trace-out=FILE` writes a Chrome trace-event
+// JSON of the survey's nested spans (open it in Perfetto).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +46,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/obs_report.hpp"
+#include "obs_cli.hpp"
 #include "util/dates.hpp"
 #include "util/error.hpp"
 #include "x509/validation.hpp"
@@ -56,7 +61,8 @@ void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: iotls_probe [--all] [--jobs=N] [--stats[=json]] [--retries=N]\n"
                "                   [--backoff-ms=N] [--retry-budget=N] [--breaker=N]\n"
-               "                   [--fault-spec=SPEC] [sni ...]\n");
+               "                   [--fault-spec=SPEC] [--serve=PORT]\n"
+               "                   [--serve-linger[=MS]] [--trace-out=FILE] [sni ...]\n");
 }
 
 /// Parse the numeric value of a `--flag=N` argument; exits on garbage.
@@ -85,9 +91,14 @@ int main(int argc, char** argv) {
   net::FaultSpec fault_spec;
   bool faults = false;
   int jobs = 1;
+  tools::ObsCli obs_cli;
   std::vector<std::string> snis;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--all") == 0) all = true;
+    bool bad = false;
+    if (obs_cli.parse(argv[i], &bad)) {
+      if (bad) return 2;
+    }
+    else if (std::strcmp(argv[i], "--all") == 0) all = true;
     else if (has_prefix(argv[i], "--jobs=")) {
       jobs = static_cast<int>(flag_u64(argv[i], "--jobs="));
     }
@@ -122,6 +133,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "example: iotls_probe appboot.netflix.com a2.tuyaus.com\n");
     return 2;
   }
+  if (!obs_cli.start()) return 2;
 
   auto universe = devicesim::ServerUniverse::standard();
   devicesim::SimWorld world = devicesim::build_world(universe);
@@ -237,5 +249,9 @@ int main(int argc, char** argv) {
   } else if (stats == StatsMode::kJson) {
     std::printf("%s\n", report::stats_json(obs::metrics(), obs::tracer()).c_str());
   }
+  // Flush before lingering so a supervisor that scrapes-then-quits sees the
+  // stats document even when stdout is a pipe.
+  std::fflush(stdout);
+  obs_cli.finish();
   return failed > 0 ? 1 : 0;
 }
