@@ -10,8 +10,12 @@
 # per change. An observability phase then starts `iotls_probe --serve` on an
 # ephemeral port, scrapes /healthz and /metrics mid-survey, validates the
 # exposition grammar and the scrape-vs-stats counter parity, and writes
-# scrape latency to BENCH_obs.json. Finally, a docs phase fails on broken
-# relative links in README.md and docs/*.md.
+# scrape latency to BENCH_obs.json. A daemon phase replays an exported
+# fleet through iotlsd in three epochs and requires the live
+# /report/table04 body to be byte-identical to the batch
+# `iotls_audit --report=table04` output over the same events, recording
+# epoch-fold latency to BENCH_daemon.json. Finally, a docs phase fails on
+# broken relative links in README.md and docs/*.md.
 #
 # Usage: scripts/check_robustness.sh [ctest-args...]
 set -euo pipefail
@@ -28,7 +32,7 @@ ctest --preset concurrency-tsan -j"$(nproc)" "$@"
 cmake --preset default
 cmake --build --preset default -j"$(nproc)" \
   --target test_perf test_cert_pipeline bench_perf_pipeline bench_cert_pipeline \
-  iotls_probe bench_obs_overhead
+  iotls_probe bench_obs_overhead iotlsd iotls_audit
 ctest --preset default -L perf --output-on-failure
 # Median-of-5 aggregates; compare BENCH_pipeline.json / BENCH_certs.json
 # against the previous run's copies to spot regressions (both gitignored).
@@ -154,6 +158,107 @@ printf '{"scrapes":%d,"total_ns":%d,"mean_ns":%d,"min_ns":%d,"max_ns":%d,"net_pr
   "$scrape_min" "$scrape_max" "$scraped" > BENCH_obs.json
 echo "obs phase OK: $scrape_n scrapes, mean $((scrape_total / scrape_n / 1000)) us," \
      "net_probe_total=$scraped matches --stats=json"
+
+# Daemon phase: export a small fleet fixture, replay it through iotlsd in
+# three epochs on an ephemeral port, and require the live /report/table04
+# body to be byte-identical to `iotls_audit --report=table04` over the same
+# events — the streamed fold and the cold batch share one code path, and
+# this checks it end to end through real HTTP. Epoch-fold latency comes
+# from the daemon's own stream.epoch_fold_ns histogram via /stats and lands
+# in BENCH_daemon.json (gitignored, like the other BENCH_* files).
+daemon_dir="$(mktemp -d)"
+daemon_pid=""
+daemon_cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$daemon_dir"
+}
+trap 'daemon_cleanup; obs_cleanup' EXIT
+
+./build/tools/iotlsd --export-fleet="$daemon_dir/fleet" --users=40
+
+./build/tools/iotlsd --port=0 --jobs=8 --epochs=3 \
+  "$daemon_dir/fleet-events.csv" "$daemon_dir/fleet-devices.csv" \
+  2>"$daemon_dir/iotlsd.log" &
+daemon_pid=$!
+
+# The daemon prints "iotlsd: serving on 127.0.0.1:PORT" to stderr once bound.
+daemon_port=""
+for _ in $(seq 1 100); do
+  daemon_port="$(sed -n 's/^iotlsd: serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$daemon_dir/iotlsd.log" | head -n1)"
+  [ -n "$daemon_port" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$daemon_port" ]; then
+  echo "daemon phase failed: iotlsd never announced its port" >&2
+  cat "$daemon_dir/iotlsd.log" >&2
+  exit 1
+fi
+
+daemon_fetch() { # path outfile
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS --max-time 5 "http://127.0.0.1:$daemon_port$1" -o "$2"
+  else
+    exec 4<>"/dev/tcp/127.0.0.1/$daemon_port"
+    printf 'GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n' "$1" >&4
+    sed '1,/^\r\{0,1\}$/d' <&4 >"$2"
+    exec 4>&-
+  fi
+}
+
+# Wait for the replay to fold all three epochs.
+echo '{}' > "$daemon_dir/epoch.json"
+for _ in $(seq 1 200); do
+  daemon_fetch /epoch "$daemon_dir/epoch.json" || true
+  grep -q '"epoch":3' "$daemon_dir/epoch.json" && break
+  sleep 0.1
+done
+if ! grep -q '"epoch":3' "$daemon_dir/epoch.json"; then
+  echo "daemon phase failed: iotlsd never reached epoch 3:" >&2
+  cat "$daemon_dir/epoch.json" >&2
+  cat "$daemon_dir/iotlsd.log" >&2
+  exit 1
+fi
+
+# The byte-identity contract, through real HTTP.
+daemon_fetch /report/table04 "$daemon_dir/table04.live"
+./build/tools/iotls_audit --report=table04 --jobs=8 \
+  "$daemon_dir/fleet-events.csv" "$daemon_dir/fleet-devices.csv" \
+  >"$daemon_dir/table04.batch"
+if ! cmp -s "$daemon_dir/table04.live" "$daemon_dir/table04.batch"; then
+  echo "daemon phase failed: live /report/table04 != batch --report=table04" >&2
+  diff "$daemon_dir/table04.live" "$daemon_dir/table04.batch" >&2 || true
+  exit 1
+fi
+
+# Epoch-fold latency from the daemon's own histogram.
+daemon_fetch /stats "$daemon_dir/stats.json"
+fold="$(grep -o '"stream\.epoch_fold_ns":{"count":[0-9]*,"sum":[0-9.eE+-]*' \
+  "$daemon_dir/stats.json" | head -n1)"
+fold_count="${fold#*\"count\":}"; fold_count="${fold_count%%,*}"
+fold_sum="${fold##*\"sum\":}"
+if [ -z "$fold_count" ] || [ "$fold_count" -ne 3 ]; then
+  echo "daemon phase failed: expected 3 epoch folds, /stats says '$fold'" >&2
+  exit 1
+fi
+
+daemon_fetch /quitquitquit /dev/null
+daemon_rc=0
+wait "$daemon_pid" || daemon_rc=$?
+daemon_pid=""
+if [ "$daemon_rc" -ne 0 ]; then
+  echo "daemon phase failed: iotlsd exited $daemon_rc" >&2
+  cat "$daemon_dir/iotlsd.log" >&2
+  exit 1
+fi
+
+fold_mean="$(awk -v s="$fold_sum" -v c="$fold_count" 'BEGIN{printf "%.0f", s/c}')"
+events="$(grep -o '"events":[0-9]*' "$daemon_dir/epoch.json" | head -n1 | cut -d: -f2)"
+printf '{"epochs":%s,"events":%s,"fold_ns_sum":%s,"fold_ns_mean":%s}\n' \
+  "$fold_count" "${events:-0}" "$fold_sum" "$fold_mean" > BENCH_daemon.json
+echo "daemon phase OK: 3 epochs over ${events:-?} events," \
+     "mean fold $((fold_mean / 1000000)) ms, live table04 == batch table04"
 
 # Docs phase: every relative link in README.md and docs/*.md must resolve.
 # External links (http/https/mailto) and pure #anchors are skipped; a

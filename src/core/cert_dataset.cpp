@@ -19,6 +19,7 @@ struct ProbedSni {
   SniRecord record;
   std::string leaf_fp;
   std::string fail_reason;
+  bool from_memo = false;
 };
 
 }  // namespace
@@ -26,10 +27,12 @@ struct ProbedSni {
 CertDataset CertDataset::collect(const ClientDataset& client,
                                  const devicesim::SimWorld& world,
                                  std::size_t min_users, int jobs,
-                                 x509::ValidationCache* cache) {
+                                 x509::ValidationCache* cache,
+                                 const net::Internet* internet,
+                                 ProbeMemo* memo) {
   auto span = obs::tracer().span("probe");
   CertDataset ds;
-  net::TlsProber prober(world.internet);
+  net::TlsProber prober(internet != nullptr ? *internet : world.internet);
 
   // Eligible SNIs in the map's (lexicographic) order — the walk order the
   // sequential fold below preserves at every jobs level.
@@ -54,6 +57,26 @@ CertDataset CertDataset::collect(const ClientDataset& client,
     record.users = users;
     record.devices = client.sni_devices().at(sni);
     record.vendors = client.sni_vendors().at(sni);
+
+    if (memo != nullptr) {
+      // Memo hits replay the prior epoch's probe verbatim; only membership
+      // (filled above) is allowed to differ between epochs.
+      auto hit = memo->by_sni.find(sni);
+      if (hit != memo->by_sni.end()) {
+        const ProbeMemo::Core& core = hit->second;
+        record.reachable = core.reachable;
+        record.chain = core.chain;
+        record.served_misordered = core.served_misordered;
+        record.leaf_by_vantage = core.leaf_by_vantage;
+        record.server_ips = core.server_ips;
+        record.stapled = core.stapled;
+        record.staple_valid = core.staple_valid;
+        out.leaf_fp = core.leaf_fp;
+        out.fail_reason = core.fail_reason;
+        out.from_memo = true;
+        return;
+      }
+    }
 
     net::MultiVantageResult multi = prober.probe_all_vantages(sni);
     for (const auto& [vantage, result] : multi.by_vantage) {
@@ -90,6 +113,19 @@ CertDataset CertDataset::collect(const ClientDataset& client,
   ds.index_.reserve(eligible.size());
   ds.records_.reserve(eligible.size());
   for (ProbedSni& p : probed) {
+    if (memo != nullptr && !p.from_memo) {
+      ProbeMemo::Core core;
+      core.reachable = p.record.reachable;
+      core.chain = p.record.chain;
+      core.served_misordered = p.record.served_misordered;
+      core.leaf_by_vantage = p.record.leaf_by_vantage;
+      core.server_ips = p.record.server_ips;
+      core.stapled = p.record.stapled;
+      core.staple_valid = p.record.staple_valid;
+      core.leaf_fp = p.leaf_fp;
+      core.fail_reason = p.fail_reason;
+      memo->by_sni.emplace(p.record.sni, std::move(core));
+    }
     ++ds.extracted_;
     span.add_items();
     if (!p.record.reachable) {

@@ -188,6 +188,18 @@ ParseOutcome parse_one(const devicesim::ClientHelloEvent& raw,
 ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
                                         const tls::FingerprintOptions& opts,
                                         int jobs) {
+  ClientDataset ds;
+  ds.events_.reserve(fleet.events.size());
+  ds.index_.reserve(fleet.devices.size(), fleet.events.size());
+  ds.append_events(fleet.events, fleet.devices, opts, jobs);
+  ds.finalize();
+  return ds;
+}
+
+void ClientDataset::append_events(
+    const std::vector<devicesim::ClientHelloEvent>& raw_events,
+    const std::vector<devicesim::Device>& fleet_devices,
+    const tls::FingerprintOptions& opts, int jobs) {
   static obs::Counter& parsed_counter =
       obs::metrics().counter("core.dataset.events_parsed");
   static obs::Counter& drop_unknown_device =
@@ -198,16 +210,14 @@ ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
       obs::metrics().counter("core.dataset.events_dropped.parse_error");
   auto span = obs::tracer().span("fingerprint.extract");
 
-  ClientDataset ds;
-
   DeviceLookup devices;
-  devices.reserve(fleet.devices.size());
-  for (const devicesim::Device& d : fleet.devices) devices[d.id] = &d;
+  devices.reserve(fleet_devices.size());
+  for (const devicesim::Device& d : fleet_devices) devices[d.id] = &d;
 
   // Phase 1 (parallel): pure per-event parse into index-addressed slots.
-  std::vector<ParseOutcome> outcomes(fleet.events.size());
-  exec::parallel_for(jobs, fleet.events.size(), [&](std::size_t i) {
-    outcomes[i] = parse_one(fleet.events[i], devices, opts);
+  std::vector<ParseOutcome> outcomes(raw_events.size());
+  exec::parallel_for(jobs, raw_events.size(), [&](std::size_t i) {
+    outcomes[i] = parse_one(raw_events[i], devices, opts);
   });
 
   // Phase 2 (sequential, input order): counters, logs, span tallies and
@@ -224,32 +234,35 @@ ClientDataset ClientDataset::from_fleet(const devicesim::FleetDataset& fleet,
     }
   };
 
-  ds.events_.reserve(fleet.events.size());
-  ds.index_.reserve(fleet.devices.size(), fleet.events.size());
-  for (std::size_t i = 0; i < fleet.events.size(); ++i) {
-    const devicesim::ClientHelloEvent& raw = fleet.events[i];
+  for (std::size_t i = 0; i < raw_events.size(); ++i) {
+    const devicesim::ClientHelloEvent& raw = raw_events[i];
     ParseOutcome& outcome = outcomes[i];
     switch (outcome.kind) {
       case ParseOutcome::Kind::kUnknownDevice:
-        drop(ds.dropped_.unknown_device, drop_unknown_device, "unknown_device", raw);
+        drop(dropped_.unknown_device, drop_unknown_device, "unknown_device", raw);
         continue;
       case ParseOutcome::Kind::kNoClientHello:
-        drop(ds.dropped_.no_client_hello, drop_no_hello, "no_client_hello", raw);
+        drop(dropped_.no_client_hello, drop_no_hello, "no_client_hello", raw);
         continue;
       case ParseOutcome::Kind::kParseError:
-        drop(ds.dropped_.parse_error, drop_parse_error, "parse_error", raw);
+        drop(dropped_.parse_error, drop_parse_error, "parse_error", raw);
         continue;
       case ParseOutcome::Kind::kOk:
         break;
     }
     ParsedEvent& ev = outcome.ev;
-    ds.index_.record(ev);
-    ds.events_.push_back(std::move(ev));
+    index_.record(ev);
+    events_.push_back(std::move(ev));
     parsed_counter.inc();
     span.add_items();
   }
-  ds.index_.finalize();
-  return ds;
+}
+
+void ClientDataset::finalize() {
+  index_.finalize();
+  // The lazy views memoize via std::once_flag, which cannot be re-armed;
+  // invalidation is replacing the whole Views block.
+  views_ = std::make_unique<Views>();
 }
 
 std::set<std::string> ClientDataset::vendors() const {

@@ -71,6 +71,20 @@ class ClientDataset {
                                   const tls::FingerprintOptions& opts = {},
                                   int jobs = 1);
 
+  /// Incremental ingest: parse `events` (devices resolved against `devices`)
+  /// and fold them into the dataset after whatever is already there. Parsing
+  /// runs on `jobs` workers; the fold is sequential in arrival order, so any
+  /// epoch split of one event stream builds the same dataset as a single
+  /// batch call over the concatenation, bit for bit. Call finalize() before
+  /// reading the index or the views.
+  void append_events(const std::vector<devicesim::ClientHelloEvent>& events,
+                     const std::vector<devicesim::Device>& devices,
+                     const tls::FingerprintOptions& opts = {}, int jobs = 1);
+
+  /// Re-finalize the index after append_events (O(appended delta + id
+  /// universe)) and invalidate the lazy string-keyed views.
+  void finalize();
+
   const std::vector<ParsedEvent>& events() const { return events_; }
   std::size_t dropped_events() const { return dropped_.total(); }
   const DropCounts& drop_counts() const { return dropped_; }

@@ -77,10 +77,27 @@ class DatasetIndex {
   void record(ParsedEvent& ev);
 
   /// Sort/unique the posting lists, build the vendor bitsets and the
-  /// lexicographic permutations. Call once, after the last record().
+  /// lexicographic permutations. Callable repeatedly: the streaming ingest
+  /// records an epoch of events and re-finalizes, and only rows touched
+  /// since the previous finalize are re-sorted (the dirty sets below), so
+  /// an epoch fold costs O(epoch delta + id universe), not O(history).
+  /// Appending the same event stream under any epoch split yields indexes
+  /// byte-identical to one batch fold over the concatenation.
   void finalize();
 
  private:
+  /// Rows of one relation appended to since the last finalize().
+  struct DirtyRows {
+    std::vector<std::uint32_t> rows;
+    std::vector<std::uint8_t> noted;  // row id -> already in `rows`
+
+    void note(std::uint32_t row);
+    void clear();
+  };
+
+  void append(std::vector<PostingList>& lists, DirtyRows& dirty,
+              std::uint32_t row, std::uint32_t id);
+
   Interner vendors_, devices_, types_, users_, snis_, fps_;
   std::vector<tls::Fingerprint> fp_values_;
 
@@ -88,6 +105,11 @@ class DatasetIndex {
   std::vector<PostingList> vendor_fps_, device_fps_;
   std::vector<PostingList> sni_devices_, sni_vendors_, sni_fps_, sni_users_;
   std::vector<std::uint32_t> device_vendor_, device_type_;
+
+  DirtyRows dirty_fp_vendors_, dirty_fp_devices_, dirty_fp_snis_;
+  DirtyRows dirty_vendor_fps_, dirty_device_fps_;
+  DirtyRows dirty_sni_devices_, dirty_sni_vendors_, dirty_sni_fps_,
+      dirty_sni_users_;
 
   std::vector<Bitset> vendor_fp_bits_;
   std::vector<std::uint32_t> vendors_by_name_, devices_by_name_, snis_by_name_,

@@ -95,12 +95,8 @@ std::string export_devices_csv(const FleetDataset& fleet, const ExportOptions& o
   return out.str();
 }
 
-FleetDataset import_events_csv(const std::string& events_csv,
-                               const std::string& devices_csv) {
-  FleetDataset fleet;
-  std::set<std::string> users;
-
-  // Devices.
+std::vector<Device> parse_devices_csv(const std::string& devices_csv) {
+  std::vector<Device> devices;
   std::istringstream dev_in(devices_csv);
   std::string line;
   if (!std::getline(dev_in, line) || !starts_with(line, "device,"))
@@ -109,37 +105,55 @@ FleetDataset import_events_csv(const std::string& events_csv,
     if (line.empty()) continue;
     auto cols = split(line, ',');
     if (cols.size() != 4) throw ParseError("devices CSV: bad row: " + line);
-    fleet.devices.push_back({cols[0], cols[1], cols[2], cols[3]});
-    users.insert(cols[3]);
+    devices.push_back({cols[0], cols[1], cols[2], cols[3]});
   }
+  return devices;
+}
 
-  // Events.
-  std::istringstream ev_in(events_csv);
-  if (!std::getline(ev_in, line) || !starts_with(line, "device,"))
+bool events_header_has_wire(const std::string& header) {
+  if (!starts_with(header, "device,"))
     throw ParseError("events CSV: missing header");
-  bool has_wire = line.find(",wire_hex") != std::string::npos;
+  return header.find(",wire_hex") != std::string::npos;
+}
+
+ClientHelloEvent parse_event_row(const std::string& line, bool has_wire) {
+  auto cols = split(line, ',');
+  // The fp_key itself contains commas: device,vendor,type,user,day,sni +
+  // 3 fp fields (+ optional wire) => 9 or 10 columns.
+  std::size_t expected = has_wire ? 10 : 9;
+  if (cols.size() != expected) throw ParseError("events CSV: bad row: " + line);
+  ClientHelloEvent event;
+  event.device_id = cols[0];
+  event.day = std::stoll(cols[4]);
+  event.sni = cols[5];
+  std::string fp_key = cols[6] + "," + cols[7] + "," + cols[8];
+  if (has_wire) {
+    event.wire = from_hex(cols[9]);
+  } else {
+    tls::ClientHello ch = hello_from_fp_key(fp_key, event.sni);
+    Bytes msg = ch.encode();
+    event.wire = tls::encode_records(tls::ContentType::kHandshake,
+                                     ch.legacy_version,
+                                     BytesView(msg.data(), msg.size()));
+  }
+  return event;
+}
+
+FleetDataset import_events_csv(const std::string& events_csv,
+                               const std::string& devices_csv) {
+  FleetDataset fleet;
+  fleet.devices = parse_devices_csv(devices_csv);
+  std::set<std::string> users;
+  for (const Device& d : fleet.devices) users.insert(d.user_id);
+
+  std::istringstream ev_in(events_csv);
+  std::string line;
+  if (!std::getline(ev_in, line))
+    throw ParseError("events CSV: missing header");
+  bool has_wire = events_header_has_wire(line);
   while (std::getline(ev_in, line)) {
     if (line.empty()) continue;
-    auto cols = split(line, ',');
-    // The fp_key itself contains commas: device,vendor,type,user,day,sni +
-    // 3 fp fields (+ optional wire) => 9 or 10 columns.
-    std::size_t expected = has_wire ? 10 : 9;
-    if (cols.size() != expected) throw ParseError("events CSV: bad row: " + line);
-    ClientHelloEvent event;
-    event.device_id = cols[0];
-    event.day = std::stoll(cols[4]);
-    event.sni = cols[5];
-    std::string fp_key = cols[6] + "," + cols[7] + "," + cols[8];
-    if (has_wire) {
-      event.wire = from_hex(cols[9]);
-    } else {
-      tls::ClientHello ch = hello_from_fp_key(fp_key, event.sni);
-      Bytes msg = ch.encode();
-      event.wire = tls::encode_records(tls::ContentType::kHandshake,
-                                       ch.legacy_version,
-                                       BytesView(msg.data(), msg.size()));
-    }
-    fleet.events.push_back(std::move(event));
+    fleet.events.push_back(parse_event_row(line, has_wire));
   }
 
   fleet.users.assign(users.begin(), users.end());

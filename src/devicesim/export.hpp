@@ -37,6 +37,21 @@ std::string export_devices_csv(const FleetDataset& fleet,
 FleetDataset import_events_csv(const std::string& events_csv,
                                const std::string& devices_csv);
 
+// Row-level parsers underneath import_events_csv, exposed so streaming
+// sources (stream/source) can consume a growing events CSV line by line
+// with identical semantics to a batch import of the same bytes.
+
+/// Parse a devices CSV (header + rows) into its device table.
+std::vector<Device> parse_devices_csv(const std::string& devices_csv);
+
+/// Does an events-CSV header line carry the optional wire_hex column?
+/// Throws ParseError when `header` is not an events header at all.
+bool events_header_has_wire(const std::string& header);
+
+/// Parse one events-CSV data row (9 columns, 10 with `has_wire`; the fp_key
+/// spans three). Throws ParseError on malformed rows.
+ClientHelloEvent parse_event_row(const std::string& line, bool has_wire);
+
 /// The salted pseudonym used by the exporters (exposed for tests).
 std::string pseudonym(const std::string& id, const std::string& salt);
 

@@ -26,7 +26,10 @@ std::uint64_t RetryPolicy::backoff_ms(int k, const std::string& sni,
                   .fork("retry" + std::to_string(k));
     backoff += rng.uniform(0, base_backoff_ms - 1);
   }
-  return backoff;
+  // The cap bounds the *returned* delay, jitter included — adding jitter
+  // after saturating could otherwise exceed max_backoff_ms by up to
+  // base_backoff_ms - 1.
+  return backoff < max_backoff_ms ? backoff : max_backoff_ms;
 }
 
 bool CircuitBreaker::allow(const std::string& sni) {

@@ -60,9 +60,10 @@ struct RetryPolicy {
   int max_attempts = 1;
 
   /// Backoff before retry k (k >= 1) is
-  ///   min(base_backoff_ms * multiplier^(k-1), max_backoff_ms) + jitter
+  ///   min(base_backoff_ms * multiplier^(k-1) + jitter, max_backoff_ms)
   /// with jitter drawn deterministically in [0, base_backoff_ms) from
-  /// (jitter_seed, sni, vantage, k).
+  /// (jitter_seed, sni, vantage, k). max_backoff_ms caps the returned
+  /// delay, jitter included.
   std::uint64_t base_backoff_ms = 100;
   double multiplier = 2.0;
   std::uint64_t max_backoff_ms = 5000;

@@ -35,15 +35,6 @@ const char* status_reason(int status) {
   }
 }
 
-void send_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer gone; response delivery is best-effort
-    off += static_cast<std::size_t>(n);
-  }
-}
-
 void send_response(int fd, const HttpResponse& resp) {
   char head[256];
   std::snprintf(head, sizeof head,
@@ -59,11 +50,39 @@ void send_response(int fd, const HttpResponse& resp) {
   wire += head;
   wire += resp.body;
   http_arena().allocate(wire.size());
-  send_all(fd, wire);
+  detail::send_all(fd, wire);
   http_arena().release(wire.size());
 }
 
 }  // namespace
+
+namespace detail {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal mid-write: not peer loss
+    if (n <= 0) return false;  // peer gone; response delivery is best-effort
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_http_request(int fd, std::size_t max_bytes) {
+  std::string data;
+  char buf[2048];
+  while (data.size() < max_bytes) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;  // signal mid-read: keep the request
+    if (n <= 0) break;  // EOF, timeout or error
+    data.append(buf, static_cast<std::size_t>(n));
+    if (data.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return data;
+}
+
+}  // namespace detail
 
 HttpResponse HttpResponse::text(int status, std::string body) {
   HttpResponse resp;
@@ -164,15 +183,7 @@ void HttpServer::acceptor_loop() {
 }
 
 std::string HttpServer::read_request(int fd) {
-  std::string data;
-  char buf[2048];
-  while (data.size() < kMaxRequestBytes) {
-    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) break;  // EOF, timeout or error
-    data.append(buf, static_cast<std::size_t>(n));
-    if (data.find("\r\n\r\n") != std::string::npos) break;
-  }
-  return data;
+  return detail::read_http_request(fd, kMaxRequestBytes);
 }
 
 void HttpServer::serve_connection(int fd) {
@@ -235,11 +246,13 @@ int http_get(std::uint16_t port, const std::string& target, std::string* body) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   std::string request = "GET " + target +
                         " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
-  send_all(fd, request);
+  detail::send_all(fd, request);
   std::string raw;
   char buf[4096];
-  ssize_t n;
-  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
     raw.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);

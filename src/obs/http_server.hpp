@@ -97,4 +97,17 @@ class HttpServer {
 /// on connect/transport failure.
 int http_get(std::uint16_t port, const std::string& target, std::string* body);
 
+namespace detail {
+
+/// Write all of `data` to `fd`, retrying short writes and EINTR (a signal
+/// landing mid-scrape must not truncate a response). Returns false when the
+/// peer is gone or the socket errors out.
+bool send_all(int fd, const std::string& data);
+
+/// Read an HTTP request from `fd` until the header terminator, EOF, or
+/// `max_bytes`, retrying EINTR (a signal must not drop the request).
+std::string read_http_request(int fd, std::size_t max_bytes);
+
+}  // namespace detail
+
 }  // namespace iotls::obs

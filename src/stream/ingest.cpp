@@ -1,0 +1,60 @@
+#include "stream/ingest.hpp"
+
+#include <algorithm>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace iotls::stream {
+
+StreamIngest::StreamIngest(std::vector<devicesim::Device> devices,
+                           IngestConfig config)
+    : config_(config), devices_(std::move(devices)) {
+  if (config_.certs) {
+    world_ = std::make_unique<devicesim::SimWorld>(
+        devicesim::build_world(devicesim::ServerUniverse::standard()));
+    if (config_.fault.any()) {
+      injector_ = std::make_unique<net::FaultInjector>(world_->internet,
+                                                       config_.fault);
+    }
+  }
+}
+
+StreamIngest::~StreamIngest() = default;
+
+std::uint64_t StreamIngest::fold_epoch(
+    const std::vector<devicesim::ClientHelloEvent>& events) {
+  static obs::Histogram& fold_ns =
+      obs::metrics().histogram("stream.epoch_fold_ns");
+  auto span = obs::tracer().span("stream.epoch_fold");
+  {
+    obs::ScopedTimer timer(fold_ns);
+
+    client_.append_events(events, devices_, config_.fp_opts, config_.jobs);
+    client_.finalize();
+    for (const devicesim::ClientHelloEvent& ev : events) {
+      watermark_day_ = std::max(watermark_day_, ev.day);
+    }
+
+    if (config_.certs) {
+      certs_ = core::CertDataset::collect(
+          client_, *world_, config_.min_users, config_.jobs, &vcache_,
+          injector_ != nullptr ? injector_.get() : nullptr, &memo_);
+    }
+  }
+
+  ++epoch_;
+  events_ingested_ += events.size();
+  obs::metrics().gauge("stream.epoch").set(static_cast<std::int64_t>(epoch_));
+  obs::metrics().gauge("stream.events_ingested")
+      .set(static_cast<std::int64_t>(events_ingested_));
+  obs::metrics().gauge("stream.watermark_day").set(watermark_day_);
+  obs::logger().info("epoch folded",
+                     {{"epoch", std::to_string(epoch_)},
+                      {"events", std::to_string(events.size())},
+                      {"snis", std::to_string(client_.index().snis().size())}});
+  return epoch_;
+}
+
+}  // namespace iotls::stream

@@ -1,0 +1,82 @@
+// Epoch-batched event sources for the incremental survey daemon.
+//
+// An EventSource hands the ingest loop one epoch of ClientHello events at a
+// time. Epoch boundaries are a delivery artifact, not a semantic one: the
+// ingest fold is append-only and order-preserving, so any epoching of one
+// event stream produces the same dataset as a single batch over the
+// concatenation. Two sources ship:
+//
+//   * ReplaySource — slices an in-memory event vector into a fixed number
+//     of epochs (the batch tools' degenerate mode is one epoch);
+//   * TailSource — follows a growing events CSV on disk, emitting the
+//     complete rows appended since the previous poll. A partial last line
+//     (a writer mid-append) is left for the next poll, so a row is never
+//     split across epochs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devicesim/types.hpp"
+
+namespace iotls::stream {
+
+/// One epoch's worth of raw events.
+struct EventBatch {
+  std::vector<devicesim::ClientHelloEvent> events;
+};
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// The next epoch, or nullopt when the source is (currently) drained.
+  /// A drained ReplaySource stays drained; a drained TailSource may yield
+  /// again once the file grows.
+  virtual std::optional<EventBatch> next_epoch() = 0;
+};
+
+/// Replays an in-memory event stream across `epochs` contiguous slices
+/// (the final slice absorbs the remainder). `epochs` is clamped to
+/// [1, events.size()] so every epoch is non-empty when events exist.
+class ReplaySource final : public EventSource {
+ public:
+  ReplaySource(std::vector<devicesim::ClientHelloEvent> events,
+               std::size_t epochs);
+
+  std::optional<EventBatch> next_epoch() override;
+
+  std::size_t epochs() const { return epochs_; }
+
+ private:
+  std::vector<devicesim::ClientHelloEvent> events_;
+  std::size_t epochs_ = 1;
+  std::size_t next_ = 0;       // next event index to emit
+  std::size_t emitted_ = 0;    // epochs emitted so far
+};
+
+/// Follows an events CSV being appended to. Each next_epoch() reads the
+/// bytes appended since the previous call and parses the complete lines in
+/// them; the header (first line) establishes the column layout. Rows that
+/// fail to parse are counted and skipped, not fatal — a tailed file may
+/// interleave foreign junk.
+class TailSource final : public EventSource {
+ public:
+  explicit TailSource(std::string path);
+
+  std::optional<EventBatch> next_epoch() override;
+
+  std::uint64_t malformed_rows() const { return malformed_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;   // bytes consumed into complete lines
+  std::string pending_;        // trailing partial line from the last poll
+  bool header_seen_ = false;
+  bool has_wire_ = false;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace iotls::stream

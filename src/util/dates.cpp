@@ -39,11 +39,24 @@ std::string format_date(std::int64_t days_since_epoch) {
   return buf;
 }
 
+bool is_leap_year(int y) {
+  return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+}
+
+int days_in_month(int year, int month) {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  return month == 2 && is_leap_year(year) ? 29 : kDays[month - 1];
+}
+
 std::int64_t parse_date(const std::string& iso) {
   int y = 0, m = 0, d = 0;
   char extra = 0;
+  // days_from_civil normalizes impossible dates (2019-02-31 -> 2019-03-03),
+  // so the day must be checked against the real month length here — a
+  // corrupt validity field has to fail loudly, not shift expiry buckets.
   if (std::sscanf(iso.c_str(), "%d-%d-%d%c", &y, &m, &d, &extra) != 3 ||
-      m < 1 || m > 12 || d < 1 || d > 31) {
+      m < 1 || m > 12 || d < 1 || d > days_in_month(y, m)) {
     throw ParseError("invalid ISO date: " + iso);
   }
   return days_from_civil({y, m, d});

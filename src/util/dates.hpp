@@ -29,7 +29,14 @@ CivilDate civil_from_days(std::int64_t days);
 /// "YYYY-MM-DD".
 std::string format_date(std::int64_t days_since_epoch);
 
-/// Parse "YYYY-MM-DD"; throws ParseError on malformed input.
+/// Gregorian leap-year test.
+bool is_leap_year(int y);
+
+/// Length of `month` (1..12) in `year`; 0 for an out-of-range month.
+int days_in_month(int year, int month);
+
+/// Parse "YYYY-MM-DD"; throws ParseError on malformed input, including
+/// calendar-impossible days such as 2019-02-31 or 2100-02-29.
 std::int64_t parse_date(const std::string& iso);
 
 /// Convenience: days-since-epoch for a literal date.

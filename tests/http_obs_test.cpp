@@ -552,5 +552,133 @@ TEST(ScrapeConcurrency, MetricsStayValidDuringParallelFaultSurvey) {
   plane.stop();
 }
 
+// ------------------------------------------------------- EINTR resilience
+
+void noop_signal_handler(int) {}
+
+/// Installs a SIGUSR1 handler *without* SA_RESTART for the test's scope, so
+/// blocking send/recv calls interrupted by the signal really return EINTR
+/// instead of being transparently restarted by the kernel.
+struct ScopedSigusr1 {
+  struct sigaction old {};
+  ScopedSigusr1() {
+    struct sigaction sa {};
+    sa.sa_handler = noop_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGUSR1, &sa, &old);
+  }
+  ~ScopedSigusr1() { sigaction(SIGUSR1, &old, nullptr); }
+};
+
+TEST(HttpIo, SendAllRetriesAcrossEintr) {
+  ScopedSigusr1 guard;
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  int small = 4096;
+  setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+
+  // A payload far larger than the send buffer, so the writer spends most of
+  // the test blocked in send() — where the signals land.
+  const std::size_t total = 4 * 1024 * 1024;
+  std::string payload(total, 'x');
+  std::atomic<bool> writer_done{false};
+  bool sent = false;
+  std::thread writer([&] {
+    sent = detail::send_all(sv[0], payload);
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::string received;
+  char buf[8192];
+  while (received.size() < total) {
+    if (!writer_done.load(std::memory_order_acquire)) {
+      pthread_kill(writer.native_handle(), SIGUSR1);
+    }
+    ssize_t n = ::recv(sv[1], buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    ASSERT_GT(n, 0);
+    received.append(buf, static_cast<std::size_t>(n));
+  }
+  writer.join();
+  EXPECT_TRUE(sent);
+  EXPECT_EQ(received.size(), total);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(HttpIo, ReadRequestRetriesAcrossEintr) {
+  ScopedSigusr1 guard;
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  std::string request;
+  std::thread reader([&] { request = detail::read_http_request(sv[1], 8 * 1024); });
+
+  // Drip the request across several writes, signalling the reader between
+  // them while it blocks in recv() waiting for the header terminator.
+  const std::string wire = "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  for (std::size_t off = 0; off < wire.size(); off += 8) {
+    for (int i = 0; i < 4; ++i) {
+      pthread_kill(reader.native_handle(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::size_t len = std::min<std::size_t>(8, wire.size() - off);
+    ASSERT_EQ(::send(sv[0], wire.data() + off, len, 0),
+              static_cast<ssize_t>(len));
+  }
+  reader.join();
+  EXPECT_EQ(request, wire) << "a signal mid-read dropped request bytes";
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(HttpServer, SlowWritingClientGetsCompleteMetricsBody) {
+  metrics().counter("test.slow_client.marker").inc(41);
+  ExportPlane plane;
+  ASSERT_TRUE(plane.start(0));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(plane.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  // Trickle the request a few bytes at a time — a congested or misbehaving
+  // scraper — staying inside the server's per-connection receive timeout.
+  const std::string wire =
+      "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  for (std::size_t off = 0; off < wire.size(); off += 4) {
+    std::size_t len = std::min<std::size_t>(4, wire.size() - off);
+    ASSERT_EQ(::send(fd, wire.data() + off, len, 0), static_cast<ssize_t>(len));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  ASSERT_EQ(raw.rfind("HTTP/1.1 200", 0), 0u) << raw.substr(0, 64);
+  std::size_t sep = raw.find("\r\n\r\n");
+  ASSERT_NE(sep, std::string::npos);
+  std::string headers = raw.substr(0, sep);
+  std::string body = raw.substr(sep + 4);
+  // The advertised length must match the delivered body exactly: a short
+  // write (or an EINTR treated as fatal) would truncate the exposition.
+  std::size_t cl = headers.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos);
+  EXPECT_EQ(std::stoul(headers.substr(cl + 16)), body.size());
+  EXPECT_NE(body.find("test_slow_client_marker 41"), std::string::npos);
+  plane.stop();
+}
+
 }  // namespace
 }  // namespace iotls::obs

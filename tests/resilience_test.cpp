@@ -322,11 +322,43 @@ TEST(RetryPolicy, BackoffGrowsExponentiallyAndSaturates) {
   std::uint64_t b2 = policy.backoff_ms(2, sni, v);
   std::uint64_t b3 = policy.backoff_ms(3, sni, v);
   std::uint64_t b9 = policy.backoff_ms(9, sni, v);
-  // Raw exponential 100/200/400 capped at 450, each plus jitter < 100.
+  // Raw exponential 100/200/400 plus jitter < 100, the whole delay (jitter
+  // included) clamped at max_backoff_ms = 450.
   EXPECT_GE(b1, 100u); EXPECT_LT(b1, 200u);
   EXPECT_GE(b2, 200u); EXPECT_LT(b2, 300u);
-  EXPECT_GE(b3, 400u); EXPECT_LT(b3, 500u);
-  EXPECT_GE(b9, 450u); EXPECT_LT(b9, 550u);  // saturated (no overflow)
+  EXPECT_GE(b3, 400u); EXPECT_LE(b3, 450u);
+  EXPECT_EQ(b9, 450u);  // saturated: jitter cannot push past the cap
+}
+
+TEST(RetryPolicy, CapBoundsTheDelayJitterIncluded) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 450;
+  // The cap holds for every retry index and every jitter draw, not just
+  // past the saturation point — jitter on the raw-400 step used to leak
+  // delays up to 499ms.
+  for (int k = 1; k <= 12; ++k) {
+    for (int host = 0; host < 16; ++host) {
+      std::uint64_t delay = policy.backoff_ms(
+          k, "cap" + std::to_string(host) + ".example.com",
+          VantagePoint::kFrankfurt);
+      EXPECT_LE(delay, policy.max_backoff_ms) << "k=" << k << " host=" << host;
+    }
+  }
+  // Exactly at saturation the delay equals the cap.
+  EXPECT_EQ(policy.backoff_ms(9, "cap0.example.com", VantagePoint::kNewYork),
+            450u);
+}
+
+TEST(RetryPolicy, CapBelowBaseClampsEveryDelay) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.max_backoff_ms = 50;  // cap under even the first raw backoff
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_EQ(policy.backoff_ms(k, "tiny.example.com", VantagePoint::kNewYork),
+              50u);
+  }
 }
 
 TEST(RetryPolicy, JitterIsDeterministicButDecorrelatedAcrossSnis) {

@@ -260,11 +260,60 @@ TEST(Dates, LeapYearHandling) {
   EXPECT_EQ(days(2000, 2, 29) + 1, days(2000, 3, 1));  // century leap year
 }
 
+TEST(Dates, LeapYearRule) {
+  EXPECT_TRUE(is_leap_year(2020));
+  EXPECT_TRUE(is_leap_year(2000));    // divisible by 400
+  EXPECT_FALSE(is_leap_year(1900));   // century, not by 400
+  EXPECT_FALSE(is_leap_year(2100));
+  EXPECT_FALSE(is_leap_year(2019));
+  EXPECT_EQ(days_in_month(2020, 2), 29);
+  EXPECT_EQ(days_in_month(2019, 2), 28);
+  EXPECT_EQ(days_in_month(2021, 4), 30);
+  EXPECT_EQ(days_in_month(2021, 12), 31);
+  EXPECT_EQ(days_in_month(2021, 0), 0);   // out-of-range months are empty
+  EXPECT_EQ(days_in_month(2021, 13), 0);
+}
+
+TEST(Dates, RoundTripEveryCivilDay1600To2400) {
+  // Property: for every real calendar day across eight centuries (both
+  // Gregorian century exceptions included), civil -> days -> civil is the
+  // identity and the serial number advances by exactly one per day.
+  std::int64_t expected = days_from_civil({1600, 1, 1});
+  for (int y = 1600; y <= 2400; ++y) {
+    for (int m = 1; m <= 12; ++m) {
+      for (int d = 1; d <= days_in_month(y, m); ++d) {
+        std::int64_t serial = days_from_civil({y, m, d});
+        ASSERT_EQ(serial, expected) << y << "-" << m << "-" << d;
+        CivilDate back = civil_from_days(serial);
+        ASSERT_TRUE(back.year == y && back.month == m && back.day == d)
+            << y << "-" << m << "-" << d << " came back as " << back.year
+            << "-" << back.month << "-" << back.day;
+        ++expected;
+      }
+    }
+  }
+}
+
 TEST(Dates, ParseFormatsRoundTrip) {
   EXPECT_EQ(parse_date("2021-12-31"), days(2021, 12, 31));
   EXPECT_EQ(format_date(parse_date("1999-01-02")), "1999-01-02");
   EXPECT_THROW(parse_date("not-a-date"), ParseError);
   EXPECT_THROW(parse_date("2021-13-01"), ParseError);
+}
+
+TEST(Dates, ParseRejectsImpossibleDays) {
+  // days_from_civil would happily normalize these into March; parse_date
+  // must reject them instead of silently shifting a validity window.
+  EXPECT_THROW(parse_date("2019-02-31"), ParseError);
+  EXPECT_THROW(parse_date("2019-02-29"), ParseError);  // not a leap year
+  EXPECT_THROW(parse_date("2100-02-29"), ParseError);  // century non-leap
+  EXPECT_THROW(parse_date("2021-04-31"), ParseError);
+  EXPECT_THROW(parse_date("2021-06-00"), ParseError);
+  EXPECT_THROW(parse_date("2021-00-10"), ParseError);
+  EXPECT_THROW(parse_date("2021-01-02x"), ParseError);  // trailing garbage
+  // The leap days themselves stay parseable.
+  EXPECT_EQ(parse_date("2020-02-29"), days(2020, 2, 29));
+  EXPECT_EQ(parse_date("2000-02-29"), days(2000, 2, 29));
 }
 
 }  // namespace

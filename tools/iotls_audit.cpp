@@ -1,7 +1,14 @@
 // iotls_audit — run the §4 client-side analysis over an exported dataset.
 //
 // Usage:
-//   iotls_audit [--jobs=N] [--stats[=json]] [--certs] events.csv devices.csv
+//   iotls_audit [--jobs=N] [--stats[=json]] [--certs] [--report=NAME]
+//               events.csv devices.csv
+//
+// `--report=NAME` prints one stream report document (see
+// src/stream/reports.hpp for names) as a single JSON line on stdout and
+// exits — computed through the same single-epoch streaming fold iotlsd
+// uses, so the output is byte-comparable against the daemon's
+// /report/NAME body after any epoch split of the same events.
 //
 // `--jobs=N` parses ClientHellos, runs corpus matching — and, with
 // `--certs`, probes/validates the server-side dataset — on N worker
@@ -45,6 +52,8 @@
 #include "obs/trace.hpp"
 #include "obs_cli.hpp"
 #include "report/obs_report.hpp"
+#include "stream/ingest.hpp"
+#include "stream/reports.hpp"
 #include "util/dates.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -70,6 +79,7 @@ int main(int argc, char** argv) {
   StatsMode stats = StatsMode::kOff;
   int jobs = 1;
   bool certs_mode = false;
+  std::string report_name;
   tools::ObsCli obs_cli;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
@@ -80,6 +90,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--stats") == 0) stats = StatsMode::kText;
     else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
     else if (std::strcmp(argv[i], "--certs") == 0) certs_mode = true;
+    else if (std::strncmp(argv[i], "--report=", 9) == 0) report_name = argv[i] + 9;
     else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       char* end = nullptr;
       unsigned long long n = std::strtoull(argv[i] + 7, &end, 10);
@@ -93,16 +104,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::fprintf(stderr,
                    "usage: iotls_audit [--jobs=N] [--stats[=json]] [--certs]\n"
-                   "                   [--serve=PORT] [--serve-linger[=MS]]\n"
-                   "                   [--trace-out=FILE] events.csv devices.csv\n");
+                   "                   [--report=NAME] [--serve=PORT]\n"
+                   "                   [--serve-linger[=MS]] [--trace-out=FILE]\n"
+                   "                   events.csv devices.csv\n");
       return 2;
     } else paths.push_back(argv[i]);
   }
   if (paths.size() != 2) {
     std::fprintf(stderr,
                  "usage: iotls_audit [--jobs=N] [--stats[=json]] [--certs]\n"
-                 "                   [--serve=PORT] [--serve-linger[=MS]]\n"
-                 "                   [--trace-out=FILE] events.csv devices.csv\n");
+                 "                   [--report=NAME] [--serve=PORT]\n"
+                 "                   [--serve-linger[=MS]] [--trace-out=FILE]\n"
+                 "                   events.csv devices.csv\n");
     return 2;
   }
   if (!obs_cli.start()) return 2;
@@ -113,6 +126,31 @@ int main(int argc, char** argv) {
   } catch (const ParseError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+
+  if (!report_name.empty()) {
+    // Batch mode as the degenerate streaming case: one epoch holding the
+    // whole event stream, rendered by the exact code iotlsd serves.
+    bool server_side = report_name == "certs" || report_name == "chains" ||
+                       report_name == "issuers" || report_name == "ct";
+    stream::IngestConfig config;
+    config.jobs = jobs;
+    config.certs = certs_mode || server_side;
+    stream::StreamIngest ingest(fleet.devices, config);
+    ingest.fold_epoch(fleet.events);
+    auto doc = stream::render_report(report_name, ingest);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "unknown report: %s (known:", report_name.c_str());
+      for (const std::string& name : stream::report_names()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    std::printf("%s\n", doc->dump().c_str());
+    std::fflush(stdout);
+    obs_cli.finish();
+    return 0;
   }
 
   auto ds = core::ClientDataset::from_fleet(fleet, {}, jobs);
