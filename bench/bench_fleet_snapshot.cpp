@@ -1,0 +1,124 @@
+// Fleet interchange suite (google-benchmark): loading a fleet from the CSV
+// interchange format vs the .iotlsnap columnar snapshot (docs/SNAPSHOT.md).
+//
+// The snapshot exists so a 1M-device fleet loads in the time the CSV path
+// spends splitting its first few hundred thousand rows. This suite pins the
+// before/after: CSV import (field split + int parse + hex decode per row)
+// against snapshot open (header validation only) and snapshot load
+// (column walk, sequential and sharded), with and without wire bytes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "devicesim/export.hpp"
+#include "devicesim/fleet.hpp"
+#include "fleetio/snapshot.hpp"
+
+using namespace iotls;
+
+namespace {
+
+devicesim::FleetDataset synthetic(std::int64_t devices) {
+  devicesim::SyntheticFleetSpec spec;
+  spec.devices = static_cast<std::size_t>(devices);
+  spec.events_per_device = 2;
+  return devicesim::generate_synthetic_fleet(spec);
+}
+
+std::string snapshot_file(const devicesim::FleetDataset& fleet,
+                          const char* tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                     "/bench_fleet_" + tag + ".iotlsnap";
+  fleetio::write_snapshot(fleet, path);
+  return path;
+}
+
+/// CSV import: the full interchange parse the snapshot replaces.
+void BM_FleetLoadCsv(benchmark::State& state) {
+  devicesim::FleetDataset fleet = synthetic(state.range(0));
+  devicesim::ExportOptions opts;
+  opts.include_wire = state.range(1) != 0;
+  std::string events = devicesim::export_events_csv(fleet, opts);
+  std::string devices = devicesim::export_devices_csv(fleet, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(devicesim::import_events_csv(events, devices));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fleet.events.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_FleetLoadCsv)
+    ->ArgNames({"devices", "wire"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Snapshot open: header + bounds validation and the day-checkpoint scan —
+/// the cost of having a fleet "ready" without materializing anything.
+void BM_SnapshotOpen(benchmark::State& state) {
+  devicesim::FleetDataset fleet = synthetic(state.range(0));
+  std::string path = snapshot_file(fleet, "open");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleetio::SnapshotReader::open(path));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fleet.events.size()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotOpen)
+    ->ArgNames({"devices"})
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Snapshot load: open + materialize every device, user and event, at one
+/// and eight shards (the byte-identical parallel merge).
+void BM_SnapshotLoad(benchmark::State& state) {
+  devicesim::FleetDataset fleet = synthetic(state.range(0));
+  std::string path = snapshot_file(fleet, "load");
+  int jobs = static_cast<int>(state.range(1));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto reader = fleetio::SnapshotReader::open(path);
+    bytes = reader.file_size();
+    benchmark::DoNotOptimize(reader.load(jobs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fleet.events.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotLoad)
+    ->ArgNames({"devices", "jobs"})
+    ->Args({1000, 1})
+    ->Args({1000, 8})
+    ->Args({10000, 1})
+    ->Args({10000, 8})
+    ->Args({100000, 1})
+    ->Args({100000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+/// Snapshot write path, for the converter's cost accounting.
+void BM_SnapshotEncode(benchmark::State& state) {
+  devicesim::FleetDataset fleet = synthetic(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleetio::encode_snapshot(fleet));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fleet.events.size()));
+}
+BENCHMARK(BM_SnapshotEncode)
+    ->ArgNames({"devices"})
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

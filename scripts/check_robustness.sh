@@ -14,8 +14,12 @@
 # fleet through iotlsd in three epochs and requires the live
 # /report/table04 body to be byte-identical to the batch
 # `iotls_audit --report=table04` output over the same events, recording
-# epoch-fold latency to BENCH_daemon.json. Finally, a docs phase fails on
-# broken relative links in README.md and docs/*.md.
+# epoch-fold latency to BENCH_daemon.json. A fleet-scale phase then runs
+# the pipeline over a synthetic million-device fleet from both the CSV and
+# the .iotlsnap snapshot input (byte-identical reports required), enforcing
+# the snapshot's >=10x time-to-ready and <=half-RSS budgets and writing the
+# measurements to BENCH_fleet.json. Finally, a docs phase fails on broken
+# relative links in README.md and docs/*.md.
 #
 # Usage: scripts/check_robustness.sh [ctest-args...]
 set -euo pipefail
@@ -32,7 +36,7 @@ ctest --preset concurrency-tsan -j"$(nproc)" "$@"
 cmake --preset default
 cmake --build --preset default -j"$(nproc)" \
   --target test_perf test_cert_pipeline bench_perf_pipeline bench_cert_pipeline \
-  iotls_probe bench_obs_overhead iotlsd iotls_audit
+  iotls_probe bench_obs_overhead bench_fleet_snapshot iotlsd iotls_audit
 ctest --preset default -L perf --output-on-failure
 # Median-of-5 aggregates; compare BENCH_pipeline.json / BENCH_certs.json
 # against the previous run's copies to spot regressions (both gitignored).
@@ -50,6 +54,11 @@ ctest --preset default -L perf --output-on-failure
   --benchmark_repetitions=5 \
   --benchmark_report_aggregates_only=true \
   --benchmark_out=BENCH_obs_overhead.json \
+  --benchmark_out_format=json
+./build/bench/bench_fleet_snapshot \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out=BENCH_interchange.json \
   --benchmark_out_format=json
 
 # Observability phase: start a fault-injected --jobs 8 survey with the
@@ -259,6 +268,113 @@ printf '{"epochs":%s,"events":%s,"fold_ns_sum":%s,"fold_ns_mean":%s}\n' \
   "$fold_count" "${events:-0}" "$fold_sum" "$fold_mean" > BENCH_daemon.json
 echo "daemon phase OK: 3 epochs over ${events:-?} events," \
      "mean fold $((fold_mean / 1000000)) ms, live table04 == batch table04"
+
+# Fleet-scale phase: the full pipeline over a synthetic million-device
+# fleet on one machine (FLEET_DEVICES overrides the size; 2 events per
+# device). Exports the fleet as CSVs plus a .iotlsnap snapshot, checks the
+# iotlsd-written snapshot is byte-identical to the iotls_audit CSV
+# converter's output, runs the same report from both inputs (CSV at
+# --jobs=8, snapshot at --jobs=1 and --jobs=8) and requires all three
+# bodies byte-identical. Records CSV re-parse time, snapshot time-to-ready
+# (snapshot.open_ns: container validation + day-checkpoint scan, after
+# which the fold streams straight off the map), peak RSS of both runs and
+# report wall time to BENCH_fleet.json (gitignored), and enforces the
+# budgets: snapshot open >= 10x faster than the CSV re-parse, streaming
+# RSS <= half the CSV run's, report wall time <= 100 us/event.
+fleet_devices="${FLEET_DEVICES:-1000000}"
+fleet_dir="$(mktemp -d)"
+fleet_cleanup() { rm -rf "$fleet_dir"; }
+trap 'fleet_cleanup; daemon_cleanup; obs_cleanup' EXIT
+
+echo "fleet phase: exporting $fleet_devices synthetic devices..."
+./build/tools/iotlsd --export-fleet="$fleet_dir/fleet" --wire \
+  --synthetic="$fleet_devices",2 --snapshot="$fleet_dir/fleet.iotlsnap" \
+  2>"$fleet_dir/export.log" || {
+  echo "fleet phase failed: export:" >&2; cat "$fleet_dir/export.log" >&2
+  exit 1
+}
+
+# Converter identity: the CSV->snapshot converter (which also verifies
+# every section CRC) must produce the exact bytes iotlsd wrote.
+./build/tools/iotls_audit --export-snapshot="$fleet_dir/converted.iotlsnap" \
+  "$fleet_dir/fleet-events.csv" "$fleet_dir/fleet-devices.csv" >/dev/null
+if ! cmp -s "$fleet_dir/fleet.iotlsnap" "$fleet_dir/converted.iotlsnap"; then
+  echo "fleet phase failed: converter snapshot != daemon snapshot" >&2
+  exit 1
+fi
+rm "$fleet_dir/converted.iotlsnap"
+
+# `hist_sum file name` -> integer nanosecond sum of a --stats=json histogram.
+hist_sum() {
+  grep -o "\"$2\":{\"count\":[0-9]*,\"sum\":[0-9.eE+-]*" "$1" |
+    head -n1 | sed 's/.*"sum"://' | awk '{printf "%.0f", $1}'
+}
+rss_peak() {
+  grep -o '"process\.rss_peak_bytes":[0-9]*' "$1" | head -n1 | cut -d: -f2
+}
+
+t0=$(date +%s%N)
+./build/tools/iotls_audit --report=table02 --jobs=8 --stats=json \
+  "$fleet_dir/fleet-events.csv" "$fleet_dir/fleet-devices.csv" \
+  >"$fleet_dir/csv.json" 2>"$fleet_dir/csv.stats"
+csv_ms=$(( ($(date +%s%N) - t0) / 1000000 ))
+
+t0=$(date +%s%N)
+./build/tools/iotls_audit --report=table02 --jobs=1 --stats=json \
+  --snapshot="$fleet_dir/fleet.iotlsnap" \
+  >"$fleet_dir/snap-j1.json" 2>"$fleet_dir/snap.stats"
+snap_ms=$(( ($(date +%s%N) - t0) / 1000000 ))
+
+./build/tools/iotls_audit --report=table02 --jobs=8 \
+  --snapshot="$fleet_dir/fleet.iotlsnap" >"$fleet_dir/snap-j8.json"
+
+for body in snap-j1 snap-j8; do
+  if ! cmp -s "$fleet_dir/csv.json" "$fleet_dir/$body.json"; then
+    echo "fleet phase failed: $body report != CSV report" >&2
+    exit 1
+  fi
+done
+
+csv_parse_ns="$(hist_sum "$fleet_dir/csv.stats" 'fleet\.csv_parse_ns')"
+open_ns="$(hist_sum "$fleet_dir/snap.stats" 'snapshot\.open_ns')"
+csv_rss="$(rss_peak "$fleet_dir/csv.stats")"
+snap_rss="$(rss_peak "$fleet_dir/snap.stats")"
+fleet_events=$((fleet_devices * 2))
+if [ -z "$csv_parse_ns" ] || [ -z "$open_ns" ] || [ "$open_ns" -eq 0 ]; then
+  echo "fleet phase failed: missing timing histograms" >&2
+  exit 1
+fi
+speedup=$((csv_parse_ns / open_ns))
+us_per_event=$((snap_ms * 1000 / fleet_events))
+
+fleet_fail=0
+if [ "$speedup" -lt 10 ]; then
+  echo "fleet phase failed: snapshot open only ${speedup}x faster than" \
+       "CSV re-parse (budget: >=10x)" >&2
+  fleet_fail=1
+fi
+# The RSS budget only separates once the dataset dwarfs the process
+# baseline (corpus, code, allocator slack) — skip it for small overrides.
+if [ "$fleet_devices" -ge 100000 ] &&
+   [ "$snap_rss" -gt $((csv_rss / 2)) ]; then
+  echo "fleet phase failed: streaming RSS $snap_rss > half of CSV RSS" \
+       "$csv_rss" >&2
+  fleet_fail=1
+fi
+if [ "$us_per_event" -gt 100 ]; then
+  echo "fleet phase failed: report took $us_per_event us/event" \
+       "(budget: <=100)" >&2
+  fleet_fail=1
+fi
+[ "$fleet_fail" -eq 0 ] || exit 1
+
+printf '{"devices":%s,"events":%s,"csv_parse_ns":%s,"snapshot_open_ns":%s,"open_speedup":%s,"csv_report_ms":%s,"snapshot_report_ms":%s,"csv_rss_peak_bytes":%s,"snapshot_rss_peak_bytes":%s}\n' \
+  "$fleet_devices" "$fleet_events" "$csv_parse_ns" "$open_ns" "$speedup" \
+  "$csv_ms" "$snap_ms" "$csv_rss" "$snap_rss" > BENCH_fleet.json
+echo "fleet phase OK: $fleet_devices devices; snapshot open ${speedup}x" \
+     "faster than CSV re-parse; RSS $snap_rss vs $csv_rss; reports identical"
+fleet_cleanup
+trap 'daemon_cleanup; obs_cleanup' EXIT
 
 # Docs phase: every relative link in README.md and docs/*.md must resolve.
 # External links (http/https/mailto) and pure #anchors are skipped; a

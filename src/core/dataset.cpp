@@ -252,7 +252,7 @@ void ClientDataset::append_events(
     }
     ParsedEvent& ev = outcome.ev;
     index_.record(ev);
-    events_.push_back(std::move(ev));
+    if (retain_events_) events_.push_back(std::move(ev));
     parsed_counter.inc();
     span.add_items();
   }

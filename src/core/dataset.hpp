@@ -85,6 +85,18 @@ class ClientDataset {
   /// universe)) and invalidate the lazy string-keyed views.
   void finalize();
 
+  /// When false, append_events folds every parsed event into the index but
+  /// does not retain it in events() — resident memory stays O(distinct
+  /// interned ids + posting lists) instead of O(total events), which is
+  /// what lets the streaming fold run a 1M-device fleet on one machine.
+  /// Every index-backed analysis (all of the stream reports) is unaffected;
+  /// only the event-iterating analyses (tls_params, longitudinal, semantic,
+  /// device_metrics) need retained events. Set before the first
+  /// append_events; flipping it mid-ingest only affects later epochs.
+  void set_retain_events(bool retain) { retain_events_ = retain; }
+  bool retain_events() const { return retain_events_; }
+
+  /// Parsed events, in fold order (empty when retain_events is false).
   const std::vector<ParsedEvent>& events() const { return events_; }
   std::size_t dropped_events() const { return dropped_.total(); }
   const DropCounts& drop_counts() const { return dropped_; }
@@ -126,6 +138,7 @@ class ClientDataset {
   DropCounts dropped_;
   DatasetIndex index_;
   std::unique_ptr<Views> views_;
+  bool retain_events_ = true;
 };
 
 }  // namespace iotls::core

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "devicesim/types.hpp"
 
@@ -46,11 +47,14 @@ std::vector<Device> parse_devices_csv(const std::string& devices_csv);
 
 /// Does an events-CSV header line carry the optional wire_hex column?
 /// Throws ParseError when `header` is not an events header at all.
-bool events_header_has_wire(const std::string& header);
+bool events_header_has_wire(std::string_view header);
 
 /// Parse one events-CSV data row (9 columns, 10 with `has_wire`; the fp_key
-/// spans three). Throws ParseError on malformed rows.
-ClientHelloEvent parse_event_row(const std::string& line, bool has_wire);
+/// spans three). Splits into views — no per-column allocation — and throws
+/// ParseError on malformed rows (including malformed integer fields, which
+/// previously leaked std::invalid_argument past streaming readers that only
+/// catch ParseError).
+ClientHelloEvent parse_event_row(std::string_view line, bool has_wire);
 
 /// The salted pseudonym used by the exporters (exposed for tests).
 std::string pseudonym(const std::string& id, const std::string& salt);

@@ -551,11 +551,92 @@ FleetDataset generate_fleet(const FleetConfig& config,
   return dataset;
 }
 
-const Device* FleetDataset::find_device(const std::string& id) const {
-  for (const Device& d : devices) {
-    if (d.id == id) return &d;
+void FleetDataset::rebuild_device_index() const {
+  device_index_.clear();
+  device_index_.reserve(devices.size());
+  // First occurrence wins, matching what the original linear scan returned
+  // for (pathological) duplicate ids.
+  for (std::size_t i = 0; i < devices.size(); ++i)
+    device_index_.emplace(devices[i].id, i);
+  indexed_count_ = devices.size();
+}
+
+FleetDataset generate_synthetic_fleet(const SyntheticFleetSpec& spec) {
+  FleetDataset fleet;
+  const std::size_t n_vendors = std::max<std::size_t>(1, spec.vendors);
+  const std::size_t n_fps = std::max<std::size_t>(1, spec.fingerprints);
+  const std::size_t n_snis = std::max<std::size_t>(1, spec.snis);
+  const std::size_t n_users = std::max<std::size_t>(1, spec.users);
+  const std::int64_t day_span = std::max<std::int64_t>(1, spec.day_span);
+
+  fleet.users.reserve(n_users);
+  for (std::size_t u = 0; u < n_users; ++u)
+    fleet.users.push_back("user-" + std::to_string(u));
+
+  fleet.devices.reserve(spec.devices);
+  for (std::size_t d = 0; d < spec.devices; ++d) {
+    std::size_t v = d % n_vendors;
+    fleet.devices.push_back(Device{
+        "synth-" + std::to_string(d), "SynthVendor" + std::to_string(v),
+        "Widget" + std::to_string(v % 7), fleet.users[d % n_users]});
   }
-  return nullptr;
+
+  // One wire encoding per distinct fingerprint, copied per event. Each
+  // fingerprint pins its SNI (sni = fp % snis), so wire bytes and the
+  // indexed SNI always agree and the cache stays one-dimensional.
+  std::vector<std::string> sni_names(n_snis);
+  for (std::size_t s = 0; s < n_snis; ++s)
+    sni_names[s] = "srv-" + std::to_string(s) + ".example.com";
+  std::vector<Bytes> fp_wire(n_fps);
+  for (std::size_t f = 0; f < n_fps; ++f) {
+    tls::ClientHello ch;
+    ch.legacy_version = 0x0303;
+    ch.cipher_suites = {static_cast<std::uint16_t>(0xc000 + (f & 0xff)),
+                        static_cast<std::uint16_t>(0x0100 + (f >> 8)), 0xc02f,
+                        0x009c};
+    ch.extensions.push_back({10, {}});
+    ch.extensions.push_back({11, {}});
+    ch.set_sni(sni_names[f % n_snis]);
+    Bytes msg = ch.encode();
+    fp_wire[f] = tls::encode_records(tls::ContentType::kHandshake, 0x0303,
+                                     BytesView(msg.data(), msg.size()));
+  }
+
+  // Vendors propose overlapping windows of the fingerprint space (the bench
+  // harness's shape): adjacent vendors share most of their window, so the
+  // Table 4 vendor-similarity analysis sees dense nonzero pairs even at
+  // fleet scale.
+  const std::size_t window = std::max<std::size_t>(1, n_fps / n_vendors);
+  fleet.events.reserve(spec.devices * spec.events_per_device);
+  for (std::size_t d = 0; d < spec.devices; ++d) {
+    std::size_t v = d % n_vendors;
+    for (std::size_t e = 0; e < spec.events_per_device; ++e) {
+      std::size_t f = (v * window + (d / n_vendors + e) * 31 % (4 * window)) % n_fps;
+      ClientHelloEvent ev;
+      ev.device_id = fleet.devices[d].id;
+      ev.day = spec.day_start +
+               static_cast<std::int64_t>((d + e * 13) % static_cast<std::size_t>(day_span));
+      ev.sni = sni_names[f % n_snis];
+      ev.wire = fp_wire[f];
+      fleet.events.push_back(std::move(ev));
+    }
+  }
+  return fleet;
+}
+
+const Device* FleetDataset::find_device(const std::string& id) const {
+  if (indexed_count_ != devices.size()) rebuild_device_index();
+  auto it = device_index_.find(id);
+  if (it == device_index_.end()) return nullptr;
+  const Device& hit = devices[it->second];
+  // A caller that mutated ids in place (size unchanged) leaves the index
+  // stale; verify the hit and rebuild once on mismatch.
+  if (hit.id != id) {
+    rebuild_device_index();
+    it = device_index_.find(id);
+    return it == device_index_.end() ? nullptr : &devices[it->second];
+  }
+  return &hit;
 }
 
 }  // namespace iotls::devicesim

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -33,7 +34,18 @@ struct FleetDataset {
   std::vector<ClientHelloEvent> events;
   std::vector<std::string> users;
 
+  /// Lookup by device id. O(1) amortized: backed by a lazily (re)built hash
+  /// index — the first lookup after `devices` grows rebuilds it, so callers
+  /// may freely interleave appends and lookups (fleet-scale imports do).
   const Device* find_device(const std::string& id) const;
+
+ private:
+  void rebuild_device_index() const;
+
+  // Index entries key on owned strings (not views into `devices`): vector
+  // growth moves the Device strings, which would dangle any view keys.
+  mutable std::unordered_map<std::string, std::size_t> device_index_;
+  mutable std::size_t indexed_count_ = 0;
 };
 
 }  // namespace iotls::devicesim

@@ -1,0 +1,546 @@
+#include "fleetio/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "core/interner.hpp"
+#include "exec/pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "util/arena.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IOTLS_SNAPSHOT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace iotls::fleetio {
+
+namespace {
+
+constexpr std::size_t kSectionCount = 9;
+constexpr std::size_t kMaxVarintBytes = 10;
+
+std::uint32_t be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+std::uint64_t be64(const std::uint8_t* p) {
+  return (std::uint64_t{be32(p)} << 32) | be32(p + 4);
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^ -static_cast<std::int64_t>(u & 1);
+}
+
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Decode one LEB128 varint from `data` at `pos`, advancing it. Throws
+/// ParseError on truncation or an over-long encoding.
+std::uint64_t take_varint(BytesView data, std::uint64_t& pos) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (pos >= data.size())
+      throw ParseError("snapshot day column: truncated varint");
+    std::uint8_t byte = data[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) return value;
+  }
+  throw ParseError("snapshot day column: varint longer than 10 bytes");
+}
+
+const char* section_name(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kStringOffsets: return "string_offsets";
+    case SectionKind::kStringBlob: return "string_blob";
+    case SectionKind::kDevices: return "devices";
+    case SectionKind::kUsers: return "users";
+    case SectionKind::kEventDevice: return "event_device";
+    case SectionKind::kEventSni: return "event_sni";
+    case SectionKind::kEventDay: return "event_day";
+    case SectionKind::kWireOffsets: return "wire_offsets";
+    case SectionKind::kWireBlob: return "wire_blob";
+  }
+  return "?";
+}
+
+std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Encode
+
+Bytes encode_snapshot(const devicesim::FleetDataset& fleet) {
+  // Scratch that dies at return: offset arrays sized by row count. The
+  // arena keeps them off the general heap and on the snapshot gauges.
+  ArenaAllocator arena(1 << 20, &obs::snapshot_arena());
+
+  // One interner covers every string column. Intern in a fixed traversal
+  // order (devices, then users, then events) so ids — and therefore the
+  // container bytes — are a pure function of the fleet.
+  core::Interner strings;
+
+  const std::size_t n_dev = fleet.devices.size();
+  const std::size_t n_usr = fleet.users.size();
+  const std::size_t n_ev = fleet.events.size();
+
+  Bytes devices_sec;
+  devices_sec.reserve(n_dev * 16);
+  for (const auto& d : fleet.devices) {
+    put_u32(devices_sec, strings.intern(d.id));
+    put_u32(devices_sec, strings.intern(d.vendor));
+    put_u32(devices_sec, strings.intern(d.type));
+    put_u32(devices_sec, strings.intern(d.user_id));
+  }
+
+  Bytes users_sec;
+  users_sec.reserve(n_usr * 4);
+  for (const auto& u : fleet.users) put_u32(users_sec, strings.intern(u));
+
+  Bytes ev_device_sec, ev_sni_sec, ev_day_sec, wire_blob_sec;
+  ev_device_sec.reserve(n_ev * 4);
+  ev_sni_sec.reserve(n_ev * 4);
+  ev_day_sec.reserve(n_ev * 2);
+  std::uint64_t* wire_offsets = arena.allocate_array<std::uint64_t>(n_ev + 1);
+  std::uint64_t wire_total = 0;
+  for (const auto& ev : fleet.events) wire_total += ev.wire.size();
+  wire_blob_sec.reserve(wire_total);
+  std::int64_t prev_day = 0;
+  wire_offsets[0] = 0;
+  for (std::size_t i = 0; i < n_ev; ++i) {
+    const auto& ev = fleet.events[i];
+    put_u32(ev_device_sec, strings.intern(ev.device_id));
+    put_u32(ev_sni_sec, strings.intern(ev.sni));
+    put_varint(ev_day_sec, zigzag_encode(ev.day - prev_day));
+    prev_day = ev.day;
+    wire_blob_sec.insert(wire_blob_sec.end(), ev.wire.begin(), ev.wire.end());
+    wire_offsets[i + 1] = wire_blob_sec.size();
+  }
+  Bytes wire_offsets_sec;
+  wire_offsets_sec.reserve((n_ev + 1) * 8);
+  for (std::size_t i = 0; i <= n_ev; ++i) put_u64(wire_offsets_sec, wire_offsets[i]);
+
+  const std::uint32_t n_str = strings.size();
+  std::uint64_t* str_offsets = arena.allocate_array<std::uint64_t>(n_str + 1);
+  std::uint64_t blob_total = 0;
+  str_offsets[0] = 0;
+  for (std::uint32_t id = 0; id < n_str; ++id) {
+    blob_total += strings.str(id).size();
+    str_offsets[id + 1] = blob_total;
+  }
+  Bytes string_offsets_sec;
+  string_offsets_sec.reserve((n_str + 1) * 8);
+  for (std::uint32_t id = 0; id <= n_str; ++id) put_u64(string_offsets_sec, str_offsets[id]);
+  Bytes string_blob_sec;
+  string_blob_sec.reserve(blob_total);
+  for (std::uint32_t id = 0; id < n_str; ++id) {
+    const std::string& s = strings.str(id);
+    string_blob_sec.insert(string_blob_sec.end(), s.begin(), s.end());
+  }
+
+  const std::pair<SectionKind, const Bytes*> payloads[kSectionCount] = {
+      {SectionKind::kStringOffsets, &string_offsets_sec},
+      {SectionKind::kStringBlob, &string_blob_sec},
+      {SectionKind::kDevices, &devices_sec},
+      {SectionKind::kUsers, &users_sec},
+      {SectionKind::kEventDevice, &ev_device_sec},
+      {SectionKind::kEventSni, &ev_sni_sec},
+      {SectionKind::kEventDay, &ev_day_sec},
+      {SectionKind::kWireOffsets, &wire_offsets_sec},
+      {SectionKind::kWireBlob, &wire_blob_sec},
+  };
+
+  const std::size_t header_bytes =
+      kSnapshotPreludeBytes + kSectionCount * kSectionEntryBytes;
+  std::size_t offset = align8(header_bytes);
+  Bytes table;
+  table.reserve(kSectionCount * kSectionEntryBytes);
+  for (const auto& [kind, payload] : payloads) {
+    put_u32(table, static_cast<std::uint32_t>(kind));
+    put_u32(table, crc32(BytesView(*payload)));
+    put_u64(table, offset);
+    put_u64(table, payload->size());
+    offset = align8(offset + payload->size());
+  }
+
+  Bytes prelude;
+  prelude.reserve(kSnapshotPreludeBytes);
+  prelude.insert(prelude.end(), kSnapshotMagic, kSnapshotMagic + 8);
+  put_u32(prelude, kSnapshotVersion);
+  put_u32(prelude, static_cast<std::uint32_t>(kSectionCount));
+  put_u64(prelude, n_ev);
+  put_u32(prelude, static_cast<std::uint32_t>(n_dev));
+  put_u32(prelude, static_cast<std::uint32_t>(n_usr));
+  put_u32(prelude, n_str);
+  // header_crc covers the prelude with this field zeroed, then the table.
+  std::uint32_t header_crc = crc32_update(0, BytesView(prelude));
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  header_crc = crc32_update(header_crc, BytesView(zeros, 4));
+  header_crc = crc32_update(header_crc, BytesView(table));
+  put_u32(prelude, header_crc);
+
+  Bytes out;
+  out.reserve(offset);
+  out.insert(out.end(), prelude.begin(), prelude.end());
+  out.insert(out.end(), table.begin(), table.end());
+  for (const auto& [kind, payload] : payloads) {
+    out.resize(align8(out.size()));
+    out.insert(out.end(), payload->begin(), payload->end());
+  }
+  return out;
+}
+
+void write_snapshot(const devicesim::FleetDataset& fleet,
+                    const std::string& path) {
+  Bytes data = encode_snapshot(fleet);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("cannot open for write: " + tmp);
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    if (!f) throw std::runtime_error("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("cannot rename " + tmp + " -> " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+/// Owns the bytes behind a reader: either an mmap'd region or a heap
+/// buffer. Accounts the resident footprint to `mem.arena.snapshot.*` for
+/// the duration of the mapping.
+struct SnapshotReader::Mapping {
+  Bytes owned;
+#if IOTLS_SNAPSHOT_HAVE_MMAP
+  void* map = nullptr;
+  std::size_t map_size = 0;
+#endif
+  std::uint64_t accounted = 0;
+
+  BytesView view() const {
+#if IOTLS_SNAPSHOT_HAVE_MMAP
+    if (map != nullptr)
+      return BytesView(static_cast<const std::uint8_t*>(map), map_size);
+#endif
+    return BytesView(owned);
+  }
+
+  void account() {
+    accounted = view().size();
+    obs::snapshot_arena().allocate(accounted);
+  }
+
+  ~Mapping() {
+#if IOTLS_SNAPSHOT_HAVE_MMAP
+    if (map != nullptr) ::munmap(map, map_size);
+#endif
+    obs::snapshot_arena().release(accounted);
+  }
+};
+
+SnapshotReader SnapshotReader::open(const std::string& path) {
+  // Timed so the CI fleet phase can read time-to-ready off --stats=json.
+  obs::ScopedTimer timer(obs::metrics().histogram("snapshot.open_ns"));
+  auto mapping = std::make_shared<Mapping>();
+#if IOTLS_SNAPSHOT_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw ParseError("cannot open snapshot: " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw ParseError("cannot stat snapshot: " + path);
+  }
+  std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      mapping->map = map;
+      mapping->map_size = size;
+    }
+  }
+  ::close(fd);
+  if (mapping->map == nullptr)
+#endif
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw ParseError("cannot open snapshot: " + path);
+    f.seekg(0, std::ios::end);
+    std::streamoff len = f.tellg();
+    f.seekg(0, std::ios::beg);
+    mapping->owned.resize(len > 0 ? static_cast<std::size_t>(len) : 0);
+    if (!mapping->owned.empty()) {
+      f.read(reinterpret_cast<char*>(mapping->owned.data()),
+             static_cast<std::streamsize>(mapping->owned.size()));
+      if (!f) throw ParseError("short read on snapshot: " + path);
+    }
+  }
+  mapping->account();
+  SnapshotReader reader;
+  reader.mapping_ = std::move(mapping);
+  reader.data_ = reader.mapping_->view();
+  reader.parse_container();
+  return reader;
+}
+
+SnapshotReader SnapshotReader::from_bytes(Bytes bytes) {
+  auto mapping = std::make_shared<Mapping>();
+  mapping->owned = std::move(bytes);
+  mapping->account();
+  SnapshotReader reader;
+  reader.mapping_ = std::move(mapping);
+  reader.data_ = reader.mapping_->view();
+  reader.parse_container();
+  return reader;
+}
+
+void SnapshotReader::parse_container() {
+  if (data_.size() < kSnapshotPreludeBytes)
+    throw ParseError("snapshot truncated: shorter than prelude");
+  const std::uint8_t* p = data_.data();
+  if (std::memcmp(p, kSnapshotMagic, 8) != 0)
+    throw ParseError("not a snapshot: bad magic");
+  std::uint32_t version = be32(p + 8);
+  std::uint32_t section_count = be32(p + 12);
+  event_count_ = be64(p + 16);
+  device_count_ = be32(p + 24);
+  user_count_ = be32(p + 28);
+  string_count_ = be32(p + 32);
+  std::uint32_t stored_crc = be32(p + 36);
+
+  std::uint64_t table_bytes =
+      std::uint64_t{section_count} * kSectionEntryBytes;
+  if (section_count > 64 ||
+      kSnapshotPreludeBytes + table_bytes > data_.size())
+    throw ParseError("snapshot truncated: section table out of bounds");
+
+  std::uint32_t crc = crc32_update(0, data_.subspan(0, 36));
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  crc = crc32_update(crc, BytesView(zeros, 4));
+  crc = crc32_update(
+      crc, data_.subspan(kSnapshotPreludeBytes, static_cast<std::size_t>(table_bytes)));
+  if (crc != stored_crc) throw ParseError("snapshot header CRC mismatch");
+
+  if (version != kSnapshotVersion)
+    throw ParseError("unsupported snapshot version " + std::to_string(version) +
+                     " (expected " + std::to_string(kSnapshotVersion) + ")");
+
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint8_t* e =
+        p + kSnapshotPreludeBytes + std::size_t{i} * kSectionEntryBytes;
+    std::uint32_t kind = be32(e);
+    Section sec;
+    sec.crc = be32(e + 4);
+    sec.offset = be64(e + 8);
+    sec.size = be64(e + 16);
+    sec.present = true;
+    if (kind == 0 || kind >= std::size(sections_))
+      throw ParseError("snapshot: unknown section kind " + std::to_string(kind));
+    if (sections_[kind].present)
+      throw ParseError("snapshot: duplicate section kind " + std::to_string(kind));
+    if (sec.offset > data_.size() || sec.size > data_.size() - sec.offset)
+      throw ParseError(std::string("snapshot truncated: section ") +
+                       section_name(static_cast<SectionKind>(kind)) +
+                       " out of bounds");
+    sections_[kind] = sec;
+  }
+
+  const struct { SectionKind kind; std::uint64_t expect; } fixed[] = {
+      {SectionKind::kStringOffsets, (std::uint64_t{string_count_} + 1) * 8},
+      {SectionKind::kDevices, std::uint64_t{device_count_} * 16},
+      {SectionKind::kUsers, std::uint64_t{user_count_} * 4},
+      {SectionKind::kEventDevice, event_count_ * 4},
+      {SectionKind::kEventSni, event_count_ * 4},
+      {SectionKind::kWireOffsets, (event_count_ + 1) * 8},
+  };
+  for (SectionKind kind :
+       {SectionKind::kStringOffsets, SectionKind::kStringBlob,
+        SectionKind::kDevices, SectionKind::kUsers, SectionKind::kEventDevice,
+        SectionKind::kEventSni, SectionKind::kEventDay,
+        SectionKind::kWireOffsets, SectionKind::kWireBlob}) {
+    if (!sections_[static_cast<std::uint32_t>(kind)].present)
+      throw ParseError(std::string("snapshot: missing section ") +
+                       section_name(kind));
+  }
+  for (const auto& [kind, expect] : fixed) {
+    if (section(kind).size != expect)
+      throw ParseError(std::string("snapshot: section ") + section_name(kind) +
+                       " has size " + std::to_string(section(kind).size) +
+                       ", expected " + std::to_string(expect));
+  }
+
+  // One pass over the day column builds the checkpoint ladder that makes
+  // events(begin, end) O(range). Also the column's structural validation:
+  // exactly event_count varints, no trailing bytes.
+  BytesView days = section_view(SectionKind::kEventDay);
+  day_checkpoints_.reserve(
+      static_cast<std::size_t>(event_count_ / kDayCheckpointStride) + 1);
+  std::uint64_t pos = 0;
+  std::int64_t day = 0;
+  for (std::uint64_t i = 0; i < event_count_; ++i) {
+    if (i % kDayCheckpointStride == 0)
+      day_checkpoints_.push_back(DayCheckpoint{pos, day});
+    day += zigzag_decode(take_varint(days, pos));
+  }
+  if (pos != days.size())
+    throw ParseError("snapshot day column: trailing bytes");
+}
+
+const SnapshotReader::Section& SnapshotReader::section(SectionKind kind) const {
+  return sections_[static_cast<std::uint32_t>(kind)];
+}
+
+BytesView SnapshotReader::section_view(SectionKind kind) const {
+  const Section& sec = section(kind);
+  return data_.subspan(static_cast<std::size_t>(sec.offset),
+                       static_cast<std::size_t>(sec.size));
+}
+
+void SnapshotReader::verify_checksums() const {
+  for (std::uint32_t kind = 1; kind < std::size(sections_); ++kind) {
+    if (!sections_[kind].present) continue;
+    BytesView payload = section_view(static_cast<SectionKind>(kind));
+    if (crc32(payload) != sections_[kind].crc)
+      throw ParseError(std::string("snapshot: CRC mismatch in section ") +
+                       section_name(static_cast<SectionKind>(kind)));
+  }
+}
+
+std::string_view SnapshotReader::string_at(std::uint32_t id) const {
+  if (id >= string_count_)
+    throw ParseError("snapshot: string id " + std::to_string(id) +
+                     " out of range");
+  BytesView offsets = section_view(SectionKind::kStringOffsets);
+  BytesView blob = section_view(SectionKind::kStringBlob);
+  std::uint64_t lo = be64(offsets.data() + std::size_t{id} * 8);
+  std::uint64_t hi = be64(offsets.data() + std::size_t{id} * 8 + 8);
+  if (lo > hi || hi > blob.size())
+    throw ParseError("snapshot: corrupt string offsets");
+  return std::string_view(reinterpret_cast<const char*>(blob.data()) + lo,
+                          static_cast<std::size_t>(hi - lo));
+}
+
+std::vector<devicesim::Device> SnapshotReader::devices() const {
+  BytesView table = section_view(SectionKind::kDevices);
+  std::vector<devicesim::Device> out;
+  out.reserve(device_count_);
+  for (std::uint32_t i = 0; i < device_count_; ++i) {
+    const std::uint8_t* row = table.data() + std::size_t{i} * 16;
+    out.push_back(devicesim::Device{
+        std::string(string_at(be32(row))),
+        std::string(string_at(be32(row + 4))),
+        std::string(string_at(be32(row + 8))),
+        std::string(string_at(be32(row + 12)))});
+  }
+  return out;
+}
+
+std::vector<std::string> SnapshotReader::users() const {
+  BytesView ids = section_view(SectionKind::kUsers);
+  std::vector<std::string> out;
+  out.reserve(user_count_);
+  for (std::uint32_t i = 0; i < user_count_; ++i)
+    out.emplace_back(string_at(be32(ids.data() + std::size_t{i} * 4)));
+  return out;
+}
+
+void SnapshotReader::decode_events(std::uint64_t begin, std::uint64_t end,
+                                   devicesim::ClientHelloEvent* out) const {
+  BytesView dev_ids = section_view(SectionKind::kEventDevice);
+  BytesView sni_ids = section_view(SectionKind::kEventSni);
+  BytesView days = section_view(SectionKind::kEventDay);
+  BytesView wire_offsets = section_view(SectionKind::kWireOffsets);
+  BytesView wire_blob = section_view(SectionKind::kWireBlob);
+
+  const DayCheckpoint& cp =
+      day_checkpoints_[static_cast<std::size_t>(begin / kDayCheckpointStride)];
+  std::uint64_t day_pos = cp.byte_offset;
+  std::int64_t day = cp.day;
+  for (std::uint64_t i = begin - begin % kDayCheckpointStride; i < begin; ++i)
+    day += zigzag_decode(take_varint(days, day_pos));
+
+  for (std::uint64_t i = begin; i < end; ++i) {
+    day += zigzag_decode(take_varint(days, day_pos));
+    std::uint64_t wlo = be64(wire_offsets.data() + (i * 8));
+    std::uint64_t whi = be64(wire_offsets.data() + (i * 8) + 8);
+    if (wlo > whi || whi > wire_blob.size())
+      throw ParseError("snapshot: corrupt wire offsets");
+    devicesim::ClientHelloEvent& ev = out[i - begin];
+    ev.device_id = std::string(string_at(be32(dev_ids.data() + i * 4)));
+    ev.day = day;
+    ev.sni = std::string(string_at(be32(sni_ids.data() + i * 4)));
+    ev.wire.assign(wire_blob.begin() + static_cast<std::ptrdiff_t>(wlo),
+                   wire_blob.begin() + static_cast<std::ptrdiff_t>(whi));
+  }
+}
+
+std::vector<devicesim::ClientHelloEvent> SnapshotReader::events(
+    std::uint64_t begin, std::uint64_t end, int jobs) const {
+  if (begin > end || end > event_count_)
+    throw ParseError("snapshot: event range [" + std::to_string(begin) + ", " +
+                     std::to_string(end) + ") out of bounds");
+  std::vector<devicesim::ClientHelloEvent> out(
+      static_cast<std::size_t>(end - begin));
+  if (out.empty()) return out;
+
+  // Chunk boundaries sit on absolute multiples of the checkpoint stride so
+  // every shard starts exactly at a checkpoint (no varint skip-ahead), and
+  // each shard writes its own pre-sized slots — the merge is byte-identical
+  // at every jobs level by construction.
+  std::uint64_t first_chunk = begin / kDayCheckpointStride;
+  std::uint64_t last_chunk = (end - 1) / kDayCheckpointStride;
+  std::size_t n_chunks = static_cast<std::size_t>(last_chunk - first_chunk + 1);
+  exec::parallel_for(jobs, n_chunks, [&](std::size_t ci) {
+    std::uint64_t chunk = first_chunk + ci;
+    std::uint64_t lo = std::max(begin, chunk * kDayCheckpointStride);
+    std::uint64_t hi = std::min(end, (chunk + 1) * kDayCheckpointStride);
+    decode_events(lo, hi, out.data() + (lo - begin));
+  });
+  return out;
+}
+
+devicesim::FleetDataset SnapshotReader::load(int jobs) const {
+  obs::ScopedTimer timer(obs::metrics().histogram("snapshot.load_ns"));
+  devicesim::FleetDataset fleet;
+  fleet.devices = devices();
+  fleet.users = users();
+  fleet.events = events(0, event_count_, jobs);
+  return fleet;
+}
+
+}  // namespace iotls::fleetio

@@ -1,0 +1,168 @@
+// .iotlsnap — columnar binary snapshot of a FleetDataset.
+//
+// The CSV interchange format re-parses every byte of every row on load:
+// field splitting, integer conversion, hex decoding, and a fresh heap
+// string per column. For a 1M-device fleet that is seconds of CPU before
+// the pipeline proper even starts. The snapshot container stores the same
+// dataset column-wise in its final in-memory shape, so loading is a bounds
+// check plus a column walk — O(ms) to open, and event materialization
+// parallelizes by slot-indexed chunks with a byte-identical merge.
+//
+// Layout (all integers big-endian, matching the repo's Reader/Writer and
+// TLS wire convention; payload sections 8-byte aligned):
+//
+//   prelude (40 bytes)
+//     0   8  magic "IOTLSNAP"
+//     8   4  version (= kSnapshotVersion)
+//    12   4  section_count
+//    16   8  event_count
+//    24   4  device_count
+//    28   4  user_count
+//    32   4  string_count
+//    36   4  header_crc   CRC-32 (ISO-HDLC) over the prelude with this
+//                         field zeroed, continued over the section table
+//   section table (section_count × 24 bytes)
+//         4  kind         SectionKind
+//         4  crc          CRC-32 of the section payload
+//         8  offset       from file start, 8-byte aligned
+//         8  size         payload bytes
+//   payloads
+//
+// Sections (one interned string table serves every string column — device
+// ids, vendors, types, users, SNIs — ids are dense uint32 in first-seen
+// order exactly like core::Interner):
+//
+//   string_offsets  (string_count + 1) × u64 into string_blob
+//   string_blob     concatenated UTF-8 bytes
+//   devices         device_count × {id, vendor, type, user} string ids
+//   users           user_count × u32 string id
+//   event_device    event_count × u32 string id
+//   event_sni       event_count × u32 string id
+//   event_day       zigzag LEB128 deltas (day[i] − day[i−1], day[−1] = 0)
+//   wire_offsets    (event_count + 1) × u64 into wire_blob
+//   wire_blob       concatenated TLS record bytes
+//
+// Opening validates the prelude, the header CRC, and every section's
+// bounds — but not payload CRCs, which would force a full-file read and
+// defeat the mmap. verify_checksums() does the full pass; the robustness
+// tests and the CSV→snapshot converter call it, steady-state loads do not.
+// The day column is decoded once at open into checkpoints every
+// kDayCheckpointStride events so events(begin, end) materializes any
+// sub-range in O(range) without touching the rest of the column.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "devicesim/types.hpp"
+#include "util/bytes.hpp"
+
+namespace iotls::fleetio {
+
+inline constexpr char kSnapshotMagic[8] = {'I', 'O', 'T', 'L', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotPreludeBytes = 40;
+inline constexpr std::size_t kSectionEntryBytes = 24;
+/// Day-column checkpoint spacing: one decoded (offset, day) pair per this
+/// many events, so random-range access decodes at most a stride of varints.
+inline constexpr std::uint64_t kDayCheckpointStride = 4096;
+
+enum class SectionKind : std::uint32_t {
+  kStringOffsets = 1,
+  kStringBlob = 2,
+  kDevices = 3,
+  kUsers = 4,
+  kEventDevice = 5,
+  kEventSni = 6,
+  kEventDay = 7,
+  kWireOffsets = 8,
+  kWireBlob = 9,
+};
+
+/// Serialize `fleet` into snapshot container bytes.
+Bytes encode_snapshot(const devicesim::FleetDataset& fleet);
+
+/// encode_snapshot + atomic-ish write to `path` (throws std::runtime_error
+/// on I/O failure).
+void write_snapshot(const devicesim::FleetDataset& fleet, const std::string& path);
+
+/// Read-side handle over a snapshot. Cheap to open (header + bounds
+/// validation only); columns stay in the mapping until asked for. Movable,
+/// not copyable; the mapping lives as long as the reader.
+class SnapshotReader {
+ public:
+  /// mmap `path` (falls back to a heap read where mmap is unavailable) and
+  /// validate the container. Throws ParseError on any structural problem.
+  static SnapshotReader open(const std::string& path);
+
+  /// Take ownership of in-memory container bytes (tests, converters).
+  static SnapshotReader from_bytes(Bytes bytes);
+
+  SnapshotReader(SnapshotReader&&) noexcept = default;
+  SnapshotReader& operator=(SnapshotReader&&) noexcept = default;
+
+  std::uint64_t event_count() const { return event_count_; }
+  std::uint32_t device_count() const { return device_count_; }
+  std::uint32_t user_count() const { return user_count_; }
+  std::uint32_t string_count() const { return string_count_; }
+  std::size_t file_size() const { return data_.size(); }
+
+  /// CRC every section payload against the section table. Throws ParseError
+  /// naming the first mismatching section. O(file size).
+  void verify_checksums() const;
+
+  /// The string behind a dense id. Throws ParseError on an out-of-range id
+  /// or a corrupt offsets table (checked at access, not open).
+  std::string_view string_at(std::uint32_t id) const;
+
+  /// Materialize the device table.
+  std::vector<devicesim::Device> devices() const;
+
+  /// Materialize the user list.
+  std::vector<std::string> users() const;
+
+  /// Materialize events [begin, end). `jobs > 1` shards the range into
+  /// fixed chunks written into pre-sized slots, so the result is
+  /// byte-identical at every jobs level (jobs <= 1 is the exact sequential
+  /// loop). Throws ParseError on corrupt columns.
+  std::vector<devicesim::ClientHelloEvent> events(std::uint64_t begin,
+                                                  std::uint64_t end,
+                                                  int jobs = 1) const;
+
+  /// Materialize the whole fleet (devices + users + all events).
+  devicesim::FleetDataset load(int jobs = 1) const;
+
+ private:
+  struct Section {
+    std::uint32_t crc = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    bool present = false;
+  };
+  struct DayCheckpoint {
+    std::uint64_t byte_offset;  // into the event_day section payload
+    std::int64_t day;           // day value of the previous event
+  };
+  struct Mapping;  // owns the mmap or the heap buffer
+
+  SnapshotReader() = default;
+  void parse_container();
+  const Section& section(SectionKind kind) const;
+  BytesView section_view(SectionKind kind) const;
+  void decode_events(std::uint64_t begin, std::uint64_t end,
+                     devicesim::ClientHelloEvent* out) const;
+
+  std::shared_ptr<Mapping> mapping_;
+  BytesView data_;
+  std::uint64_t event_count_ = 0;
+  std::uint32_t device_count_ = 0;
+  std::uint32_t user_count_ = 0;
+  std::uint32_t string_count_ = 0;
+  Section sections_[10];  // indexed by SectionKind value
+  std::vector<DayCheckpoint> day_checkpoints_;
+};
+
+}  // namespace iotls::fleetio

@@ -94,4 +94,14 @@ ArenaAccount& http_arena() {
   return *account;
 }
 
+ArenaAccount& snapshot_arena() {
+  static ArenaAccount* account = new ArenaAccount("snapshot");
+  return *account;
+}
+
+ArenaAccount& parse_arena() {
+  static ArenaAccount* account = new ArenaAccount("parse");
+  return *account;
+}
+
 }  // namespace iotls::obs

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "util/arena.hpp"
 
 namespace iotls::obs {
 
@@ -50,13 +51,19 @@ void sample_process_gauges(Registry& registry = metrics());
 /// per-growth-event calls: allocate()/release() are two relaxed atomic
 /// operations plus a CAS loop only when a new high-water mark is set.
 /// Gauges mirror into the given registry so the arena shows up on
-/// `/metrics` without a sampling pass.
-class ArenaAccount {
+/// `/metrics` without a sampling pass. Implements util's ArenaObserver so
+/// an ArenaAllocator can be constructed directly on top of an account
+/// (chunk growth/release land on the same gauges).
+class ArenaAccount : public ArenaObserver {
  public:
   explicit ArenaAccount(const std::string& name, Registry& registry = metrics());
 
   void allocate(std::uint64_t bytes);
   void release(std::uint64_t bytes);
+
+  // ArenaObserver (called by ArenaAllocator per chunk event).
+  void on_arena_grow(std::uint64_t bytes) override { allocate(bytes); }
+  void on_arena_release(std::uint64_t bytes) override { release(bytes); }
 
   std::uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
   std::uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
@@ -79,5 +86,10 @@ class ArenaAccount {
 ArenaAccount& interner_arena();
 ArenaAccount& validation_cache_arena();
 ArenaAccount& http_arena();
+/// Snapshot container I/O: reader mappings + writer section scratch
+/// (`mem.arena.snapshot.*`).
+ArenaAccount& snapshot_arena();
+/// CSV/row parse temporaries (`mem.arena.parse.*`).
+ArenaAccount& parse_arena();
 
 }  // namespace iotls::obs

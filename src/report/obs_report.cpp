@@ -2,7 +2,20 @@
 
 #include <cstdio>
 
+#include "obs/resource.hpp"
+
 namespace iotls::report {
+
+namespace {
+
+// resource.hpp promises process gauges are sampled on every --stats render
+// (a render IS the timer, like a /metrics scrape). Sampling targets the
+// global registry; renders over a private registry (tests) are unaffected.
+void sample_if_global(const obs::Registry& registry) {
+  if (&registry == &obs::metrics()) obs::sample_process_gauges();
+}
+
+}  // namespace
 
 namespace {
 
@@ -56,6 +69,7 @@ Table histogram_table(const obs::Registry& registry) {
 
 std::string stats_text(const obs::Registry& registry,
                        const obs::StageTracer& tracer) {
+  sample_if_global(registry);
   std::string out;
   Table stages = stage_summary_table(tracer);
   if (stages.rows() > 0) {
@@ -77,6 +91,7 @@ std::string stats_text(const obs::Registry& registry,
 
 std::string stats_json(const obs::Registry& registry,
                        const obs::StageTracer& tracer) {
+  sample_if_global(registry);
   obs::Json out{obs::Json::Object{}};
   out.set("metrics", registry.to_json_value());
   out.set("stages", tracer.to_json_value());

@@ -11,6 +11,7 @@ namespace iotls::stream {
 StreamIngest::StreamIngest(std::vector<devicesim::Device> devices,
                            IngestConfig config)
     : config_(config), devices_(std::move(devices)) {
+  client_.set_retain_events(config_.retain_events);
   if (config_.certs) {
     world_ = std::make_unique<devicesim::SimWorld>(
         devicesim::build_world(devicesim::ServerUniverse::standard()));

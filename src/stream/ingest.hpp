@@ -48,6 +48,12 @@ struct IngestConfig {
   std::int64_t validation_day = 19097;
   /// Fault schedule applied to the probe path when spec.any().
   net::FaultSpec fault;
+  /// Retain parsed events in client().events(). The streaming report path
+  /// turns this off: every stream report is index/CertDataset-backed, so
+  /// dropping the per-event rows keeps the fold's resident memory
+  /// O(distinct fingerprints) instead of O(total events) — the fleet-scale
+  /// mode. Reports stay byte-identical either way.
+  bool retain_events = true;
 };
 
 class StreamIngest {

@@ -83,4 +83,32 @@ std::optional<EventBatch> TailSource::next_epoch() {
   return batch;
 }
 
+SnapshotSource::SnapshotSource(fleetio::SnapshotReader reader,
+                               std::uint64_t chunk_events, int jobs)
+    : reader_(std::move(reader)),
+      chunk_(std::max<std::uint64_t>(chunk_events, 1)),
+      jobs_(jobs) {}
+
+SnapshotSource SnapshotSource::with_epochs(fleetio::SnapshotReader reader,
+                                           std::size_t epochs, int jobs) {
+  std::uint64_t n = reader.event_count();
+  std::uint64_t e = std::clamp<std::uint64_t>(epochs, 1,
+                                              std::max<std::uint64_t>(n, 1));
+  // Ceiling division so exactly `e` epochs come out (the last one short).
+  return SnapshotSource(std::move(reader), (n + e - 1) / e, jobs);
+}
+
+std::optional<EventBatch> SnapshotSource::next_epoch() {
+  std::uint64_t n = reader_.event_count();
+  if (drained_ || next_ >= n) {
+    drained_ = true;
+    return std::nullopt;
+  }
+  std::uint64_t end = std::min(n, next_ + chunk_);
+  EventBatch batch;
+  batch.events = reader_.events(next_, end, jobs_);
+  next_ = end;
+  return batch;
+}
+
 }  // namespace iotls::stream

@@ -11,7 +11,11 @@
 //   * TailSource — follows a growing events CSV on disk, emitting the
 //     complete rows appended since the previous poll. A partial last line
 //     (a writer mid-append) is left for the next poll, so a row is never
-//     split across epochs.
+//     split across epochs;
+//   * SnapshotSource — replays a columnar .iotlsnap container in
+//     fixed-size chunks, materializing each chunk only when asked for, so
+//     a fleet-scale snapshot streams through the fold with O(chunk)
+//     resident event rows.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "devicesim/types.hpp"
+#include "fleetio/snapshot.hpp"
 
 namespace iotls::stream {
 
@@ -77,6 +82,36 @@ class TailSource final : public EventSource {
   bool header_seen_ = false;
   bool has_wire_ = false;
   std::uint64_t malformed_ = 0;
+};
+
+/// Replays a snapshot container in `chunk_events`-sized epochs (the final
+/// epoch absorbs the remainder; `epochs_hint` instead slices the event
+/// range into that many epochs when nonzero, mirroring ReplaySource).
+/// Events are materialized per epoch from the mapped columns — the full
+/// event vector never exists in memory. `jobs` parallelizes each epoch's
+/// materialization; the emitted stream is identical at every jobs level.
+class SnapshotSource final : public EventSource {
+ public:
+  static constexpr std::uint64_t kDefaultChunkEvents = 262144;
+
+  explicit SnapshotSource(fleetio::SnapshotReader reader,
+                          std::uint64_t chunk_events = kDefaultChunkEvents,
+                          int jobs = 1);
+
+  /// Epoch-count flavour: slice the snapshot into `epochs` even epochs.
+  static SnapshotSource with_epochs(fleetio::SnapshotReader reader,
+                                    std::size_t epochs, int jobs = 1);
+
+  std::optional<EventBatch> next_epoch() override;
+
+  const fleetio::SnapshotReader& reader() const { return reader_; }
+
+ private:
+  fleetio::SnapshotReader reader_;
+  std::uint64_t chunk_;
+  int jobs_;
+  std::uint64_t next_ = 0;
+  bool drained_ = false;
 };
 
 }  // namespace iotls::stream

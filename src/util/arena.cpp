@@ -1,0 +1,68 @@
+#include "util/arena.hpp"
+
+#include <cstring>
+
+namespace iotls {
+
+ArenaAllocator::ArenaAllocator(std::size_t chunk_bytes, ArenaObserver* observer)
+    : chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes), observer_(observer) {}
+
+ArenaAllocator::~ArenaAllocator() {
+  if (observer_ != nullptr && bytes_reserved_ > 0) {
+    observer_->on_arena_release(bytes_reserved_);
+  }
+}
+
+ArenaAllocator::Chunk& ArenaAllocator::grow(std::size_t at_least) {
+  Chunk chunk;
+  chunk.size = at_least > chunk_bytes_ ? at_least : chunk_bytes_;
+  chunk.data = std::make_unique<std::uint8_t[]>(chunk.size);
+  bytes_reserved_ += chunk.size;
+  if (bytes_reserved_ > peak_reserved_) peak_reserved_ = bytes_reserved_;
+  if (observer_ != nullptr) observer_->on_arena_grow(chunk.size);
+  chunks_.push_back(std::move(chunk));
+  return chunks_.back();
+}
+
+void* ArenaAllocator::allocate(std::size_t n, std::size_t align) {
+  bytes_allocated_ += n;
+  if (!chunks_.empty()) {
+    Chunk& top = chunks_.back();
+    std::size_t aligned = (top.used + align - 1) & ~(align - 1);
+    if (aligned + n <= top.size) {
+      top.used = aligned + n;
+      return top.data.get() + aligned;
+    }
+  }
+  // A fresh chunk's base is max_align-aligned already.
+  Chunk& top = grow(n);
+  top.used = n;
+  return top.data.get();
+}
+
+std::string_view ArenaAllocator::copy(std::string_view s) {
+  if (s.empty()) return {};
+  char* out = static_cast<char*>(allocate(s.size(), 1));
+  std::memcpy(out, s.data(), s.size());
+  return std::string_view(out, s.size());
+}
+
+void ArenaAllocator::reset() {
+  if (chunks_.empty()) return;
+  // Keep the largest chunk (usually the last) for reuse; drop the rest.
+  std::size_t keep = 0;
+  for (std::size_t i = 1; i < chunks_.size(); ++i) {
+    if (chunks_[i].size > chunks_[keep].size) keep = i;
+  }
+  Chunk kept = std::move(chunks_[keep]);
+  kept.used = 0;
+  std::uint64_t released = bytes_reserved_ - kept.size;
+  if (observer_ != nullptr && released > 0) {
+    observer_->on_arena_release(released);
+  }
+  bytes_reserved_ = kept.size;
+  chunks_.clear();
+  chunks_.push_back(std::move(kept));
+}
+
+}  // namespace iotls

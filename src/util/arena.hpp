@@ -1,0 +1,90 @@
+// ArenaAllocator: chunked bump allocation for parse-time temporaries.
+//
+// The fleet→dataset hot path produces a torrent of short-lived buffers (row
+// column views, varint scratch, section assembly) whose lifetimes all end at
+// a well-known point (end of row, end of section, end of import). A bump
+// arena turns each of those allocations into a pointer increment and frees
+// them all at once with reset(), so the parse loop touches malloc only when
+// a chunk fills up.
+//
+// Observability: the arena reports chunk growth/release to an optional
+// ArenaObserver. obs::ArenaAccount implements the interface, which is how
+// `mem.arena.snapshot.*` / `mem.arena.parse.*` gauges on /metrics show live
+// bytes and high-water marks for the snapshot and CSV parse paths (util
+// cannot depend on obs, so the wiring is inverted through this interface).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace iotls {
+
+/// Growth/release callbacks for arena byte accounting. Implemented by
+/// obs::ArenaAccount; the arena calls these per *chunk* event (not per
+/// allocate()), so the observer cost is amortized over many allocations.
+class ArenaObserver {
+ public:
+  virtual ~ArenaObserver() = default;
+  virtual void on_arena_grow(std::uint64_t bytes) = 0;
+  virtual void on_arena_release(std::uint64_t bytes) = 0;
+};
+
+/// Chunked bump allocator. Not thread-safe: one arena per parsing thread
+/// (the parallel loaders give each shard its own, or allocate up front).
+class ArenaAllocator {
+ public:
+  /// `chunk_bytes` is the default chunk size; oversized requests get a
+  /// dedicated chunk. `observer` (optional) sees chunk growth/release.
+  explicit ArenaAllocator(std::size_t chunk_bytes = 64 * 1024,
+                          ArenaObserver* observer = nullptr);
+  ~ArenaAllocator();
+
+  ArenaAllocator(const ArenaAllocator&) = delete;
+  ArenaAllocator& operator=(const ArenaAllocator&) = delete;
+
+  /// `n` bytes aligned to `align` (a power of two). Never returns nullptr;
+  /// n == 0 yields a valid one-past pointer.
+  void* allocate(std::size_t n, std::size_t align = alignof(std::max_align_t));
+
+  /// Typed array of `count` T (uninitialized storage).
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Copy `s` into the arena; the returned view lives until reset().
+  std::string_view copy(std::string_view s);
+
+  /// Drop every allocation. The first chunk is retained for reuse, so a
+  /// per-row or per-section reset settles into zero malloc traffic.
+  void reset();
+
+  /// Cumulative bytes handed out since construction (monotonic; reset()
+  /// does not rewind it — it is the arena's traffic meter).
+  std::uint64_t bytes_allocated() const { return bytes_allocated_; }
+  /// Bytes currently reserved in chunks.
+  std::uint64_t bytes_reserved() const { return bytes_reserved_; }
+  /// High-water mark of bytes_reserved().
+  std::uint64_t peak_reserved() const { return peak_reserved_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Chunk& grow(std::size_t at_least);
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_bytes_;
+  ArenaObserver* observer_;
+  std::uint64_t bytes_allocated_ = 0;
+  std::uint64_t bytes_reserved_ = 0;
+  std::uint64_t peak_reserved_ = 0;
+};
+
+}  // namespace iotls

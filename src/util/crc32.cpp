@@ -1,0 +1,37 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace iotls {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, BytesView data) {
+  const auto& t = table();
+  crc = ~crc;
+  for (std::uint8_t b : data) crc = t[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  return ~crc;
+}
+
+std::uint32_t crc32(BytesView data) { return crc32_update(0, data); }
+
+}  // namespace iotls

@@ -1,0 +1,17 @@
+// CRC-32 (ISO-HDLC, the zlib polynomial) for snapshot container integrity.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace iotls {
+
+/// One-shot CRC-32 of a byte view (init/xorout 0xffffffff, reflected,
+/// polynomial 0xEDB88320 — the same function as zlib's crc32()).
+std::uint32_t crc32(BytesView data);
+
+/// Streaming form: fold `data` into a running crc (start from 0).
+std::uint32_t crc32_update(std::uint32_t crc, BytesView data);
+
+}  // namespace iotls

@@ -20,6 +20,35 @@ std::vector<std::string> split(std::string_view s, char delim) {
   }
 }
 
+std::vector<std::string_view> split_views(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::size_t split_views(std::string_view s, char delim,
+                        std::span<std::string_view> out) {
+  std::size_t fields = 0;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(delim, start);
+    std::string_view field =
+        pos == std::string_view::npos ? s.substr(start) : s.substr(start, pos - start);
+    if (fields < out.size()) out[fields] = field;
+    ++fields;
+    if (pos == std::string_view::npos) return fields;
+    start = pos + 1;
+  }
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view delim) {
   std::string out;
   for (std::size_t i = 0; i < parts.size(); ++i) {

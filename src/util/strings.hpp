@@ -1,6 +1,7 @@
 // Small string helpers used by domain handling and report rendering.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -9,6 +10,18 @@ namespace iotls {
 
 /// Split on a single-character delimiter; keeps empty fields.
 std::vector<std::string> split(std::string_view s, char delim);
+
+/// Zero-copy split: views into `s`, keeps empty fields. The views alias
+/// `s`'s storage — the caller owns keeping it alive.
+std::vector<std::string_view> split_views(std::string_view s, char delim);
+
+/// Allocation-free split into a caller-provided span: fills `out` with up
+/// to out.size() field views and returns the number of fields in `s`. When
+/// the return value exceeds out.size(), only the first out.size() fields
+/// were written (callers use this to reject rows with too many columns
+/// without ever allocating).
+std::size_t split_views(std::string_view s, char delim,
+                        std::span<std::string_view> out);
 
 /// Join with a delimiter string.
 std::string join(const std::vector<std::string>& parts, std::string_view delim);

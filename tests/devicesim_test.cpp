@@ -317,5 +317,47 @@ TEST(Scenario, CtLogsOnlyPublicCertificates) {
   EXPECT_FALSE(world.ct_index.logged(probe.chain.front().fingerprint()));
 }
 
+TEST(Fleet, FindDeviceIndexSurvivesAppendsAndKeepsFirstDuplicate) {
+  FleetDataset fleet;
+  fleet.devices.push_back({"a", "V1", "T", "u1"});
+  fleet.devices.push_back({"b", "V2", "T", "u2"});
+  ASSERT_NE(fleet.find_device("a"), nullptr);
+  EXPECT_EQ(fleet.find_device("a")->vendor, "V1");
+  EXPECT_EQ(fleet.find_device("missing"), nullptr);
+
+  // Appends after a lookup must be visible (the index rebuilds lazily).
+  fleet.devices.push_back({"c", "V3", "T", "u3"});
+  ASSERT_NE(fleet.find_device("c"), nullptr);
+  EXPECT_EQ(fleet.find_device("c")->vendor, "V3");
+
+  // A duplicate id resolves to the first occurrence, matching the linear
+  // scan this index replaced.
+  fleet.devices.push_back({"a", "V9", "T", "u9"});
+  ASSERT_NE(fleet.find_device("a"), nullptr);
+  EXPECT_EQ(fleet.find_device("a")->vendor, "V1");
+}
+
+TEST(Fleet, SyntheticGeneratorIsDeterministicAndSized) {
+  SyntheticFleetSpec spec;
+  spec.devices = 123;
+  spec.events_per_device = 4;
+  FleetDataset a = generate_synthetic_fleet(spec);
+  FleetDataset b = generate_synthetic_fleet(spec);
+  EXPECT_EQ(a.devices.size(), 123u);
+  EXPECT_EQ(a.events.size(), 123u * 4u);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    ASSERT_EQ(a.events[i].device_id, b.events[i].device_id);
+    ASSERT_EQ(a.events[i].day, b.events[i].day);
+    ASSERT_EQ(a.events[i].wire, b.events[i].wire);
+  }
+  // Every event references a device the fleet actually holds, and its wire
+  // bytes carry a parseable ClientHello (the pipeline drops neither).
+  for (std::size_t i = 0; i < a.events.size(); i += 37) {
+    EXPECT_NE(a.find_device(a.events[i].device_id), nullptr);
+    EXPECT_FALSE(a.events[i].wire.empty());
+  }
+}
+
 }  // namespace
 }  // namespace iotls::devicesim

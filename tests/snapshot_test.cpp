@@ -1,0 +1,347 @@
+// Tests for the .iotlsnap columnar snapshot container (src/fleetio).
+//
+// The properties pinned down here are the ones the fleet-scale pipeline
+// depends on: a snapshot round-trips a FleetDataset exactly; reports
+// computed from a snapshot (chunked, parallel, fault-injected) are
+// byte-identical to the batch CSV path; and every class of corruption —
+// truncation, bad magic, header bit-flips, version skew, payload damage —
+// is rejected with a pointed ParseError instead of undefined behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "devicesim/export.hpp"
+#include "devicesim/fleet.hpp"
+#include "fleetio/snapshot.hpp"
+#include "net/fault.hpp"
+#include "stream/ingest.hpp"
+#include "stream/reports.hpp"
+#include "stream/source.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace iotls::fleetio {
+namespace {
+
+devicesim::FleetDataset small_fleet() {
+  devicesim::SyntheticFleetSpec spec;
+  spec.devices = 200;
+  spec.events_per_device = 3;
+  return devicesim::generate_synthetic_fleet(spec);
+}
+
+void expect_fleets_equal(const devicesim::FleetDataset& a,
+                         const devicesim::FleetDataset& b) {
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].id, b.devices[i].id);
+    EXPECT_EQ(a.devices[i].vendor, b.devices[i].vendor);
+    EXPECT_EQ(a.devices[i].type, b.devices[i].type);
+    EXPECT_EQ(a.devices[i].user_id, b.devices[i].user_id);
+  }
+  EXPECT_EQ(a.users, b.users);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].device_id, b.events[i].device_id) << "event " << i;
+    EXPECT_EQ(a.events[i].day, b.events[i].day) << "event " << i;
+    EXPECT_EQ(a.events[i].sni, b.events[i].sni) << "event " << i;
+    ASSERT_EQ(a.events[i].wire, b.events[i].wire) << "event " << i;
+  }
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(SnapshotRoundTrip, EncodeDecodePreservesEveryColumn) {
+  devicesim::FleetDataset fleet = small_fleet();
+  Bytes bytes = encode_snapshot(fleet);
+  SnapshotReader reader = SnapshotReader::from_bytes(std::move(bytes));
+  EXPECT_EQ(reader.event_count(), fleet.events.size());
+  EXPECT_EQ(reader.device_count(), fleet.devices.size());
+  EXPECT_EQ(reader.user_count(), fleet.users.size());
+  reader.verify_checksums();
+  expect_fleets_equal(fleet, reader.load());
+}
+
+TEST(SnapshotRoundTrip, FileWriteThenOpenIsIdentical) {
+  devicesim::FleetDataset fleet = small_fleet();
+  std::string path = temp_path("roundtrip.iotlsnap");
+  write_snapshot(fleet, path);
+  SnapshotReader reader = SnapshotReader::open(path);
+  reader.verify_checksums();
+  expect_fleets_equal(fleet, reader.load());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTrip, EncodingIsDeterministic) {
+  devicesim::FleetDataset fleet = small_fleet();
+  EXPECT_EQ(encode_snapshot(fleet), encode_snapshot(fleet));
+}
+
+TEST(SnapshotRoundTrip, EmptyFleet) {
+  devicesim::FleetDataset empty;
+  SnapshotReader reader = SnapshotReader::from_bytes(encode_snapshot(empty));
+  EXPECT_EQ(reader.event_count(), 0u);
+  EXPECT_EQ(reader.device_count(), 0u);
+  EXPECT_EQ(reader.user_count(), 0u);
+  reader.verify_checksums();
+  devicesim::FleetDataset loaded = reader.load();
+  EXPECT_TRUE(loaded.devices.empty());
+  EXPECT_TRUE(loaded.events.empty());
+  EXPECT_TRUE(loaded.users.empty());
+}
+
+TEST(SnapshotRoundTrip, OutOfOrderDaysExerciseNegativeDeltas) {
+  // The day column stores zigzag deltas; descending and negative days make
+  // every delta negative.
+  devicesim::FleetDataset fleet;
+  fleet.devices.push_back({"dev-0", "V", "T", "user-0"});
+  fleet.users.push_back("user-0");
+  for (int i = 0; i < 6; ++i) {
+    devicesim::ClientHelloEvent ev;
+    ev.device_id = "dev-0";
+    ev.day = 100 - 37 * i;  // 100, 63, 26, -11, -48, -85
+    ev.sni = "host.example.com";
+    fleet.events.push_back(ev);
+  }
+  SnapshotReader reader = SnapshotReader::from_bytes(encode_snapshot(fleet));
+  expect_fleets_equal(fleet, reader.load());
+}
+
+TEST(SnapshotReaderTest, RangedEventsMatchFullLoadAcrossCheckpoints) {
+  // > kDayCheckpointStride events so ranges start mid-column at a
+  // checkpoint seek, not at byte zero.
+  devicesim::SyntheticFleetSpec spec;
+  spec.devices = 2500;
+  spec.events_per_device = 2;
+  devicesim::FleetDataset fleet = devicesim::generate_synthetic_fleet(spec);
+  ASSERT_GT(fleet.events.size(), kDayCheckpointStride);
+
+  SnapshotReader reader = SnapshotReader::from_bytes(encode_snapshot(fleet));
+  auto all = reader.events(0, reader.event_count());
+  ASSERT_EQ(all.size(), fleet.events.size());
+  for (auto [begin, end] : std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, 10},
+           {kDayCheckpointStride - 5, kDayCheckpointStride + 5},
+           {kDayCheckpointStride, kDayCheckpointStride + 100},
+           {reader.event_count() - 7, reader.event_count()}}) {
+    auto range = reader.events(begin, end);
+    ASSERT_EQ(range.size(), end - begin);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      EXPECT_EQ(range[i - begin].day, all[i].day) << "event " << i;
+      EXPECT_EQ(range[i - begin].device_id, all[i].device_id) << "event " << i;
+    }
+  }
+}
+
+TEST(SnapshotReaderTest, ParallelMaterializationIsByteIdentical) {
+  devicesim::SyntheticFleetSpec spec;
+  spec.devices = 2500;
+  spec.events_per_device = 2;
+  devicesim::FleetDataset fleet = devicesim::generate_synthetic_fleet(spec);
+  SnapshotReader reader = SnapshotReader::from_bytes(encode_snapshot(fleet));
+  auto sequential = reader.events(0, reader.event_count(), 1);
+  for (int jobs : {2, 8}) {
+    auto parallel = reader.events(0, reader.event_count(), jobs);
+    ASSERT_EQ(parallel.size(), sequential.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      ASSERT_EQ(parallel[i].device_id, sequential[i].device_id);
+      ASSERT_EQ(parallel[i].day, sequential[i].day);
+      ASSERT_EQ(parallel[i].sni, sequential[i].sni);
+      ASSERT_EQ(parallel[i].wire, sequential[i].wire);
+    }
+  }
+}
+
+TEST(SnapshotReaderTest, StringIdOutOfRangeThrows) {
+  SnapshotReader reader =
+      SnapshotReader::from_bytes(encode_snapshot(small_fleet()));
+  EXPECT_NO_THROW(reader.string_at(0));
+  EXPECT_THROW(reader.string_at(reader.string_count()), ParseError);
+}
+
+// --- corruption rejection -------------------------------------------------
+
+void expect_open_fails(Bytes bytes, const char* needle) {
+  try {
+    SnapshotReader::from_bytes(std::move(bytes));
+    FAIL() << "expected ParseError containing '" << needle << "'";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+TEST(SnapshotFormat, TruncatedPreludeRejected) {
+  Bytes bytes = encode_snapshot(small_fleet());
+  bytes.resize(kSnapshotPreludeBytes - 1);
+  expect_open_fails(std::move(bytes), "shorter than prelude");
+}
+
+TEST(SnapshotFormat, TruncatedFileRejected) {
+  Bytes bytes = encode_snapshot(small_fleet());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(SnapshotReader::from_bytes(std::move(bytes)), ParseError);
+}
+
+TEST(SnapshotFormat, BadMagicRejected) {
+  Bytes bytes = encode_snapshot(small_fleet());
+  bytes[0] ^= 0xff;
+  expect_open_fails(std::move(bytes), "bad magic");
+}
+
+TEST(SnapshotFormat, HeaderBitFlipCaughtByCrc) {
+  // Any prelude or section-table damage trips the header CRC before the
+  // damaged field is ever interpreted.
+  Bytes bytes = encode_snapshot(small_fleet());
+  for (std::size_t at : {std::size_t{16}, std::size_t{25},
+                         kSnapshotPreludeBytes + 9}) {
+    Bytes bad = bytes;
+    bad[at] ^= 0x01;
+    expect_open_fails(std::move(bad), "header CRC mismatch");
+  }
+}
+
+// Recompute the header CRC the way the writer does: prelude with the crc
+// field zeroed, continued over the section table.
+void reseal_header(Bytes& bytes) {
+  std::uint32_t sections = (std::uint32_t(bytes[12]) << 24) |
+                           (std::uint32_t(bytes[13]) << 16) |
+                           (std::uint32_t(bytes[14]) << 8) |
+                           std::uint32_t(bytes[15]);
+  std::uint32_t crc = crc32_update(0, BytesView(bytes.data(), 36));
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  crc = crc32_update(crc, BytesView(zeros, 4));
+  crc = crc32_update(crc, BytesView(bytes.data() + kSnapshotPreludeBytes,
+                                    sections * kSectionEntryBytes));
+  bytes[36] = static_cast<std::uint8_t>(crc >> 24);
+  bytes[37] = static_cast<std::uint8_t>(crc >> 16);
+  bytes[38] = static_cast<std::uint8_t>(crc >> 8);
+  bytes[39] = static_cast<std::uint8_t>(crc);
+}
+
+TEST(SnapshotFormat, VersionMismatchRejected) {
+  Bytes bytes = encode_snapshot(small_fleet());
+  bytes[11] = 2;  // version u32 at offset 8, big-endian
+  reseal_header(bytes);
+  expect_open_fails(std::move(bytes), "unsupported snapshot version 2");
+}
+
+TEST(SnapshotFormat, ResealedHeaderStillOpens) {
+  // Guards the reseal helper itself: an untouched container resealed with
+  // the test's CRC must still open, proving the helper mirrors the writer.
+  Bytes bytes = encode_snapshot(small_fleet());
+  reseal_header(bytes);
+  EXPECT_NO_THROW(SnapshotReader::from_bytes(std::move(bytes)));
+}
+
+TEST(SnapshotFormat, PayloadCorruptionCaughtByVerifyChecksums) {
+  Bytes bytes = encode_snapshot(small_fleet());
+  bytes.back() ^= 0x01;  // last payload byte (wire blob tail)
+  SnapshotReader reader = SnapshotReader::from_bytes(std::move(bytes));
+  try {
+    reader.verify_checksums();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch in section"),
+              std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+// --- pipeline identity ----------------------------------------------------
+
+obs::Json report_from_batch(const devicesim::FleetDataset& fleet,
+                            const char* name, int jobs,
+                            const net::FaultSpec& fault) {
+  stream::IngestConfig config;
+  config.jobs = jobs;
+  config.certs = true;
+  config.fault = fault;
+  stream::StreamIngest ingest(fleet.devices, config);
+  ingest.fold_epoch(fleet.events);
+  return *stream::render_report(name, ingest);
+}
+
+obs::Json report_from_snapshot(SnapshotReader snap, const char* name, int jobs,
+                               const net::FaultSpec& fault,
+                               std::size_t epochs) {
+  stream::IngestConfig config;
+  config.jobs = jobs;
+  config.certs = true;
+  config.fault = fault;
+  config.retain_events = false;  // the fleet-scale streaming fold
+  stream::StreamIngest ingest(snap.devices(), config);
+  stream::SnapshotSource source =
+      stream::SnapshotSource::with_epochs(std::move(snap), epochs, jobs);
+  while (auto batch = source.next_epoch()) ingest.fold_epoch(batch->events);
+  return *stream::render_report(name, ingest);
+}
+
+TEST(SnapshotPipeline, ReportsByteIdenticalToBatchAtEveryJobsLevel) {
+  devicesim::FleetDataset fleet = small_fleet();
+  SnapshotReader reader = SnapshotReader::from_bytes(encode_snapshot(fleet));
+  net::FaultSpec no_fault;
+  for (const char* name : {"table02", "table04", "certs"}) {
+    std::string batch = report_from_batch(fleet, name, 1, no_fault).dump();
+    for (int jobs : {1, 8}) {
+      SnapshotReader copy =
+          SnapshotReader::from_bytes(encode_snapshot(fleet));
+      std::string streamed =
+          report_from_snapshot(std::move(copy), name, jobs, no_fault, 3)
+              .dump();
+      EXPECT_EQ(streamed, batch) << name << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SnapshotPipeline, FaultInjectedReportsStayIdentical) {
+  // Faults are seeded per (SNI, vantage, attempt), so the chunked snapshot
+  // fold must draw the same schedule the batch probe does — 20% injected
+  // timeouts included.
+  devicesim::FleetDataset fleet = small_fleet();
+  net::FaultSpec fault = net::FaultSpec::parse("timeout=0.2");
+  std::string batch = report_from_batch(fleet, "chains", 1, fault).dump();
+  for (int jobs : {1, 8}) {
+    SnapshotReader copy = SnapshotReader::from_bytes(encode_snapshot(fleet));
+    std::string streamed =
+        report_from_snapshot(std::move(copy), "chains", jobs, fault, 4).dump();
+    EXPECT_EQ(streamed, batch) << "jobs=" << jobs;
+  }
+}
+
+TEST(SnapshotPipeline, CsvImportAndSnapshotLoadAgree) {
+  // The CSV interchange path and the columnar path must describe the same
+  // dataset: export -> import -> snapshot -> load is a fixed point.
+  devicesim::FleetDataset fleet = small_fleet();
+  devicesim::FleetDataset imported = devicesim::import_events_csv(
+      devicesim::export_events_csv(fleet), devicesim::export_devices_csv(fleet));
+  SnapshotReader reader =
+      SnapshotReader::from_bytes(encode_snapshot(imported));
+  expect_fleets_equal(imported, reader.load(4));
+}
+
+TEST(SnapshotPipeline, StreamingFoldKeepsNoPerEventRows) {
+  // retain_events=false is what bounds resident memory by distinct
+  // fingerprints instead of event count.
+  devicesim::FleetDataset fleet = small_fleet();
+  stream::IngestConfig config;
+  config.retain_events = false;
+  stream::StreamIngest lean(fleet.devices, config);
+  lean.fold_epoch(fleet.events);
+  EXPECT_EQ(lean.client().events().size(), 0u);
+
+  stream::StreamIngest full(fleet.devices, {});
+  full.fold_epoch(fleet.events);
+  EXPECT_GT(full.client().events().size(), 0u);
+  // The index-backed reports are unaffected by dropping the rows.
+  EXPECT_EQ(stream::render_report("table02", lean)->dump(),
+            stream::render_report("table02", full)->dump());
+}
+
+}  // namespace
+}  // namespace iotls::fleetio

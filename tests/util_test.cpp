@@ -1,8 +1,14 @@
 // Unit and property tests for the util substrate.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <cstring>
 #include <set>
+#include <string_view>
 
+#include "util/arena.hpp"
+#include "util/crc32.hpp"
 #include "util/dates.hpp"
 #include "util/error.hpp"
 #include "util/hex.hpp"
@@ -314,6 +320,103 @@ TEST(Dates, ParseRejectsImpossibleDays) {
   // The leap days themselves stay parseable.
   EXPECT_EQ(parse_date("2020-02-29"), days(2020, 2, 29));
   EXPECT_EQ(parse_date("2000-02-29"), days(2000, 2, 29));
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The ISO-HDLC check value ("123456789" -> 0xCBF43926) pins down the
+  // polynomial, reflection and init/xorout all at once.
+  const char check[] = "123456789";
+  EXPECT_EQ(crc32(BytesView(reinterpret_cast<const std::uint8_t*>(check), 9)),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(BytesView()), 0u);
+}
+
+TEST(Crc32, StreamingUpdateEqualsOneShot) {
+  std::vector<std::uint8_t> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  std::uint32_t whole = crc32(BytesView(data.data(), data.size()));
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{128},
+                          data.size()}) {
+    std::uint32_t crc = crc32_update(0, BytesView(data.data(), cut));
+    crc = crc32_update(crc, BytesView(data.data() + cut, data.size() - cut));
+    EXPECT_EQ(crc, whole) << "split at " << cut;
+  }
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  ArenaAllocator arena(128);  // tiny chunks force growth
+  std::set<void*> seen;
+  for (int i = 0; i < 64; ++i) {
+    void* p = arena.allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(seen.insert(p).second);
+    std::memset(p, 0xab, 24);  // every byte must be writable
+  }
+  std::uint64_t* arr = arena.allocate_array<std::uint64_t>(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arr) % alignof(std::uint64_t), 0u);
+  for (std::size_t i = 0; i < 100; ++i) arr[i] = i;
+  EXPECT_EQ(arr[99], 99u);
+  EXPECT_GE(arena.bytes_allocated(), 64u * 24 + 800);
+}
+
+TEST(Arena, ResetRetainsFirstChunkAndCopyPersists) {
+  ArenaAllocator arena(1024);
+  std::string_view copied = arena.copy("hello snapshot");
+  EXPECT_EQ(copied, "hello snapshot");
+  arena.allocate(4096);  // oversized request -> dedicated chunk
+  std::uint64_t reserved_before = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_LT(arena.bytes_reserved(), reserved_before);
+  EXPECT_GT(arena.bytes_reserved(), 0u);  // first chunk kept for reuse
+  EXPECT_EQ(arena.peak_reserved(), reserved_before);
+  // Post-reset allocations reuse the retained chunk without growing.
+  std::uint64_t reserved_after = arena.bytes_reserved();
+  arena.allocate(64);
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after);
+}
+
+TEST(Arena, ReportsChunkTrafficToObserver) {
+  struct Recorder : ArenaObserver {
+    std::uint64_t grown = 0, released = 0;
+    void on_arena_grow(std::uint64_t bytes) override { grown += bytes; }
+    void on_arena_release(std::uint64_t bytes) override { released += bytes; }
+  };
+  Recorder rec;
+  {
+    ArenaAllocator arena(256, &rec);
+    arena.allocate(200);
+    arena.allocate(200);  // second chunk
+    EXPECT_GE(rec.grown, 512u);
+  }
+  EXPECT_EQ(rec.grown, rec.released);  // destructor returns every byte
+}
+
+TEST(Strings, SplitViewsMatchesSplitWithoutCopying) {
+  std::string line = "a,,bc,def,";
+  auto views = split_views(line, ',');
+  ASSERT_EQ(views.size(), 5u);
+  EXPECT_EQ(views[0], "a");
+  EXPECT_EQ(views[1], "");
+  EXPECT_EQ(views[2], "bc");
+  EXPECT_EQ(views[3], "def");
+  EXPECT_EQ(views[4], "");
+  // Views alias the input buffer — zero-copy is the point.
+  EXPECT_EQ(views[2].data(), line.data() + 3);
+}
+
+TEST(Strings, SplitViewsFixedSpanReportsTotalFieldCount) {
+  std::array<std::string_view, 3> cols;
+  EXPECT_EQ(split_views("x,y", ',', cols), 2u);
+  EXPECT_EQ(cols[0], "x");
+  EXPECT_EQ(cols[1], "y");
+  // Overflowing rows report the true count; the span keeps the prefix.
+  EXPECT_EQ(split_views("1,2,3,4,5", ',', cols), 5u);
+  EXPECT_EQ(cols[0], "1");
+  EXPECT_EQ(cols[2], "3");
+  EXPECT_EQ(split_views("", ',', cols), 1u);
+  EXPECT_EQ(cols[0], "");
 }
 
 }  // namespace

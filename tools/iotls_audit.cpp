@@ -3,6 +3,9 @@
 // Usage:
 //   iotls_audit [--jobs=N] [--stats[=json]] [--certs] [--report=NAME]
 //               events.csv devices.csv
+//   iotls_audit --snapshot=FILE [--jobs=N] [--stats[=json]] [--certs]
+//               [--report=NAME]
+//   iotls_audit --export-snapshot=OUT [--jobs=N] events.csv devices.csv
 //
 // `--report=NAME` prints one stream report document (see
 // src/stream/reports.hpp for names) as a single JSON line on stdout and
@@ -10,9 +13,24 @@
 // uses, so the output is byte-comparable against the daemon's
 // /report/NAME body after any epoch split of the same events.
 //
+// `--snapshot=FILE` reads a columnar .iotlsnap container (docs/SNAPSHOT.md)
+// instead of the CSVs. With `--report=`, events stream through the fold in
+// chunks and parsed rows are not retained, so resident memory stays
+// O(distinct fingerprints) — the fleet-scale path. Reports are
+// byte-identical to the CSV run over the same dataset at every --jobs
+// level.
+//
+// `--export-snapshot=OUT` converts the CSVs into a snapshot at OUT
+// (verifying every section checksum after the write) and exits.
+//
 // `--jobs=N` parses ClientHellos, runs corpus matching — and, with
 // `--certs`, probes/validates the server-side dataset — on N worker
 // threads (0 = hardware concurrency); results are identical to --jobs=1.
+//
+// `--fault-spec=SPEC` (with --report=) applies a declarative fault schedule
+// to the probe path (net::FaultSpec syntax, e.g. drop=0.2) — reports stay
+// byte-identical between CSV and snapshot inputs under injection because
+// faults are seeded per (SNI, vantage, attempt), not per probe order.
 //
 // `--certs` appends the §5 server-side pipeline: every SNI the dataset's
 // devices contacted is probed against the standard simulated internet, the
@@ -36,6 +54,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -48,12 +68,15 @@
 #include "core/vendor_metrics.hpp"
 #include "devicesim/export.hpp"
 #include "devicesim/scenario.hpp"
+#include "fleetio/snapshot.hpp"
+#include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs_cli.hpp"
 #include "report/obs_report.hpp"
 #include "stream/ingest.hpp"
 #include "stream/reports.hpp"
+#include "stream/source.hpp"
 #include "util/dates.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -64,6 +87,15 @@ using namespace iotls;
 namespace {
 
 enum class StatsMode { kOff, kText, kJson };
+
+constexpr const char* kUsage =
+    "usage: iotls_audit [--jobs=N] [--stats[=json]] [--certs]\n"
+    "                   [--report=NAME] [--fault-spec=SPEC] [--serve=PORT]\n"
+    "                   [--serve-linger[=MS]] [--trace-out=FILE]\n"
+    "                   events.csv devices.csv\n"
+    "       iotls_audit --snapshot=FILE [--jobs=N] [--stats[=json]]\n"
+    "                   [--certs] [--report=NAME] [--fault-spec=SPEC]\n"
+    "       iotls_audit --export-snapshot=OUT [--jobs=N] events.csv devices.csv\n";
 
 std::string slurp(const char* path) {
   std::ifstream f(path);
@@ -79,7 +111,10 @@ int main(int argc, char** argv) {
   StatsMode stats = StatsMode::kOff;
   int jobs = 1;
   bool certs_mode = false;
+  net::FaultSpec fault;
   std::string report_name;
+  std::string snapshot_path;
+  std::string export_snapshot_path;
   tools::ObsCli obs_cli;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +126,18 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--stats=json") == 0) stats = StatsMode::kJson;
     else if (std::strcmp(argv[i], "--certs") == 0) certs_mode = true;
     else if (std::strncmp(argv[i], "--report=", 9) == 0) report_name = argv[i] + 9;
+    else if (std::strncmp(argv[i], "--snapshot=", 11) == 0)
+      snapshot_path = argv[i] + 11;
+    else if (std::strncmp(argv[i], "--export-snapshot=", 18) == 0)
+      export_snapshot_path = argv[i] + 18;
+    else if (std::strncmp(argv[i], "--fault-spec=", 13) == 0) {
+      try {
+        fault = net::FaultSpec::parse(argv[i] + 13);
+      } catch (const ParseError& e) {
+        std::fprintf(stderr, "--fault-spec: %s\n", e.what());
+        return 2;
+      }
+    }
     else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       char* end = nullptr;
       unsigned long long n = std::strtoull(argv[i] + 7, &end, 10);
@@ -102,43 +149,83 @@ int main(int argc, char** argv) {
       jobs = static_cast<int>(n);
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      std::fprintf(stderr,
-                   "usage: iotls_audit [--jobs=N] [--stats[=json]] [--certs]\n"
-                   "                   [--report=NAME] [--serve=PORT]\n"
-                   "                   [--serve-linger[=MS]] [--trace-out=FILE]\n"
-                   "                   events.csv devices.csv\n");
+      std::fprintf(stderr, "%s", kUsage);
       return 2;
     } else paths.push_back(argv[i]);
   }
-  if (paths.size() != 2) {
-    std::fprintf(stderr,
-                 "usage: iotls_audit [--jobs=N] [--stats[=json]] [--certs]\n"
-                 "                   [--report=NAME] [--serve=PORT]\n"
-                 "                   [--serve-linger[=MS]] [--trace-out=FILE]\n"
-                 "                   events.csv devices.csv\n");
+  std::size_t want_paths = snapshot_path.empty() ? 2 : 0;
+  if (paths.size() != want_paths ||
+      (!snapshot_path.empty() && !export_snapshot_path.empty())) {
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   if (!obs_cli.start()) return 2;
 
   devicesim::FleetDataset fleet;
+  std::optional<fleetio::SnapshotReader> snap;
   try {
-    fleet = devicesim::import_events_csv(slurp(paths[0]), slurp(paths[1]));
+    if (!snapshot_path.empty()) {
+      snap = fleetio::SnapshotReader::open(snapshot_path);
+    } else {
+      fleet = devicesim::import_events_csv(slurp(paths[0]), slurp(paths[1]));
+    }
   } catch (const ParseError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 
+  if (!export_snapshot_path.empty()) {
+    // CSV -> snapshot converter: write, then re-open and checksum every
+    // section so a converted file is known-good before anything trusts it.
+    try {
+      fleetio::write_snapshot(fleet, export_snapshot_path);
+      auto written = fleetio::SnapshotReader::open(export_snapshot_path);
+      written.verify_checksums();
+      std::printf("snapshot: wrote %s (%zu bytes): %u devices, %u users, "
+                  "%llu events, %u strings\n",
+                  export_snapshot_path.c_str(), written.file_size(),
+                  written.device_count(), written.user_count(),
+                  static_cast<unsigned long long>(written.event_count()),
+                  written.string_count());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::fflush(stdout);
+    obs_cli.finish();
+    return 0;
+  }
+
   if (!report_name.empty()) {
     // Batch mode as the degenerate streaming case: one epoch holding the
-    // whole event stream, rendered by the exact code iotlsd serves.
+    // whole event stream, rendered by the exact code iotlsd serves. Every
+    // stream report is index/CertDataset-backed, so parsed rows need not
+    // be retained — with a snapshot input the events stream through in
+    // chunks and resident memory stays O(distinct fingerprints).
     bool server_side = report_name == "certs" || report_name == "chains" ||
                        report_name == "issuers" || report_name == "ct";
     stream::IngestConfig config;
     config.jobs = jobs;
     config.certs = certs_mode || server_side;
-    stream::StreamIngest ingest(fleet.devices, config);
-    ingest.fold_epoch(fleet.events);
-    auto doc = stream::render_report(report_name, ingest);
+    config.fault = fault;
+    config.retain_events = false;
+    std::unique_ptr<stream::StreamIngest> ingest;
+    if (snap.has_value()) {
+      ingest = std::make_unique<stream::StreamIngest>(snap->devices(), config);
+      stream::SnapshotSource source(std::move(*snap),
+                                    stream::SnapshotSource::kDefaultChunkEvents,
+                                    jobs);
+      bool folded = false;
+      while (auto batch = source.next_epoch()) {
+        ingest->fold_epoch(batch->events);
+        folded = true;
+      }
+      if (!folded) ingest->fold_epoch({});  // empty dataset still reports
+    } else {
+      ingest = std::make_unique<stream::StreamIngest>(fleet.devices, config);
+      ingest->fold_epoch(fleet.events);
+    }
+    auto doc = stream::render_report(report_name, *ingest);
     if (!doc.has_value()) {
       std::fprintf(stderr, "unknown report: %s (known:", report_name.c_str());
       for (const std::string& name : stream::report_names()) {
@@ -149,8 +236,26 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", doc->dump().c_str());
     std::fflush(stdout);
+    if (stats == StatsMode::kText) {
+      std::fprintf(stderr, "\n%s",
+                   report::stats_text(obs::metrics(), obs::tracer()).c_str());
+    } else if (stats == StatsMode::kJson) {
+      std::fprintf(stderr, "%s\n",
+                   report::stats_json(obs::metrics(), obs::tracer()).c_str());
+    }
     obs_cli.finish();
     return 0;
+  }
+
+  if (fault.any()) {
+    // Fault injection runs through the streaming probe path only.
+    std::fprintf(stderr, "--fault-spec requires --report=NAME\n");
+    return 2;
+  }
+  if (snap.has_value()) {
+    // Headline mode needs the event-iterating analyses; materialize fully.
+    fleet = snap->load(jobs);
+    snap.reset();
   }
 
   auto ds = core::ClientDataset::from_fleet(fleet, {}, jobs);

@@ -9,16 +9,25 @@
 // Usage:
 //   iotlsd [--port=N] [--jobs=N] [--epochs=K] [--follow] [--certs]
 //          [--min-users=N] [--fault-spec=SPEC] events.csv devices.csv
+//   iotlsd --snapshot=FILE [--port=N] [--jobs=N] [--epochs=K] [--certs]
+//          [--min-users=N] [--fault-spec=SPEC]
 //   iotlsd --export-fleet=PREFIX [--users=N] [--wire]
+//          [--synthetic=DEVICES[,EVENTS_PER_DEVICE]] [--snapshot=FILE]
 //
 // Modes:
 //   * replay (default): slice events.csv into K epochs (--epochs, default 3),
-//     fold them all, then keep serving until GET /quitquitquit;
+//     fold them all, then keep serving until GET /quitquitquit. With
+//     --snapshot=FILE the epochs come from a columnar .iotlsnap container
+//     instead (devices included), each epoch materialized from the mapped
+//     columns only when folded;
 //   * follow (--follow): tail events.csv for appended rows, folding each
 //     poll's batch as one epoch, until /quitquitquit;
-//   * export (--export-fleet=PREFIX): generate the standard synthetic fleet
-//     and write PREFIX-events.csv / PREFIX-devices.csv, then exit (the
-//     fixture generator for the CI daemon phase).
+//   * export (--export-fleet=PREFIX): generate a fleet and write
+//     PREFIX-events.csv / PREFIX-devices.csv, then exit (the fixture
+//     generator for the CI daemon phase). --synthetic=D[,E] swaps in the
+//     scale-test generator (D devices, E events each — millions build in
+//     seconds); --snapshot=FILE additionally writes the fleet as a
+//     .iotlsnap container.
 //
 // Endpoints: /metrics /stats /healthz /readyz /trace /quitquitquit from the
 // export plane, plus /epoch (ingest progress: epoch counter, event count,
@@ -32,6 +41,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -40,6 +50,7 @@
 #include "devicesim/export.hpp"
 #include "devicesim/fleet.hpp"
 #include "devicesim/scenario.hpp"
+#include "fleetio/snapshot.hpp"
 #include "stream/daemon.hpp"
 #include "stream/source.hpp"
 #include "util/error.hpp"
@@ -51,7 +62,10 @@ namespace {
 constexpr const char* kUsage =
     "usage: iotlsd [--port=N] [--jobs=N] [--epochs=K] [--follow] [--certs]\n"
     "              [--min-users=N] [--fault-spec=SPEC] events.csv devices.csv\n"
-    "       iotlsd --export-fleet=PREFIX [--users=N] [--wire]\n";
+    "       iotlsd --snapshot=FILE [--port=N] [--jobs=N] [--epochs=K]\n"
+    "              [--certs] [--min-users=N] [--fault-spec=SPEC]\n"
+    "       iotlsd --export-fleet=PREFIX [--users=N] [--wire]\n"
+    "              [--synthetic=DEVICES[,EVENTS_PER_DEVICE]] [--snapshot=FILE]\n";
 
 std::string slurp(const char* path) {
   std::ifstream f(path);
@@ -67,31 +81,52 @@ bool parse_uint(const char* text, unsigned long long* out) {
   return end != text && *end == '\0';
 }
 
-int export_fleet(const std::string& prefix, int users, bool wire) {
-  devicesim::FleetConfig cfg;
-  if (users > 0) cfg.users = users;
-  auto corpus = corpus::LibraryCorpus::standard();
-  auto universe = devicesim::ServerUniverse::standard();
-  devicesim::FleetDataset fleet =
-      devicesim::generate_fleet(cfg, corpus, universe);
+int export_fleet(const std::string& prefix, int users, bool wire,
+                 const std::optional<devicesim::SyntheticFleetSpec>& synthetic,
+                 const std::string& snapshot_out) {
+  devicesim::FleetDataset fleet;
+  if (synthetic.has_value()) {
+    fleet = devicesim::generate_synthetic_fleet(*synthetic);
+  } else {
+    devicesim::FleetConfig cfg;
+    if (users > 0) cfg.users = users;
+    auto corpus = corpus::LibraryCorpus::standard();
+    auto universe = devicesim::ServerUniverse::standard();
+    fleet = devicesim::generate_fleet(cfg, corpus, universe);
+  }
 
   devicesim::ExportOptions opts;
   opts.include_wire = wire;
+  std::string events_csv = devicesim::export_events_csv(fleet, opts);
+  std::string devices_csv = devicesim::export_devices_csv(fleet, opts);
   struct Out {
     std::string path;
-    std::string body;
+    const std::string* body;
   };
-  for (const Out& out : {Out{prefix + "-events.csv",
-                             devicesim::export_events_csv(fleet, opts)},
-                         Out{prefix + "-devices.csv",
-                             devicesim::export_devices_csv(fleet, opts)}}) {
+  for (const Out& out : {Out{prefix + "-events.csv", &events_csv},
+                         Out{prefix + "-devices.csv", &devices_csv}}) {
     std::ofstream f(out.path, std::ios::binary | std::ios::trunc);
     if (!f) {
       std::fprintf(stderr, "cannot write %s\n", out.path.c_str());
       return 1;
     }
-    f << out.body;
+    f << *out.body;
     std::fprintf(stderr, "iotlsd: wrote %s\n", out.path.c_str());
+  }
+
+  if (!snapshot_out.empty()) {
+    // The snapshot must hold exactly the dataset importing the CSVs yields
+    // (pseudonymized ids, canonical wire bytes), not the raw generator
+    // fleet — otherwise reports from the two inputs would diverge.
+    try {
+      fleetio::write_snapshot(
+          devicesim::import_events_csv(events_csv, devices_csv), snapshot_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot write %s: %s\n", snapshot_out.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "iotlsd: wrote %s\n", snapshot_out.c_str());
   }
   std::fprintf(stderr, "iotlsd: fleet: %zu devices, %zu events\n",
                fleet.devices.size(), fleet.events.size());
@@ -107,6 +142,8 @@ int main(int argc, char** argv) {
   bool follow = false;
   bool wire = false;
   std::string export_prefix;
+  std::string snapshot_path;
+  std::optional<devicesim::SyntheticFleetSpec> synthetic;
   stream::IngestConfig config;
   std::vector<const char*> paths;
 
@@ -141,6 +178,30 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--export-fleet=", 15) == 0) {
       export_prefix = arg + 15;
+    } else if (std::strncmp(arg, "--snapshot=", 11) == 0) {
+      snapshot_path = arg + 11;
+    } else if (std::strncmp(arg, "--synthetic=", 12) == 0) {
+      devicesim::SyntheticFleetSpec spec;
+      const char* rest = arg + 12;
+      const char* comma = std::strchr(rest, ',');
+      unsigned long long d = 0, e = 0;
+      bool ok;
+      if (comma != nullptr) {
+        std::string head(rest, comma);
+        ok = parse_uint(head.c_str(), &d) && parse_uint(comma + 1, &e) &&
+             d >= 1 && e >= 1;
+        if (ok) spec.events_per_device = static_cast<std::size_t>(e);
+      } else {
+        ok = parse_uint(rest, &d) && d >= 1;
+      }
+      if (!ok) {
+        std::fprintf(stderr,
+                     "--synthetic= wants DEVICES[,EVENTS_PER_DEVICE]\n%s",
+                     kUsage);
+        return 2;
+      }
+      spec.devices = static_cast<std::size_t>(d);
+      synthetic = spec;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n%s", arg, kUsage);
       return 2;
@@ -154,17 +215,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--export-fleet takes no CSV arguments\n%s", kUsage);
       return 2;
     }
-    return export_fleet(export_prefix, users, wire);
+    return export_fleet(export_prefix, users, wire, synthetic, snapshot_path);
   }
-  if (paths.size() != 2) {
+  bool snapshot_input = !snapshot_path.empty();
+  if (paths.size() != (snapshot_input ? 0u : 2u) ||
+      (snapshot_input && follow)) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
   std::vector<devicesim::Device> devices;
   devicesim::FleetDataset fleet;
+  std::optional<fleetio::SnapshotReader> snap;
   try {
-    if (follow) {
+    if (snapshot_input) {
+      snap = fleetio::SnapshotReader::open(snapshot_path);
+      devices = snap->devices();
+    } else if (follow) {
       // Tail mode reads events incrementally; only devices load up front.
       devices = devicesim::parse_devices_csv(slurp(paths[1]));
     } else {
@@ -191,9 +258,16 @@ int main(int argc, char** argv) {
     // Poll between folds; wait_for_shutdown doubles as the poll interval.
     while (!daemon.wait_for_shutdown(50)) daemon.step(tail);
   } else {
-    stream::ReplaySource source(std::move(fleet.events),
-                                static_cast<std::size_t>(epochs));
-    std::size_t folded = daemon.drain(source);
+    std::size_t folded;
+    if (snapshot_input) {
+      stream::SnapshotSource source = stream::SnapshotSource::with_epochs(
+          std::move(*snap), static_cast<std::size_t>(epochs), config.jobs);
+      folded = daemon.drain(source);
+    } else {
+      stream::ReplaySource source(std::move(fleet.events),
+                                  static_cast<std::size_t>(epochs));
+      folded = daemon.drain(source);
+    }
     std::fprintf(stderr, "iotlsd: folded %zu epochs (%llu events); waiting\n",
                  folded,
                  static_cast<unsigned long long>(
