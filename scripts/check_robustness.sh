@@ -18,8 +18,14 @@
 # the pipeline over a synthetic million-device fleet from both the CSV and
 # the .iotlsnap snapshot input (byte-identical reports required), enforcing
 # the snapshot's >=10x time-to-ready and <=half-RSS budgets and writing the
-# measurements to BENCH_fleet.json. Finally, a docs phase fails on broken
-# relative links in README.md and docs/*.md.
+# measurements to BENCH_fleet.json. A fingerprint phase runs the
+# `ctest -L fingerprint` suite (docs/FINGERPRINTING.md cross-checks), replays
+# the daemon fixture through `iotlsd --certs` and requires the live
+# /report/stacks and /report/dualstack bodies byte-identical to the batch
+# `iotls_audit --report=...` output at --jobs 1 and 8, then times a
+# dual-stack `iotls_probe --battery --all` survey into
+# BENCH_fingerprint.json. Finally, a docs phase fails on broken relative
+# links in README.md and docs/*.md.
 #
 # Usage: scripts/check_robustness.sh [ctest-args...]
 set -euo pipefail
@@ -35,7 +41,8 @@ ctest --preset concurrency-tsan -j"$(nproc)" "$@"
 
 cmake --preset default
 cmake --build --preset default -j"$(nproc)" \
-  --target test_perf test_cert_pipeline bench_perf_pipeline bench_cert_pipeline \
+  --target test_perf test_cert_pipeline test_stack_fingerprint \
+  bench_perf_pipeline bench_cert_pipeline \
   iotls_probe bench_obs_overhead bench_fleet_snapshot iotlsd iotls_audit
 ctest --preset default -L perf --output-on-failure
 # Median-of-5 aggregates; compare BENCH_pipeline.json / BENCH_certs.json
@@ -268,6 +275,106 @@ printf '{"epochs":%s,"events":%s,"fold_ns_sum":%s,"fold_ns_mean":%s}\n' \
   "$fold_count" "${events:-0}" "$fold_sum" "$fold_mean" > BENCH_daemon.json
 echo "daemon phase OK: 3 epochs over ${events:-?} events," \
      "mean fold $((fold_mean / 1000000)) ms, live table04 == batch table04"
+
+# Fingerprint phase: the docs/FINGERPRINTING.md cross-check suite, then the
+# battery's batch/daemon byte-identity over the daemon phase's fleet
+# fixture — `iotlsd --certs` must serve /report/stacks and /report/dualstack
+# with exactly the bytes `iotls_audit --report=...` prints at --jobs 1 and
+# --jobs 8 — and finally a timed dual-stack battery survey of the whole
+# universe into BENCH_fingerprint.json (gitignored).
+ctest --preset default -L fingerprint --output-on-failure
+
+fp_pid=""
+fp_cleanup() { [ -n "$fp_pid" ] && kill "$fp_pid" 2>/dev/null || true; }
+trap 'fp_cleanup; daemon_cleanup; obs_cleanup' EXIT
+
+./build/tools/iotlsd --port=0 --jobs=8 --epochs=3 --certs \
+  "$daemon_dir/fleet-events.csv" "$daemon_dir/fleet-devices.csv" \
+  2>"$daemon_dir/iotlsd-fp.log" &
+fp_pid=$!
+
+fp_port=""
+for _ in $(seq 1 100); do
+  fp_port="$(sed -n 's/^iotlsd: serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$daemon_dir/iotlsd-fp.log" | head -n1)"
+  [ -n "$fp_port" ] && break
+  kill -0 "$fp_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$fp_port" ]; then
+  echo "fingerprint phase failed: iotlsd never announced its port" >&2
+  cat "$daemon_dir/iotlsd-fp.log" >&2
+  exit 1
+fi
+
+fp_fetch() { # path outfile
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS --max-time 60 "http://127.0.0.1:$fp_port$1" -o "$2"
+  else
+    exec 5<>"/dev/tcp/127.0.0.1/$fp_port"
+    printf 'GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n' "$1" >&5
+    sed '1,/^\r\{0,1\}$/d' <&5 >"$2"
+    exec 5>&-
+  fi
+}
+
+echo '{}' > "$daemon_dir/epoch-fp.json"
+for _ in $(seq 1 200); do
+  fp_fetch /epoch "$daemon_dir/epoch-fp.json" || true
+  grep -q '"epoch":3' "$daemon_dir/epoch-fp.json" && break
+  sleep 0.1
+done
+if ! grep -q '"epoch":3' "$daemon_dir/epoch-fp.json"; then
+  echo "fingerprint phase failed: iotlsd never reached epoch 3" >&2
+  cat "$daemon_dir/iotlsd-fp.log" >&2
+  exit 1
+fi
+
+for rpt in stacks dualstack; do
+  fp_fetch "/report/$rpt" "$daemon_dir/$rpt.live"
+  for jobs in 1 8; do
+    ./build/tools/iotls_audit --report="$rpt" --jobs="$jobs" \
+      "$daemon_dir/fleet-events.csv" "$daemon_dir/fleet-devices.csv" \
+      >"$daemon_dir/$rpt.batch-j$jobs"
+    if ! cmp -s "$daemon_dir/$rpt.live" "$daemon_dir/$rpt.batch-j$jobs"; then
+      echo "fingerprint phase failed: live /report/$rpt !=" \
+           "batch --report=$rpt --jobs=$jobs" >&2
+      diff "$daemon_dir/$rpt.live" "$daemon_dir/$rpt.batch-j$jobs" >&2 || true
+      exit 1
+    fi
+  done
+done
+
+fp_fetch /quitquitquit /dev/null
+fp_rc=0
+wait "$fp_pid" || fp_rc=$?
+fp_pid=""
+if [ "$fp_rc" -ne 0 ]; then
+  echo "fingerprint phase failed: iotlsd exited $fp_rc" >&2
+  cat "$daemon_dir/iotlsd-fp.log" >&2
+  exit 1
+fi
+
+t0=$(date +%s%N)
+./build/tools/iotls_probe --battery --family=dual --all --jobs=8 \
+  >"$daemon_dir/battery.out"
+battery_ms=$(( ($(date +%s%N) - t0) / 1000000 ))
+battery_line="$(grep '^summary:' "$daemon_dir/battery.out")"
+battery_snis="$(sed -n 's/^battery:.* over \([0-9]*\) SNIs$/\1/p' \
+  "$daemon_dir/battery.out")"
+battery_probes="$(printf '%s' "$battery_line" |
+  sed -n 's/^summary: \([0-9]*\) probes.*/\1/p')"
+if [ -z "$battery_snis" ] || [ -z "$battery_probes" ]; then
+  echo "fingerprint phase failed: battery summary unparseable:" >&2
+  cat "$daemon_dir/battery.out" >&2
+  exit 1
+fi
+printf '{"snis":%s,"probes":%s,"wall_ms":%s}\n' \
+  "$battery_snis" "$battery_probes" "$battery_ms" > BENCH_fingerprint.json
+echo "fingerprint phase OK: live stacks/dualstack == batch at jobs 1/8;" \
+     "dual-stack battery over $battery_snis SNIs ($battery_probes probes)" \
+     "in ${battery_ms} ms"
+trap 'daemon_cleanup; obs_cleanup' EXIT
 
 # Fleet-scale phase: the full pipeline over a synthetic million-device
 # fleet on one machine (FLEET_DEVICES overrides the size; 2 events per

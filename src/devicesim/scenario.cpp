@@ -880,6 +880,68 @@ SimWorld build_world(const ServerUniverse& universe) {
     world.internet.add_server(std::move(server));
   }
 
+  // ----------------------------------------------- stack + dual-stack pass
+  // Runs AFTER the issuing loop so the CAs' serial counters — and therefore
+  // every v4 certificate — keep their historical values: v6-divergent
+  // leaves append to the serial space instead of shifting it.
+  for (const ServerSpec& s : universe.specs()) {
+    net::SimServer* server = world.internet.find_mutable(s.fqdn);
+    if (server == nullptr) continue;
+
+    // Server-stack profile, shared per owner org (one backend fleet per
+    // vendor). These traits only answer batteries that opt in — ALPN
+    // offers, supported_versions, session_ticket — so the §5 certificate
+    // prober's flights and reports stay byte-identical.
+    switch (fnv1a64("stack:" + s.owner_org) % 4) {
+      case 0:  // modern front: TLS 1.3, h2, tickets; refuses TLS 1.0/1.1
+        server->max_tls_version = 0x0304;
+        server->min_tls_version = 0x0302;
+        server->alpn_protocols = {"h2", "http/1.1"};
+        server->session_tickets = true;
+        break;
+      case 1:  // maintained: TLS 1.2 ceiling, http/1.1, tickets
+        server->alpn_protocols = {"http/1.1"};
+        server->session_tickets = true;
+        break;
+      case 2:  // hardened-but-plain: TLS 1.2 only, no ALPN, no tickets
+        server->min_tls_version = 0x0302;
+        break;
+      default:  // legacy embedded stack: factory defaults, answers anything
+        break;
+    }
+
+    // Roughly half the estate publishes AAAA records.
+    if (fnv1a64("dualstack:" + s.fqdn) % 2 != 0) continue;
+    server->dual_stack = true;
+    std::uint64_t h = fnv1a64(s.fqdn);
+    for (int i = 0; i < 2; ++i) {
+      server->ipv6_addresses.push_back("2001:db8:" + std::to_string(h % 4096) +
+                                       "::" + std::to_string(i + 1));
+    }
+
+    // A slice of the dual-stack estate diverges across families — the
+    // Table 16 inconsistency story, v4-vs-v6 instead of vantage-vs-vantage.
+    if (fnv1a64("v6stack:" + s.fqdn) % 13 == 0) {
+      server->suites_v6 =
+          std::vector<std::uint16_t>{0xc030, 0xc02f, 0x009d, 0x009c};
+      server->max_tls_version_v6 = 0x0303;  // the v6 frontend lags: no 1.3
+    }
+    bool plain_shape = s.shape != ChainShape::kPrivateViaPublicRoot &&
+                       s.shape != ChainShape::kSelfSigned &&
+                       s.shape != ChainShape::kDoubleSelfSigned;
+    if (plain_shape && s.cert_group.empty() &&
+        fnv1a64("v6cert:" + s.fqdn) % 11 == 0) {
+      bool is_public = true;
+      for (const std::string& org : private_issuers()) {
+        if (org == s.issuer_org) is_public = false;
+      }
+      CaSet& ca = ca_for(s.issuer_org, is_public);
+      // Not CT-submitted: a v6-only leaf nobody logged is exactly the kind
+      // of estate drift the dual-stack report exists to surface.
+      server->chain_v6 = build_chain(s, ca, issue_leaf(s, ca, 3));
+    }
+  }
+
   (void)rng;
   return world;
 }

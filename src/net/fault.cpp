@@ -171,12 +171,18 @@ std::string FaultSpec::to_string() const {
   return out;
 }
 
-Bytes FaultInjector::connect(VantagePoint vantage, BytesView client_records) const {
+Bytes FaultInjector::connect(VantagePoint vantage, AddressFamily family,
+                             BytesView client_records) const {
   // Routing key. A flight without an SNI is passed straight through — the
   // upstream rejects it with its own (definitive) protocol error.
+  //
+  // The attempt counter and the decision stream are keyed by (SNI,
+  // vantage), deliberately NOT by family: a v4-only walk draws exactly the
+  // schedule it always drew, and a dual-stack walk that visits families in
+  // a fixed per-SNI order (as the battery does) is equally deterministic.
   tls::ClientHello hello = client_hello_of(client_records);
   auto sni = hello.sni();
-  if (!sni.has_value()) return upstream_->connect(vantage, client_records);
+  if (!sni.has_value()) return upstream_->connect(vantage, family, client_records);
 
   std::uint64_t attempt = 0;
   std::uint64_t conn_index = 0;
@@ -235,7 +241,7 @@ Bytes FaultInjector::connect(VantagePoint vantage, BytesView client_records) con
     throw NetError("injected connection reset: " + *sni, NetError::Kind::kConnect);
   }
 
-  Bytes response = upstream_->connect(vantage, client_records);
+  Bytes response = upstream_->connect(vantage, family, client_records);
 
   if (response.size() > 1 && rng.chance(spec_.truncate_rate)) {
     // Cut mid-stream: the client sees a partial flight, as a dropped

@@ -69,7 +69,10 @@ class FaultInjector final : public Internet {
   FaultInjector(const Internet& upstream, FaultSpec spec, Clock* clock = nullptr)
       : upstream_(&upstream), spec_(std::move(spec)), clock_(clock) {}
 
-  Bytes connect(VantagePoint vantage, BytesView client_records) const override;
+  using Internet::connect;
+
+  Bytes connect(VantagePoint vantage, AddressFamily family,
+                BytesView client_records) const override;
 
   const FaultSpec& spec() const { return spec_; }
 

@@ -26,10 +26,18 @@ class Internet {
  public:
   virtual ~Internet() = default;
 
-  /// Send a client record stream from `vantage`; returns the server's
-  /// record stream. Throws NetError for connection-level failures and
-  /// ParseError for malformed client bytes.
-  virtual Bytes connect(VantagePoint vantage, BytesView client_records) const = 0;
+  /// Send a client record stream from `vantage` over `family`; returns the
+  /// server's record stream. Throws NetError for connection-level failures
+  /// (IPv6 to a v4-only server is kNoRoute: no AAAA record) and ParseError
+  /// for malformed client bytes.
+  virtual Bytes connect(VantagePoint vantage, AddressFamily family,
+                        BytesView client_records) const = 0;
+
+  /// Compat entry point: the pre-dual-stack single-family connect. Every
+  /// caller that does not say otherwise probes over IPv4.
+  Bytes connect(VantagePoint vantage, BytesView client_records) const {
+    return connect(vantage, AddressFamily::kIPv4, client_records);
+  }
 };
 
 /// Parse a client flight down to its ClientHello (the routing key every
@@ -43,17 +51,29 @@ class SimInternet final : public Internet {
   void add_server(SimServer server);
 
   const SimServer* find(const std::string& sni) const;
+  /// Mutable lookup for post-registration reconfiguration (the scenario
+  /// builder wires dual-stack overrides in a second pass; see
+  /// devicesim::build_world).
+  SimServer* find_mutable(const std::string& sni);
   std::size_t server_count() const { return servers_.size(); }
   std::vector<const SimServer*> servers() const;
 
+  using Internet::connect;
+
   /// Perform the server side of a TLS handshake:
   ///  1. parse the client's record stream and extract its ClientHello;
-  ///  2. route by SNI (the hello's SNI must name a registered server);
-  ///  3. negotiate a ciphersuite;
-  ///  4. answer with records carrying ServerHello ‖ Certificate ‖ Done.
-  /// Throws NetError for unreachable hosts / unknown SNI / no shared suite,
+  ///  2. route by SNI (the hello's SNI must name a registered server;
+  ///     IPv6 additionally requires the server to be dual-stack);
+  ///  3. negotiate a protocol version against the server stack's
+  ///     [min_tls_version, max_tls_version] window (fatal protocol_version
+  ///     alert below the floor; supported_versions echo for TLS 1.3
+  ///     stacks) and a ciphersuite from the family's preference list;
+  ///  4. answer with records carrying ServerHello ‖ Certificate ‖ Done,
+  ///     echoing ALPN / session_ticket when the stack negotiates them.
+  /// Throws NetError for unreachable hosts / unknown SNI,
   /// and ParseError for malformed client bytes.
-  Bytes connect(VantagePoint vantage, BytesView client_records) const override;
+  Bytes connect(VantagePoint vantage, AddressFamily family,
+                BytesView client_records) const override;
 
  private:
   std::map<std::string, SimServer> servers_;

@@ -223,6 +223,7 @@ ProbeResult TlsProber::probe_once(const std::string& sni,
   ProbeResult result;
   result.sni = sni;
   result.vantage = vantage;
+  result.family = family_;
 
   Bytes hello_msg = prober_hello(sni).encode();
   Bytes flight = tls::encode_records(tls::ContentType::kHandshake, 0x0301,
@@ -230,7 +231,8 @@ ProbeResult TlsProber::probe_once(const std::string& sni,
   Bytes response;
   try {
     obs::ScopedTimer timer(handshake_ns);
-    response = internet_->connect(vantage, BytesView(flight.data(), flight.size()));
+    response = internet_->connect(vantage, family_,
+                                  BytesView(flight.data(), flight.size()));
   } catch (const NetError& e) {
     result.error = classify_net_error(e.kind());
     result.error_detail = e.what();

@@ -38,6 +38,9 @@ namespace iotls::net {
 struct ProbeResult {
   std::string sni;
   VantagePoint vantage = VantagePoint::kNewYork;
+  /// Address family the connection travelled over (kIPv4 unless the prober
+  /// was pointed at IPv6 with TlsProber::set_family).
+  AddressFamily family = AddressFamily::kIPv4;
   bool reachable = false;
   std::uint16_t negotiated_suite = 0;
   std::vector<x509::Certificate> chain;  // as served, leaf first
@@ -140,6 +143,13 @@ class TlsProber {
   void set_breaker(const BreakerConfig& config) { breaker_config_ = config; }
   const BreakerConfig& breaker_config() const { return breaker_config_; }
 
+  /// Address family every probe travels over. Default IPv4 — the §5
+  /// pipeline's historical behaviour; set kIPv6 to walk the same survey
+  /// over the v6 frontends (v4-only servers then report dns failures,
+  /// "no AAAA record").
+  void set_family(AddressFamily family) { family_ = family; }
+  AddressFamily family() const { return family_; }
+
   /// Clock that backoff sleeps advance; defaults to an internal
   /// VirtualClock (instant, deterministic). Non-owning.
   void set_clock(Clock* clock) { clock_ = clock; }
@@ -186,6 +196,7 @@ class TlsProber {
   const Internet* internet_;
   RetryPolicy retry_;
   BreakerConfig breaker_config_;
+  AddressFamily family_ = AddressFamily::kIPv4;
   Clock* clock_ = nullptr;
   int jobs_ = 1;
   mutable VirtualClock own_clock_;

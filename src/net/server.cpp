@@ -17,11 +17,35 @@ const std::vector<x509::Certificate>& SimServer::chain_for(VantagePoint v) const
   return it == per_vantage_chain.end() ? default_chain : it->second;
 }
 
+const std::vector<x509::Certificate>& SimServer::chain_for(
+    VantagePoint v, AddressFamily family) const {
+  if (family == AddressFamily::kIPv6 && !chain_v6.empty()) return chain_v6;
+  return chain_for(v);
+}
+
+const std::vector<std::uint16_t>& SimServer::suites_for(
+    AddressFamily family) const {
+  if (family == AddressFamily::kIPv6 && suites_v6.has_value()) return *suites_v6;
+  return supported_suites;
+}
+
+std::uint16_t SimServer::max_version_for(AddressFamily family) const {
+  if (family == AddressFamily::kIPv6 && max_tls_version_v6.has_value()) {
+    return *max_tls_version_v6;
+  }
+  return max_tls_version;
+}
+
 std::uint16_t SimServer::negotiate(
     const std::vector<std::uint16_t>& client_suites) const {
-  auto supported = [this](std::uint16_t s) {
-    return std::find(supported_suites.begin(), supported_suites.end(), s) !=
-           supported_suites.end();
+  return negotiate(client_suites, AddressFamily::kIPv4);
+}
+
+std::uint16_t SimServer::negotiate(const std::vector<std::uint16_t>& client_suites,
+                                   AddressFamily family) const {
+  const std::vector<std::uint16_t>& prefs = suites_for(family);
+  auto supported = [&prefs](std::uint16_t s) {
+    return std::find(prefs.begin(), prefs.end(), s) != prefs.end();
   };
   if (honor_client_order) {
     for (std::uint16_t s : client_suites) {
@@ -30,7 +54,7 @@ std::uint16_t SimServer::negotiate(
     }
     return 0;
   }
-  for (std::uint16_t s : supported_suites) {
+  for (std::uint16_t s : prefs) {
     if (std::find(client_suites.begin(), client_suites.end(), s) !=
         client_suites.end()) {
       return s;
@@ -41,6 +65,12 @@ std::uint16_t SimServer::negotiate(
 
 const x509::Certificate* SimServer::leaf(VantagePoint v) const {
   const auto& chain = chain_for(v);
+  return chain.empty() ? nullptr : &chain.front();
+}
+
+const x509::Certificate* SimServer::leaf(VantagePoint v,
+                                         AddressFamily family) const {
+  const auto& chain = chain_for(v, family);
   return chain.empty() ? nullptr : &chain.front();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,13 +54,63 @@ struct SimServer {
   /// (the behaviour §B.7's lowest-vulnerable-index metric assumes).
   bool honor_client_order = false;
 
+  // ------------------------------------------------------------- TLS stack
+  // Behaviour knobs the StackFingerprinter battery distinguishes
+  // (docs/FINGERPRINTING.md). The defaults reproduce the historical
+  // handshake byte-for-byte for any ClientHello — no alert the old code
+  // would not have sent, no new ServerHello extension — so every
+  // pre-dual-stack golden holds.
+
+  /// Lowest/highest protocol versions this stack accepts/selects. An offer
+  /// entirely below `min_tls_version` is refused with a fatal
+  /// protocol_version alert; the selected version is clamped at
+  /// `max_tls_version`. A 0x0304 ceiling answers TLS 1.3-style (legacy
+  /// 0x0303 on the wire plus a supported_versions ServerHello extension)
+  /// when — and only when — the client offered 0x0304 via extension 43.
+  std::uint16_t min_tls_version = 0x0300;
+  std::uint16_t max_tls_version = 0x0303;
+
+  /// Server-preference ALPN protocols; empty = ALPN not negotiated (the
+  /// historical behaviour). The first entry also present in the client's
+  /// offer wins and is echoed in a ServerHello ALPN extension.
+  std::vector<std::string> alpn_protocols;
+
+  /// Answer an offered session_ticket extension with an empty echo — the
+  /// RFC 5077 stack trait the battery's bare probe observes.
+  bool session_tickets = false;
+
+  // ------------------------------------------------------------ dual stack
+  /// Does this name have AAAA records at all? When false, an IPv6 connect
+  /// fails with NetError::kNoRoute ("no AAAA record") — the dual-stack
+  /// report's "v6 absent" class (arxiv 2307.09918).
+  bool dual_stack = false;
+  std::vector<std::string> ipv6_addresses;
+
+  /// v6 frontend overrides: CDNs commonly terminate IPv6 on a different
+  /// stack, with certificate and behaviour divergence from v4. Empty /
+  /// nullopt = the v6 frontend behaves exactly like v4.
+  std::vector<x509::Certificate> chain_v6;              // empty = same chain
+  std::optional<std::vector<std::uint16_t>> suites_v6;  // suite preference
+  std::optional<std::uint16_t> max_tls_version_v6;
+
   const std::vector<x509::Certificate>& chain_for(VantagePoint v) const;
+  /// Family-aware chain: IPv6 serves `chain_v6` when set, else the v4
+  /// chain for the vantage.
+  const std::vector<x509::Certificate>& chain_for(VantagePoint v,
+                                                  AddressFamily family) const;
+
+  /// Suite preference / version ceiling as seen from `family`.
+  const std::vector<std::uint16_t>& suites_for(AddressFamily family) const;
+  std::uint16_t max_version_for(AddressFamily family) const;
 
   /// Negotiate a suite for a proposal list; 0 when no overlap.
   std::uint16_t negotiate(const std::vector<std::uint16_t>& client_suites) const;
+  std::uint16_t negotiate(const std::vector<std::uint16_t>& client_suites,
+                          AddressFamily family) const;
 
   /// Leaf certificate at a vantage (nullptr when the chain is empty).
   const x509::Certificate* leaf(VantagePoint v) const;
+  const x509::Certificate* leaf(VantagePoint v, AddressFamily family) const;
 };
 
 }  // namespace iotls::net

@@ -6,6 +6,12 @@ obs::Json probe_result_json(const ProbeResult& result) {
   obs::Json out{obs::Json::Object{}};
   out.set("sni", obs::Json(result.sni));
   out.set("vantage", obs::Json(vantage_name(result.vantage)));
+  // Address family, with a compat default: kIPv4 probes — everything that
+  // existed before dual-stack vantages — omit the member entirely, so
+  // golden v4 reports keep their exact bytes. Absent == "v4".
+  if (result.family != AddressFamily::kIPv4) {
+    out.set("family", obs::Json(family_name(result.family)));
+  }
   out.set("reachable", obs::Json(result.reachable));
   out.set("negotiated_suite",
           obs::Json(static_cast<std::int64_t>(result.negotiated_suite)));

@@ -11,4 +11,18 @@ std::string vantage_name(VantagePoint v) {
   return "?";
 }
 
+std::string family_name(AddressFamily f) {
+  switch (f) {
+    case AddressFamily::kIPv4: return "v4";
+    case AddressFamily::kIPv6: return "v6";
+  }
+  return "?";
+}
+
+std::optional<AddressFamily> parse_family(const std::string& name) {
+  if (name == "v4") return AddressFamily::kIPv4;
+  if (name == "v6") return AddressFamily::kIPv6;
+  return std::nullopt;
+}
+
 }  // namespace iotls::net

@@ -1,6 +1,7 @@
 #include "stream/ingest.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -42,6 +43,7 @@ std::uint64_t StreamIngest::fold_epoch(
       certs_ = core::CertDataset::collect(
           client_, *world_, config_.min_users, config_.jobs, &vcache_,
           injector_ != nullptr ? injector_.get() : nullptr, &memo_);
+      stacks_.reset();  // membership may have grown; reassemble on demand
     }
   }
 
@@ -56,6 +58,63 @@ std::uint64_t StreamIngest::fold_epoch(
                       {"events", std::to_string(events.size())},
                       {"snis", std::to_string(client_.index().snis().size())}});
   return epoch_;
+}
+
+const net::StackSurvey& StreamIngest::stacks() {
+  if (stacks_.has_value()) return *stacks_;
+  if (!certs_.has_value()) {
+    throw std::logic_error("stacks(): certs mode with >=1 folded epoch required");
+  }
+
+  // Battery only the SNIs this ingest has never fingerprinted. Per-SNI
+  // results are pure (the battery visits one SNI's probes in a fixed
+  // family-major order and the injector's decision streams are keyed per
+  // (SNI, vantage, attempt)), so epoch-by-epoch fresh batches compose to
+  // the same bytes a cold batch survey produces.
+  std::vector<std::string> all;
+  std::vector<std::string> fresh;
+  all.reserve(certs_->records().size());
+  for (const core::SniRecord& record : certs_->records()) {
+    all.push_back(record.sni);
+    if (stack_memo_.count(record.sni) == 0) fresh.push_back(record.sni);
+  }
+
+  if (!fresh.empty()) {
+    const net::Internet* internet = &world_->internet;
+    if (config_.fault.any()) {
+      // Battery-private injector: the cert prober's attempt counters must
+      // keep their historical sequence.
+      if (stack_injector_ == nullptr) {
+        stack_injector_ = std::make_unique<net::FaultInjector>(world_->internet,
+                                                               config_.fault);
+      }
+      internet = stack_injector_.get();
+    }
+    net::StackFingerprinter fingerprinter(*internet);
+    fingerprinter.set_families(
+        {net::AddressFamily::kIPv4, net::AddressFamily::kIPv6});
+    fingerprinter.set_jobs(config_.jobs);
+    if (config_.fault.any()) {
+      net::RetryPolicy retry;
+      retry.max_attempts = 3;  // ride out injected weather, deterministically
+      fingerprinter.set_retry_policy(retry);
+    }
+    net::StackSurvey batch = fingerprinter.survey(fresh);
+    for (net::ServerStackResult& result : batch.results) {
+      std::string sni = result.sni;
+      stack_memo_[std::move(sni)] = std::move(result);
+    }
+    stack_summary_.merge(batch.summary);
+  }
+
+  net::StackSurvey assembled;
+  assembled.summary = stack_summary_;
+  assembled.results.reserve(all.size());
+  for (const std::string& sni : all) {
+    assembled.results.push_back(stack_memo_.at(sni));
+  }
+  stacks_ = std::move(assembled);
+  return *stacks_;
 }
 
 }  // namespace iotls::stream

@@ -32,6 +32,7 @@
 #include "core/dataset.hpp"
 #include "devicesim/scenario.hpp"
 #include "net/fault.hpp"
+#include "net/stack_fingerprint.hpp"
 #include "x509/validation.hpp"
 
 namespace iotls::stream {
@@ -77,6 +78,15 @@ class StreamIngest {
     return certs_.has_value() ? &*certs_ : nullptr;
   }
 
+  /// Active stack-fingerprint survey (dual-stack battery) over the cert
+  /// dataset's SNIs, in records() order. Lazily run on first call after a
+  /// fold and memoized per SNI across epochs — only SNIs never fingerprinted
+  /// before hit the network, through a battery-private FaultInjector (its
+  /// attempt counters must not interleave with the cert prober's), so the
+  /// streamed survey is byte-identical to a cold batch run. Requires certs
+  /// mode and at least one folded epoch; throws std::logic_error otherwise.
+  const net::StackSurvey& stacks();
+
   /// The simulated world certs are probed against (built iff config.certs).
   const devicesim::SimWorld& world() const { return *world_; }
   x509::ValidationCache& validation_cache() { return vcache_; }
@@ -96,6 +106,10 @@ class StreamIngest {
   std::unique_ptr<devicesim::SimWorld> world_;
   std::unique_ptr<net::FaultInjector> injector_;
   core::ProbeMemo memo_;
+  std::optional<net::StackSurvey> stacks_;  // assembled view, reset per fold
+  std::map<std::string, net::ServerStackResult> stack_memo_;
+  net::StackSurveySummary stack_summary_;   // accumulates fresh batches
+  std::unique_ptr<net::FaultInjector> stack_injector_;
   x509::ValidationCache vcache_;
   std::uint64_t epoch_ = 0;
   std::uint64_t events_ingested_ = 0;

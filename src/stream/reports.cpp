@@ -1,5 +1,7 @@
 #include "stream/reports.hpp"
 
+#include <algorithm>
+
 #include "core/chains.hpp"
 #include "core/ct_validity.hpp"
 #include "core/device_metrics.hpp"
@@ -186,6 +188,160 @@ obs::Json report_ct(StreamIngest& ingest, const core::CertDataset& certs) {
   });
 }
 
+/// Vendor sets per SNI, for annotating stack clusters with who talks to
+/// the servers behind them.
+std::map<std::string, const core::SniRecord*> record_index(
+    const core::CertDataset& certs) {
+  std::map<std::string, const core::SniRecord*> out;
+  for (const core::SniRecord& record : certs.records()) {
+    out[record.sni] = &record;
+  }
+  return out;
+}
+
+obs::Json report_stacks(StreamIngest& ingest, const core::CertDataset& certs) {
+  // Server-side dual of Table 4/5: instead of clustering *clients* by the
+  // fingerprints they send, cluster *servers* by the stack fingerprint the
+  // battery elicits. Clusters are keyed on the New York / IPv4 digest (the
+  // paper's primary vantage).
+  const net::StackSurvey& survey = ingest.stacks();
+  auto record_of = record_index(certs);
+
+  struct Cluster {
+    std::vector<std::string> servers;  // records() order == lexicographic
+    std::set<std::string> vendors;
+  };
+  std::map<std::string, Cluster> clusters;
+  std::size_t fingerprinted = 0;
+  std::size_t unanswered = 0;
+  for (const net::ServerStackResult& result : survey.results) {
+    const net::StackFingerprint* fp =
+        result.at(net::VantagePoint::kNewYork, net::AddressFamily::kIPv4);
+    if (fp == nullptr || !fp->answered) {
+      ++unanswered;
+      continue;
+    }
+    ++fingerprinted;
+    Cluster& cluster = clusters[fp->digest];
+    cluster.servers.push_back(result.sni);
+    auto it = record_of.find(result.sni);
+    if (it != record_of.end()) {
+      cluster.vendors.insert(it->second->vendors.begin(),
+                             it->second->vendors.end());
+    }
+  }
+
+  // Rows: clusters of >= 2 servers, largest first, digest breaking ties.
+  std::vector<std::pair<std::string, const Cluster*>> ordered;
+  for (const auto& [digest, cluster] : clusters) {
+    if (cluster.servers.size() >= 2) ordered.emplace_back(digest, &cluster);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->servers.size() != b.second->servers.size()) {
+                return a.second->servers.size() > b.second->servers.size();
+              }
+              return a.first < b.first;
+            });
+
+  std::size_t clustered_servers = 0;
+  std::size_t cross_vendor_clusters = 0;
+  obs::Json::Array rows;
+  for (const auto& [digest, cluster] : ordered) {
+    clustered_servers += cluster->servers.size();
+    bool cross_vendor = cluster->vendors.size() > 1;
+    if (cross_vendor) ++cross_vendor_clusters;
+    obs::Json::Array fqdns;
+    for (std::size_t i = 0; i < cluster->servers.size() && i < 5; ++i) {
+      fqdns.emplace_back(cluster->servers[i]);
+    }
+    rows.emplace_back(obs::Json::Object{
+        {"digest", digest},
+        {"servers", static_cast<std::int64_t>(cluster->servers.size())},
+        {"example_fqdns", obs::Json(std::move(fqdns))},
+        {"vendors", set_json(cluster->vendors)},
+        {"cross_vendor", cross_vendor},
+    });
+  }
+
+  return obs::Json(obs::Json::Object{
+      {"report", "stacks"},
+      {"battery",
+       static_cast<std::int64_t>(
+           net::StackFingerprinter::standard_battery().size())},
+      {"servers_fingerprinted", static_cast<std::int64_t>(fingerprinted)},
+      {"unanswered", static_cast<std::int64_t>(unanswered)},
+      {"distinct_stacks", static_cast<std::int64_t>(clusters.size())},
+      {"clustered_servers", static_cast<std::int64_t>(clustered_servers)},
+      {"cross_vendor_clusters",
+       static_cast<std::int64_t>(cross_vendor_clusters)},
+      {"rows", std::move(rows)},
+  });
+}
+
+obs::Json report_dualstack(StreamIngest& ingest,
+                           const core::CertDataset& certs) {
+  // Table 16 extended across address families: does the v6 frontend serve
+  // the same stack and certificate the v4 frontend does? Compared at New
+  // York, the paper's primary vantage.
+  const net::StackSurvey& survey = ingest.stacks();
+  auto record_of = record_index(certs);
+
+  std::size_t snis = 0;
+  std::size_t v4_unanswered = 0;
+  std::size_t v6_absent = 0;
+  std::size_t consistent = 0;
+  std::size_t stack_divergent = 0;
+  std::size_t cert_divergent = 0;
+  obs::Json::Array rows;
+  for (const net::ServerStackResult& result : survey.results) {
+    ++snis;
+    const net::StackFingerprint* v4 =
+        result.at(net::VantagePoint::kNewYork, net::AddressFamily::kIPv4);
+    const net::StackFingerprint* v6 =
+        result.at(net::VantagePoint::kNewYork, net::AddressFamily::kIPv6);
+    if (v4 == nullptr || !v4->answered) {
+      ++v4_unanswered;
+      continue;
+    }
+    if (v6 == nullptr || !v6->answered) {
+      ++v6_absent;  // no AAAA record (or a dark v6 frontend)
+      continue;
+    }
+    bool stack_div = v4->digest != v6->digest;
+    bool cert_div = !v4->leaf_fp.empty() && !v6->leaf_fp.empty() &&
+                    v4->leaf_fp != v6->leaf_fp;
+    if (!stack_div && !cert_div) {
+      ++consistent;
+      continue;
+    }
+    if (stack_div) ++stack_divergent;
+    if (cert_div) ++cert_divergent;
+    std::set<std::string> vendors;
+    auto it = record_of.find(result.sni);
+    if (it != record_of.end()) vendors = it->second->vendors;
+    rows.emplace_back(obs::Json::Object{
+        {"sni", result.sni},
+        {"stack_divergent", stack_div},
+        {"cert_divergent", cert_div},
+        {"v4_digest", v4->digest},
+        {"v6_digest", v6->digest},
+        {"vendors", set_json(vendors)},
+    });
+  }
+
+  return obs::Json(obs::Json::Object{
+      {"report", "dualstack"},
+      {"snis", static_cast<std::int64_t>(snis)},
+      {"v4_unanswered", static_cast<std::int64_t>(v4_unanswered)},
+      {"v6_absent", static_cast<std::int64_t>(v6_absent)},
+      {"consistent", static_cast<std::int64_t>(consistent)},
+      {"stack_divergent", static_cast<std::int64_t>(stack_divergent)},
+      {"cert_divergent", static_cast<std::int64_t>(cert_divergent)},
+      {"rows", std::move(rows)},
+  });
+}
+
 obs::Json error_doc(const std::string& message) {
   return obs::Json(obs::Json::Object{{"error", message}});
 }
@@ -194,8 +350,8 @@ obs::Json error_doc(const std::string& message) {
 
 const std::vector<std::string>& report_names() {
   static const std::vector<std::string> names = {
-      "table02", "table03", "table04", "table05",
-      "certs",   "chains",  "issuers", "ct",
+      "table02", "table03", "table04", "table05", "certs",
+      "chains",  "issuers", "ct",      "stacks",  "dualstack",
   };
   return names;
 }
@@ -208,7 +364,8 @@ std::optional<obs::Json> render_report(const std::string& name,
   if (name == "table04") return report_table04(ds);
   if (name == "table05") return report_table05(ds);
 
-  if (name == "certs" || name == "chains" || name == "issuers" || name == "ct") {
+  if (name == "certs" || name == "chains" || name == "issuers" ||
+      name == "ct" || name == "stacks" || name == "dualstack") {
     const core::CertDataset* certs = ingest.certs();
     if (certs == nullptr) {
       return error_doc(ingest.config().certs
@@ -218,6 +375,8 @@ std::optional<obs::Json> render_report(const std::string& name,
     if (name == "certs") return report_certs(*certs);
     if (name == "chains") return report_chains(ingest, *certs);
     if (name == "issuers") return report_issuers(ingest, *certs);
+    if (name == "stacks") return report_stacks(ingest, *certs);
+    if (name == "dualstack") return report_dualstack(ingest, *certs);
     return report_ct(ingest, *certs);
   }
   return std::nullopt;

@@ -17,10 +17,14 @@
 //   table05  server-tied fingerprints, cross-vendor rows (Table 5)
 //
 // Server-side (certs mode only; absent otherwise):
-//   certs    §5.1 probe funnel + certificate sharing stats
-//   chains   §5.3 validation outcomes (Tables 7/8/14 aggregates)
-//   issuers  §5.2 issuer mix
-//   ct       §5.4 CT coverage
+//   certs      §5.1 probe funnel + certificate sharing stats
+//   chains     §5.3 validation outcomes (Tables 7/8/14 aggregates)
+//   issuers    §5.2 issuer mix
+//   ct         §5.4 CT coverage
+//   stacks     active stack-fingerprint clusters — the server-side dual of
+//              Table 4/5 (docs/FINGERPRINTING.md §5)
+//   dualstack  v4-vs-v6 stack/cert consistency — Table 16 extended across
+//              address families (docs/FINGERPRINTING.md §5)
 #pragma once
 
 #include <optional>

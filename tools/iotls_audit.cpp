@@ -203,7 +203,8 @@ int main(int argc, char** argv) {
     // be retained — with a snapshot input the events stream through in
     // chunks and resident memory stays O(distinct fingerprints).
     bool server_side = report_name == "certs" || report_name == "chains" ||
-                       report_name == "issuers" || report_name == "ct";
+                       report_name == "issuers" || report_name == "ct" ||
+                       report_name == "stacks" || report_name == "dualstack";
     stream::IngestConfig config;
     config.jobs = jobs;
     config.certs = certs_mode || server_side;

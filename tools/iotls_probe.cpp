@@ -25,6 +25,16 @@
 // and merged in input order, so the report is byte-identical to --jobs=1
 // (see README "Parallelism" for the two documented caveats).
 //
+// Fingerprinting: `--battery[=K]` switches from certificate harvesting to
+// active stack fingerprinting — the first K probes (default: all) of the
+// normative ClientHello battery (docs/FINGERPRINTING.md) against each SNI,
+// canonicalized and hashed into one digest per (SNI, vantage, family).
+// `--family=v4|v6|dual` picks the address families probed (dual requires
+// --battery; without it, v4/v6 steers the certificate prober). The battery
+// honours --retries/--backoff-ms/--breaker/--fault-spec; --retry-budget is
+// deliberately ignored (budget exhaustion is walk-order-dependent and
+// would break the --jobs byte-identity contract).
+//
 // Observability: set IOTLS_LOG_LEVEL=debug for structured per-probe logs on
 // stderr. `--stats` appends per-stage timings and the metric registry to
 // the report; `--stats=json` replaces the report with one JSON document
@@ -43,6 +53,7 @@
 #include "devicesim/scenario.hpp"
 #include "net/fault.hpp"
 #include "net/prober.hpp"
+#include "net/stack_fingerprint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/obs_report.hpp"
@@ -61,7 +72,8 @@ void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: iotls_probe [--all] [--jobs=N] [--stats[=json]] [--retries=N]\n"
                "                   [--backoff-ms=N] [--retry-budget=N] [--breaker=N]\n"
-               "                   [--fault-spec=SPEC] [--serve=PORT]\n"
+               "                   [--fault-spec=SPEC] [--battery[=K]]\n"
+               "                   [--family=v4|v6|dual] [--serve=PORT]\n"
                "                   [--serve-linger[=MS]] [--trace-out=FILE] [sni ...]\n");
 }
 
@@ -90,6 +102,9 @@ int main(int argc, char** argv) {
   net::BreakerConfig breaker;
   net::FaultSpec fault_spec;
   bool faults = false;
+  bool battery = false;
+  std::size_t battery_k = 0;  // 0 = the full standard battery
+  std::string family_flag = "v4";
   int jobs = 1;
   tools::ObsCli obs_cli;
   std::vector<std::string> snis;
@@ -113,6 +128,22 @@ int main(int argc, char** argv) {
     } else if (has_prefix(argv[i], "--breaker=")) {
       breaker.failure_threshold =
           static_cast<int>(flag_u64(argv[i], "--breaker="));
+    } else if (std::strcmp(argv[i], "--battery") == 0) {
+      battery = true;
+    } else if (has_prefix(argv[i], "--battery=")) {
+      battery = true;
+      battery_k = static_cast<std::size_t>(flag_u64(argv[i], "--battery="));
+      if (battery_k == 0) {
+        std::fprintf(stderr, "--battery wants K >= 1 probes\n");
+        return 2;
+      }
+    } else if (has_prefix(argv[i], "--family=")) {
+      family_flag = argv[i] + std::strlen("--family=");
+      if (family_flag != "v4" && family_flag != "v6" && family_flag != "dual") {
+        std::fprintf(stderr, "--family wants v4|v6|dual, got '%s'\n",
+                     family_flag.c_str());
+        return 2;
+      }
     } else if (has_prefix(argv[i], "--fault-spec=")) {
       try {
         fault_spec = net::FaultSpec::parse(argv[i] + std::strlen("--fault-spec="));
@@ -133,6 +164,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "example: iotls_probe appboot.netflix.com a2.tuyaus.com\n");
     return 2;
   }
+  if (family_flag == "dual" && !battery) {
+    std::fprintf(stderr, "--family=dual requires --battery (the certificate "
+                         "prober walks one family per run)\n");
+    return 2;
+  }
   if (!obs_cli.start()) return 2;
 
   auto universe = devicesim::ServerUniverse::standard();
@@ -147,23 +183,104 @@ int main(int argc, char** argv) {
                                                     &clock);
     internet = injector.get();
   }
-  net::TlsProber prober(*internet);
-  prober.set_retry_policy(retry);
-  prober.set_breaker(breaker);
-  prober.set_clock(&clock);
-  prober.set_jobs(jobs);
-
   const std::int64_t today = days(2022, 4, 15);
   const bool quiet = stats == StatsMode::kJson;  // stdout carries JSON only
-  // Shared across the walk: chains sharing intermediates verify each
-  // signature edge once (x509.cache.{hit,miss} in --stats shows the ratio).
-  x509::ValidationCache vcache;
 
   if (all) {
     for (const devicesim::ServerSpec& spec : universe.specs()) {
       snis.push_back(spec.fqdn);
     }
   }
+
+  if (battery) {
+    net::StackFingerprinter fingerprinter(*internet);
+    const std::vector<net::ProbeSpec>& standard =
+        net::StackFingerprinter::standard_battery();
+    if (battery_k > 0 && battery_k < standard.size()) {
+      fingerprinter.set_battery(std::vector<net::ProbeSpec>(
+          standard.begin(),
+          standard.begin() + static_cast<std::ptrdiff_t>(battery_k)));
+    }
+    std::vector<net::AddressFamily> families = {net::AddressFamily::kIPv4};
+    if (family_flag == "v6") families = {net::AddressFamily::kIPv6};
+    if (family_flag == "dual") {
+      families = {net::AddressFamily::kIPv4, net::AddressFamily::kIPv6};
+    }
+    fingerprinter.set_families(families);
+    fingerprinter.set_retry_policy(retry);
+    fingerprinter.set_breaker(breaker);
+    fingerprinter.set_clock(&clock);
+    fingerprinter.set_jobs(jobs);
+
+    net::StackSurvey survey = fingerprinter.survey(snis);
+    std::size_t divergent = 0;
+    for (const net::ServerStackResult& result : survey.results) {
+      std::string line;
+      const net::StackFingerprint* v4 = nullptr;
+      const net::StackFingerprint* v6 = nullptr;
+      for (net::AddressFamily family : families) {
+        const net::StackFingerprint* fp =
+            result.at(net::VantagePoint::kNewYork, family);
+        if (family == net::AddressFamily::kIPv4) v4 = fp;
+        else v6 = fp;
+        line += "  " + net::family_name(family) + "=";
+        line += (fp != nullptr && fp->answered) ? fp->digest : "unanswered";
+      }
+      bool diverged = v4 != nullptr && v6 != nullptr && v4->answered &&
+                      v6->answered && v4->digest != v6->digest;
+      if (diverged) ++divergent;
+      if (!quiet) {
+        std::printf("%-40s%s%s\n", result.sni.c_str(), line.c_str(),
+                    diverged ? "  [DIVERGENT]" : "");
+      }
+    }
+    if (!quiet) {
+      const net::StackSurveySummary& s = survey.summary;
+      std::printf("\nbattery: %zu probes x %zu famil%s x %zu vantages over "
+                  "%zu SNIs\n",
+                  fingerprinter.battery().size(), families.size(),
+                  families.size() == 1 ? "y" : "ies", net::kAllVantagePoints.size(),
+                  s.snis);
+      std::printf("summary: %llu probes (%llu answered, %llu skipped), "
+                  "%llu attempts (%llu retries)%s\n",
+                  static_cast<unsigned long long>(s.probes),
+                  static_cast<unsigned long long>(s.answered_probes),
+                  static_cast<unsigned long long>(s.skipped_probes),
+                  static_cast<unsigned long long>(s.attempts),
+                  static_cast<unsigned long long>(s.retries),
+                  family_flag == "dual"
+                      ? (", " + std::to_string(divergent) + " dual-stack divergent").c_str()
+                      : "");
+      if (faults) {
+        net::FaultInjector::Stats fs = injector->stats();
+        std::printf("faults injected: %llu timeouts, %llu resets, "
+                    "%llu truncated, %llu garbled over %llu connects\n",
+                    static_cast<unsigned long long>(fs.timeouts),
+                    static_cast<unsigned long long>(fs.resets),
+                    static_cast<unsigned long long>(fs.truncated),
+                    static_cast<unsigned long long>(fs.garbled),
+                    static_cast<unsigned long long>(fs.connects));
+      }
+    }
+    if (stats == StatsMode::kText) {
+      std::printf("\n%s", report::stats_text(obs::metrics(), obs::tracer()).c_str());
+    } else if (stats == StatsMode::kJson) {
+      std::printf("%s\n", report::stats_json(obs::metrics(), obs::tracer()).c_str());
+    }
+    std::fflush(stdout);
+    obs_cli.finish();
+    return 0;
+  }
+
+  net::TlsProber prober(*internet);
+  prober.set_retry_policy(retry);
+  prober.set_breaker(breaker);
+  prober.set_clock(&clock);
+  prober.set_jobs(jobs);
+  if (family_flag == "v6") prober.set_family(net::AddressFamily::kIPv6);
+  // Shared across the walk: chains sharing intermediates verify each
+  // signature edge once (x509.cache.{hit,miss} in --stats shows the ratio).
+  x509::ValidationCache vcache;
 
   net::SurveyReport survey = prober.survey_report(snis);
 
